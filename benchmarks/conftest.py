@@ -1,0 +1,21 @@
+"""Benchmark support: every experiment writes its reproduced table to
+``benchmarks/results/<name>.txt`` (in addition to printing it), so the
+paper-versus-measured comparison survives pytest's output capturing."""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def save_table():
+    """Persist (and print) an experiment's formatted table."""
+
+    def _save(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return _save

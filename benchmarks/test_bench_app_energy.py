@@ -1,0 +1,40 @@
+"""Extension: end-to-end memory-system energy of the Figure 10 query.
+
+The paper reports per-op energy (Table 3); this extends it to the whole
+bitmap-index workload, showing the 6w-OR + (2w-1)-AND query inherits the
+and/or row's ~42x memory-energy reduction at every scale.
+"""
+
+import pytest
+
+from repro.energy import bitmap_index_query_energy
+
+
+def test_bench_app_energy(benchmark, save_table):
+    def sweep():
+        return {
+            (users, weeks): bitmap_index_query_energy(users, weeks)
+            for users in (8_000_000, 16_000_000)
+            for weeks in (2, 3, 4)
+        }
+
+    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [
+        "Extension: memory-system energy of the Figure 10 query",
+        f"{'users':>12} {'weeks':>6} {'DDR uJ':>9} {'Ambit uJ':>9} "
+        f"{'reduction':>10}",
+    ]
+    for (users, weeks), e in table.items():
+        lines.append(
+            f"{users:>12,} {weeks:>6} {e.ddr_nj / 1e3:>9.1f} "
+            f"{e.ambit_nj / 1e3:>9.2f} {e.reduction:>9.1f}X"
+        )
+    save_table("app_energy", "\n".join(lines))
+
+    for e in table.values():
+        # The all-AND/OR query sits at Table 3's and/or reduction.
+        assert e.reduction == pytest.approx(41.6, rel=0.10)
+    # Energy scales linearly with users at fixed weeks.
+    assert table[(16_000_000, 4)].ambit_nj == pytest.approx(
+        2 * table[(8_000_000, 4)].ambit_nj, rel=0.01
+    )

@@ -1,0 +1,76 @@
+"""Figure 10: bitmap-index query, baseline vs Ambit.
+
+Runs the paper's full parameter sweep -- u in {8M, 16M} users, w in
+{2, 3, 4} weeks -- functionally (answers verified), and reports
+execution times plus the per-point speedups the paper annotates
+(5.4X - 6.6X, average ~6X).
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import bitmap_index as bi
+from repro.sim import AmbitContext, CpuContext
+
+PAPER_SPEEDUPS = {
+    (8_000_000, 2): 5.4,
+    (8_000_000, 3): 6.1,
+    (8_000_000, 4): 6.3,
+    (16_000_000, 2): 5.7,
+    (16_000_000, 3): 6.2,
+    (16_000_000, 4): 6.6,
+}
+
+
+def _sweep():
+    rows = []
+    for users in (8_000_000, 16_000_000):
+        workload = bi.generate_workload(users, 4, seed=10)
+        reference = {w: bi.reference_query(workload, w) for w in (2, 3, 4)}
+        for weeks in (2, 3, 4):
+            base = bi.run_query(CpuContext(), workload, weeks)
+            ambit = bi.run_query(AmbitContext(), workload, weeks)
+            ref = reference[weeks]
+            assert base.unique_active_every_week == ref.unique_active_every_week
+            assert ambit.male_active_per_week == ref.male_active_per_week
+            rows.append(
+                (users, weeks, base.elapsed_ns, ambit.elapsed_ns)
+            )
+    return rows
+
+
+def _format(rows):
+    lines = [
+        "Figure 10: bitmap-index query execution time",
+        f"{'users':>12} {'weeks':>6} {'baseline ms':>12} {'ambit ms':>10} "
+        f"{'speedup':>8} {'paper':>7}",
+    ]
+    for users, weeks, base_ns, ambit_ns in rows:
+        lines.append(
+            f"{users:>12,} {weeks:>6} {base_ns / 1e6:>12.2f} "
+            f"{ambit_ns / 1e6:>10.2f} {base_ns / ambit_ns:>7.1f}X "
+            f"{PAPER_SPEEDUPS[(users, weeks)]:>6.1f}X"
+        )
+    mean = np.mean([b / a for _, _, b, a in rows])
+    lines.append(f"mean speedup: {mean:.1f}X   (paper: ~6.0X)")
+    return "\n".join(lines)
+
+
+def test_bench_fig10_bitmap_index(benchmark, save_table):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    save_table("fig10_bitmap_index", _format(rows))
+
+    speedups = {
+        (users, weeks): base / ambit for users, weeks, base, ambit in rows
+    }
+    # Every point in a band around the paper's 5.4X - 6.6X.
+    for key, paper in PAPER_SPEEDUPS.items():
+        assert paper * 0.6 <= speedups[key] <= paper * 1.6, (key, speedups[key])
+    # Speedup grows with the number of weeks (more bitwise work per
+    # bitcount), as in the paper.
+    for users in (8_000_000, 16_000_000):
+        assert speedups[(users, 2)] < speedups[(users, 4)]
+    # Execution time grows with both u and w (the O(uw) structure).
+    times = {(u, w): a for u, w, _, a in rows}
+    assert times[(16_000_000, 4)] > times[(8_000_000, 4)]
+    assert times[(8_000_000, 4)] > times[(8_000_000, 2)]

@@ -1,0 +1,67 @@
+"""Figure 9: bulk bitwise throughput across the five systems.
+
+Computes the full throughput matrix (Skylake, GTX 745, HMC 2.0, Ambit,
+Ambit-3D x seven operations), checks every headline ratio from
+Section 7, and cross-validates the analytical Ambit model against the
+functional command-level device.
+"""
+
+import pytest
+
+from repro.core.device import AmbitDevice
+from repro.core.microprograms import BulkOp
+from repro.dram.geometry import small_test_geometry
+from repro.perf import (
+    AmbitSystem,
+    figure9_experiment,
+    format_figure9,
+    measure_ambit_functional,
+)
+
+
+def test_bench_fig9_throughput(benchmark, save_table):
+    result = benchmark.pedantic(figure9_experiment, rounds=1, iterations=1)
+    save_table("fig9_throughput", format_figure9(result))
+
+    # Strict ordering of the five systems.
+    means = [
+        result.mean(n)
+        for n in ("Skylake", "GTX745", "HMC 2.0", "Ambit", "Ambit-3D")
+    ]
+    assert all(a < b for a, b in zip(means, means[1:]))
+
+    # Headline ratios (paper values / accepted band).
+    assert result.speedup("HMC 2.0", "Skylake") == pytest.approx(18.5, rel=0.05)
+    assert result.speedup("HMC 2.0", "GTX745") == pytest.approx(13.1, rel=0.05)
+    assert 35.0 <= result.speedup("Ambit", "Skylake") <= 60.0       # paper 44.9X
+    assert 28.0 <= result.speedup("Ambit", "GTX745") <= 45.0        # paper 32X
+    assert 2.0 <= result.speedup("Ambit", "HMC 2.0") <= 3.5         # paper 2.4X
+    assert 8.0 <= result.speedup("Ambit-3D", "HMC 2.0") <= 13.0     # paper 9.7X
+
+    # Per-op structure: not is the fastest class on every system.
+    for name in result.systems:
+        t = result.throughput[name]
+        assert t[BulkOp.NOT] >= max(t[op] for op in t)
+
+
+def test_bench_fig9_functional_cross_check(benchmark, save_table):
+    """The command-level device reproduces the analytical throughput."""
+    geo = small_test_geometry(rows=24, row_bytes=8192, banks=8, subarrays_per_bank=1)
+    device = AmbitDevice(geometry=geo)
+    model = AmbitSystem("check", timing=device.timing, banks=8, row_bytes=8192)
+
+    measured = benchmark.pedantic(
+        measure_ambit_functional,
+        args=(device, BulkOp.AND),
+        kwargs={"rows_per_bank": 4},
+        rounds=1,
+        iterations=1,
+    )
+    analytical = model.throughput_gops(BulkOp.AND)
+    save_table(
+        "fig9_cross_check",
+        "Functional-device cross-check (bulk AND, 8 banks, 8 KB rows)\n"
+        f"functional model : {measured:8.1f} GOps/s\n"
+        f"analytical model : {analytical:8.1f} GOps/s",
+    )
+    assert measured == pytest.approx(analytical, rel=1e-6)

@@ -1,0 +1,91 @@
+"""Microbenchmarks of the simulator itself (pytest-benchmark timings).
+
+These measure the *model's* execution speed -- useful for tracking
+regressions in the functional DRAM engine, which everything else runs
+on.  Each benchmark also sanity-checks its result.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.device import AmbitDevice
+from repro.core.microprograms import BulkOp
+from repro.dram.chip import RowLocation
+from repro.dram.geometry import small_test_geometry
+
+GEO = small_test_geometry(rows=32, row_bytes=8192, banks=2, subarrays_per_bank=2)
+WORDS = GEO.subarray.words_per_row
+
+
+@pytest.fixture(scope="module")
+def device():
+    return AmbitDevice(geometry=GEO)
+
+
+@pytest.fixture(scope="module")
+def operands(device):
+    rng = np.random.default_rng(1)
+    a = rng.integers(0, 2**63, size=WORDS, dtype=np.uint64)
+    b = rng.integers(0, 2**63, size=WORDS, dtype=np.uint64)
+    device.write_row(RowLocation(0, 0, 0), a)
+    device.write_row(RowLocation(0, 0, 1), b)
+    return a, b
+
+
+def test_bench_model_bulk_and(benchmark, device, operands):
+    a, b = operands
+
+    def op():
+        device.bbop_row(BulkOp.AND, RowLocation(0, 0, 2), RowLocation(0, 0, 0),
+                        RowLocation(0, 0, 1))
+        return device.read_row(RowLocation(0, 0, 2))
+
+    result = benchmark(op)
+    assert np.array_equal(result, a & b)
+
+
+def test_bench_model_bulk_xor(benchmark, device, operands):
+    a, b = operands
+
+    def op():
+        device.bbop_row(BulkOp.XOR, RowLocation(0, 0, 3), RowLocation(0, 0, 0),
+                        RowLocation(0, 0, 1))
+        return device.read_row(RowLocation(0, 0, 3))
+
+    result = benchmark(op)
+    assert np.array_equal(result, a ^ b)
+
+
+def test_bench_model_bulk_not(benchmark, device, operands):
+    a, _ = operands
+
+    def op():
+        device.bbop_row(BulkOp.NOT, RowLocation(0, 0, 4), RowLocation(0, 0, 0))
+        return device.read_row(RowLocation(0, 0, 4))
+
+    result = benchmark(op)
+    assert np.array_equal(result, ~a)
+
+
+def test_bench_model_rowclone_fpm(benchmark, device, operands):
+    a, _ = operands
+    from repro.dram.rowclone import rowclone_fpm
+
+    def op():
+        rowclone_fpm(device.chip, 0, 0, 0, 5)
+        return device.read_row(RowLocation(0, 0, 5))
+
+    result = benchmark(op)
+    assert np.array_equal(result, a)
+
+
+def test_bench_model_montecarlo_10k(benchmark):
+    from repro.circuit import tra_failure_rate
+
+    result = benchmark.pedantic(
+        tra_failure_rate,
+        kwargs={"level": 0.15, "trials": 10_000},
+        rounds=3,
+        iterations=1,
+    )
+    assert 0.0 < result.failure_rate < 0.2

@@ -1,0 +1,63 @@
+"""Scaling study: Ambit throughput vs internal parallelism.
+
+Section 1: "the performance of Ambit scales linearly with the maximum
+internal bandwidth of DRAM (i.e., row buffer size) and the memory-level
+parallelism available inside DRAM (i.e., number of banks or
+subarrays)."  This benchmark sweeps all three axes.
+"""
+
+import pytest
+
+from repro.core.microprograms import BulkOp
+from repro.dram.timing import ddr3_1600
+from repro.perf.systems import AmbitSystem
+
+BANKS = (1, 2, 4, 8, 16)
+ROW_BYTES = (2048, 8192, 32768)
+
+
+def _sweep():
+    timing = ddr3_1600()
+    table = {}
+    for banks in BANKS:
+        for row_bytes in ROW_BYTES:
+            for salp in (1, 4):
+                system = AmbitSystem(
+                    "sweep", timing=timing, banks=banks,
+                    row_bytes=row_bytes, salp_subarrays=salp,
+                )
+                table[(banks, row_bytes, salp)] = system.throughput_gops(
+                    BulkOp.AND
+                )
+    return table
+
+
+def test_bench_scaling(benchmark, save_table):
+    table = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    lines = [
+        "Scaling: bulk AND throughput (GOps/s) vs banks / row size / SALP",
+        f"{'banks':>6} {'row KB':>7} {'SALP=1':>9} {'SALP=4':>9}",
+    ]
+    for banks in BANKS:
+        for row_bytes in ROW_BYTES:
+            lines.append(
+                f"{banks:>6} {row_bytes // 1024:>7} "
+                f"{table[(banks, row_bytes, 1)]:>9.1f} "
+                f"{table[(banks, row_bytes, 4)]:>9.1f}"
+            )
+    save_table("scaling", "\n".join(lines))
+
+    # Linear in banks.
+    for row_bytes in ROW_BYTES:
+        assert table[(16, row_bytes, 1)] == pytest.approx(
+            16 * table[(1, row_bytes, 1)]
+        )
+    # Linear in row-buffer width.
+    for banks in BANKS:
+        assert table[(banks, 32768, 1)] == pytest.approx(
+            16 * table[(banks, 2048, 1)]
+        )
+    # Linear in SALP subarrays.
+    assert table[(8, 8192, 4)] == pytest.approx(4 * table[(8, 8192, 1)])
+    # The paper's default point: 8 banks x 8 KB rows = ~334 GOps/s.
+    assert table[(8, 8192, 1)] == pytest.approx(334.4, rel=0.01)

@@ -1,0 +1,53 @@
+"""Table 2: TRA failure rate under process variation (Section 6).
+
+Regenerates the Monte-Carlo sweep (100,000 trials per level, like the
+paper) and the adversarial-corner tolerance, and checks the measured
+curve sits in the paper's regime.
+"""
+
+import pytest
+
+from repro.circuit import (
+    TABLE2_PAPER_FAILURES,
+    format_table2,
+    max_tolerable_variation,
+    table2_experiment,
+)
+
+TRIALS = 100_000
+
+
+def test_bench_table2_monte_carlo(benchmark, save_table):
+    results = benchmark.pedantic(
+        table2_experiment,
+        kwargs={"trials": TRIALS, "seed": 42},
+        rounds=1,
+        iterations=1,
+    )
+    save_table("table2_variation", format_table2(results))
+
+    # Zero failures through +/-5 % (exactly as the paper reports).
+    assert results[0.0].failures == 0
+    assert results[0.05].failures == 0
+    # Sub-percent at +/-10 %, tens of percent at +/-25 %.
+    assert results[0.10].failure_percent < 1.0
+    assert 18.0 <= results[0.25].failure_percent <= 35.0
+    # Monotone growth.
+    curve = [results[l].failure_rate for l in (0.10, 0.15, 0.20, 0.25)]
+    assert all(a < b for a, b in zip(curve, curve[1:]))
+    # Each nonzero point within ~2.5x of the paper's value.
+    for level, paper in TABLE2_PAPER_FAILURES.items():
+        if paper > 0:
+            measured = results[level].failure_percent
+            assert paper / 2.5 <= measured <= paper * 2.5, (level, measured)
+
+
+def test_bench_worst_case_corner(benchmark, save_table):
+    tolerance = benchmark(max_tolerable_variation)
+    save_table(
+        "table2_corner",
+        "Adversarial corner analysis (Section 6)\n"
+        f"max tolerable variation : +/-{tolerance * 100:.2f}%\n"
+        f"paper                   : ~ +/-6%",
+    )
+    assert 0.05 <= tolerance <= 0.07

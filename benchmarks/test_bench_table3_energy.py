@@ -1,0 +1,25 @@
+"""Table 3: DRAM + channel energy of bulk bitwise operations.
+
+Executes every operation class on the functional device, folds the real
+command trace into energy, and compares nJ/KB and reduction factors
+against the paper's 25.1X - 59.5X band.
+"""
+
+import pytest
+
+from repro.energy import TABLE3_PAPER, format_table3, table3_experiment
+
+
+def test_bench_table3_energy(benchmark, save_table):
+    rows = benchmark.pedantic(table3_experiment, rounds=1, iterations=1)
+    save_table("table3_energy", format_table3(rows))
+
+    for op_class, (paper_ddr, paper_ambit) in TABLE3_PAPER.items():
+        measured = rows[op_class]
+        assert measured.ddr3_nj_per_kb == pytest.approx(paper_ddr, rel=0.10)
+        assert measured.ambit_nj_per_kb == pytest.approx(paper_ambit, rel=0.10)
+
+    # Section 7: Ambit reduces energy 25.1X - 59.5X vs the DDR3 interface.
+    reductions = [r.reduction for r in rows.values()]
+    assert min(reductions) == pytest.approx(25.1, rel=0.15)
+    assert max(reductions) == pytest.approx(59.5, rel=0.15)

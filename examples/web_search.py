@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Web-search document filtering with BitFunnel signatures (Section 8.4.1).
+
+Documents are indexed as bit-sliced Bloom-filter signatures; a query
+ANDs the slices selected by its terms, filtering thousands of documents
+per row-wide operation.  Candidates are then verified exactly, so the
+end-to-end results are true matches.
+
+Run:  python examples/web_search.py
+"""
+
+import numpy as np
+
+from repro.apps.bitfunnel import BitFunnelIndex
+from repro.sim import AmbitContext, CpuContext
+from repro.workloads import synthetic_corpus
+
+
+def main() -> None:
+    rng = np.random.default_rng(5)
+    num_docs = 200_000
+    corpus = synthetic_corpus(num_docs, terms_per_doc=12, rng=rng)
+    index = BitFunnelIndex.build(corpus, signature_bits=512, num_hashes=3)
+    print(f"indexed {num_docs:,} documents "
+          f"({index.signature_bits}-bit signatures, {index.num_hashes} hashes)\n")
+
+    queries = [corpus[10][:2], corpus[100][:3], corpus[2000][:1]]
+    for terms in queries:
+        base_ctx = CpuContext()
+        base_matches = index.match(base_ctx, terms)
+        ambit_ctx = AmbitContext()
+        ambit_matches = index.match(ambit_ctx, terms)
+        assert base_matches == ambit_matches == index.match_reference(terms)
+
+        # Bloom signatures admit false positives; verify exactly.
+        true_matches = [
+            d for d in ambit_matches if all(t in corpus[d] for t in terms)
+        ]
+        print(f"query {terms}")
+        print(f"  signature candidates : {len(ambit_matches):>5} "
+              f"(verified matches: {len(true_matches)})")
+        print(f"  baseline filter time : {base_ctx.elapsed_ns:>9,.0f} ns")
+        print(f"  Ambit filter time    : {ambit_ctx.elapsed_ns:>9,.0f} ns "
+              f"({base_ctx.elapsed_ns / ambit_ctx.elapsed_ns:.1f}X)\n")
+
+
+if __name__ == "__main__":
+    main()

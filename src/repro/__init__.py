@@ -1,0 +1,70 @@
+"""repro: a full reproduction of *Ambit: In-Memory Accelerator for Bulk
+Bitwise Operations Using Commodity DRAM Technology* (Seshadri et al.,
+MICRO-50, 2017).
+
+Layer map (bottom to top):
+
+* :mod:`repro.dram` -- command-accurate functional DRAM (subarrays,
+  sense amplifiers, banks, RowClone, FR-FCFS controller).
+* :mod:`repro.circuit` -- charge-sharing physics and the TRA
+  reliability study (Table 2, the +/-6 % corner).
+* :mod:`repro.core` -- Ambit itself: Table 1 addressing, AAP/AP,
+  Figure 8 microprograms, controller, device, driver, bbop ISA,
+  coherence, TMR ECC.
+* :mod:`repro.energy` -- the Table 3 energy model.
+* :mod:`repro.perf` -- the Figure 9 throughput models.
+* :mod:`repro.sim` -- the Gem5-substitute system cost model (Table 4).
+* :mod:`repro.apps` -- bitmap indices, BitWeaving, sets, BitFunnel,
+  masked init, XOR crypto, DNA filtering (Figures 10-12, Section 8.4).
+* :mod:`repro.workloads` -- deterministic synthetic data generators.
+
+Quickstart::
+
+    from repro import AmbitBitSystem
+    import numpy as np
+
+    system = AmbitBitSystem()
+    a = system.from_bits(np.random.default_rng(0).random(100_000) < 0.5)
+    b = system.from_bits(np.random.default_rng(1).random(100_000) < 0.5,
+                         like=a)
+    c = a & b            # executes triple-row activations in DRAM
+    print(c.popcount(), system.elapsed_ns, "ns")
+"""
+
+from repro.apps.bitvector import AmbitBitSystem, BitVector
+from repro.core.device import AmbitDevice
+from repro.core.driver import AmbitDriver
+from repro.core.microprograms import BulkOp
+from repro.dram.geometry import DramGeometry, SubarrayGeometry, small_test_geometry
+from repro.errors import (
+    AddressError,
+    AlignmentError,
+    AllocationError,
+    ConfigError,
+    DramProtocolError,
+    EccError,
+    ReproError,
+    SimulationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AddressError",
+    "AlignmentError",
+    "AllocationError",
+    "AmbitBitSystem",
+    "AmbitDevice",
+    "AmbitDriver",
+    "BitVector",
+    "BulkOp",
+    "ConfigError",
+    "DramGeometry",
+    "DramProtocolError",
+    "EccError",
+    "ReproError",
+    "SimulationError",
+    "SubarrayGeometry",
+    "small_test_geometry",
+    "__version__",
+]

@@ -1,0 +1,142 @@
+"""Applications of bulk bitwise operations (Section 8).
+
+* :mod:`~repro.apps.bitvector` -- device-backed bitvectors, the
+  user-facing Ambit API.
+* :mod:`~repro.apps.bitmap_index` -- database bitmap indices (Fig. 10).
+* :mod:`~repro.apps.bitweaving` -- BitWeaving-V column scans (Fig. 11).
+* :mod:`~repro.apps.rbtree` / :mod:`~repro.apps.sets` -- set data
+  structures: red-black tree vs bitvectors (Fig. 12).
+* :mod:`~repro.apps.bloom` / :mod:`~repro.apps.bitfunnel` -- web-search
+  document filtering (Section 8.4.1).
+* :mod:`~repro.apps.masked_init` -- masked initialisation (8.4.2).
+* :mod:`~repro.apps.crypto` -- XOR encryption and secret sharing (8.4.3).
+* :mod:`~repro.apps.dna` -- DNA read pre-alignment filtering (8.4.4).
+"""
+
+from repro.apps.bitfunnel import BitFunnelIndex
+from repro.apps.bitmap_index import (
+    BitmapIndexWorkload,
+    QueryResult,
+    generate_workload,
+    reference_query,
+    run_query,
+)
+from repro.apps.arithmetic import add_columns, subtract_columns, sum_aggregate
+from repro.apps.bitvector import AmbitBitSystem, BitVector
+from repro.apps.bitweaving import (
+    BitWeavingColumn,
+    reference_range_mask,
+    scan_range_ambit,
+    scan_range_baseline,
+)
+from repro.apps.bloom import BloomFilter, optimal_num_hashes
+from repro.apps.columnstore import (
+    Eq,
+    select_sum,
+    Ge,
+    Le,
+    Predicate,
+    Range,
+    Table,
+    reference_eval,
+    select_count,
+)
+from repro.apps.compression import (
+    WahBitmap,
+    ambit_or_wah_decision,
+    wah_and,
+    wah_decode,
+    wah_encode,
+    wah_or,
+)
+from repro.apps.graph import BitGraph, bfs_levels, reachable_set, triangle_count
+from repro.apps.crypto import (
+    combine_shares,
+    keystream,
+    make_shares,
+    xor_decrypt,
+    xor_encrypt,
+)
+from repro.apps.dna import (
+    FilterDecision,
+    shd_filter_batch,
+    decode_sequence,
+    encode_sequence,
+    hamming_distance,
+    match_mask,
+    shd_filter,
+)
+from repro.apps.masked_init import (
+    clear_color_channel,
+    masked_init,
+    reference_masked_init,
+)
+from repro.apps.rbtree import RBTreeStats, RedBlackTree
+from repro.apps.sets import (
+    AmbitSetOps,
+    BitsetSetOps,
+    RBTreeSetOps,
+    SetOpResult,
+    reference_set_op,
+)
+
+__all__ = [
+    "AmbitBitSystem",
+    "add_columns",
+    "AmbitSetOps",
+    "BitFunnelIndex",
+    "BitVector",
+    "BitWeavingColumn",
+    "BitmapIndexWorkload",
+    "BitsetSetOps",
+    "BitGraph",
+    "Eq",
+    "Ge",
+    "Le",
+    "Predicate",
+    "Range",
+    "Table",
+    "BloomFilter",
+    "WahBitmap",
+    "ambit_or_wah_decision",
+    "bfs_levels",
+    "FilterDecision",
+    "QueryResult",
+    "RBTreeSetOps",
+    "RBTreeStats",
+    "RedBlackTree",
+    "SetOpResult",
+    "clear_color_channel",
+    "combine_shares",
+    "decode_sequence",
+    "encode_sequence",
+    "generate_workload",
+    "hamming_distance",
+    "keystream",
+    "make_shares",
+    "masked_init",
+    "match_mask",
+    "optimal_num_hashes",
+    "reference_eval",
+    "reference_masked_init",
+    "reference_query",
+    "reference_range_mask",
+    "reachable_set",
+    "reference_set_op",
+    "run_query",
+    "scan_range_ambit",
+    "scan_range_baseline",
+    "select_count",
+    "select_sum",
+    "subtract_columns",
+    "sum_aggregate",
+    "shd_filter",
+    "shd_filter_batch",
+    "triangle_count",
+    "wah_and",
+    "wah_decode",
+    "wah_encode",
+    "wah_or",
+    "xor_decrypt",
+    "xor_encrypt",
+]

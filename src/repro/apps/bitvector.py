@@ -1,0 +1,208 @@
+"""Device-backed bitvectors: the application-facing Ambit API.
+
+The accelerator API of Section 5.4.2: applications allocate bitvectors
+through the driver (which co-locates co-operating vectors subarray by
+subarray) and combine them with bulk bitwise operations that execute
+entirely inside the DRAM device.
+
+:class:`AmbitBitSystem` bundles a device and its driver;
+:class:`BitVector` provides numpy-like operators on top.  Every
+operation runs through the real command-level model, so results are
+bit-exact and the device's timing/energy accounting reflects the work.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.device import AmbitDevice
+from repro.core.driver import AmbitDriver, BitVectorHandle
+from repro.core.microprograms import BulkOp
+from repro.errors import AllocationError
+from repro.dram.geometry import DramGeometry
+
+
+class AmbitBitSystem:
+    """An Ambit device plus driver, ready to host bitvectors."""
+
+    def __init__(
+        self,
+        device: Optional[AmbitDevice] = None,
+        geometry: Optional[DramGeometry] = None,
+    ):
+        if device is not None and geometry is not None:
+            raise AllocationError("pass either a device or a geometry, not both")
+        self.device = device if device is not None else AmbitDevice(geometry=geometry)
+        self.driver = AmbitDriver(self.device)
+
+    # ------------------------------------------------------------------
+    def bitvector(
+        self, nbits: int, like: Optional["BitVector"] = None
+    ) -> "BitVector":
+        """Allocate a zeroed bitvector (optionally co-located with ``like``)."""
+        handle = self.driver.allocate(
+            nbits, like=None if like is None else like.handle
+        )
+        vector = BitVector(self, handle)
+        vector.set_bits(np.zeros(nbits, dtype=bool))
+        return vector
+
+    def from_bits(
+        self, bits: np.ndarray, like: Optional["BitVector"] = None
+    ) -> "BitVector":
+        """Allocate and initialise a bitvector from a boolean array."""
+        bits = np.asarray(bits, dtype=bool)
+        vector = self.bitvector(bits.size, like=like)
+        vector.set_bits(bits)
+        return vector
+
+    @property
+    def elapsed_ns(self) -> float:
+        return self.device.elapsed_ns
+
+
+class BitVector:
+    """A bitvector living in Ambit DRAM rows.
+
+    Supports ``&``, ``|``, ``^``, ``~`` (allocating the result
+    co-located with the left operand) and the named in-place forms.
+    Bits beyond ``nbits`` in the final row are kept zero.
+    """
+
+    def __init__(self, system: AmbitBitSystem, handle: BitVectorHandle):
+        self.system = system
+        self.handle = handle
+
+    # ------------------------------------------------------------------
+    @property
+    def nbits(self) -> int:
+        return self.handle.nbits
+
+    @property
+    def device(self) -> AmbitDevice:
+        return self.system.device
+
+    # ------------------------------------------------------------------
+    # Host data movement
+    # ------------------------------------------------------------------
+    def set_bits(self, bits: np.ndarray) -> None:
+        """Write a boolean array into the vector (row-padded with zeros)."""
+        bits = np.asarray(bits, dtype=bool)
+        if bits.size != self.nbits:
+            raise AllocationError(
+                f"bit array has {bits.size} bits; vector holds {self.nbits}"
+            )
+        row_bits = self.device.row_bits
+        padded = np.zeros(self.handle.num_rows * row_bits, dtype=bool)
+        padded[: self.nbits] = bits
+        for i, loc in enumerate(self.handle.rows):
+            chunk = padded[i * row_bits : (i + 1) * row_bits]
+            packed = np.packbits(chunk, bitorder="little").view(np.uint64)
+            self.device.write_row(loc, packed)
+
+    def to_bits(self) -> np.ndarray:
+        """Read the vector back as a boolean array of ``nbits``."""
+        row_bits = self.device.row_bits
+        out = np.zeros(self.handle.num_rows * row_bits, dtype=bool)
+        for i, loc in enumerate(self.handle.rows):
+            packed = self.device.read_row(loc)
+            bits = np.unpackbits(packed.view(np.uint8), bitorder="little")
+            out[i * row_bits : (i + 1) * row_bits] = bits.astype(bool)
+        return out[: self.nbits]
+
+    def popcount(self) -> int:
+        """Count set bits (performed by the CPU, as in the paper)."""
+        return int(self.to_bits().sum())
+
+    # ------------------------------------------------------------------
+    # Bulk bitwise operations (in-DRAM)
+    # ------------------------------------------------------------------
+    def op_into(
+        self,
+        op: BulkOp,
+        dst: "BitVector",
+        other: Optional["BitVector"] = None,
+    ) -> "BitVector":
+        """``dst = op(self, other)`` chunk by chunk inside DRAM.
+
+        Chunks not co-located with the destination are staged through
+        scratch rows (the driver's slow path); co-located layouts --
+        anything allocated with ``like=`` -- run pure RowClone-FPM.
+        """
+        operands = [self] + ([other] if other is not None else [])
+        for v in operands + [dst]:
+            if v.handle.num_rows != self.handle.num_rows:
+                raise AllocationError("bitvector operands must have equal row counts")
+        driver = self.system.driver
+        for i in range(self.handle.num_rows):
+            d = dst.handle.rows[i]
+            a = driver.stage_for(self.handle.rows[i], d, scratch_index=0)
+            b = None
+            if other is not None:
+                b = driver.stage_for(other.handle.rows[i], d, scratch_index=1)
+            self.device.bbop_row(op, d, a, b)
+        return dst
+
+    def _binary(self, op: BulkOp, other: "BitVector") -> "BitVector":
+        dst = self.system.bitvector(self.nbits, like=self)
+        return self.op_into(op, dst, other)
+
+    def __and__(self, other: "BitVector") -> "BitVector":
+        return self._binary(BulkOp.AND, other)
+
+    def __or__(self, other: "BitVector") -> "BitVector":
+        return self._binary(BulkOp.OR, other)
+
+    def __xor__(self, other: "BitVector") -> "BitVector":
+        return self._binary(BulkOp.XOR, other)
+
+    def __invert__(self) -> "BitVector":
+        dst = self.system.bitvector(self.nbits, like=self)
+        self.op_into(BulkOp.NOT, dst)
+        # NOT flips the padding in the final partial row; re-zero it so
+        # popcount and round-trips stay correct.
+        dst._clear_padding()
+        return dst
+
+    def nand(self, other: "BitVector") -> "BitVector":
+        """``~(self & other)`` via the Figure 8b microprogram."""
+        result = self._binary(BulkOp.NAND, other)
+        result._clear_padding()
+        return result
+
+    def nor(self, other: "BitVector") -> "BitVector":
+        """``~(self | other)`` (the NAND program with C1)."""
+        result = self._binary(BulkOp.NOR, other)
+        result._clear_padding()
+        return result
+
+    def xnor(self, other: "BitVector") -> "BitVector":
+        """``~(self ^ other)`` (the XOR program with swapped control rows)."""
+        result = self._binary(BulkOp.XNOR, other)
+        result._clear_padding()
+        return result
+
+    def copy(self) -> "BitVector":
+        """Duplicate the vector (RowClone copies, co-located)."""
+        dst = self.system.bitvector(self.nbits, like=self)
+        return self.op_into(BulkOp.COPY, dst)
+
+    def free(self) -> None:
+        """Return the vector's rows to the driver's free pool."""
+        self.system.driver.free(self.handle)
+
+    # ------------------------------------------------------------------
+    def _clear_padding(self) -> None:
+        row_bits = self.device.row_bits
+        tail_bits = self.nbits % row_bits
+        if tail_bits == 0:
+            return
+        loc = self.handle.rows[-1]
+        packed = self.device.read_row(loc)
+        bits = np.unpackbits(packed.view(np.uint8), bitorder="little")
+        bits[tail_bits:] = 0
+        self.device.write_row(
+            loc, np.packbits(bits, bitorder="little").view(np.uint64)
+        )

@@ -1,0 +1,90 @@
+"""Bloom filters: the substrate behind BitFunnel (Section 8.4.1).
+
+BitFunnel represents documents and queries as bags of words hashed into
+Bloom filters.  This module is a from-scratch Bloom filter over packed
+uint64 bitvectors, with deterministic double hashing, so the BitFunnel
+reproduction (and any other probabilistic-membership user) has a real
+substrate rather than a stub.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass
+from typing import Iterable, List
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+
+def _hash_pair(item: str) -> tuple:
+    """Two independent 64-bit hashes of a string (for double hashing)."""
+    digest = hashlib.blake2b(item.encode("utf-8"), digest_size=16).digest()
+    return (
+        int.from_bytes(digest[:8], "little"),
+        int.from_bytes(digest[8:], "little"),
+    )
+
+
+def optimal_num_hashes(bits: int, expected_items: int) -> int:
+    """k = (m/n) ln 2, clamped to at least 1."""
+    if expected_items <= 0:
+        return 1
+    return max(1, round(bits / expected_items * math.log(2)))
+
+
+@dataclass
+class BloomFilter:
+    """A fixed-size Bloom filter over packed uint64 words."""
+
+    bits: int
+    num_hashes: int
+    vector: np.ndarray
+
+    @classmethod
+    def empty(cls, bits: int, num_hashes: int) -> "BloomFilter":
+        if bits <= 0 or bits % 64 != 0:
+            raise SimulationError(f"bits must be a positive multiple of 64; got {bits}")
+        if num_hashes <= 0:
+            raise SimulationError(f"num_hashes must be positive; got {num_hashes}")
+        return cls(
+            bits=bits,
+            num_hashes=num_hashes,
+            vector=np.zeros(bits // 64, dtype=np.uint64),
+        )
+
+    @classmethod
+    def build(
+        cls, items: Iterable[str], bits: int, num_hashes: int
+    ) -> "BloomFilter":
+        bloom = cls.empty(bits, num_hashes)
+        for item in items:
+            bloom.add(item)
+        return bloom
+
+    # ------------------------------------------------------------------
+    def _positions(self, item: str) -> List[int]:
+        h1, h2 = _hash_pair(item)
+        return [(h1 + i * h2) % self.bits for i in range(self.num_hashes)]
+
+    def add(self, item: str) -> None:
+        """Insert an item: set its k hashed bit positions."""
+        for pos in self._positions(item):
+            word, bit = divmod(pos, 64)
+            self.vector[word] |= np.uint64(1) << np.uint64(bit)
+
+    def __contains__(self, item: str) -> bool:
+        for pos in self._positions(item):
+            word, bit = divmod(pos, 64)
+            if not (int(self.vector[word]) >> bit) & 1:
+                return False
+        return True
+
+    def false_positive_rate(self, items_inserted: int) -> float:
+        """Theoretical FPR for the given load."""
+        k, m, n = self.num_hashes, self.bits, items_inserted
+        if n == 0:
+            return 0.0
+        return (1.0 - math.exp(-k * n / m)) ** k

@@ -1,0 +1,83 @@
+"""Masked initialisation via bulk AND/OR (Section 8.4.2).
+
+"Masked initializations are very useful in applications like graphics
+(e.g., for clearing a specific color in an image).  By expressing such
+masked operations using bitwise AND/OR operations, we can easily
+accelerate such masked initializations using Ambit."
+
+Semantics: given a buffer ``B``, a mask ``M`` and an initialisation
+pattern ``V``::
+
+    B = (B and not M) or (V and M)
+
+i.e. bits selected by the mask take the pattern's value, everything else
+is preserved.  For the common clear-to-zero case the expression
+collapses to a single AND with the inverted mask.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.microprograms import BulkOp
+from repro.errors import SimulationError
+from repro.sim.system import ExecutionContext
+
+
+def masked_init(
+    ctx: ExecutionContext,
+    buffer: np.ndarray,
+    mask: np.ndarray,
+    pattern: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Set masked bits of ``buffer`` to ``pattern`` (zero if omitted).
+
+    Executes through charged bulk operations: 2 ops for a masked clear,
+    4 for a general masked write.
+    """
+    if buffer.shape != mask.shape:
+        raise SimulationError("buffer and mask shapes differ")
+    not_mask = ctx.bulk_op(BulkOp.NOT, mask, label="masked-init")
+    kept = ctx.bulk_op(BulkOp.AND, buffer, not_mask, label="masked-init")
+    if pattern is None:
+        return kept
+    if pattern.shape != mask.shape:
+        raise SimulationError("pattern and mask shapes differ")
+    injected = ctx.bulk_op(BulkOp.AND, pattern, mask, label="masked-init")
+    return ctx.bulk_op(BulkOp.OR, kept, injected, label="masked-init")
+
+
+def clear_color_channel(
+    ctx: ExecutionContext,
+    image_words: np.ndarray,
+    channel: int,
+    bytes_per_pixel: int = 4,
+) -> np.ndarray:
+    """Clear one byte-wide colour channel of a packed image.
+
+    The graphics example from the paper: builds the channel mask
+    (repeating byte pattern) and applies a masked clear.
+    """
+    if not 0 <= channel < bytes_per_pixel:
+        raise SimulationError(
+            f"channel {channel} out of range for {bytes_per_pixel} B/pixel"
+        )
+    if 8 % bytes_per_pixel != 0:
+        raise SimulationError("bytes_per_pixel must divide the 8-byte word")
+    pattern_bytes = bytearray(8)
+    for i in range(0, 8, bytes_per_pixel):
+        pattern_bytes[i + channel] = 0xFF
+    mask_word = np.frombuffer(bytes(pattern_bytes), dtype=np.uint64)[0]
+    mask = np.full(image_words.shape, mask_word, dtype=np.uint64)
+    return masked_init(ctx, image_words, mask)
+
+
+def reference_masked_init(
+    buffer: np.ndarray, mask: np.ndarray, pattern: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Plain-numpy reference."""
+    if pattern is None:
+        return buffer & ~mask
+    return (buffer & ~mask) | (pattern & mask)

@@ -1,0 +1,313 @@
+"""Red-black tree: the conventional set substrate (Section 8.3).
+
+The paper compares bitvector sets against "the commonly-used
+red-black-tree-based implementation" (C++ ``std::set``).  This is a
+complete red-black tree -- insert, search, delete, ordered iteration --
+with *instrumentation*: every node dereference is counted, so the cost
+model can charge pointer-chase latency per visit exactly the way the
+tree would behave on the modelled memory hierarchy.
+
+The implementation follows the classic CLRS formulation with a shared
+sentinel NIL node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+RED = True
+BLACK = False
+
+
+class _Node:
+    __slots__ = ("key", "color", "left", "right", "parent")
+
+    def __init__(self, key, color=RED, nil=None):
+        self.key = key
+        self.color = color
+        self.left = nil
+        self.right = nil
+        self.parent = nil
+
+
+@dataclass
+class RBTreeStats:
+    """Counts of the memory-relevant events."""
+
+    node_visits: int = 0
+    rotations: int = 0
+    allocations: int = 0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.node_visits = 0
+        self.rotations = 0
+        self.allocations = 0
+
+
+class RedBlackTree:
+    """An ordered set of comparable keys."""
+
+    def __init__(self):
+        self.nil = _Node(None, BLACK)
+        self.nil.left = self.nil.right = self.nil.parent = self.nil
+        self.root = self.nil
+        self.size = 0
+        self.stats = RBTreeStats()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def search(self, key) -> bool:
+        """True iff ``key`` is present (counts node visits)."""
+        node = self.root
+        while node is not self.nil:
+            self.stats.node_visits += 1
+            if key == node.key:
+                return True
+            node = node.left if key < node.key else node.right
+        return False
+
+    def __contains__(self, key) -> bool:
+        return self.search(key)
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __iter__(self) -> Iterator:
+        """In-order (ascending) iteration."""
+        stack: List[_Node] = []
+        node = self.root
+        while stack or node is not self.nil:
+            while node is not self.nil:
+                stack.append(node)
+                node = node.left
+            node = stack.pop()
+            self.stats.node_visits += 1
+            yield node.key
+            node = node.right
+
+    def minimum(self):
+        """Smallest key in the tree (raises on empty)."""
+        if self.root is self.nil:
+            raise KeyError("minimum of empty tree")
+        return self._minimum(self.root).key
+
+    def _minimum(self, node: _Node) -> _Node:
+        while node.left is not self.nil:
+            self.stats.node_visits += 1
+            node = node.left
+        return node
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+    def insert(self, key) -> bool:
+        """Insert ``key``; returns False if it was already present."""
+        parent = self.nil
+        node = self.root
+        while node is not self.nil:
+            self.stats.node_visits += 1
+            if key == node.key:
+                return False
+            parent = node
+            node = node.left if key < node.key else node.right
+        fresh = _Node(key, RED, self.nil)
+        fresh.parent = parent
+        self.stats.allocations += 1
+        if parent is self.nil:
+            self.root = fresh
+        elif key < parent.key:
+            parent.left = fresh
+        else:
+            parent.right = fresh
+        self.size += 1
+        self._insert_fixup(fresh)
+        return True
+
+    def _insert_fixup(self, z: _Node) -> None:
+        while z.parent.color is RED:
+            self.stats.node_visits += 1
+            grand = z.parent.parent
+            if z.parent is grand.left:
+                uncle = grand.right
+                if uncle.color is RED:
+                    z.parent.color = BLACK
+                    uncle.color = BLACK
+                    grand.color = RED
+                    z = grand
+                else:
+                    if z is z.parent.right:
+                        z = z.parent
+                        self._rotate_left(z)
+                    z.parent.color = BLACK
+                    grand.color = RED
+                    self._rotate_right(grand)
+            else:
+                uncle = grand.left
+                if uncle.color is RED:
+                    z.parent.color = BLACK
+                    uncle.color = BLACK
+                    grand.color = RED
+                    z = grand
+                else:
+                    if z is z.parent.left:
+                        z = z.parent
+                        self._rotate_right(z)
+                    z.parent.color = BLACK
+                    grand.color = RED
+                    self._rotate_left(grand)
+        self.root.color = BLACK
+
+    # ------------------------------------------------------------------
+    # Deletion
+    # ------------------------------------------------------------------
+    def delete(self, key) -> bool:
+        """Remove ``key``; returns False if it was absent."""
+        z = self.root
+        while z is not self.nil and z.key != key:
+            self.stats.node_visits += 1
+            z = z.left if key < z.key else z.right
+        if z is self.nil:
+            return False
+        self.size -= 1
+        y, y_color = z, z.color
+        if z.left is self.nil:
+            x = z.right
+            self._transplant(z, z.right)
+        elif z.right is self.nil:
+            x = z.left
+            self._transplant(z, z.left)
+        else:
+            y = self._minimum(z.right)
+            y_color = y.color
+            x = y.right
+            if y.parent is z:
+                x.parent = y
+            else:
+                self._transplant(y, y.right)
+                y.right = z.right
+                y.right.parent = y
+            self._transplant(z, y)
+            y.left = z.left
+            y.left.parent = y
+            y.color = z.color
+        if y_color is BLACK:
+            self._delete_fixup(x)
+        return True
+
+    def _transplant(self, u: _Node, v: _Node) -> None:
+        if u.parent is self.nil:
+            self.root = v
+        elif u is u.parent.left:
+            u.parent.left = v
+        else:
+            u.parent.right = v
+        v.parent = u.parent
+
+    def _delete_fixup(self, x: _Node) -> None:
+        while x is not self.root and x.color is BLACK:
+            self.stats.node_visits += 1
+            if x is x.parent.left:
+                w = x.parent.right
+                if w.color is RED:
+                    w.color = BLACK
+                    x.parent.color = RED
+                    self._rotate_left(x.parent)
+                    w = x.parent.right
+                if w.left.color is BLACK and w.right.color is BLACK:
+                    w.color = RED
+                    x = x.parent
+                else:
+                    if w.right.color is BLACK:
+                        w.left.color = BLACK
+                        w.color = RED
+                        self._rotate_right(w)
+                        w = x.parent.right
+                    w.color = x.parent.color
+                    x.parent.color = BLACK
+                    w.right.color = BLACK
+                    self._rotate_left(x.parent)
+                    x = self.root
+            else:
+                w = x.parent.left
+                if w.color is RED:
+                    w.color = BLACK
+                    x.parent.color = RED
+                    self._rotate_right(x.parent)
+                    w = x.parent.left
+                if w.right.color is BLACK and w.left.color is BLACK:
+                    w.color = RED
+                    x = x.parent
+                else:
+                    if w.left.color is BLACK:
+                        w.right.color = BLACK
+                        w.color = RED
+                        self._rotate_left(w)
+                        w = x.parent.left
+                    w.color = x.parent.color
+                    x.parent.color = BLACK
+                    w.left.color = BLACK
+                    self._rotate_right(x.parent)
+                    x = self.root
+        x.color = BLACK
+
+    # ------------------------------------------------------------------
+    # Rotations
+    # ------------------------------------------------------------------
+    def _rotate_left(self, x: _Node) -> None:
+        self.stats.rotations += 1
+        y = x.right
+        x.right = y.left
+        if y.left is not self.nil:
+            y.left.parent = x
+        y.parent = x.parent
+        if x.parent is self.nil:
+            self.root = y
+        elif x is x.parent.left:
+            x.parent.left = y
+        else:
+            x.parent.right = y
+        y.left = x
+        x.parent = y
+
+    def _rotate_right(self, x: _Node) -> None:
+        self.stats.rotations += 1
+        y = x.left
+        x.left = y.right
+        if y.right is not self.nil:
+            y.right.parent = x
+        y.parent = x.parent
+        if x.parent is self.nil:
+            self.root = y
+        elif x is x.parent.right:
+            x.parent.right = y
+        else:
+            x.parent.left = y
+        y.right = x
+        x.parent = y
+
+    # ------------------------------------------------------------------
+    # Invariant checking (for property tests)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Raise AssertionError if any red-black property is violated."""
+        assert self.root.color is BLACK, "root must be black"
+
+        def walk(node: _Node, lo, hi) -> int:
+            if node is self.nil:
+                return 1
+            assert (lo is None or node.key > lo) and (
+                hi is None or node.key < hi
+            ), "BST ordering violated"
+            if node.color is RED:
+                assert (
+                    node.left.color is BLACK and node.right.color is BLACK
+                ), "red node with red child"
+            left_black = walk(node.left, lo, node.key)
+            right_black = walk(node.right, node.key, hi)
+            assert left_black == right_black, "black-height mismatch"
+            return left_black + (1 if node.color is BLACK else 0)
+
+        walk(self.root, None, None)

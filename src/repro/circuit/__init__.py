@@ -1,0 +1,52 @@
+"""Circuit layer: charge-sharing physics and TRA reliability (Section 6).
+
+The analytical substitute for the paper's SPICE simulations:
+
+* :mod:`~repro.circuit.charge` -- Equation 1 and its generalisation to
+  per-cell capacitances/voltages.
+* :mod:`~repro.circuit.variation` -- process-variation sampling.
+* :mod:`~repro.circuit.senseamp_dynamics` -- analog TRA resolution and
+  the adversarial-corner analysis (the paper's +/-6 % result).
+* :mod:`~repro.circuit.montecarlo` -- the Table 2 experiment.
+"""
+
+from repro.circuit import constants
+from repro.circuit.charge import (
+    charge_sharing_deviation,
+    majority_expected,
+    single_cell_deviation,
+    tra_deviation_ideal,
+)
+from repro.circuit.montecarlo import (
+    TABLE2_LEVELS,
+    TABLE2_PAPER_FAILURES,
+    MonteCarloResult,
+    format_table2,
+    table2_experiment,
+    tra_failure_rate,
+)
+from repro.circuit.senseamp_dynamics import (
+    AnalogSenseModel,
+    max_tolerable_variation,
+    worst_case_corner_margin,
+)
+from repro.circuit.variation import VariationSampler, VariationSpec
+
+__all__ = [
+    "AnalogSenseModel",
+    "MonteCarloResult",
+    "TABLE2_LEVELS",
+    "TABLE2_PAPER_FAILURES",
+    "VariationSampler",
+    "VariationSpec",
+    "charge_sharing_deviation",
+    "constants",
+    "format_table2",
+    "majority_expected",
+    "max_tolerable_variation",
+    "single_cell_deviation",
+    "table2_experiment",
+    "tra_deviation_ideal",
+    "tra_failure_rate",
+    "worst_case_corner_margin",
+]

@@ -1,0 +1,94 @@
+"""Charge-sharing mathematics (Equation 1 of the paper and generalisations).
+
+The bitline starts precharged at VDD/2.  Raising wordlines connects cell
+capacitors to it; charge redistributes until everything sits at one
+voltage.  The deviation of that voltage from the precharge level is what
+the sense amplifier resolves.
+
+Equation 1 (ideal, identical cells)::
+
+    delta = (k * Cc * VDD + Cb * VDD/2) / (3*Cc + Cb)  -  VDD/2
+          = (2k - 3) * Cc / (6*Cc + 2*Cb) * VDD
+
+with ``k`` the number of fully charged cells among the three.  The
+deviation is positive iff ``k >= 2`` -- the majority function.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+from repro.circuit import constants
+from repro.errors import ConfigError
+
+ArrayLike = Union[float, np.ndarray]
+
+
+def tra_deviation_ideal(
+    k: int,
+    cell_capacitance: float = constants.CELL_CAPACITANCE_F,
+    bitline_capacitance: float = constants.BITLINE_CAPACITANCE_F,
+    vdd: float = constants.VDD,
+) -> float:
+    """Equation 1: bitline deviation of a TRA with ``k`` charged cells.
+
+    Parameters mirror the paper's: identical cell capacitance, ideal
+    transistors/bitlines, fully charged/empty cells.
+    """
+    if k not in (0, 1, 2, 3):
+        raise ConfigError(f"k must be in 0..3; got {k}")
+    cc, cb = cell_capacitance, bitline_capacitance
+    return (2 * k - 3) * cc / (6 * cc + 2 * cb) * vdd
+
+
+def single_cell_deviation(
+    charged: bool,
+    cell_capacitance: float = constants.CELL_CAPACITANCE_F,
+    bitline_capacitance: float = constants.BITLINE_CAPACITANCE_F,
+    vdd: float = constants.VDD,
+) -> float:
+    """Deviation of a normal single-cell activation (Figure 3).
+
+    ``+Cc*VDD/2/(Cc+Cb)`` for a charged cell, the negative for empty.
+    Useful as the reference point: the TRA deviation is smaller (issue 1
+    of Section 3.2), which this module lets tests quantify.
+    """
+    cc, cb = cell_capacitance, bitline_capacitance
+    magnitude = cc * vdd / (2 * (cc + cb))
+    return magnitude if charged else -magnitude
+
+
+def charge_sharing_deviation(
+    cell_capacitances: Sequence[ArrayLike],
+    cell_voltages: Sequence[ArrayLike],
+    bitline_capacitance: ArrayLike = constants.BITLINE_CAPACITANCE_F,
+    precharge_voltage: ArrayLike = constants.VDD / 2,
+) -> np.ndarray:
+    """General charge sharing: arbitrary per-cell capacitance and voltage.
+
+    ``delta = (sum(Ci * Vi) + Cb * Vpre) / (sum(Ci) + Cb) - Vpre``
+
+    All arguments broadcast, so one call evaluates a whole Monte-Carlo
+    batch (arrays of per-trial parameters).
+    """
+    if len(cell_capacitances) != len(cell_voltages):
+        raise ConfigError(
+            f"{len(cell_capacitances)} capacitances vs "
+            f"{len(cell_voltages)} voltages"
+        )
+    caps = [np.asarray(c, dtype=np.float64) for c in cell_capacitances]
+    volts = [np.asarray(v, dtype=np.float64) for v in cell_voltages]
+    cb = np.asarray(bitline_capacitance, dtype=np.float64)
+    vpre = np.asarray(precharge_voltage, dtype=np.float64)
+    charge = sum(c * v for c, v in zip(caps, volts)) + cb * vpre
+    total_cap = sum(caps) + cb
+    return charge / total_cap - vpre
+
+
+def majority_expected(values: Sequence[int]) -> int:
+    """Reference majority of a TRA's three logical inputs."""
+    if len(values) != 3 or any(v not in (0, 1) for v in values):
+        raise ConfigError(f"majority_expected needs three bits; got {values!r}")
+    return 1 if sum(values) >= 2 else 0

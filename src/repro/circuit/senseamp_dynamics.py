@@ -1,0 +1,121 @@
+"""Analog resolution model for triple-row activation.
+
+This is the "SPICE substitute": given the logical values of the three
+cells on each bitline, it samples per-bitline circuit parameters from a
+:class:`~repro.circuit.variation.VariationSampler`, computes the
+charge-sharing deviation, and resolves each sense amplifier against a
+sampled offset.  The same object plugs into the functional subarray
+(:class:`repro.dram.senseamp.SenseAmplifierArray`) as its
+``charge_model``, so a whole Ambit device can be run with analog TRA
+behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.circuit import constants
+from repro.circuit.charge import charge_sharing_deviation
+from repro.circuit.variation import VariationSampler, VariationSpec
+from repro.errors import ConfigError
+
+
+class AnalogSenseModel:
+    """Resolves TRAs through the charge-sharing + sense-margin model.
+
+    Parameters
+    ----------
+    spec:
+        Variation level configuration.  ``VariationSpec(level=0.0)``
+        reproduces ideal majority behaviour exactly.
+    rng:
+        Random generator (seed it for reproducibility).
+    """
+
+    def __init__(
+        self, spec: VariationSpec, rng: Optional[np.random.Generator] = None
+    ):
+        self.spec = spec
+        self.sampler = VariationSampler(
+            spec, rng if rng is not None else np.random.default_rng(0)
+        )
+
+    def deviations(self, bits: np.ndarray) -> np.ndarray:
+        """Charge-sharing deviation per bitline.
+
+        ``bits`` has shape ``(3, n)``: the logical values of the three
+        cells on each of ``n`` bitlines.
+        """
+        if bits.ndim != 2 or bits.shape[0] != 3:
+            raise ConfigError(f"bits must have shape (3, n); got {bits.shape}")
+        n = bits.shape[1]
+        caps = [self.sampler.cell_capacitance(n) for _ in range(3)]
+        volts = [self.sampler.stored_voltage(bits[i]) for i in range(3)]
+        cb = self.sampler.bitline_capacitance(n)
+        vpre = self.sampler.precharge_voltage(n)
+        return charge_sharing_deviation(caps, volts, cb, vpre)
+
+    def resolve_tra(self, bits: np.ndarray) -> np.ndarray:
+        """Sense each bitline of a TRA; returns the resolved bits.
+
+        A sense amplifier drives the bitline to VDD when the deviation
+        exceeds its (sampled) input offset, to 0 otherwise -- so with
+        sufficient variation the result can differ from the ideal
+        majority, which is exactly the failure mode Table 2 quantifies.
+        """
+        delta = self.deviations(bits)
+        offset = self.sampler.sense_offset(delta.shape)
+        return (delta > offset).astype(np.uint8)
+
+
+def worst_case_corner_margin(
+    level: float,
+    cell_capacitance: float = constants.CELL_CAPACITANCE_F,
+    bitline_capacitance: float = constants.BITLINE_CAPACITANCE_F,
+    vdd: float = constants.VDD,
+    offset_fraction: float = constants.WORST_CASE_OFFSET_FRACTION,
+) -> float:
+    """Sensing margin when *every* component is adversarial (volts).
+
+    The worst TRA input is k=2 (two charged cells, one empty): the
+    deviation is positive but minimal.  The adversarial corner pushes
+    every component against it:
+
+    * charged cells: capacitance and stored voltage ``level`` low,
+    * empty cell: capacitance ``level`` high, parked ``level`` above 0,
+    * bitline capacitance ``level`` high (dilutes the deviation),
+    * precharge reference ``level`` high,
+    * sense amplifier at its worst-corner offset.
+
+    A non-negative margin means the TRA still resolves correctly.
+    """
+    if level < 0:
+        raise ConfigError(f"variation level must be non-negative; got {level}")
+    cc, cb = cell_capacitance, bitline_capacitance
+    caps = [cc * (1 - level), cc * (1 - level), cc * (1 + level)]
+    volts = [vdd * (1 - level), vdd * (1 - level), vdd * level]
+    cb_w = cb * (1 + level)
+    vpre = (vdd / 2) * (1 + level)
+    delta = float(charge_sharing_deviation(caps, volts, cb_w, vpre))
+    return delta - offset_fraction * vdd
+
+
+def max_tolerable_variation(
+    tolerance: float = 1e-5, upper: float = 0.5
+) -> float:
+    """Largest variation level the adversarial corner tolerates.
+
+    Bisects :func:`worst_case_corner_margin`; the paper reports ~+/-6 %.
+    """
+    lo, hi = 0.0, upper
+    if worst_case_corner_margin(hi) > 0:
+        return hi
+    while hi - lo > tolerance:
+        mid = (lo + hi) / 2
+        if worst_case_corner_margin(mid) > 0:
+            lo = mid
+        else:
+            hi = mid
+    return lo

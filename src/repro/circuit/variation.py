@@ -1,0 +1,112 @@
+"""Process-variation sampling for the TRA reliability study.
+
+Section 6 models "variation in all the components in the subarray (cell
+capacitance, transistor length/width/resistance, bitline/wordline
+capacitance and resistance, and voltage levels)".  We group those into
+the quantities that enter the charge-sharing equation:
+
+* per-cell capacitance (cell geometry + access-transistor strength,
+  since an undersized transistor transfers less charge in tRAS),
+* per-cell stored voltage (write-driver level + leakage since restore),
+* bitline capacitance,
+* precharge (reference) voltage.
+
+Each component is drawn as a relative perturbation: normal with
+``sigma = SIGMA_FRACTION * level``, clipped to ``+/- level`` -- so the
+"+/-x %" levels of Table 2 bound the support exactly, like corner limits
+in a SPICE Monte-Carlo deck.  The sense-amplifier resolution margin is
+modelled separately in :mod:`repro.circuit.senseamp_dynamics`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuit import constants
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class VariationSpec:
+    """Configuration of one Monte-Carlo variation level.
+
+    Parameters
+    ----------
+    level:
+        The "+/-x" bound as a fraction (0.10 for the Table 2 "+/-10 %"
+        column).  Every varied component stays within this bound.
+    sigma_fraction:
+        Standard deviation of each component as a fraction of ``level``.
+    """
+
+    level: float
+    sigma_fraction: float = constants.SIGMA_FRACTION
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.level < 1.0:
+            raise ConfigError(f"variation level must be in [0, 1); got {self.level}")
+        if self.sigma_fraction <= 0:
+            raise ConfigError("sigma_fraction must be positive")
+
+
+class VariationSampler:
+    """Draws per-trial perturbations for the charge-sharing model."""
+
+    def __init__(self, spec: VariationSpec, rng: np.random.Generator):
+        self.spec = spec
+        self.rng = rng
+
+    def relative(self, size) -> np.ndarray:
+        """Sample clipped-normal relative perturbations in ``+/-level``."""
+        level = self.spec.level
+        if level == 0.0:
+            return np.zeros(size)
+        sigma = self.spec.sigma_fraction * level
+        draw = self.rng.normal(0.0, sigma, size=size)
+        return np.clip(draw, -level, level)
+
+    def cell_capacitance(self, size) -> np.ndarray:
+        """Per-cell capacitance draws around the 22 fF nominal."""
+        return constants.CELL_CAPACITANCE_F * (1.0 + self.relative(size))
+
+    def bitline_capacitance(self, size) -> np.ndarray:
+        """Bitline capacitance draws around the 77 fF nominal."""
+        return constants.BITLINE_CAPACITANCE_F * (1.0 + self.relative(size))
+
+    def precharge_voltage(self, size) -> np.ndarray:
+        """Precharge reference draws around VDD/2."""
+        return (constants.VDD / 2.0) * (1.0 + self.relative(size))
+
+    def stored_voltage(self, bits: np.ndarray) -> np.ndarray:
+        """Voltage on cells storing the given bits.
+
+        A logical 1 sits below VDD by up to the variation level (write
+        level + leakage since restore); a logical 0 sits above ground
+        symmetrically.  ``bits`` is a 0/1 array; output broadcasts.
+        """
+        bits = np.asarray(bits)
+        droop = np.abs(self.relative(bits.shape))
+        ones = constants.VDD * (1.0 - droop)
+        zeros = constants.VDD * droop
+        return np.where(bits > 0, ones, zeros)
+
+    def sense_margin_sigma(self) -> float:
+        """Sigma of the calibrated sense-resolution margin (volts).
+
+        sigma_off(level) = VDD * exp(MC_OFFSET_LN_A + MC_OFFSET_B*level).
+        Zero variation resolves ideally.
+        """
+        if self.spec.level == 0.0:
+            return 0.0
+        return constants.VDD * float(
+            np.exp(constants.MC_OFFSET_LN_A + constants.MC_OFFSET_B * self.spec.level)
+        )
+
+    def sense_offset(self, size) -> np.ndarray:
+        """Per-trial sense-amplifier offset voltages (signed)."""
+        sigma = self.sense_margin_sigma()
+        if sigma == 0.0:
+            return np.zeros(size)
+        return self.rng.normal(0.0, sigma, size=size)

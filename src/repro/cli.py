@@ -1,0 +1,218 @@
+"""Command-line interface: regenerate any paper experiment directly.
+
+Usage::
+
+    python -m repro list                 # available experiments
+    python -m repro table2 [--trials N]
+    python -m repro table3
+    python -m repro fig9
+    python -m repro fig10 [--users N] [--weeks W]
+    python -m repro fig11 [--rows N] [--bits B]
+    python -m repro fig12 [--elements E]
+    python -m repro demo                 # quick end-to-end smoke demo
+
+Every command prints the same formatted table the corresponding
+benchmark writes to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+
+def _cmd_table2(args: argparse.Namespace) -> None:
+    from repro.circuit import (
+        format_table2,
+        max_tolerable_variation,
+        table2_experiment,
+    )
+
+    print(format_table2(table2_experiment(trials=args.trials)))
+    print(f"\nadversarial-corner tolerance: "
+          f"+/-{max_tolerable_variation() * 100:.2f}%  (paper: ~6%)")
+
+
+def _cmd_table3(args: argparse.Namespace) -> None:
+    from repro.energy import format_table3, table3_experiment
+
+    print(format_table3(table3_experiment()))
+
+
+def _cmd_fig9(args: argparse.Namespace) -> None:
+    from repro.perf import figure9_experiment, format_figure9
+
+    print(format_figure9(figure9_experiment()))
+
+
+def _cmd_fig10(args: argparse.Namespace) -> None:
+    from repro.apps import bitmap_index as bi
+    from repro.sim import AmbitContext, CpuContext
+
+    workload = bi.generate_workload(args.users, args.weeks, seed=10)
+    base = bi.run_query(CpuContext(), workload, args.weeks)
+    ambit = bi.run_query(AmbitContext(), workload, args.weeks)
+    assert base.unique_active_every_week == ambit.unique_active_every_week
+    print(f"Figure 10 point: u={args.users:,} users, w={args.weeks} weeks")
+    print(f"  unique active every week : {base.unique_active_every_week:,}")
+    print(f"  baseline : {base.elapsed_ns / 1e6:9.2f} ms")
+    print(f"  Ambit    : {ambit.elapsed_ns / 1e6:9.2f} ms "
+          f"({base.elapsed_ns / ambit.elapsed_ns:.1f}X; paper: 5.4-6.6X)")
+
+
+def _cmd_fig11(args: argparse.Namespace) -> None:
+    from repro.apps.bitweaving import (
+        BitWeavingColumn,
+        scan_range_ambit,
+        scan_range_baseline,
+    )
+    from repro.sim import AmbitContext, CpuContext
+    from repro.workloads import column_values
+
+    rng = np.random.default_rng(20)
+    values = column_values(args.rows, args.bits, rng)
+    column = BitWeavingColumn.encode(values, args.bits)
+    c1, c2 = (1 << args.bits) // 4, (3 << args.bits) // 4
+    base_ctx, ambit_ctx = CpuContext(), AmbitContext()
+    _, count_b = scan_range_baseline(base_ctx, column, c1, c2)
+    _, count_a = scan_range_ambit(ambit_ctx, column, c1, c2)
+    assert count_a == count_b
+    print(f"Figure 11 point: b={args.bits} bits, r={args.rows:,} rows, "
+          f"predicate [{c1}, {c2}]")
+    print(f"  count(*) : {count_a:,}")
+    print(f"  baseline : {base_ctx.elapsed_ns / 1e6:9.2f} ms")
+    print(f"  Ambit    : {ambit_ctx.elapsed_ns / 1e6:9.2f} ms "
+          f"({base_ctx.elapsed_ns / ambit_ctx.elapsed_ns:.1f}X; "
+          f"paper: 1.8-11.8X)")
+
+
+def _cmd_fig12(args: argparse.Namespace) -> None:
+    from repro.apps.sets import AmbitSetOps, BitsetSetOps, RBTreeSetOps
+    from repro.sim.cpu import CpuModel
+    from repro.workloads import random_sets
+
+    domain, m = 512 * 1024, 15
+    cpu = CpuModel()
+    sets = random_sets(m, args.elements, domain, np.random.default_rng(1))
+    print(f"Figure 12 point: m={m} sets, e={args.elements} of N={domain:,}")
+    print(f"{'op':>14} {'rbtree us':>10} {'bitset us':>10} {'ambit us':>10}")
+    impls = {
+        "rbtree": RBTreeSetOps(cpu),
+        "bitset": BitsetSetOps(domain, cpu),
+        "ambit": AmbitSetOps(domain, cpu),
+    }
+    for op in ("union", "intersection", "difference"):
+        times = {
+            name: getattr(impl, op)(sets).elapsed_ns / 1e3
+            for name, impl in impls.items()
+        }
+        print(f"{op:>14} {times['rbtree']:>10.1f} {times['bitset']:>10.1f} "
+              f"{times['ambit']:>10.1f}")
+
+
+def _cmd_demo(args: argparse.Namespace) -> None:
+    from repro import AmbitBitSystem, DramGeometry, SubarrayGeometry
+
+    system = AmbitBitSystem(
+        geometry=DramGeometry(
+            banks=2,
+            subarrays_per_bank=2,
+            subarray=SubarrayGeometry(rows=32, row_bytes=1024),
+        )
+    )
+    rng = np.random.default_rng(0)
+    bits_a = rng.random(50_000) < 0.5
+    bits_b = rng.random(50_000) < 0.5
+    a = system.from_bits(bits_a)
+    b = system.from_bits(bits_b, like=a)
+    c = (a & b) | ~a
+    assert np.array_equal(c.to_bits(), (bits_a & bits_b) | ~bits_a)
+    acts, pres, _, _ = system.device.chip.trace.counts()
+    print("demo: (a & b) | ~a over 50,000 bits, computed in simulated DRAM")
+    print(f"  popcount(result) = {c.popcount():,}")
+    print(f"  {acts} ACTIVATEs / {pres} PRECHARGEs issued, "
+          f"{system.elapsed_ns:,.0f} ns bank-parallel makespan")
+    print("  verified bit-exact against numpy")
+
+
+def _cmd_report(args: argparse.Namespace) -> None:
+    from repro.report import ReportConfig, generate_report
+
+    text = generate_report(ReportConfig(fast=args.fast))
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+        print(f"report written to {args.output}")
+    else:
+        print(text)
+
+
+def _cmd_list(args: argparse.Namespace) -> None:
+    print("experiments:")
+    for name, doc in (
+        ("table2", "TRA failure rate vs process variation (Section 6)"),
+        ("table3", "energy of bulk bitwise operations (Section 7)"),
+        ("fig9", "throughput across five systems (Section 7)"),
+        ("fig10", "bitmap-index query performance (Section 8.1)"),
+        ("fig11", "BitWeaving column scans (Section 8.2)"),
+        ("fig12", "set operations (Section 8.3)"),
+        ("demo", "end-to-end functional smoke demo"),
+        ("report", "full markdown reproduction report"),
+    ):
+        print(f"  {name:<8} {doc}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Ambit reproduction: regenerate the paper's experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments").set_defaults(func=_cmd_list)
+
+    p = sub.add_parser("table2", help="TRA reliability Monte Carlo")
+    p.add_argument("--trials", type=int, default=100_000)
+    p.set_defaults(func=_cmd_table2)
+
+    sub.add_parser("table3", help="energy table").set_defaults(func=_cmd_table3)
+    sub.add_parser("fig9", help="throughput figure").set_defaults(func=_cmd_fig9)
+
+    p = sub.add_parser("fig10", help="bitmap-index point")
+    p.add_argument("--users", type=int, default=8_000_000)
+    p.add_argument("--weeks", type=int, default=4)
+    p.set_defaults(func=_cmd_fig10)
+
+    p = sub.add_parser("fig11", help="BitWeaving point")
+    p.add_argument("--rows", type=int, default=2_000_000)
+    p.add_argument("--bits", type=int, default=16)
+    p.set_defaults(func=_cmd_fig11)
+
+    p = sub.add_parser("fig12", help="set-operations point")
+    p.add_argument("--elements", type=int, default=256)
+    p.set_defaults(func=_cmd_fig12)
+
+    sub.add_parser("demo", help="functional demo").set_defaults(func=_cmd_demo)
+
+    p = sub.add_parser("report", help="full reproduction report (markdown)")
+    p.add_argument("--fast", action="store_true",
+                   help="reduced workload sizes")
+    p.add_argument("--output", default=None, help="write to a file")
+    p.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    args.func(args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

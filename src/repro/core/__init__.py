@@ -1,0 +1,140 @@
+"""Ambit core: the paper's primary contribution.
+
+* :mod:`~repro.core.addressing` -- B/C/D row-address groups, Table 1,
+  the split row decoder (Section 5.1).
+* :mod:`~repro.core.primitives` -- AAP/AP and their latencies
+  (Sections 5.2-5.3).
+* :mod:`~repro.core.microprograms` -- Figure 8 command sequences for
+  all seven bulk bitwise operations plus copy.
+* :mod:`~repro.core.controller` -- the Ambit controller.
+* :mod:`~repro.core.device` -- the assembled device.
+* :mod:`~repro.core.driver` -- subarray-aware allocation
+  (Section 5.4.2).
+* :mod:`~repro.core.isa` -- the ``bbop`` instructions and the
+  offload/fallback microarchitecture check (Sections 5.4.1, 5.4.3).
+* :mod:`~repro.core.coherence` -- DBI-accelerated cache coherence
+  (Section 5.4.4).
+* :mod:`~repro.core.ecc` -- TMR homomorphic ECC (Section 5.4.5).
+"""
+
+from repro.core.addressing import AmbitAddressMap, split_decoder_factory
+from repro.core.coherence import (
+    CoherenceCost,
+    CoherenceLog,
+    DirtyBlockIndex,
+    coherence_for_bbop,
+)
+from repro.core.controller import AmbitController, ControllerStats
+from repro.core.device import AmbitDevice
+from repro.core.driver import (
+    SCRATCH_ROWS_PER_SUBARRAY,
+    AmbitDriver,
+    BitVectorHandle,
+    scratch_row_location,
+    stage_row,
+)
+from repro.core.ecc import (
+    TMR_COPIES,
+    TmrDecodeResult,
+    TmrMemory,
+    TmrRow,
+    tmr_decode,
+    tmr_encode,
+)
+from repro.core.isa import (
+    BbopInstruction,
+    BbopOutcome,
+    execute_bbop,
+    is_offloadable,
+    read_bytes,
+    write_bytes,
+)
+from repro.core.microprograms import (
+    COMPILERS,
+    BulkOp,
+    compile_maj,
+    compile_reduction,
+    compile_xor_minimal,
+    Microprogram,
+    compile_and,
+    compile_copy,
+    compile_nand,
+    compile_nor,
+    compile_not,
+    compile_op,
+    compile_or,
+    compile_xnor,
+    compile_xor,
+)
+from repro.core.primitives import AAP, AP, Primitive, sequence_latency_ns
+from repro.core.repair import RepairMap, RepairedRowDecoder
+from repro.core.scheduler import AmbitJob, InterleavedStats, InterleavingController
+from repro.core.testing import (
+    ChipBin,
+    ChipReport,
+    SubarrayReport,
+    bin_chip,
+    inject_stuck_row,
+    repair_chip,
+    run_chip_test,
+)
+
+__all__ = [
+    "AAP",
+    "AP",
+    "AmbitAddressMap",
+    "AmbitController",
+    "AmbitJob",
+    "AmbitDevice",
+    "AmbitDriver",
+    "BbopInstruction",
+    "BbopOutcome",
+    "BitVectorHandle",
+    "BulkOp",
+    "COMPILERS",
+    "CoherenceCost",
+    "CoherenceLog",
+    "ControllerStats",
+    "DirtyBlockIndex",
+    "InterleavedStats",
+    "InterleavingController",
+    "ChipBin",
+    "ChipReport",
+    "Microprogram",
+    "RepairMap",
+    "RepairedRowDecoder",
+    "SubarrayReport",
+    "Primitive",
+    "SCRATCH_ROWS_PER_SUBARRAY",
+    "TMR_COPIES",
+    "TmrDecodeResult",
+    "TmrMemory",
+    "TmrRow",
+    "coherence_for_bbop",
+    "compile_and",
+    "compile_copy",
+    "compile_maj",
+    "compile_nand",
+    "compile_nor",
+    "compile_not",
+    "compile_op",
+    "compile_or",
+    "compile_reduction",
+    "compile_xnor",
+    "compile_xor_minimal",
+    "compile_xor",
+    "execute_bbop",
+    "is_offloadable",
+    "read_bytes",
+    "scratch_row_location",
+    "sequence_latency_ns",
+    "split_decoder_factory",
+    "stage_row",
+    "tmr_decode",
+    "tmr_encode",
+    "bin_chip",
+    "inject_stuck_row",
+    "repair_chip",
+    "run_chip_test",
+    "write_bytes",
+]

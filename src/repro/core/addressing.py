@@ -1,0 +1,200 @@
+"""Row address grouping and the split row decoder (Section 5.1, Table 1).
+
+Each subarray's row-address space is divided into three groups:
+
+* **D-group** -- the data rows software sees.  For a 1024-row subarray
+  these are addresses ``D0..D1005``.
+* **C-group** -- two control rows: ``C0`` (all zeros), ``C1`` (all
+  ones), used to steer TRAs between AND and OR (Section 3.4).
+* **B-group** -- 16 reserved addresses ``B0..B15`` that the small
+  B-group decoder maps onto one, two, or three wordlines of the six
+  bitwise rows (T0..T3, DCC0, DCC1).  Table 1:
+
+  ====  =================   ====  =================
+  Addr  Wordline(s)         Addr  Wordline(s)
+  ====  =================   ====  =================
+  B0    T0                  B8    DCC0-n, T0
+  B1    T1                  B9    DCC1-n, T1
+  B2    T2                  B10   T2, T3
+  B3    T3                  B11   T0, T3
+  B4    DCC0 (d)            B12   T0, T1, T2
+  B5    DCC0-n              B13   T1, T2, T3
+  B6    DCC1 (d)            B14   DCC0, T1, T2
+  B7    DCC1-n              B15   DCC1, T0, T3
+  ====  =================   ====  =================
+
+  (A ``-n`` suffix marks the *negation* wordline of a dual-contact
+  cell row; B14/B15 raise the *data* wordlines, so a TRA reads the
+  stored -- already negated -- value.)
+
+Physical storage layout used by the model (indices into the subarray's
+backing array)::
+
+    [0, data_rows)          D-group rows
+    data_rows + 0, +1       C0, C1
+    data_rows + 2 .. +5     T0..T3
+    data_rows + 6, +7       DCC0, DCC1   (capacitor rows)
+
+The address space mirrors that layout, with the B-group's 16 addresses
+appended after the C-group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.dram.cell import MappingRowDecoder, Wordline
+from repro.dram.geometry import (
+    NUM_BITWISE_ADDRESSES,
+    NUM_CONTROL_ROWS,
+    SubarrayGeometry,
+)
+from repro.errors import AddressError
+
+
+@dataclass(frozen=True)
+class AmbitAddressMap:
+    """Address arithmetic for one Ambit subarray.
+
+    All methods deal in *local* (per-subarray) row addresses; the device
+    layer composes them with bank/subarray coordinates.
+    """
+
+    geometry: SubarrayGeometry
+
+    # ------------------------------------------------------------------
+    # Storage-row indices (where the bits physically live)
+    # ------------------------------------------------------------------
+    @property
+    def data_rows(self) -> int:
+        return self.geometry.data_rows
+
+    @property
+    def row_c0(self) -> int:
+        return self.data_rows
+
+    @property
+    def row_c1(self) -> int:
+        return self.data_rows + 1
+
+    def row_t(self, i: int) -> int:
+        """Storage row of designated row ``Ti`` (i in 0..3)."""
+        if not 0 <= i < 4:
+            raise AddressError(f"designated row index must be 0..3; got {i}")
+        return self.data_rows + NUM_CONTROL_ROWS + i
+
+    def row_dcc(self, i: int) -> int:
+        """Storage row of dual-contact-cell row ``DCCi`` (i in 0..1)."""
+        if not 0 <= i < 2:
+            raise AddressError(f"DCC row index must be 0 or 1; got {i}")
+        return self.data_rows + NUM_CONTROL_ROWS + 4 + i
+
+    # ------------------------------------------------------------------
+    # Row addresses (what the controller puts on the bus)
+    # ------------------------------------------------------------------
+    def d(self, i: int) -> int:
+        """Address of data row ``Di``."""
+        if not 0 <= i < self.data_rows:
+            raise AddressError(
+                f"data row {i} out of range [0, {self.data_rows})"
+            )
+        return i
+
+    def c(self, i: int) -> int:
+        """Address of control row ``Ci`` (0 -> zeros, 1 -> ones)."""
+        if i not in (0, 1):
+            raise AddressError(f"control row index must be 0 or 1; got {i}")
+        return self.data_rows + i
+
+    def b(self, i: int) -> int:
+        """Address ``Bi`` of the bitwise group (0..15)."""
+        if not 0 <= i < NUM_BITWISE_ADDRESSES:
+            raise AddressError(f"B-group address index must be 0..15; got {i}")
+        return self.data_rows + NUM_CONTROL_ROWS + i
+
+    @property
+    def address_space(self) -> int:
+        return self.data_rows + NUM_CONTROL_ROWS + NUM_BITWISE_ADDRESSES
+
+    # Group predicates ----------------------------------------------------
+    def is_d_group(self, address: int) -> bool:
+        """True for data-row addresses."""
+        return 0 <= address < self.data_rows
+
+    def is_c_group(self, address: int) -> bool:
+        """True for the two control-row addresses."""
+        return self.data_rows <= address < self.data_rows + NUM_CONTROL_ROWS
+
+    def is_b_group(self, address: int) -> bool:
+        """True for the 16 reserved bitwise addresses."""
+        return (
+            self.data_rows + NUM_CONTROL_ROWS
+            <= address
+            < self.address_space
+        )
+
+    def group_of(self, address: int) -> str:
+        """Return ``"B"``, ``"C"`` or ``"D"`` for a valid address."""
+        if self.is_d_group(address):
+            return "D"
+        if self.is_c_group(address):
+            return "C"
+        if self.is_b_group(address):
+            return "B"
+        raise AddressError(
+            f"address {address} outside the subarray address space "
+            f"[0, {self.address_space})"
+        )
+
+    # ------------------------------------------------------------------
+    # Table 1: the B-group wordline mapping
+    # ------------------------------------------------------------------
+    def b_group_wordlines(self) -> Dict[int, Tuple[Wordline, ...]]:
+        """The Table 1 mapping, in terms of storage rows."""
+        t = [Wordline(self.row_t(i)) for i in range(4)]
+        dcc_d = [Wordline(self.row_dcc(i)) for i in range(2)]
+        dcc_n = [Wordline(self.row_dcc(i), negated=True) for i in range(2)]
+        table: Dict[int, Tuple[Wordline, ...]] = {
+            self.b(0): (t[0],),
+            self.b(1): (t[1],),
+            self.b(2): (t[2],),
+            self.b(3): (t[3],),
+            self.b(4): (dcc_d[0],),
+            self.b(5): (dcc_n[0],),
+            self.b(6): (dcc_d[1],),
+            self.b(7): (dcc_n[1],),
+            self.b(8): (dcc_n[0], t[0]),
+            self.b(9): (dcc_n[1], t[1]),
+            self.b(10): (t[2], t[3]),
+            self.b(11): (t[0], t[3]),
+            self.b(12): (t[0], t[1], t[2]),
+            self.b(13): (t[1], t[2], t[3]),
+            self.b(14): (dcc_d[0], t[1], t[2]),
+            self.b(15): (dcc_d[1], t[0], t[3]),
+        }
+        return table
+
+    def build_decoder(self) -> MappingRowDecoder:
+        """Construct the full split decoder for one subarray.
+
+        The regular decoder part covers D- and C-group addresses
+        one-to-one; the small B-group decoder implements Table 1.
+        """
+        table: Dict[int, Tuple[Wordline, ...]] = {}
+        for i in range(self.data_rows):
+            table[i] = (Wordline(i),)
+        table[self.c(0)] = (Wordline(self.row_c0),)
+        table[self.c(1)] = (Wordline(self.row_c1),)
+        table.update(self.b_group_wordlines())
+        return MappingRowDecoder(table)
+
+
+def split_decoder_factory(geometry: SubarrayGeometry):
+    """Nullary factory suitable for :class:`repro.dram.chip.DramChip`."""
+    amap = AmbitAddressMap(geometry)
+
+    def build():
+        return amap.build_decoder()
+
+    return build

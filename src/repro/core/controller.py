@@ -1,0 +1,156 @@
+"""The Ambit controller (Section 5.5.2).
+
+Sits where the memory controller sits: it knows the address groups, the
+timing of the ACTIVATE variants, and the command sequences of the bulk
+bitwise operations.  Executing a bulk operation means compiling it to a
+microprogram (:mod:`repro.core.microprograms`), streaming the resulting
+DRAM commands to the chip, and advancing the model clock by the
+primitive latencies.
+
+The controller is deliberately *per-device but subarray-agnostic*: a
+bulk operation may be issued to any (bank, subarray) pair, and
+operations to different banks can overlap in time (bank-level
+parallelism), which :meth:`AmbitController.elapsed_parallel_ns` models.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.core.addressing import AmbitAddressMap
+from repro.core.microprograms import BulkOp, Microprogram, compile_op
+from repro.core.primitives import AAP, AP
+from repro.dram.chip import DramChip
+from repro.dram.timing import TimingParameters
+from repro.errors import DramProtocolError
+
+
+@dataclass
+class ControllerStats:
+    """Cumulative accounting of executed work."""
+
+    ops: Dict[BulkOp, int] = field(default_factory=lambda: defaultdict(int))
+    aap_count: int = 0
+    ap_count: int = 0
+    #: Serial time: every primitive on every bank, end to end.
+    busy_ns: float = 0.0
+    #: Per-bank busy time, for the bank-parallel makespan.
+    bank_busy_ns: Dict[int, float] = field(default_factory=lambda: defaultdict(float))
+
+    def makespan_ns(self) -> float:
+        """Completion time with perfect bank-level overlap.
+
+        Ambit's throughput "scales linearly with ... the memory-level
+        parallelism available inside DRAM (number of banks)" (Section 1);
+        independent per-bank command streams proceed concurrently, so the
+        makespan is the busiest bank's serial time.
+        """
+        if not self.bank_busy_ns:
+            return 0.0
+        return max(self.bank_busy_ns.values())
+
+
+class AmbitController:
+    """Executes bulk bitwise operations on an Ambit-enabled DRAM chip.
+
+    Parameters
+    ----------
+    chip:
+        A :class:`~repro.dram.chip.DramChip` built with the Ambit split
+        decoder (see :class:`repro.core.device.AmbitDevice`).
+    timing:
+        DRAM speed grade used for latency accounting.
+    split_decoder:
+        When False, every AAP pays the serial ``2*tRAS + tRP`` latency
+        (the Section 5.3 ablation).
+    """
+
+    def __init__(
+        self,
+        chip: DramChip,
+        timing: TimingParameters,
+        split_decoder: bool = True,
+    ):
+        self.chip = chip
+        self.timing = timing
+        self.split_decoder = split_decoder
+        self.amap = AmbitAddressMap(chip.geometry.subarray)
+        self.stats = ControllerStats()
+
+    # ------------------------------------------------------------------
+    # Bulk operations
+    # ------------------------------------------------------------------
+    def bbop(
+        self,
+        op: BulkOp,
+        bank: int,
+        subarray: int,
+        dk: int,
+        di: int,
+        dj: Optional[int] = None,
+        dl: Optional[int] = None,
+    ) -> Microprogram:
+        """Execute one bulk bitwise operation on one subarray.
+
+        ``dk``/``di``/``dj`` are local row addresses (D-group for data,
+        C-group sources are allowed so tests can use constant rows).
+        Returns the microprogram that was executed.
+        """
+        program = compile_op(self.amap, op, dk, di, dj, dl)
+        self.run_program(program, bank, subarray)
+        return program
+
+    def run_program(self, program: Microprogram, bank: int, subarray: int) -> None:
+        """Stream an already-compiled microprogram to the chip."""
+        if self.chip.bank(bank).open_subarray is not None:
+            raise DramProtocolError(
+                f"bank {bank} must be precharged before a bulk operation"
+            )
+        for primitive in program.primitives:
+            latency = primitive.latency_ns(
+                self.timing, self.amap, self.split_decoder
+            )
+            for command in primitive.commands(bank, subarray):
+                self.chip.execute(command)
+            self._account(primitive, bank, latency)
+        self.stats.ops[program.op] += 1
+
+    def copy(self, bank: int, subarray: int, src: int, dst: int) -> None:
+        """RowClone-FPM copy through the AAP machinery."""
+        self.bbop(BulkOp.COPY, bank, subarray, dst, src)
+
+    # ------------------------------------------------------------------
+    # Latency queries (no execution)
+    # ------------------------------------------------------------------
+    def op_latency_ns(self, op: BulkOp) -> float:
+        """Latency of one bulk operation on one subarray (one row pair).
+
+        Uses representative D-group addresses; every instance of an op
+        has the same primitive structure, so the latency is uniform.
+        """
+        program = compile_op(
+            self.amap, op, 3, 0,
+            None if op.arity == 1 else 1,
+            2 if op.arity == 3 else None,
+        )
+        return sum(
+            p.latency_ns(self.timing, self.amap, self.split_decoder)
+            for p in program.primitives
+        )
+
+    # ------------------------------------------------------------------
+    def reset_stats(self) -> None:
+        """Clear accumulated statistics and the command trace."""
+        self.stats = ControllerStats()
+        self.chip.trace.clear()
+
+    def _account(self, primitive, bank: int, latency: float) -> None:
+        if isinstance(primitive, AAP):
+            self.stats.aap_count += 1
+        elif isinstance(primitive, AP):
+            self.stats.ap_count += 1
+        self.stats.busy_ns += latency
+        self.stats.bank_busy_ns[bank] += latency
+        self.chip.clock_ns += latency

@@ -1,0 +1,162 @@
+"""The assembled Ambit device: chip + split decoder + controller.
+
+This is the main entry point of the library's hardware model.  An
+:class:`AmbitDevice` is a DRAM device whose subarrays carry the B-/C-
+group rows and the split row decoder, fronted by an Ambit-aware
+controller.  On top of it sit the driver (:mod:`repro.core.driver`) and
+the application-facing :class:`~repro.apps.bitvector.BitVector`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.core.addressing import AmbitAddressMap
+from repro.core.controller import AmbitController
+from repro.core.microprograms import BulkOp
+from repro.dram.chip import DramChip, RowLocation
+from repro.dram.geometry import DramGeometry
+from repro.dram.rowclone import psm_latency_ns, rowclone_psm
+from repro.dram.timing import TimingParameters, ddr3_1600
+from repro.errors import AddressError
+
+
+class AmbitDevice:
+    """A complete Ambit DRAM device.
+
+    Parameters
+    ----------
+    geometry:
+        Device shape; defaults to the paper's configuration (8 banks,
+        1024-row subarrays, 8 KB rows).
+    timing:
+        Speed grade for latency accounting; defaults to DDR3-1600, the
+        paper's reference.
+    split_decoder:
+        Disable to model the naive 80 ns AAP (Section 5.3 ablation).
+    charge_model_factory:
+        Optional nullary factory of analog TRA models, one per subarray,
+        to run the device with process variation (Section 6).
+    """
+
+    def __init__(
+        self,
+        geometry: Optional[DramGeometry] = None,
+        timing: Optional[TimingParameters] = None,
+        split_decoder: bool = True,
+        charge_model_factory: Optional[Callable[[], object]] = None,
+    ):
+        self.geometry = geometry if geometry is not None else DramGeometry()
+        self.timing = timing if timing is not None else ddr3_1600()
+        self.amap = AmbitAddressMap(self.geometry.subarray)
+        self.chip = DramChip(
+            self.geometry,
+            decoder_factory=lambda: self.amap.build_decoder(),
+            charge_model_factory=charge_model_factory,
+        )
+        self.controller = AmbitController(
+            self.chip, self.timing, split_decoder=split_decoder
+        )
+        self._initialize_control_rows()
+
+    # ------------------------------------------------------------------
+    # Manufacturer initialisation
+    # ------------------------------------------------------------------
+    def _initialize_control_rows(self) -> None:
+        """Pre-set C0 to zeros and C1 to ones in every subarray.
+
+        Section 3.4: "we reserve two control rows in each subarray, C0
+        and C1.  C0 is initialized to all zeros and C1 is initialized to
+        all ones."
+        """
+        words = self.geometry.subarray.words_per_row
+        zeros = np.zeros(words, dtype=np.uint64)
+        ones = np.full(words, np.uint64(0xFFFFFFFFFFFFFFFF))
+        for bank in self.chip.banks:
+            for sub in bank.subarrays:
+                sub.poke(self.amap.row_c0, zeros)
+                sub.poke(self.amap.row_c1, ones)
+
+    # ------------------------------------------------------------------
+    # Row-level operations
+    # ------------------------------------------------------------------
+    def bbop_row(
+        self,
+        op: BulkOp,
+        dst: RowLocation,
+        src1: RowLocation,
+        src2: Optional[RowLocation] = None,
+        src3: Optional[RowLocation] = None,
+    ) -> None:
+        """Execute one bulk bitwise operation on row-sized operands.
+
+        All operands must live in the same subarray (the driver's job,
+        Section 5.4.2); cross-subarray operands need explicit staging
+        via :meth:`psm_copy` first.
+        """
+        locs = [dst, src1] + [s for s in (src2, src3) if s is not None]
+        bank, sub = dst.bank, dst.subarray
+        for loc in locs:
+            if (loc.bank, loc.subarray) != (bank, sub):
+                raise AddressError(
+                    f"bbop operands must share a subarray: {loc} vs "
+                    f"bank {bank} subarray {sub} "
+                    f"(stage cross-subarray operands with psm_copy)"
+                )
+        self.controller.bbop(
+            op,
+            bank,
+            sub,
+            dk=dst.address,
+            di=src1.address,
+            dj=None if src2 is None else src2.address,
+            dl=None if src3 is None else src3.address,
+        )
+
+    def psm_copy(self, src: RowLocation, dst: RowLocation) -> None:
+        """RowClone-PSM copy between banks, with latency accounting."""
+        rowclone_psm(self.chip, src, dst)
+        latency = psm_latency_ns(self.timing, self.geometry.row_bytes)
+        stats = self.controller.stats
+        stats.busy_ns += latency
+        stats.bank_busy_ns[src.bank] += latency
+        stats.bank_busy_ns[dst.bank] += latency
+        self.chip.clock_ns += latency
+
+    # ------------------------------------------------------------------
+    # Host (functional) access
+    # ------------------------------------------------------------------
+    def write_row(self, loc: RowLocation, data: np.ndarray) -> None:
+        """Functionally store a packed uint64 row image at ``loc``."""
+        self.chip.poke_row(loc, data)
+
+    def read_row(self, loc: RowLocation) -> np.ndarray:
+        """Functionally read the packed uint64 row image at ``loc``."""
+        return self.chip.peek_row(loc)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def row_bytes(self) -> int:
+        return self.geometry.row_bytes
+
+    @property
+    def row_bits(self) -> int:
+        return self.geometry.subarray.row_bits
+
+    @property
+    def elapsed_ns(self) -> float:
+        """Bank-parallel completion time of all work so far."""
+        return self.controller.stats.makespan_ns()
+
+    @property
+    def busy_ns(self) -> float:
+        """Serial (single-bank-equivalent) time of all work so far."""
+        return self.controller.stats.busy_ns
+
+    def reset_stats(self) -> None:
+        """Clear controller statistics and the command trace."""
+        self.controller.reset_stats()

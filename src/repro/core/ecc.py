@@ -1,0 +1,156 @@
+"""Homomorphic ECC for Ambit: triple modular redundancy (Section 5.4.5).
+
+Conventional SECDED ECC breaks under in-memory computation: the
+controller can no longer read-verify-write, and ``SECDED(A and B) !=
+SECDED(A) and SECDED(B)``.  The only scheme the paper identifies that is
+homomorphic over *all* bitwise operations is triple modular redundancy
+(TMR): store each row three times and majority-vote on read.  Because
+every copy undergoes the same bulk operation, correctness is preserved:
+``TMR(A op B) = TMR(A) op TMR(B)`` by construction.
+
+This module implements a TMR codec over packed rows plus a device-level
+wrapper that stores each logical row as three co-located physical rows
+and runs every bulk operation on all three.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.device import AmbitDevice
+from repro.core.microprograms import BulkOp
+from repro.dram.chip import RowLocation
+from repro.dram.senseamp import majority3
+from repro.errors import EccError
+
+#: Replication factor of TMR.
+TMR_COPIES = 3
+
+
+@dataclass(frozen=True)
+class TmrDecodeResult:
+    """Outcome of a majority decode."""
+
+    data: np.ndarray
+    #: Bits where at least one replica disagreed (corrected by majority).
+    corrected_bits: int
+    #: True when all three replicas agreed everywhere.
+    clean: bool
+
+
+def tmr_encode(row: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Encode one row: three identical replicas."""
+    return row.copy(), row.copy(), row.copy()
+
+
+def tmr_decode(
+    r0: np.ndarray, r1: np.ndarray, r2: np.ndarray, strict: bool = False
+) -> TmrDecodeResult:
+    """Majority-decode three replicas.
+
+    ``strict=True`` raises :class:`~repro.errors.EccError` on any
+    disagreement instead of silently correcting (useful for tests and
+    scrubbing policies).
+    """
+    data = majority3(r0, r1, r2)
+    disagree = (r0 ^ r1) | (r1 ^ r2)
+    corrected = int(
+        sum(int(x).bit_count() for x in np.asarray(disagree, dtype=np.uint64))
+    )
+    if corrected and strict:
+        raise EccError(f"TMR decode found {corrected} disagreeing bit(s)")
+    return TmrDecodeResult(data=data, corrected_bits=corrected, clean=corrected == 0)
+
+
+class TmrRow:
+    """A logical row stored as three physical replicas."""
+
+    def __init__(self, replicas: List[RowLocation]):
+        if len(replicas) != TMR_COPIES:
+            raise EccError(f"TMR needs {TMR_COPIES} replicas; got {len(replicas)}")
+        bank_sub = {(r.bank, r.subarray) for r in replicas}
+        if len(bank_sub) != 1:
+            raise EccError("TMR replicas must be co-located in one subarray")
+        self.replicas = replicas
+
+
+class TmrMemory:
+    """Device wrapper that applies TMR to every row and operation.
+
+    Storage overhead is 3x -- the paper presents TMR as the *existence
+    proof* of an Ambit-compatible ECC and leaves cheaper schemes open.
+    """
+
+    def __init__(self, device: AmbitDevice, driver) -> None:
+        self.device = device
+        self.driver = driver
+
+    def allocate_row(self, like: Optional[TmrRow] = None) -> TmrRow:
+        """Allocate a TMR-protected row (three co-located rows)."""
+        template = None
+        if like is not None:
+            from repro.core.driver import BitVectorHandle
+
+            template = BitVectorHandle(
+                nbits=self.device.row_bits * TMR_COPIES,
+                rows=list(like.replicas),
+            )
+        handle = self.driver.allocate(
+            self.device.row_bits * TMR_COPIES, like=template
+        )
+        bank_sub = {(r.bank, r.subarray) for r in handle.rows}
+        if len(bank_sub) != 1:
+            # Striped allocation spread the replicas; re-pin them by
+            # allocating co-located with the first row.
+            first = handle.rows[0]
+            from repro.core.driver import BitVectorHandle
+
+            self.driver.free(handle)
+            template = BitVectorHandle(
+                nbits=self.device.row_bits * TMR_COPIES,
+                rows=[first, first, first],
+            )
+            handle = self.driver.allocate(
+                self.device.row_bits * TMR_COPIES, like=template
+            )
+        return TmrRow(handle.rows)
+
+    def write(self, row: TmrRow, data: np.ndarray) -> None:
+        """Store data into all three replicas."""
+        for replica, image in zip(row.replicas, tmr_encode(data)):
+            self.device.write_row(replica, image)
+
+    def read(self, row: TmrRow, strict: bool = False) -> TmrDecodeResult:
+        """Majority-decode the row's replicas."""
+        images = [self.device.read_row(r) for r in row.replicas]
+        return tmr_decode(*images, strict=strict)
+
+    def bbop(
+        self,
+        op: BulkOp,
+        dst: TmrRow,
+        src1: TmrRow,
+        src2: Optional[TmrRow] = None,
+    ) -> None:
+        """Run a bulk operation on all three replicas.
+
+        Homomorphism makes this sound: replica ``i`` of the result is
+        the operation applied to replica ``i`` of the sources.
+        """
+        for i in range(TMR_COPIES):
+            self.device.bbop_row(
+                op,
+                dst.replicas[i],
+                src1.replicas[i],
+                None if src2 is None else src2.replicas[i],
+            )
+
+    def scrub(self, row: TmrRow) -> int:
+        """Majority-correct a row in place; returns corrected bit count."""
+        result = self.read(row)
+        if not result.clean:
+            self.write(row, result.data)
+        return result.corrected_bits

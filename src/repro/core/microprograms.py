@@ -1,0 +1,329 @@
+"""Command microprograms for every bulk bitwise operation (Figure 8).
+
+Each operation compiles to a short sequence of AAP/AP primitives over
+the B-, C- and D-group addresses of one subarray.  The and/nand/xor
+sequences are verbatim from Figure 8; or/nor/xnor follow the paper's
+remark that they are obtained "by appropriately modifying the control
+rows":
+
+* ``or``  = ``and``  with the C1 (all-ones) control row,
+* ``nor`` = ``nand`` with C1,
+* ``xnor``= ``xor``  with C0/C1 swapped (the intermediate TRAs compute
+  ``!Di | Dj`` and ``Di | !Dj`` instead of the AND forms, and the final
+  TRA combines them with AND instead of OR).
+
+``copy`` (one AAP) and ``init0``/``init1`` (an AAP from a control row)
+are included because RowClone-style copies are first-class citizens of
+the Ambit controller (Section 3.4).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.core.addressing import AmbitAddressMap
+from repro.core.primitives import AAP, AP, Primitive
+from repro.errors import AddressError
+
+
+class BulkOp(enum.Enum):
+    """The bulk bitwise operations Ambit supports.
+
+    ``MAJ`` is the natural extension the paper's conclusion invites:
+    triple-row activation *is* a majority gate, so exposing the raw
+    3-operand majority costs the same 4 AAPs as AND/OR (the control-row
+    copy is replaced by a third operand copy).  Majority is the carry
+    function of a full adder, which is what makes bit-serial arithmetic
+    (:mod:`repro.apps.arithmetic`) possible.
+    """
+
+    NOT = "not"
+    AND = "and"
+    OR = "or"
+    NAND = "nand"
+    NOR = "nor"
+    XOR = "xor"
+    XNOR = "xnor"
+    COPY = "copy"
+    MAJ = "maj"
+
+    @property
+    def arity(self) -> int:
+        """Number of source operands."""
+        if self in (BulkOp.NOT, BulkOp.COPY):
+            return 1
+        if self is BulkOp.MAJ:
+            return 3
+        return 2
+
+
+@dataclass(frozen=True)
+class Microprogram:
+    """A compiled bulk operation: the primitive sequence plus metadata."""
+
+    op: BulkOp
+    primitives: Tuple[Primitive, ...]
+
+    @property
+    def num_aap(self) -> int:
+        return sum(1 for p in self.primitives if isinstance(p, AAP))
+
+    @property
+    def num_ap(self) -> int:
+        return sum(1 for p in self.primitives if isinstance(p, AP))
+
+
+def _two_source(
+    amap: AmbitAddressMap, di: int, dj: int, dk: int, op: BulkOp
+) -> None:
+    for name, addr in (("src1", di), ("src2", dj)):
+        if not (amap.is_d_group(addr) or amap.is_c_group(addr)):
+            raise AddressError(f"{op.value}: {name} address {addr} is not a data row")
+    if not amap.is_d_group(dk):
+        raise AddressError(f"{op.value}: destination {dk} is not a D-group row")
+
+
+def compile_not(amap: AmbitAddressMap, di: int, dk: int) -> Microprogram:
+    """``Dk = not Di`` (Section 5.2): capture !Di in DCC0, copy it out."""
+    if not (amap.is_d_group(di) or amap.is_c_group(di)):
+        raise AddressError(f"not: source address {di} is not a data row")
+    if not amap.is_d_group(dk):
+        raise AddressError(f"not: destination {dk} is not a D-group row")
+    return Microprogram(
+        BulkOp.NOT,
+        (
+            AAP(di, amap.b(5)),   # DCC0 = !Di (via the n-wordline)
+            AAP(amap.b(4), dk),   # Dk = DCC0
+        ),
+    )
+
+
+def compile_copy(amap: AmbitAddressMap, di: int, dk: int) -> Microprogram:
+    """``Dk = Di``: a single AAP (RowClone-FPM through the controller)."""
+    if di == dk:
+        raise AddressError("copy: source and destination are the same row")
+    return Microprogram(BulkOp.COPY, (AAP(di, dk),))
+
+
+def _and_or(
+    amap: AmbitAddressMap, di: int, dj: int, dk: int, op: BulkOp
+) -> Microprogram:
+    control = amap.c(0) if op is BulkOp.AND else amap.c(1)
+    _two_source(amap, di, dj, dk, op)
+    return Microprogram(
+        op,
+        (
+            AAP(di, amap.b(0)),        # T0 = Di
+            AAP(dj, amap.b(1)),        # T1 = Dj
+            AAP(control, amap.b(2)),   # T2 = 0 (and) / 1 (or)
+            AAP(amap.b(12), dk),       # Dk = TRA(T0, T1, T2)
+        ),
+    )
+
+
+def compile_and(amap: AmbitAddressMap, di: int, dj: int, dk: int) -> Microprogram:
+    """``Dk = Di and Dj`` (Figure 8a)."""
+    return _and_or(amap, di, dj, dk, BulkOp.AND)
+
+
+def compile_or(amap: AmbitAddressMap, di: int, dj: int, dk: int) -> Microprogram:
+    """``Dk = Di or Dj``: the AND program with the C1 control row."""
+    return _and_or(amap, di, dj, dk, BulkOp.OR)
+
+
+def _nand_nor(
+    amap: AmbitAddressMap, di: int, dj: int, dk: int, op: BulkOp
+) -> Microprogram:
+    control = amap.c(0) if op is BulkOp.NAND else amap.c(1)
+    _two_source(amap, di, dj, dk, op)
+    return Microprogram(
+        op,
+        (
+            AAP(di, amap.b(0)),            # T0 = Di
+            AAP(dj, amap.b(1)),            # T1 = Dj
+            AAP(control, amap.b(2)),       # T2 = 0 / 1
+            AAP(amap.b(12), amap.b(5)),    # DCC0 = !TRA(T0, T1, T2)
+            AAP(amap.b(4), dk),            # Dk = DCC0
+        ),
+    )
+
+
+def compile_nand(amap: AmbitAddressMap, di: int, dj: int, dk: int) -> Microprogram:
+    """``Dk = Di nand Dj`` (Figure 8b)."""
+    return _nand_nor(amap, di, dj, dk, BulkOp.NAND)
+
+
+def compile_nor(amap: AmbitAddressMap, di: int, dj: int, dk: int) -> Microprogram:
+    """``Dk = Di nor Dj``: the NAND program with the C1 control row."""
+    return _nand_nor(amap, di, dj, dk, BulkOp.NOR)
+
+
+def _xor_xnor(
+    amap: AmbitAddressMap, di: int, dj: int, dk: int, op: BulkOp
+) -> Microprogram:
+    _two_source(amap, di, dj, dk, op)
+    if op is BulkOp.XOR:
+        fill, final = amap.c(0), amap.c(1)   # T2=T3=0; final TRA is an OR
+    else:
+        fill, final = amap.c(1), amap.c(0)   # T2=T3=1; final TRA is an AND
+    return Microprogram(
+        op,
+        (
+            AAP(di, amap.b(8)),        # DCC0 = !Di, T0 = Di
+            AAP(dj, amap.b(9)),        # DCC1 = !Dj, T1 = Dj
+            AAP(fill, amap.b(10)),     # T2 = T3 = fill
+            AP(amap.b(14)),            # T1 = TRA(DCC0, T1, T2)
+            AP(amap.b(15)),            # T0 = TRA(DCC1, T0, T3)
+            AAP(final, amap.b(2)),     # T2 = !fill
+            AAP(amap.b(12), dk),       # Dk = TRA(T0, T1, T2)
+        ),
+    )
+
+
+def compile_xor(amap: AmbitAddressMap, di: int, dj: int, dk: int) -> Microprogram:
+    """``Dk = Di xor Dj`` (Figure 8c): (Di & !Dj) | (!Di & Dj)."""
+    return _xor_xnor(amap, di, dj, dk, BulkOp.XOR)
+
+
+def compile_xnor(amap: AmbitAddressMap, di: int, dj: int, dk: int) -> Microprogram:
+    """``Dk = Di xnor Dj``: (Di | !Dj) & (!Di | Dj)."""
+    return _xor_xnor(amap, di, dj, dk, BulkOp.XNOR)
+
+
+def compile_maj(
+    amap: AmbitAddressMap, di: int, dj: int, dl: int, dk: int
+) -> Microprogram:
+    """``Dk = MAJ(Di, Dj, Dl)``: the raw triple-row activation.
+
+    Same structure as AND/OR (Figure 8a) with the control-row copy
+    replaced by a third operand copy -- majority is what the TRA
+    computes natively (Section 3.1).
+    """
+    for name, addr in (("src1", di), ("src2", dj), ("src3", dl)):
+        if not (amap.is_d_group(addr) or amap.is_c_group(addr)):
+            raise AddressError(f"maj: {name} address {addr} is not a data row")
+    if not amap.is_d_group(dk):
+        raise AddressError(f"maj: destination {dk} is not a D-group row")
+    return Microprogram(
+        BulkOp.MAJ,
+        (
+            AAP(di, amap.b(0)),    # T0 = Di
+            AAP(dj, amap.b(1)),    # T1 = Dj
+            AAP(dl, amap.b(2)),    # T2 = Dl
+            AAP(amap.b(12), dk),   # Dk = MAJ(T0, T1, T2)
+        ),
+    )
+
+
+#: Compiler dispatch: op -> callable(amap, *addresses) -> Microprogram.
+COMPILERS: Dict[BulkOp, Callable[..., Microprogram]] = {
+    BulkOp.NOT: compile_not,
+    BulkOp.COPY: compile_copy,
+    BulkOp.AND: compile_and,
+    BulkOp.OR: compile_or,
+    BulkOp.NAND: compile_nand,
+    BulkOp.NOR: compile_nor,
+    BulkOp.XOR: compile_xor,
+    BulkOp.XNOR: compile_xnor,
+    BulkOp.MAJ: compile_maj,
+}
+
+
+def compile_op(
+    amap: AmbitAddressMap,
+    op: BulkOp,
+    dk: int,
+    di: int,
+    dj: Optional[int] = None,
+    dl: Optional[int] = None,
+) -> Microprogram:
+    """Compile any bulk operation to its microprogram.
+
+    Argument order follows the ISA (Section 5.4.1): destination first.
+    """
+    if op.arity == 1:
+        if dj is not None or dl is not None:
+            raise AddressError(f"{op.value} takes one source operand")
+        return COMPILERS[op](amap, di, dk)
+    if op.arity == 3:
+        if dj is None or dl is None:
+            raise AddressError(f"{op.value} takes three source operands")
+        return compile_maj(amap, di, dj, dl, dk)
+    if dj is None or dl is not None:
+        raise AddressError(f"{op.value} takes two source operands")
+    return COMPILERS[op](amap, di, dj, dk)
+
+
+def compile_reduction(
+    amap: AmbitAddressMap,
+    op: BulkOp,
+    sources: Tuple[int, ...],
+    dk: int,
+    optimize: bool = True,
+) -> Microprogram:
+    """AND/OR-reduce several rows into ``dk``.
+
+    ``optimize=True`` applies the dead-store elimination Section 5.2
+    alludes to: the running accumulator stays in the designated row T0
+    across steps (a TRA's restore already leaves the result in T0), so
+    each additional source costs 2 AAPs + 1 AP instead of a full 4-AAP
+    operation plus accumulator re-copy.  ``optimize=False`` emits the
+    naive chain (each step a full Figure 8a/or program through a scratch
+    accumulator in ``dk``), which is what the ablation benchmark
+    compares against.
+    """
+    if op not in (BulkOp.AND, BulkOp.OR):
+        raise AddressError(f"reductions support and/or; got {op.value}")
+    if len(sources) < 2:
+        raise AddressError("a reduction needs at least two sources")
+    if not amap.is_d_group(dk):
+        raise AddressError(f"reduction destination {dk} is not a D-group row")
+    control = amap.c(0) if op is BulkOp.AND else amap.c(1)
+    primitives: list = []
+    if optimize:
+        primitives.append(AAP(sources[0], amap.b(0)))      # T0 = acc
+        for i, src in enumerate(sources[1:]):
+            last = i == len(sources) - 2
+            primitives.append(AAP(src, amap.b(1)))         # T1 = src
+            primitives.append(AAP(control, amap.b(2)))     # T2 = ctl
+            if last:
+                primitives.append(AAP(amap.b(12), dk))     # Dk = TRA
+            else:
+                primitives.append(AP(amap.b(12)))          # T0 = TRA
+    else:
+        acc = sources[0]
+        for src in sources[1:]:
+            step = COMPILERS[op](amap, acc, src, dk)
+            primitives.extend(step.primitives)
+            acc = dk
+    return Microprogram(op, tuple(primitives))
+
+
+def compile_xor_minimal(
+    amap: AmbitAddressMap, di: int, dj: int, dk: int, scratch: Tuple[int, int] = None
+) -> Tuple[Microprogram, ...]:
+    """XOR on a *minimal* Ambit B-group (the ablation of Section 5.1).
+
+    The paper's B-group spends extra area (4 designated rows, 2 DCC
+    rows, dual-fanout addresses B8-B11) specifically so xor/xnor need
+    few copies.  A minimal Ambit -- 3 designated rows, 1 DCC row, no
+    fanout addresses -- must compose xor as
+    ``(Di and not Dj) or (not Di and Dj)`` from whole not/and/or
+    operations through two scratch data rows.  Returns the program
+    sequence; the ablation benchmark compares its cost against
+    :func:`compile_xor`.
+    """
+    if scratch is None:
+        scratch = (amap.d(amap.data_rows - 1), amap.d(amap.data_rows - 2))
+    s0, s1 = scratch
+    if len({di, dj, dk, s0, s1}) != 5:
+        raise AddressError("xor_minimal needs five distinct rows")
+    return (
+        compile_not(amap, dj, s0),        # s0 = !Dj
+        compile_and(amap, di, s0, s0),    # s0 = Di & !Dj
+        compile_not(amap, di, s1),        # s1 = !Di
+        compile_and(amap, dj, s1, s1),    # s1 = !Di & Dj
+        compile_or(amap, s0, s1, dk),     # Dk = s0 | s1
+    )

@@ -1,0 +1,80 @@
+"""Spare-row repair (Section 5.5.3).
+
+"DRAM manufacturers use a number of techniques to improve the overall
+yield; the most prominent among them is using spare rows to replace
+faulty DRAM rows.  Similar to some prior works, Ambit requires faulty
+rows to be mapped to spare rows *within the same subarray*."
+
+The constraint matters: RowClone-FPM and TRA only work between rows
+sharing a set of sense amplifiers, so a remap that crossed subarrays
+would silently break every bulk operation touching the row.  This
+module implements the repair layer as a decorator over the subarray's
+row decoder: a remap table rewrites faulty storage rows to spares
+transparently, before wordline fan-out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.dram.cell import RowDecoder, Wordline
+from repro.errors import AddressError
+
+
+@dataclass
+class RepairMap:
+    """Faulty-row -> spare-row assignments for one subarray."""
+
+    #: Spare storage rows available for repair, in assignment order.
+    spares: Tuple[int, ...]
+    _assigned: Dict[int, int] = field(default_factory=dict)
+
+    def assign(self, faulty_row: int) -> int:
+        """Map a faulty storage row to the next free spare."""
+        if faulty_row in self._assigned:
+            return self._assigned[faulty_row]
+        if faulty_row in self.spares:
+            raise AddressError(f"cannot repair spare row {faulty_row} with itself")
+        used = set(self._assigned.values())
+        for spare in self.spares:
+            if spare not in used:
+                self._assigned[faulty_row] = spare
+                return spare
+        raise AddressError(
+            f"subarray out of spare rows (have {len(self.spares)}, "
+            f"all assigned)"
+        )
+
+    def translate(self, row: int) -> int:
+        """Resolve a storage row through the repair table."""
+        return self._assigned.get(row, row)
+
+    @property
+    def repairs(self) -> Dict[int, int]:
+        return dict(self._assigned)
+
+
+class RepairedRowDecoder(RowDecoder):
+    """A row decoder with post-decode spare-row remapping.
+
+    Wraps any decoder (commodity direct or the Ambit split decoder);
+    every decoded wordline's storage row passes through the repair map,
+    so B-group fan-out addresses are repaired consistently with the
+    single-wordline addresses of the same physical row.
+    """
+
+    def __init__(self, inner: RowDecoder, repair_map: RepairMap):
+        self.inner = inner
+        self.repair_map = repair_map
+
+    def decode(self, address: int) -> Tuple[Wordline, ...]:
+        """Decode, then remap every wordline through the repair table."""
+        return tuple(
+            Wordline(self.repair_map.translate(wl.row), negated=wl.negated)
+            for wl in self.inner.decode(address)
+        )
+
+    def address_space(self) -> int:
+        """Delegates to the wrapped decoder."""
+        return self.inner.address_space()

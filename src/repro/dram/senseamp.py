@@ -1,0 +1,142 @@
+"""Sense-amplifier array: charge sharing and sensing, vectorised per row.
+
+The sense amplifier (Figure 2) is a pair of cross-coupled inverters.
+During activation it resolves the sign of the bitline's deviation from
+VDD/2 after charge sharing, then drives the bitline fully to VDD or 0,
+restoring every connected cell (Figure 3).
+
+Two resolution modes are supported:
+
+* **Ideal** -- the bitwise majority of the connected cells' effective
+  values (a cell behind an n-wordline contributes its complement).  This
+  is the paper's Equation 1 with nominal parameters: the deviation is
+  positive iff at least ``ceil(k/2)`` of ``k`` connected cells are
+  charged, which for k in {1, 3} is exactly the majority function.
+* **Analog** -- the deviation is computed from per-cell capacitances and
+  voltages drawn from a process-variation model
+  (:mod:`repro.circuit`), so triple-row activations can *fail* exactly
+  the way Section 6 studies.
+
+Rows are stored as packed ``uint64`` numpy arrays; all operations are
+vectorised across the full row width.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import DramProtocolError
+
+
+def majority3(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> np.ndarray:
+    """Bitwise 3-input majority: ``ab + bc + ca`` (Section 3.1)."""
+    return (a & b) | (b & c) | (c & a)
+
+
+class SenseAmplifierArray:
+    """The row of sense amplifiers of one subarray.
+
+    Parameters
+    ----------
+    words:
+        Row width in 64-bit words.
+    charge_model:
+        Optional analog resolution model.  When provided, fresh
+        activations resolve through it instead of the ideal majority;
+        the model receives the effective per-bit cell values (unpacked
+        to ``uint8``) and returns the sensed bits.  See
+        :class:`repro.circuit.senseamp_dynamics.AnalogSenseModel`.
+    """
+
+    def __init__(self, words: int, charge_model: Optional[object] = None):
+        if words <= 0:
+            raise DramProtocolError(f"sense amp array needs width > 0; got {words}")
+        self.words = words
+        self.charge_model = charge_model
+        self._latch: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        """True between sensing and the next precharge."""
+        return self._latch is not None
+
+    @property
+    def latch(self) -> np.ndarray:
+        """The sensed row value (bitline side).  Raises if precharged."""
+        if self._latch is None:
+            raise DramProtocolError("sense amplifiers are not enabled (precharged)")
+        return self._latch
+
+    def precharge(self) -> None:
+        """Disable the amplifiers and equalise the bitlines (state 1/5, Fig. 3)."""
+        self._latch = None
+
+    # ------------------------------------------------------------------
+    # Sensing
+    # ------------------------------------------------------------------
+    def sense(self, contributions: List[Tuple[np.ndarray, bool]]) -> np.ndarray:
+        """Charge-share the given cells and amplify.
+
+        Parameters
+        ----------
+        contributions:
+            ``(stored_row, negated)`` pairs for every raised wordline.
+            ``stored_row`` is the packed uint64 row; ``negated`` marks an
+            n-wordline connection (contributes the complement).
+
+        Returns
+        -------
+        The sensed row (packed uint64), which is also latched.
+        """
+        if self._latch is not None:
+            raise DramProtocolError(
+                "sense() on enabled amplifiers; issue PRECHARGE first "
+                "(use overwrite() for the second ACTIVATE of an AAP)"
+            )
+        effective = [(~row if negated else row) for row, negated in contributions]
+        k = len(effective)
+        if k == 1:
+            sensed = effective[0].copy()
+        elif k == 3:
+            if self.charge_model is not None:
+                sensed = self._sense_analog(effective)
+            else:
+                sensed = majority3(*effective)
+        else:
+            raise DramProtocolError(
+                f"charge sharing with {k} cells per bitline is unresolvable: "
+                f"fresh activations must raise 1 or 3 wordlines"
+            )
+        self._latch = sensed
+        return sensed
+
+    def _sense_analog(self, effective: List[np.ndarray]) -> np.ndarray:
+        """Resolve a triple-row activation through the analog model."""
+        bits = np.stack(
+            [_unpack_bits(row) for row in effective]
+        )  # shape (3, row_bits)
+        sensed_bits = self.charge_model.resolve_tra(bits)
+        return _pack_bits(sensed_bits, self.words)
+
+    def overwrite(self, value: np.ndarray) -> None:
+        """Force the latch to ``value`` (WRITE command path)."""
+        if self._latch is None:
+            raise DramProtocolError("cannot WRITE to precharged sense amplifiers")
+        self._latch = value.copy()
+
+
+def _unpack_bits(packed: np.ndarray) -> np.ndarray:
+    """uint64-packed row -> uint8 array of individual bits (LSB-first)."""
+    as_bytes = packed.view(np.uint8)
+    return np.unpackbits(as_bytes, bitorder="little")
+
+
+def _pack_bits(bits: np.ndarray, words: int) -> np.ndarray:
+    """uint8 bit array -> packed uint64 row of the given word count."""
+    packed_bytes = np.packbits(bits, bitorder="little")
+    return packed_bytes.view(np.uint64)[:words].copy()

@@ -1,0 +1,212 @@
+"""DRAM timing parameters and the latency identities the paper relies on.
+
+The two quantities everything else is built from (Section 5.3):
+
+* A naive AAP (ACTIVATE-ACTIVATE-PRECHARGE) executed serially costs
+  ``2*tRAS + tRP`` -- 80 ns for DDR3-1600 (8-8-8).
+* With the split row decoder, the second ACTIVATE is overlapped with the
+  first (it targets an already-activated subarray, so it needs no sense
+  amplification) and the whole AAP costs ``tRAS + tAAP_OVERLAP + tRP``
+  where the overlap penalty is ~4 ns from SPICE -- 49 ns for DDR3-1600.
+* An AP (ACTIVATE-PRECHARGE) costs ``tRAS + tRP`` (45 ns).
+* A RowClone-FPM copy is two back-to-back ACTIVATEs plus a precharge --
+  the same event as an AAP; the paper quotes ~80 ns un-optimised.
+
+All times are in nanoseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class TimingParameters:
+    """JEDEC-style timing parameters for one DRAM speed grade.
+
+    Only the parameters the Ambit analysis needs are modelled.
+
+    Attributes
+    ----------
+    name: Speed-grade label (e.g. ``"DDR3-1600"``).
+    tCK: Clock period.
+    tRCD: ACTIVATE to READ/WRITE delay.
+    tRAS: ACTIVATE to PRECHARGE delay (row restoration time).
+    tRP: PRECHARGE to next ACTIVATE delay.
+    tCL: READ to first data (CAS latency).
+    tBL: Burst transfer time for one cache-line burst.
+    tAAP_OVERLAP: Extra latency of the second, overlapped ACTIVATE of an
+        AAP over plain ``tRAS`` (4 ns per the paper's SPICE estimate).
+    io_gbps: Peak channel bandwidth of this interface in GB/s (used by
+        the baseline cost models, not by Ambit itself).
+    """
+
+    name: str
+    tCK: float
+    tRCD: float
+    tRAS: float
+    tRP: float
+    tCL: float
+    tBL: float
+    tAAP_OVERLAP: float = 4.0
+    io_gbps: float = 12.8
+
+    def __post_init__(self) -> None:
+        for attr in ("tCK", "tRCD", "tRAS", "tRP", "tCL", "tBL"):
+            if getattr(self, attr) <= 0:
+                raise ConfigError(f"{self.name}: {attr} must be positive")
+        if self.tAAP_OVERLAP < 0:
+            raise ConfigError(f"{self.name}: tAAP_OVERLAP must be non-negative")
+
+    # ------------------------------------------------------------------
+    # Latency identities used throughout the paper.
+    # ------------------------------------------------------------------
+    @property
+    def trc(self) -> float:
+        """Row cycle time: back-to-back activations to one bank."""
+        return self.tRAS + self.tRP
+
+    def aap_latency(self, split_decoder: bool = True) -> float:
+        """Latency of one AAP primitive.
+
+        With the split row decoder (the paper's design) the two
+        activations overlap: ``tRAS + 4ns + tRP`` = 49 ns on DDR3-1600.
+        Without it they serialise: ``2*tRAS + tRP`` = 80 ns.
+        """
+        if split_decoder:
+            return self.tRAS + self.tAAP_OVERLAP + self.tRP
+        return 2.0 * self.tRAS + self.tRP
+
+    def ap_latency(self) -> float:
+        """Latency of one AP primitive: ``tRAS + tRP`` (45 ns on DDR3-1600)."""
+        return self.tRAS + self.tRP
+
+    def rowclone_fpm_latency(self, split_decoder: bool = False) -> float:
+        """Latency of a RowClone-FPM intra-subarray copy.
+
+        RowClone-FPM is two back-to-back ACTIVATEs plus a PRECHARGE --
+        operationally identical to an AAP.  The RowClone paper (and
+        Section 3.4 here) quotes ~80 ns, i.e. the un-overlapped form.
+        Ambit's split decoder accelerates it to the AAP-optimised 49 ns.
+        """
+        return self.aap_latency(split_decoder=split_decoder)
+
+    def activate_read_row_latency(self, row_bytes: int) -> float:
+        """Time to activate a row and stream it out over the channel.
+
+        Used by the DDR-baseline energy/latency comparisons: ``tRCD`` to
+        open, then ``row_bytes`` over the channel at ``io_gbps``, then
+        precharge.
+        """
+        transfer_ns = row_bytes / self.io_gbps
+        return self.tRCD + transfer_ns + self.tRP
+
+
+# ----------------------------------------------------------------------
+# Speed-grade presets.
+# ----------------------------------------------------------------------
+
+def ddr3_1600() -> TimingParameters:
+    """DDR3-1600 (8-8-8), the paper's reference for AAP latency.
+
+    tCK = 1.25 ns, so 8-8-8 means tRCD = tRP = tCL = 10 ns; JEDEC
+    tRAS = 35 ns.  Channel: 64-bit @ 1600 MT/s = 12.8 GB/s.
+    """
+    return TimingParameters(
+        name="DDR3-1600",
+        tCK=1.25,
+        tRCD=10.0,
+        tRAS=35.0,
+        tRP=10.0,
+        tCL=10.0,
+        tBL=5.0,
+        tAAP_OVERLAP=4.0,
+        io_gbps=12.8,
+    )
+
+
+def ddr3_1333() -> TimingParameters:
+    """DDR3-1333 (9-9-9), the grade used for the Table 3 energy study."""
+    return TimingParameters(
+        name="DDR3-1333",
+        tCK=1.5,
+        tRCD=13.5,
+        tRAS=36.0,
+        tRP=13.5,
+        tCL=13.5,
+        tBL=6.0,
+        tAAP_OVERLAP=4.0,
+        io_gbps=10.66,
+    )
+
+
+def ddr3_2133() -> TimingParameters:
+    """DDR3-2133, the Skylake baseline's channel speed (Section 7)."""
+    return TimingParameters(
+        name="DDR3-2133",
+        tCK=0.9375,
+        tRCD=13.09,
+        tRAS=33.0,
+        tRP=13.09,
+        tCL=13.09,
+        tBL=3.75,
+        tAAP_OVERLAP=4.0,
+        io_gbps=17.06,
+    )
+
+
+def ddr4_2400() -> TimingParameters:
+    """DDR4-2400, the Gem5 configuration of Table 4."""
+    return TimingParameters(
+        name="DDR4-2400",
+        tCK=0.833,
+        tRCD=13.32,
+        tRAS=32.0,
+        tRP=13.32,
+        tCL=13.32,
+        tBL=3.33,
+        tAAP_OVERLAP=4.0,
+        io_gbps=19.2,
+    )
+
+
+def hmc_like() -> TimingParameters:
+    """Timing for one bank of an HMC-style 3D-stacked DRAM layer.
+
+    3D-stacked DRAM uses the same core array timings as DDR DRAM
+    (Section 1: "almost all DRAM technologies use the same underlying
+    DRAM microarchitecture"), so tRAS/tRP carry over; the per-vault
+    channel is 10 GB/s (HMC 2.0, 32 vaults).
+    """
+    return TimingParameters(
+        name="HMC-2.0-bank",
+        tCK=0.8,
+        tRCD=13.0,
+        tRAS=35.0,
+        tRP=10.0,
+        tCL=13.0,
+        tBL=3.2,
+        tAAP_OVERLAP=4.0,
+        io_gbps=10.0,
+    )
+
+
+PRESETS = {
+    "DDR3-1600": ddr3_1600,
+    "DDR3-1333": ddr3_1333,
+    "DDR3-2133": ddr3_2133,
+    "DDR4-2400": ddr4_2400,
+    "HMC-2.0-bank": hmc_like,
+}
+
+
+def preset(name: str) -> TimingParameters:
+    """Look up a timing preset by name; raises ``ConfigError`` if unknown."""
+    try:
+        return PRESETS[name]()
+    except KeyError:
+        raise ConfigError(
+            f"unknown timing preset {name!r}; available: {sorted(PRESETS)}"
+        ) from None

@@ -1,0 +1,200 @@
+"""Timing-constraint checker for DRAM command streams.
+
+The functional chip model validates command *legality* (state machine);
+this module validates command *timing*: given a stream of timestamped
+commands, it checks the JEDEC-style constraints that a real device
+would enforce electrically:
+
+* ``tRCD``: ACTIVATE -> READ/WRITE to the same bank,
+* ``tRAS``: ACTIVATE -> PRECHARGE to the same bank,
+* ``tRP`` : PRECHARGE -> next ACTIVATE to the same bank,
+* ``tCCD`` (modelled as ``tBL``): back-to-back column commands,
+* the **Ambit exception**: the second ACTIVATE of an AAP may follow the
+  first after only ``tAAP_OVERLAP`` (the split decoder's overlapped
+  activation, Section 5.3) *provided* it targets the already-open
+  subarray -- which the checker verifies via the issued-command flags.
+
+The Ambit controller's schedules are checked against this in the tests,
+closing the loop between the latency arithmetic and an actual legal
+command timeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.dram.commands import IssuedCommand, Opcode
+from repro.dram.timing import TimingParameters
+from repro.errors import DramProtocolError
+
+
+@dataclass(frozen=True)
+class TimedCommand:
+    """An issued command stamped with its bus time (ns)."""
+
+    time_ns: float
+    issued: IssuedCommand
+
+    @property
+    def opcode(self) -> Opcode:
+        return self.issued.command.opcode
+
+    @property
+    def bank(self) -> int:
+        return self.issued.command.bank
+
+
+@dataclass
+class _BankTiming:
+    last_activate_ns: Optional[float] = None
+    last_precharge_ns: Optional[float] = None
+    last_column_ns: Optional[float] = None
+    open_since_ns: Optional[float] = None
+
+
+@dataclass
+class TimingViolation:
+    """One detected constraint violation."""
+
+    constraint: str
+    bank: int
+    at_ns: float
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.constraint} on bank {self.bank} @ {self.at_ns} ns: {self.detail}"
+
+
+class TimingChecker:
+    """Validates a timed command stream against a speed grade."""
+
+    def __init__(self, timing: TimingParameters, strict: bool = True):
+        self.timing = timing
+        self.strict = strict
+        self.violations: List[TimingViolation] = []
+        self._banks: Dict[int, _BankTiming] = {}
+
+    def _bank(self, index: int) -> _BankTiming:
+        return self._banks.setdefault(index, _BankTiming())
+
+    def _violate(self, constraint: str, bank: int, at: float, detail: str) -> None:
+        violation = TimingViolation(constraint, bank, at, detail)
+        if self.strict:
+            raise DramProtocolError(str(violation))
+        self.violations.append(violation)
+
+    # ------------------------------------------------------------------
+    def check(self, stream: List[TimedCommand]) -> List[TimingViolation]:
+        """Validate a whole stream; returns violations (non-strict mode)."""
+        t = self.timing
+        for cmd in sorted(stream, key=lambda c: c.time_ns):
+            bank = self._bank(cmd.bank)
+            now = cmd.time_ns
+            if cmd.opcode is Opcode.ACTIVATE:
+                self._check_activate(bank, cmd, now)
+            elif cmd.opcode is Opcode.PRECHARGE:
+                if bank.last_activate_ns is not None and bank.open_since_ns is not None:
+                    elapsed = now - bank.open_since_ns
+                    if elapsed + 1e-9 < t.tRAS:
+                        self._violate(
+                            "tRAS", cmd.bank, now,
+                            f"precharge {elapsed:.1f} ns after activate "
+                            f"(< tRAS {t.tRAS})",
+                        )
+                bank.last_precharge_ns = now
+                bank.open_since_ns = None
+            elif cmd.opcode in (Opcode.READ, Opcode.WRITE):
+                if bank.open_since_ns is None:
+                    self._violate(
+                        "open-row", cmd.bank, now,
+                        f"{cmd.opcode.value} with no open row",
+                    )
+                elif now - bank.open_since_ns + 1e-9 < t.tRCD:
+                    self._violate(
+                        "tRCD", cmd.bank, now,
+                        f"column command {now - bank.open_since_ns:.1f} ns "
+                        f"after activate (< tRCD {t.tRCD})",
+                    )
+                if (
+                    bank.last_column_ns is not None
+                    and now - bank.last_column_ns + 1e-9 < t.tBL
+                ):
+                    self._violate(
+                        "tCCD", cmd.bank, now,
+                        f"column commands {now - bank.last_column_ns:.1f} ns "
+                        f"apart (< burst {t.tBL})",
+                    )
+                bank.last_column_ns = now
+        return self.violations
+
+    def _check_activate(self, bank: _BankTiming, cmd: TimedCommand, now: float) -> None:
+        t = self.timing
+        if bank.last_precharge_ns is not None:
+            gap = now - bank.last_precharge_ns
+            if gap + 1e-9 < t.tRP and bank.open_since_ns is None:
+                self._violate(
+                    "tRP", cmd.bank, now,
+                    f"activate {gap:.1f} ns after precharge (< tRP {t.tRP})",
+                )
+        if bank.open_since_ns is not None:
+            # Second ACTIVATE while open: only legal as the overlapped
+            # AAP activation onto the open subarray.
+            gap = now - bank.open_since_ns
+            if not cmd.issued.onto_open_row:
+                self._violate(
+                    "bank-open", cmd.bank, now,
+                    "fresh activation while a row is open",
+                )
+            elif gap + 1e-9 < t.tAAP_OVERLAP:
+                self._violate(
+                    "tAAP", cmd.bank, now,
+                    f"overlapped activate {gap:.1f} ns after the first "
+                    f"(< {t.tAAP_OVERLAP})",
+                )
+        else:
+            bank.open_since_ns = now
+        bank.last_activate_ns = now
+
+
+def schedule_aap_stream(
+    trace: List[IssuedCommand], timing: TimingParameters, split_decoder: bool = True
+) -> List[TimedCommand]:
+    """Assign bus times to an Ambit command trace.
+
+    Reconstructs the controller's schedule for a single-bank stream of
+    AAP/AP groups: fresh ACTIVATE at t; an overlapped second ACTIVATE at
+    ``t + tAAP_OVERLAP`` (or after a full ``tRAS`` without the split
+    decoder); PRECHARGE ``tRAS`` after the *last* activation's data is
+    restored -- matching the 49/80 ns AAP identities.
+    """
+    t = timing
+    out: List[TimedCommand] = []
+    now = 0.0
+    i = 0
+    while i < len(trace):
+        cmd = trace[i]
+        if cmd.command.opcode is not Opcode.ACTIVATE:
+            raise DramProtocolError(
+                "AAP stream must start each group with ACTIVATE"
+            )
+        start = now
+        out.append(TimedCommand(start, cmd))
+        i += 1
+        second_offset = 0.0
+        if (
+            i < len(trace)
+            and trace[i].command.opcode is Opcode.ACTIVATE
+            and trace[i].onto_open_row
+        ):
+            second_offset = t.tAAP_OVERLAP if split_decoder else t.tRAS
+            out.append(TimedCommand(start + second_offset, trace[i]))
+            i += 1
+        if i < len(trace) and trace[i].command.opcode is Opcode.PRECHARGE:
+            pre_time = start + second_offset + t.tRAS
+            out.append(TimedCommand(pre_time, trace[i]))
+            now = pre_time + t.tRP
+            i += 1
+        else:
+            now = start + second_offset + t.tRAS + t.tRP
+    return out

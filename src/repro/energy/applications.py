@@ -1,0 +1,126 @@
+"""End-to-end application energy: extending Table 3 to whole workloads.
+
+The paper reports per-operation energy (Table 3) and application
+*performance* (Figures 10-12), but not application energy.  This module
+closes that gap with the same models: a workload is a bag of bulk
+operations plus CPU-side bitcounts, so
+
+* the **DDR3/DDR4 baseline** pays channel+DRAM energy for every byte
+  each operation streams (the Table 3 DDR column, op by op), and
+* the **Ambit system** pays activation/precharge energy for each
+  operation's command sequence (the Table 3 Ambit column) -- while the
+  bitcounts cost the same CPU-side energy on both systems and are
+  therefore excluded from the ratio, making the reported reduction the
+  *memory-system* energy reduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.core.microprograms import BulkOp
+from repro.energy.power_model import (
+    DEFAULT_ENERGY,
+    EnergyParameters,
+    ddr_op_energy_nj,
+)
+from repro.errors import SimulationError
+
+#: AAP/AP counts per operation (Figure 8 + Section 5.2), used to price
+#: an Ambit-side operation without executing it.
+_PRIMITIVES = {
+    BulkOp.NOT: (2, 0),
+    BulkOp.COPY: (1, 0),
+    BulkOp.AND: (4, 0),
+    BulkOp.OR: (4, 0),
+    BulkOp.NAND: (5, 0),
+    BulkOp.NOR: (5, 0),
+    BulkOp.XOR: (5, 2),
+    BulkOp.XNOR: (5, 2),
+    BulkOp.MAJ: (4, 0),
+}
+
+#: Extra-wordline surcharges per op: which ACTIVATEs raise >1 wordline.
+#: Expressed as the total *extra* single-wordline-equivalents beyond one
+#: per ACTIVATE (0.22 each), from the Table 1 fan-outs each program uses.
+_EXTRA_WORDLINE_EQUIV = {
+    BulkOp.NOT: 0.0,
+    BulkOp.COPY: 0.0,
+    BulkOp.AND: 2 * 0.22,            # the B12 TRA
+    BulkOp.OR: 2 * 0.22,
+    BulkOp.NAND: 2 * 0.22,
+    BulkOp.NOR: 2 * 0.22,
+    BulkOp.XOR: (1 + 1 + 1 + 2 + 2 + 0 + 2) * 0.22,  # B8,B9,B10,B14,B15,C,B12
+    BulkOp.XNOR: (1 + 1 + 1 + 2 + 2 + 0 + 2) * 0.22,
+    BulkOp.MAJ: 2 * 0.22,
+}
+
+
+def ambit_op_energy_nj(
+    op: BulkOp, row_bytes: int = 8192, params: EnergyParameters = DEFAULT_ENERGY
+) -> float:
+    """Ambit-side energy of one row-sized bulk operation (closed form)."""
+    aaps, aps = _PRIMITIVES[op]
+    activates = 2 * aaps + aps + _EXTRA_WORDLINE_EQUIV[op]
+    precharges = aaps + aps
+    return activates * params.activate_nj(1, row_bytes) + precharges * (
+        params.precharge_nj(row_bytes)
+    )
+
+
+@dataclass
+class WorkloadEnergy:
+    """Accumulates the memory-system energy of a workload's bulk ops."""
+
+    vector_bytes: int
+    row_bytes: int = 8192
+    params: EnergyParameters = field(default_factory=lambda: DEFAULT_ENERGY)
+    ddr_nj: float = 0.0
+    ambit_nj: float = 0.0
+    operations: int = 0
+
+    def __post_init__(self) -> None:
+        if self.vector_bytes <= 0 or self.row_bytes <= 0:
+            raise SimulationError("vector and row sizes must be positive")
+
+    @property
+    def rows_per_vector(self) -> int:
+        return -(-self.vector_bytes // self.row_bytes)
+
+    def add_op(self, op: BulkOp, count: int = 1) -> None:
+        """Charge ``count`` vector-wide bulk operations to both systems."""
+        if count < 0:
+            raise SimulationError("count must be non-negative")
+        rows = self.rows_per_vector
+        self.ddr_nj += count * rows * ddr_op_energy_nj(
+            op, self.row_bytes, self.params
+        )
+        self.ambit_nj += count * rows * ambit_op_energy_nj(
+            op, self.row_bytes, self.params
+        )
+        self.operations += count
+
+    @property
+    def reduction(self) -> float:
+        """Memory-system energy reduction of Ambit over the DDR path."""
+        if self.ambit_nj == 0:
+            raise SimulationError("no operations recorded")
+        return self.ddr_nj / self.ambit_nj
+
+
+def bitmap_index_query_energy(
+    users: int, weeks: int, row_bytes: int = 8192
+) -> WorkloadEnergy:
+    """Memory-system energy of the Figure 10 query (6w OR, 2w-1 AND).
+
+    The w+1 bitcounts stream one vector each on *both* systems and are
+    excluded (identical on both sides); the returned reduction is the
+    bulk-bitwise memory energy ratio.
+    """
+    if users <= 0 or weeks <= 0:
+        raise SimulationError("users and weeks must be positive")
+    energy = WorkloadEnergy(vector_bytes=-(-users // 8), row_bytes=row_bytes)
+    energy.add_op(BulkOp.OR, 6 * weeks)
+    energy.add_op(BulkOp.AND, 2 * weeks - 1)
+    return energy

@@ -1,0 +1,47 @@
+"""Raw throughput models and the Figure 9 experiment (Section 7)."""
+
+from repro.perf.systems import (
+    FIGURE9_OPS,
+    TRAFFIC_PER_OUTPUT_BYTE,
+    AmbitSystem,
+    BandwidthBoundSystem,
+    ambit,
+    ambit_3d,
+    ambit_for_geometry,
+    gtx745,
+    hmc20,
+    skylake,
+)
+from repro.perf.integration import (
+    DeviceIntegration,
+    MemoryBusIntegration,
+    integration_comparison,
+)
+from repro.perf.throughput import (
+    PAPER_MEAN_SPEEDUPS,
+    Figure9Result,
+    figure9_experiment,
+    format_figure9,
+    measure_ambit_functional,
+)
+
+__all__ = [
+    "AmbitSystem",
+    "BandwidthBoundSystem",
+    "DeviceIntegration",
+    "MemoryBusIntegration",
+    "FIGURE9_OPS",
+    "Figure9Result",
+    "PAPER_MEAN_SPEEDUPS",
+    "TRAFFIC_PER_OUTPUT_BYTE",
+    "ambit",
+    "ambit_3d",
+    "ambit_for_geometry",
+    "figure9_experiment",
+    "format_figure9",
+    "gtx745",
+    "hmc20",
+    "integration_comparison",
+    "measure_ambit_functional",
+    "skylake",
+]

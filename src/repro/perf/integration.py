@@ -1,0 +1,111 @@
+"""System-integration alternatives: memory bus vs I/O device (S 5.4).
+
+The paper argues for plugging Ambit directly onto the memory bus rather
+than behind an I/O (e.g. PCIe) device interface, for three reasons:
+applications trigger operations with CPU instructions instead of a
+device API; no data copies between host and accelerator memory; and
+existing cache-coherence machinery keeps Ambit memory coherent.
+
+This module prices both integration styles so the claim is measurable:
+
+* **memory-bus Ambit** -- per operation: instruction issue + controller
+  setup (tens of ns) and the hardware coherence actions; operands live
+  where they already are.
+* **device Ambit** -- per operation: a driver invocation (syscall +
+  doorbell, ~microseconds), plus DMA of any non-resident operand into
+  device memory and of any CPU-consumed result back over the link.
+
+The crossover -- device integration amortises only when data stays
+resident and operations are batched -- is what
+``bench_ablation_integration`` sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class MemoryBusIntegration:
+    """Ambit on the system memory bus (the paper's design)."""
+
+    #: bbop instruction + controller tracking overhead per operation.
+    issue_ns: float = 20.0
+    #: Coherence actions per operation (DBI lookup; dirty writebacks are
+    #: workload-dependent and charged by the system model, so the fixed
+    #: part here is the clean-source case).
+    coherence_ns: float = 10.0
+
+    def overhead_ns(self, operand_bytes: int, result_bytes: int) -> float:
+        """Integration overhead of one bulk operation (data stays put)."""
+        return self.issue_ns + self.coherence_ns
+
+
+@dataclass(frozen=True)
+class DeviceIntegration:
+    """Ambit behind an I/O device interface (PCIe-attached)."""
+
+    #: Driver call + doorbell + completion interrupt, per operation
+    #: (typical accelerator round trip).
+    invoke_ns: float = 2_000.0
+    #: Host<->device link bandwidth (PCIe 3.0 x8 ~ 7.9 GB/s effective).
+    link_gbps: float = 7.9
+    #: Fraction of operand bytes that must be DMA-ed in (0 when data is
+    #: already resident in device memory).
+    def __post_init__(self) -> None:
+        if self.invoke_ns < 0 or self.link_gbps <= 0:
+            raise ConfigError("invalid device-integration parameters")
+
+    def overhead_ns(
+        self,
+        operand_bytes: int,
+        result_bytes: int,
+        operands_resident: bool = False,
+        result_consumed_by_host: bool = True,
+    ) -> float:
+        """Integration overhead of one device-side bulk operation."""
+        total = self.invoke_ns
+        if not operands_resident:
+            total += operand_bytes / self.link_gbps
+        if result_consumed_by_host:
+            total += result_bytes / self.link_gbps
+        return total
+
+
+def integration_comparison(
+    operand_bytes: int,
+    result_bytes: int,
+    operations: int,
+    op_latency_ns: float,
+    operands_resident: bool = False,
+    result_consumed_by_host: bool = False,
+    bus: MemoryBusIntegration = MemoryBusIntegration(),
+    device: DeviceIntegration = DeviceIntegration(),
+) -> dict:
+    """Total time of a batch of operations under both integrations.
+
+    ``operand_bytes``/``result_bytes`` are per operation;
+    ``op_latency_ns`` is the in-DRAM execution time per operation (same
+    for both styles -- the accelerator itself is identical).
+    """
+    if operations <= 0:
+        raise ConfigError("operations must be positive")
+    bus_total = operations * (
+        op_latency_ns + bus.overhead_ns(operand_bytes, result_bytes)
+    )
+    device_total = operations * (
+        op_latency_ns
+        + device.overhead_ns(
+            operand_bytes,
+            result_bytes,
+            operands_resident=operands_resident,
+            result_consumed_by_host=result_consumed_by_host,
+        )
+    )
+    return {
+        "memory_bus_ns": bus_total,
+        "device_ns": device_total,
+        "device_penalty": device_total / bus_total,
+    }

@@ -1,0 +1,185 @@
+"""Throughput models of the five systems compared in Figure 9.
+
+Section 7's central claim is that for bulk bitwise operations every
+processor-side system -- Skylake CPU, GTX 745 GPU, and even the logic
+layer of HMC 2.0 -- is limited by the memory bandwidth available to it,
+while Ambit is limited only by DRAM-internal row-buffer width and
+bank-level parallelism.  The models here are exactly that dichotomy:
+
+* :class:`BandwidthBoundSystem` -- throughput = effective bandwidth
+  divided by the traffic each output byte requires (2 bytes moved for
+  ``not``/``copy``: read + write; 3 for two-operand ops: two reads +
+  write).
+* :class:`AmbitSystem` -- throughput = (row bytes / op latency) x
+  banks, with op latency from the AAP/AP microprogram timing.
+
+Throughput unit: **GOps/s, one op = one byte of output** -- i.e. GB/s
+of produced result, matching the scale of the paper's Figure 9 axis.
+
+Calibration: peak bandwidths come from the hardware specs quoted in
+Section 7; the streaming efficiencies are fitted so the *cross-baseline*
+ratios match the paper (HMC = 18.5x Skylake, 13.1x GTX 745).  All
+numbers are printed next to the paper's in the benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.core.addressing import AmbitAddressMap
+from repro.core.microprograms import BulkOp, compile_op
+from repro.dram.geometry import DramGeometry, SubarrayGeometry
+from repro.dram.timing import TimingParameters, ddr3_1600, hmc_like
+from repro.errors import ConfigError
+
+#: Bytes moved over the processor's memory interface per byte of output.
+TRAFFIC_PER_OUTPUT_BYTE: Dict[BulkOp, int] = {
+    BulkOp.NOT: 2,
+    BulkOp.COPY: 2,
+    BulkOp.AND: 3,
+    BulkOp.OR: 3,
+    BulkOp.NAND: 3,
+    BulkOp.NOR: 3,
+    BulkOp.XOR: 3,
+    BulkOp.XNOR: 3,
+}
+
+#: The seven operations averaged in Figure 9.
+FIGURE9_OPS: Tuple[BulkOp, ...] = (
+    BulkOp.NOT,
+    BulkOp.AND,
+    BulkOp.OR,
+    BulkOp.NAND,
+    BulkOp.NOR,
+    BulkOp.XOR,
+    BulkOp.XNOR,
+)
+
+
+@dataclass(frozen=True)
+class BandwidthBoundSystem:
+    """A processor whose bulk bitwise throughput is bandwidth-limited.
+
+    Parameters
+    ----------
+    name: Display name.
+    peak_gbps: Peak memory bandwidth of the system.
+    efficiency: Achieved fraction of peak on streaming bitwise kernels.
+    """
+
+    name: str
+    peak_gbps: float
+    efficiency: float
+
+    def __post_init__(self) -> None:
+        if self.peak_gbps <= 0 or not 0 < self.efficiency <= 1.0:
+            raise ConfigError(f"{self.name}: invalid bandwidth model")
+
+    @property
+    def effective_gbps(self) -> float:
+        return self.peak_gbps * self.efficiency
+
+    def throughput_gops(self, op: BulkOp) -> float:
+        """Output bytes per nanosecond = GOps/s (1 op = 1 output byte)."""
+        return self.effective_gbps / TRAFFIC_PER_OUTPUT_BYTE[op]
+
+
+@dataclass(frozen=True)
+class AmbitSystem:
+    """An Ambit-enabled DRAM device's bulk bitwise throughput.
+
+    One bulk operation produces ``row_bytes`` of output per subarray per
+    microprogram execution; banks run independent command streams.
+    ``salp_subarrays > 1`` additionally exploits subarray-level
+    parallelism (SALP [59]) -- Section 1: Ambit's performance scales
+    with "the memory-level parallelism available inside DRAM (i.e.,
+    number of banks or subarrays)".
+    """
+
+    name: str
+    timing: TimingParameters
+    banks: int
+    row_bytes: int
+    split_decoder: bool = True
+    salp_subarrays: int = 1
+
+    def __post_init__(self) -> None:
+        if self.banks <= 0 or self.row_bytes <= 0 or self.salp_subarrays <= 0:
+            raise ConfigError(f"{self.name}: invalid Ambit geometry")
+
+    def op_latency_ns(self, op: BulkOp) -> float:
+        """Latency of one microprogram on one subarray."""
+        amap = AmbitAddressMap(SubarrayGeometry(rows=1024, row_bytes=self.row_bytes))
+        program = compile_op(
+            amap,
+            op,
+            3,
+            0,
+            None if op.arity == 1 else 1,
+            2 if op.arity == 3 else None,
+        )
+        return sum(
+            p.latency_ns(self.timing, amap, self.split_decoder)
+            for p in program.primitives
+        )
+
+    def throughput_gops(self, op: BulkOp) -> float:
+        """Output bytes per nanosecond across all parallel units."""
+        per_unit = self.row_bytes / self.op_latency_ns(op)  # bytes/ns
+        return per_unit * self.banks * self.salp_subarrays
+
+
+# ----------------------------------------------------------------------
+# The five systems of Figure 9.
+# ----------------------------------------------------------------------
+
+def skylake() -> BandwidthBoundSystem:
+    """4-core Intel Skylake with AVX, 2x 64-bit DDR3-2133 channels.
+
+    Peak = 2 * 8 B * 2133 MT/s = 34.1 GB/s; the fitted 0.51 streaming
+    efficiency reflects the measured read-modify-write throughput of the
+    paper's microbenchmark (and pins HMC at 18.5x Skylake).
+    """
+    return BandwidthBoundSystem("Skylake", peak_gbps=34.1, efficiency=0.51)
+
+
+def gtx745() -> BandwidthBoundSystem:
+    """NVIDIA GTX 745: 128-bit DDR3-1800 channel = 28.8 GB/s peak.
+
+    GPUs stream close to peak; 0.85 pins HMC at 13.1x the GPU.
+    """
+    return BandwidthBoundSystem("GTX745", peak_gbps=28.8, efficiency=0.85)
+
+
+def hmc20() -> BandwidthBoundSystem:
+    """Processing in the logic layer of HMC 2.0: 32 vaults x 10 GB/s."""
+    return BandwidthBoundSystem("HMC 2.0", peak_gbps=320.0, efficiency=1.0)
+
+
+def ambit(banks: int = 8) -> AmbitSystem:
+    """Ambit in a regular DDR3-1600 module: 8 banks, 8 KB rows."""
+    return AmbitSystem("Ambit", timing=ddr3_1600(), banks=banks, row_bytes=8192)
+
+
+def ambit_3d() -> AmbitSystem:
+    """Ambit integrated into 3D-stacked DRAM (HMC-like).
+
+    A 4 GB HMC 2.0 has 256 banks; per-bank row buffers in 3D-stacked
+    DRAM are narrower than DDR modules' (1 KB here).  Core array timing
+    matches DDR (same DRAM microarchitecture).
+    """
+    return AmbitSystem("Ambit-3D", timing=hmc_like(), banks=256, row_bytes=1024)
+
+
+def ambit_for_geometry(
+    geometry: DramGeometry, timing: TimingParameters, split_decoder: bool = True
+) -> AmbitSystem:
+    """Throughput model matching an arbitrary device configuration."""
+    return AmbitSystem(
+        "Ambit(custom)",
+        timing=timing,
+        banks=geometry.banks,
+        row_bytes=geometry.row_bytes,
+        split_decoder=split_decoder,
+    )

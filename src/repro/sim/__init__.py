@@ -1,0 +1,21 @@
+"""System-level cost simulation (the Gem5 substitute for Section 8)."""
+
+from repro.sim.cache import Cache, CacheStats
+from repro.sim.cpu import CpuModel, CpuModelConfig
+from repro.sim.system import (
+    AmbitContext,
+    AmbitMemoryConfig,
+    CpuContext,
+    ExecutionContext,
+)
+
+__all__ = [
+    "AmbitContext",
+    "AmbitMemoryConfig",
+    "Cache",
+    "CacheStats",
+    "CpuContext",
+    "CpuModel",
+    "CpuModelConfig",
+    "ExecutionContext",
+]

@@ -1,0 +1,133 @@
+"""Set-associative LRU cache model.
+
+Table 4's system has 32 KB L1 caches and a 2 MB LRU L2 with 64 B lines.
+The cache model is functional: it tracks tags, LRU order, and dirty
+bits, and reports hit/miss/writeback events.  The system simulator uses
+it for working-set reasoning and for the coherence interactions of
+Ambit operations (flush/invalidate, Section 5.4.4).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import ConfigError
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    writebacks: int = 0
+    invalidations: int = 0
+    flushes: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+class Cache:
+    """One level of set-associative write-back LRU cache."""
+
+    def __init__(self, size_bytes: int, line_bytes: int = 64, associativity: int = 8):
+        if size_bytes <= 0 or line_bytes <= 0 or associativity <= 0:
+            raise ConfigError("cache parameters must be positive")
+        if size_bytes % (line_bytes * associativity) != 0:
+            raise ConfigError(
+                f"cache size {size_bytes} is not a multiple of "
+                f"line_bytes*associativity ({line_bytes * associativity})"
+            )
+        self.size_bytes = size_bytes
+        self.line_bytes = line_bytes
+        self.associativity = associativity
+        self.num_sets = size_bytes // (line_bytes * associativity)
+        #: Per-set mapping: tag -> dirty flag, in LRU order (oldest first).
+        self._sets: List["OrderedDict[int, bool]"] = [
+            OrderedDict() for _ in range(self.num_sets)
+        ]
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    def _locate(self, address: int) -> Tuple[int, int]:
+        line = address // self.line_bytes
+        return line % self.num_sets, line // self.num_sets
+
+    def access(self, address: int, write: bool = False) -> bool:
+        """Access one byte address; returns True on hit.
+
+        Misses allocate (write-allocate policy) and may evict; evictions
+        of dirty lines count as writebacks.
+        """
+        set_idx, tag = self._locate(address)
+        cache_set = self._sets[set_idx]
+        if tag in cache_set:
+            self.stats.hits += 1
+            dirty = cache_set.pop(tag)
+            cache_set[tag] = dirty or write
+            return True
+        self.stats.misses += 1
+        if len(cache_set) >= self.associativity:
+            _victim, victim_dirty = cache_set.popitem(last=False)
+            if victim_dirty:
+                self.stats.writebacks += 1
+        cache_set[tag] = write
+        return False
+
+    # ------------------------------------------------------------------
+    # Coherence operations (what Ambit's controller triggers)
+    # ------------------------------------------------------------------
+    def flush_range(self, start: int, size: int) -> int:
+        """Write back and evict all lines in ``[start, start+size)``.
+
+        Returns the number of dirty lines written back (the quantity the
+        coherence cost model charges for).
+        """
+        written_back = 0
+        first_line = start // self.line_bytes
+        last_line = (start + size - 1) // self.line_bytes
+        for line in range(first_line, last_line + 1):
+            set_idx = line % self.num_sets
+            tag = line // self.num_sets
+            cache_set = self._sets[set_idx]
+            if tag in cache_set:
+                if cache_set.pop(tag):
+                    written_back += 1
+                    self.stats.writebacks += 1
+                self.stats.flushes += 1
+        return written_back
+
+    def invalidate_range(self, start: int, size: int) -> int:
+        """Drop all lines in the range without writeback (dead data)."""
+        dropped = 0
+        first_line = start // self.line_bytes
+        last_line = (start + size - 1) // self.line_bytes
+        for line in range(first_line, last_line + 1):
+            set_idx = line % self.num_sets
+            tag = line // self.num_sets
+            if self._sets[set_idx].pop(tag, None) is not None:
+                dropped += 1
+                self.stats.invalidations += 1
+        return dropped
+
+    def dirty_lines_in_range(self, start: int, size: int) -> int:
+        """Count dirty lines within a byte range."""
+        count = 0
+        first_line = start // self.line_bytes
+        last_line = (start + size - 1) // self.line_bytes
+        for line in range(first_line, last_line + 1):
+            set_idx = line % self.num_sets
+            tag = line // self.num_sets
+            if self._sets[set_idx].get(tag, False):
+                count += 1
+        return count
+
+    @property
+    def resident_lines(self) -> int:
+        return sum(len(s) for s in self._sets)

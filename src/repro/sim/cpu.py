@@ -1,0 +1,106 @@
+"""Analytical CPU cost model for the application studies (Section 8).
+
+Table 4's Gem5 configuration: x86, 8-wide out-of-order at 4 GHz with a
+64-entry instruction queue, 32 KB L1s, a 2 MB L2, and one channel of
+DDR4-2400.  Full cycle-accurate simulation is replaced by a calibrated
+streaming model: what the cost of a data-parallel kernel is, as a
+function of where its working set lives.
+
+Calibration (documented in EXPERIMENTS.md): a single out-of-order
+thread with a 64-entry window extracts only a fraction of DDR4-2400's
+19.2 GB/s -- the fitted effective rates are
+
+* DRAM streaming: 2.0 GB/s,
+* L2-resident streaming: 8.0 GB/s,
+* L1-resident streaming: 16.0 GB/s,
+* bit-count (scalar popcount over a stream): 0.625 GB/s.
+
+These four rates, combined with each workload's traffic pattern,
+reproduce the relative results of Figures 10-12.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class CpuModelConfig:
+    """Calibrated effective rates of the Table 4 CPU."""
+
+    frequency_ghz: float = 4.0
+    issue_width: int = 8
+    l1_bytes: int = 32 * 1024
+    l2_bytes: int = 2 * 1024 * 1024
+    line_bytes: int = 64
+    dram_stream_gbps: float = 2.0
+    l2_stream_gbps: float = 8.0
+    l1_stream_gbps: float = 16.0
+    popcount_gbps: float = 0.625
+    #: Latency of one dependent pointer dereference when the structure
+    #: is cache-resident (used by the RB-tree baseline of Figure 12).
+    pointer_chase_ns: float = 15.0
+
+    def __post_init__(self) -> None:
+        rates = (
+            self.dram_stream_gbps,
+            self.l2_stream_gbps,
+            self.l1_stream_gbps,
+            self.popcount_gbps,
+        )
+        if min(rates) <= 0:
+            raise ConfigError("all bandwidth rates must be positive")
+        if not self.l1_bytes < self.l2_bytes:
+            raise ConfigError("L1 must be smaller than L2")
+
+
+class CpuModel:
+    """Charges time for streaming kernels on the modelled CPU."""
+
+    def __init__(self, config: CpuModelConfig = CpuModelConfig()):
+        self.config = config
+
+    # ------------------------------------------------------------------
+    def stream_gbps(self, working_set_bytes: int) -> float:
+        """Effective streaming bandwidth for a given working set."""
+        cfg = self.config
+        if working_set_bytes <= cfg.l1_bytes:
+            return cfg.l1_stream_gbps
+        if working_set_bytes <= cfg.l2_bytes:
+            return cfg.l2_stream_gbps
+        return cfg.dram_stream_gbps
+
+    def stream_ns(self, traffic_bytes: float, working_set_bytes: int) -> float:
+        """Time to move ``traffic_bytes`` through the core.
+
+        ``working_set_bytes`` decides which level of the hierarchy the
+        stream hits (GB/s == bytes/ns, so the division is direct).
+        """
+        if traffic_bytes < 0:
+            raise ConfigError("traffic must be non-negative")
+        return traffic_bytes / self.stream_gbps(int(working_set_bytes))
+
+    def popcount_ns(self, vector_bytes: float, working_set_bytes: int = 0) -> float:
+        """Time to bit-count a vector.
+
+        Population count is compute-bound at the calibrated scalar rate
+        unless the stream itself is slower (it never is at these rates,
+        but the max keeps the model honest for other configs).
+        """
+        ws = int(working_set_bytes) if working_set_bytes else int(vector_bytes)
+        return max(
+            vector_bytes / self.config.popcount_gbps,
+            self.stream_ns(vector_bytes, ws),
+        )
+
+    def pointer_chase_ns(self, dereferences: int) -> float:
+        """Time for a chain of dependent pointer dereferences."""
+        return dereferences * self.config.pointer_chase_ns
+
+    def alu_ns(self, operations: int) -> float:
+        """Time for ``operations`` independent scalar ALU ops."""
+        per_cycle = self.config.issue_width
+        cycles = -(-operations // per_cycle)
+        return cycles / self.config.frequency_ghz

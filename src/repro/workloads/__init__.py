@@ -1,0 +1,21 @@
+"""Synthetic workload generators (deterministic, seeded)."""
+
+from repro.workloads.generators import (
+    column_values,
+    mutate_dna,
+    random_dna,
+    random_packed_vector,
+    random_sets,
+    read_windows,
+    synthetic_corpus,
+)
+
+__all__ = [
+    "column_values",
+    "mutate_dna",
+    "random_dna",
+    "random_packed_vector",
+    "random_sets",
+    "read_windows",
+    "synthetic_corpus",
+]

@@ -1,0 +1,120 @@
+"""Deterministic synthetic workload generators for all experiments.
+
+Every experiment in the paper runs on data we cannot obtain (production
+user-activity bitmaps, database tables, web corpora, sequencing reads),
+so each generator here synthesises the closest equivalent with the
+statistical properties the experiment depends on, seeded for exact
+reproducibility.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+
+def random_packed_vector(
+    nbits: int, rng: np.random.Generator, density: float = 0.5
+) -> np.ndarray:
+    """A packed uint64 bitvector with the given 1-bit density."""
+    if nbits <= 0:
+        raise SimulationError("nbits must be positive")
+    padded = -(-nbits // 64) * 64
+    bits = rng.random(padded) < density
+    bits[nbits:] = False
+    return np.packbits(bits, bitorder="little").view(np.uint64)
+
+
+def column_values(
+    rows: int, bits: int, rng: np.random.Generator, distribution: str = "uniform"
+) -> np.ndarray:
+    """Integer column for the BitWeaving experiments (Figure 11).
+
+    ``uniform`` draws over the full b-bit domain; ``zipf``-ish skew is
+    available for sensitivity studies.
+    """
+    if rows <= 0 or not 1 <= bits <= 64:
+        raise SimulationError(f"bad column shape rows={rows} bits={bits}")
+    high = 1 << bits
+    if distribution == "uniform":
+        return rng.integers(0, high, size=rows, dtype=np.uint64)
+    if distribution == "skewed":
+        raw = rng.zipf(1.5, size=rows).astype(np.uint64)
+        return np.minimum(raw, np.uint64(high - 1))
+    raise SimulationError(f"unknown distribution {distribution!r}")
+
+
+def random_sets(
+    m: int, elements_per_set: int, domain: int, rng: np.random.Generator
+) -> List[List[int]]:
+    """``m`` random sets of ``elements_per_set`` elements from 1..domain
+    (Figure 12's workload)."""
+    if elements_per_set > domain:
+        raise SimulationError("more elements requested than the domain holds")
+    return [
+        sorted(
+            int(x) + 1
+            for x in rng.choice(domain, size=elements_per_set, replace=False)
+        )
+        for _ in range(m)
+    ]
+
+
+_WORDS = [
+    "memory", "dram", "bitwise", "accelerator", "bandwidth", "database",
+    "index", "bitmap", "search", "query", "document", "filter", "bloom",
+    "scan", "column", "vector", "cache", "bank", "subarray", "row",
+    "charge", "sense", "amplifier", "wordline", "bitline", "precharge",
+    "activate", "energy", "throughput", "latency", "genome", "sequence",
+]
+
+
+def synthetic_corpus(
+    num_docs: int, terms_per_doc: int, rng: np.random.Generator
+) -> List[List[str]]:
+    """Tokenised documents for the BitFunnel experiment (Section 8.4.1)."""
+    if num_docs <= 0 or terms_per_doc <= 0:
+        raise SimulationError("corpus shape must be positive")
+    return [
+        [
+            _WORDS[int(i)] + str(int(rng.integers(0, 50)))
+            for i in rng.integers(0, len(_WORDS), size=terms_per_doc)
+        ]
+        for _ in range(num_docs)
+    ]
+
+
+def random_dna(length: int, rng: np.random.Generator) -> str:
+    """A uniform random DNA sequence."""
+    if length <= 0:
+        raise SimulationError("sequence length must be positive")
+    return "".join("ACGT"[int(i)] for i in rng.integers(0, 4, size=length))
+
+
+def mutate_dna(
+    sequence: str, num_mutations: int, rng: np.random.Generator
+) -> Tuple[str, List[int]]:
+    """Apply substitutions to a sequence; returns (mutant, positions)."""
+    if num_mutations > len(sequence):
+        raise SimulationError("more mutations than bases")
+    positions = sorted(
+        int(p) for p in rng.choice(len(sequence), size=num_mutations, replace=False)
+    )
+    seq = list(sequence)
+    for p in positions:
+        alternatives = [b for b in "ACGT" if b != seq[p]]
+        seq[p] = alternatives[int(rng.integers(0, 3))]
+    return "".join(seq), positions
+
+
+def read_windows(
+    reference: str, read_length: int, count: int, rng: np.random.Generator
+) -> List[Tuple[int, str]]:
+    """Sample candidate (offset, window) pairs from a reference."""
+    if read_length > len(reference):
+        raise SimulationError("read longer than the reference")
+    offsets = rng.integers(0, len(reference) - read_length + 1, size=count)
+    return [(int(o), reference[int(o) : int(o) + read_length]) for o in offsets]

@@ -1,0 +1,157 @@
+"""Bit-serial arithmetic (MAJ-based adders) and SUM aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.apps.arithmetic import add_columns, subtract_columns, sum_aggregate
+from repro.apps.bitweaving import BitWeavingColumn, reference_range_mask
+from repro.errors import SimulationError
+from repro.sim import AmbitContext, CpuContext
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(131)
+
+
+def _col(values, bits):
+    return BitWeavingColumn.encode(np.asarray(values, dtype=np.uint64), bits)
+
+
+class TestAddition:
+    def test_small_known_values(self):
+        a = _col([1, 2, 3, 7], 3)
+        b = _col([1, 5, 4, 7], 3)
+        out = add_columns(CpuContext(), a, b)
+        assert list(out.decode()) == [2, 7, 7, 14]
+        assert out.bits == 4  # one carry plane
+
+    def test_random_columns(self, rng):
+        va = rng.integers(0, 1 << 10, size=3000, dtype=np.uint64)
+        vb = rng.integers(0, 1 << 10, size=3000, dtype=np.uint64)
+        out = add_columns(AmbitContext(), _col(va, 10), _col(vb, 10))
+        assert np.array_equal(out.decode(), va + vb)
+
+    def test_mixed_widths(self, rng):
+        va = rng.integers(0, 1 << 12, size=500, dtype=np.uint64)
+        vb = rng.integers(0, 1 << 4, size=500, dtype=np.uint64)
+        out = add_columns(CpuContext(), _col(va, 12), _col(vb, 4))
+        assert np.array_equal(out.decode(), va + vb)
+
+    def test_carry_chain_all_ones(self):
+        # 0b1111 + 1 exercises a full carry ripple.
+        a = _col([15] * 100, 4)
+        b = _col([1] * 100, 4)
+        out = add_columns(CpuContext(), a, b)
+        assert (out.decode() == 16).all()
+
+    def test_cost_scales_with_bits_not_rows_on_ambit(self, rng):
+        va = rng.integers(0, 1 << 8, size=65536, dtype=np.uint64)
+        ctx8 = AmbitContext()
+        add_columns(ctx8, _col(va, 8), _col(va, 8))
+        ctx16 = AmbitContext()
+        va16 = rng.integers(0, 1 << 16, size=65536, dtype=np.uint64)
+        add_columns(ctx16, _col(va16, 16), _col(va16, 16))
+        assert ctx16.elapsed_ns == pytest.approx(2 * ctx8.elapsed_ns, rel=0.15)
+
+    def test_ambit_and_cpu_agree(self, rng):
+        va = rng.integers(0, 1 << 6, size=640, dtype=np.uint64)
+        vb = rng.integers(0, 1 << 6, size=640, dtype=np.uint64)
+        out_cpu = add_columns(CpuContext(), _col(va, 6), _col(vb, 6))
+        out_amb = add_columns(AmbitContext(), _col(va, 6), _col(vb, 6))
+        assert np.array_equal(out_cpu.decode(), out_amb.decode())
+
+    def test_row_count_mismatch(self, rng):
+        with pytest.raises(SimulationError):
+            add_columns(CpuContext(), _col([1, 2], 2), _col([1], 2))
+
+
+class TestSubtraction:
+    def test_known_values(self):
+        a = _col([9, 7, 5, 15], 4)
+        b = _col([4, 7, 1, 0], 4)
+        out = subtract_columns(CpuContext(), a, b)
+        assert list(out.decode()) == [5, 0, 4, 15]
+        assert out.bits == 4
+
+    def test_random(self, rng):
+        va = rng.integers(1 << 9, 1 << 10, size=2000, dtype=np.uint64)
+        vb = rng.integers(0, 1 << 9, size=2000, dtype=np.uint64)
+        out = subtract_columns(AmbitContext(), _col(va, 10), _col(vb, 10))
+        assert np.array_equal(out.decode(), va - vb)
+
+    def test_narrower_subtrahend(self, rng):
+        va = rng.integers(1 << 6, 1 << 8, size=300, dtype=np.uint64)
+        vb = rng.integers(0, 1 << 4, size=300, dtype=np.uint64)
+        out = subtract_columns(CpuContext(), _col(va, 8), _col(vb, 4))
+        assert np.array_equal(out.decode(), va - vb)
+
+    def test_wider_subtrahend_rejected(self, rng):
+        with pytest.raises(SimulationError):
+            subtract_columns(CpuContext(), _col([1], 2), _col([1], 4))
+
+
+class TestSumAggregate:
+    def test_unmasked_sum(self, rng):
+        values = rng.integers(0, 1 << 12, size=5000, dtype=np.uint64)
+        total = sum_aggregate(CpuContext(), _col(values, 12))
+        assert total == int(values.sum())
+
+    def test_masked_sum_is_a_filtered_aggregate(self, rng):
+        # select sum(v) where lo <= v <= hi -- the column-store SUM.
+        values = rng.integers(0, 256, size=4000, dtype=np.uint64)
+        column = _col(values, 8)
+        lo, hi = 50, 180
+        mask = reference_range_mask(column, lo, hi)
+        total = sum_aggregate(AmbitContext(), column, mask=mask)
+        expected = int(values[(values >= lo) & (values <= hi)].sum())
+        assert total == expected
+
+    def test_empty_mask_sums_to_zero(self, rng):
+        values = rng.integers(1, 16, size=640, dtype=np.uint64)
+        column = _col(values, 4)
+        mask = np.zeros_like(column.planes[0])
+        assert sum_aggregate(CpuContext(), column, mask=mask) == 0
+
+    def test_mask_shape_checked(self, rng):
+        column = _col(rng.integers(0, 4, size=64, dtype=np.uint64), 2)
+        with pytest.raises(SimulationError):
+            sum_aggregate(CpuContext(), column, mask=np.zeros(99, dtype=np.uint64))
+
+    def test_cheaper_than_adding_on_ambit(self, rng):
+        # SUM via weighted popcounts needs one AND per plane; a full
+        # tree of additions would need ~3 ops per plane per level.
+        values = rng.integers(0, 1 << 8, size=100_000, dtype=np.uint64)
+        column = _col(values, 8)
+        mask = reference_range_mask(column, 0, 255)
+        ctx = AmbitContext()
+        sum_aggregate(ctx, column, mask=mask)
+        assert ctx.breakdown["sum"] > 0
+
+
+class TestMajOnDevice:
+    def test_maj_sum_identity_on_functional_device(self):
+        """Full-adder identity through the real TRA: for every bit,
+        a + b + c == 2 * MAJ(a,b,c) + XOR(a,b,c)."""
+        from repro.core.device import AmbitDevice
+        from repro.core.microprograms import BulkOp
+        from repro.dram.chip import RowLocation
+        from repro.dram.geometry import small_test_geometry
+
+        device = AmbitDevice(geometry=small_test_geometry(rows=24, row_bytes=64))
+        rng = np.random.default_rng(5)
+        words = device.geometry.subarray.words_per_row
+        a, b, c = (rng.integers(0, 2**64, size=words, dtype=np.uint64)
+                   for _ in range(3))
+        for i, v in enumerate((a, b, c)):
+            device.write_row(RowLocation(0, 0, i), v)
+        device.bbop_row(BulkOp.MAJ, RowLocation(0, 0, 3), RowLocation(0, 0, 0),
+                        RowLocation(0, 0, 1), RowLocation(0, 0, 2))
+        maj = device.read_row(RowLocation(0, 0, 3))
+        xor3 = a ^ b ^ c
+        for word in range(words):
+            for bit in range(64):
+                s = sum(int(x[word]) >> bit & 1 for x in (a, b, c))
+                assert s == 2 * (int(maj[word]) >> bit & 1) + (
+                    int(xor3[word]) >> bit & 1
+                )

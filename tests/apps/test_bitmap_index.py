@@ -1,0 +1,109 @@
+"""Bitmap index workload (Figure 10)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import bitmap_index as bi
+from repro.errors import SimulationError
+from repro.sim import AmbitContext, CpuContext
+
+USERS = 100_000
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return bi.generate_workload(USERS, weeks=4, seed=3)
+
+
+class TestWorkloadGeneration:
+    def test_shape(self, workload):
+        assert workload.users == USERS
+        assert workload.days == 28
+        assert workload.male.dtype == np.uint64
+
+    def test_deterministic(self):
+        a = bi.generate_workload(1000, 2, seed=5)
+        b = bi.generate_workload(1000, 2, seed=5)
+        assert all(
+            np.array_equal(x, y)
+            for x, y in zip(a.daily_activity, b.daily_activity)
+        )
+        assert np.array_equal(a.male, b.male)
+
+    def test_padding_bits_zero(self):
+        wl = bi.generate_workload(100, 1, seed=1)  # 100 bits -> 128-bit pad
+        bits = np.unpackbits(wl.male.view(np.uint8), bitorder="little")
+        assert bits[100:].sum() == 0
+
+    def test_activity_probability_respected(self, workload):
+        density = np.mean(
+            [
+                np.unpackbits(d.view(np.uint8)).sum() / USERS
+                for d in workload.daily_activity
+            ]
+        )
+        assert 0.25 < density < 0.35
+
+    def test_invalid_shape(self):
+        with pytest.raises(SimulationError):
+            bi.generate_workload(0, 1)
+
+
+class TestQuery:
+    def test_baseline_matches_reference(self, workload):
+        ref = bi.reference_query(workload, 3)
+        got = bi.run_query(CpuContext(), workload, 3)
+        assert got.unique_active_every_week == ref.unique_active_every_week
+        assert got.male_active_per_week == ref.male_active_per_week
+
+    def test_ambit_matches_reference(self, workload):
+        ref = bi.reference_query(workload, 3)
+        got = bi.run_query(AmbitContext(), workload, 3)
+        assert got.unique_active_every_week == ref.unique_active_every_week
+        assert got.male_active_per_week == ref.male_active_per_week
+
+    def test_operation_counts(self, workload):
+        # 6w ORs, 2w-1 ANDs, w+1 bitcounts (Section 8.1).
+        for weeks in (2, 3, 4):
+            ctx = CpuContext()
+            bi.run_query(ctx, workload, weeks)
+            vector_bytes = workload.male.nbytes
+            per_op_traffic = 3 * vector_bytes
+            rate = ctx.cpu.stream_gbps(per_op_traffic)
+            or_traffic = ctx.breakdown["or"] * rate
+            assert or_traffic == pytest.approx(6 * weeks * per_op_traffic)
+            and_traffic = ctx.breakdown["and"] * rate
+            assert and_traffic == pytest.approx((2 * weeks - 1) * per_op_traffic)
+            count_bytes = (
+                ctx.breakdown["bitcount"] * ctx.cpu.config.popcount_gbps
+            )
+            assert count_bytes == pytest.approx((weeks + 1) * vector_bytes)
+
+    def test_too_many_weeks_rejected(self, workload):
+        with pytest.raises(SimulationError):
+            bi.run_query(CpuContext(), workload, 5)
+
+    def test_unique_at_most_weekly_counts(self, workload):
+        result = bi.reference_query(workload, 4)
+        weekly_active = [
+            int(np.unpackbits(w.view(np.uint8)).sum())
+            for w in [workload.male]
+        ]
+        assert result.unique_active_every_week <= USERS
+
+    def test_speedup_in_paper_band(self):
+        # Figure 10: 5.4X - 6.6X for memory-resident working sets.
+        workload = bi.generate_workload(8_000_000, 4, seed=2)
+        base = bi.run_query(CpuContext(), workload, 4)
+        ambit = bi.run_query(AmbitContext(), workload, 4)
+        speedup = base.elapsed_ns / ambit.elapsed_ns
+        assert 4.0 <= speedup <= 9.0
+
+    def test_speedup_grows_with_weeks(self):
+        workload = bi.generate_workload(8_000_000, 4, seed=2)
+        speedups = []
+        for w in (2, 4):
+            base = bi.run_query(CpuContext(), workload, w)
+            ambit = bi.run_query(AmbitContext(), workload, w)
+            speedups.append(base.elapsed_ns / ambit.elapsed_ns)
+        assert speedups[1] > speedups[0]

@@ -1,0 +1,142 @@
+"""BitWeaving-V column layout and range scans (Figure 11)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.bitweaving import (
+    BitWeavingColumn,
+    reference_range_mask,
+    scan_range_ambit,
+    scan_range_baseline,
+)
+from repro.errors import SimulationError
+from repro.sim import AmbitContext, CpuContext
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(41)
+
+
+class TestEncoding:
+    def test_roundtrip(self, rng):
+        values = rng.integers(0, 1 << 12, size=1000, dtype=np.uint64)
+        col = BitWeavingColumn.encode(values, 12)
+        assert np.array_equal(col.decode(), values)
+
+    def test_roundtrip_odd_row_count(self, rng):
+        values = rng.integers(0, 1 << 7, size=777, dtype=np.uint64)
+        col = BitWeavingColumn.encode(values, 7)
+        assert np.array_equal(col.decode(), values)
+
+    def test_plane_count_and_order(self):
+        values = np.array([0b100, 0b001], dtype=np.uint64)
+        col = BitWeavingColumn.encode(values, 3)
+        assert len(col.planes) == 3
+        msb = np.unpackbits(col.planes[0].view(np.uint8), bitorder="little")
+        assert msb[0] == 1 and msb[1] == 0  # plane 0 is the MSB
+
+    def test_value_overflow_rejected(self):
+        with pytest.raises(SimulationError):
+            BitWeavingColumn.encode(np.array([4], dtype=np.uint64), 2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            BitWeavingColumn.encode(np.array([], dtype=np.uint64), 4)
+
+    def test_bad_bits_rejected(self):
+        with pytest.raises(SimulationError):
+            BitWeavingColumn.encode(np.array([1], dtype=np.uint64), 0)
+
+    def test_total_bytes(self, rng):
+        col = BitWeavingColumn.encode(
+            rng.integers(0, 16, size=640, dtype=np.uint64), 4
+        )
+        assert col.total_bytes == 4 * col.plane_bytes
+
+
+class TestScans:
+    @pytest.mark.parametrize("bits", [1, 4, 8, 13])
+    def test_ambit_scan_counts(self, rng, bits):
+        values = rng.integers(0, 1 << bits, size=2000, dtype=np.uint64)
+        col = BitWeavingColumn.encode(values, bits)
+        c1 = int(rng.integers(0, 1 << bits))
+        c2 = int(rng.integers(c1, 1 << bits))
+        _, count = scan_range_ambit(AmbitContext(), col, c1, c2)
+        assert count == int(((values >= c1) & (values <= c2)).sum())
+
+    def test_baseline_scan_counts(self, rng):
+        values = rng.integers(0, 256, size=3000, dtype=np.uint64)
+        col = BitWeavingColumn.encode(values, 8)
+        _, count = scan_range_baseline(CpuContext(), col, 50, 180)
+        assert count == int(((values >= 50) & (values <= 180)).sum())
+
+    def test_masks_identical(self, rng):
+        values = rng.integers(0, 64, size=1280, dtype=np.uint64)
+        col = BitWeavingColumn.encode(values, 6)
+        mask_a, _ = scan_range_ambit(AmbitContext(), col, 10, 40)
+        mask_b, _ = scan_range_baseline(CpuContext(), col, 10, 40)
+        assert np.array_equal(mask_a, mask_b)
+        assert np.array_equal(mask_a, reference_range_mask(col, 10, 40))
+
+    def test_degenerate_full_range(self, rng):
+        values = rng.integers(0, 16, size=640, dtype=np.uint64)
+        col = BitWeavingColumn.encode(values, 4)
+        _, count = scan_range_ambit(AmbitContext(), col, 0, 15)
+        assert count == 640
+
+    def test_empty_range(self, rng):
+        values = np.full(640, 7, dtype=np.uint64)
+        col = BitWeavingColumn.encode(values, 4)
+        _, count = scan_range_ambit(AmbitContext(), col, 8, 9)
+        assert count == 0
+
+    def test_point_query(self, rng):
+        values = rng.integers(0, 32, size=640, dtype=np.uint64)
+        col = BitWeavingColumn.encode(values, 5)
+        _, count = scan_range_ambit(AmbitContext(), col, 13, 13)
+        assert count == int((values == 13).sum())
+
+    def test_invalid_range_rejected(self, rng):
+        col = BitWeavingColumn.encode(np.array([1], dtype=np.uint64), 4)
+        with pytest.raises(SimulationError):
+            scan_range_ambit(AmbitContext(), col, 9, 3)
+        with pytest.raises(SimulationError):
+            scan_range_baseline(CpuContext(), col, 0, 16)
+
+
+class TestFigure11Shape:
+    def test_speedup_grows_with_bits(self, rng):
+        speedups = {}
+        for bits in (4, 16, 32):
+            values = rng.integers(0, 1 << bits, size=512_000, dtype=np.uint64)
+            col = BitWeavingColumn.encode(values, bits)
+            c1, c2 = (1 << bits) // 4, (3 << bits) // 4
+            base, ambit = CpuContext(), AmbitContext()
+            scan_range_baseline(base, col, c1, c2)
+            scan_range_ambit(ambit, col, c1, c2)
+            speedups[bits] = base.elapsed_ns / ambit.elapsed_ns
+        assert speedups[4] < speedups[16] < speedups[32]
+
+    def test_cache_spill_jump(self, rng):
+        # The same b: small row count fits in L2 (fast baseline),
+        # larger spills to DRAM -> the Figure 11 jump.
+        bits = 8
+        speedups = {}
+        for rows in (500_000, 4_000_000):
+            values = rng.integers(0, 1 << bits, size=rows, dtype=np.uint64)
+            col = BitWeavingColumn.encode(values, bits)
+            base, ambit = CpuContext(), AmbitContext()
+            scan_range_baseline(base, col, 10, 200)
+            scan_range_ambit(ambit, col, 10, 200)
+            speedups[rows] = base.elapsed_ns / ambit.elapsed_ns
+        assert speedups[4_000_000] > 1.5 * speedups[500_000]
+
+    def test_speedups_in_paper_band(self, rng):
+        # Paper: 1.8X - 11.8X over the (b, r) sweep.
+        values = rng.integers(0, 1 << 16, size=2_000_000, dtype=np.uint64)
+        col = BitWeavingColumn.encode(values, 16)
+        base, ambit = CpuContext(), AmbitContext()
+        scan_range_baseline(base, col, 1000, 60000)
+        scan_range_ambit(ambit, col, 1000, 60000)
+        assert 1.5 <= base.elapsed_ns / ambit.elapsed_ns <= 13.0

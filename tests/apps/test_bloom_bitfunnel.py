@@ -1,0 +1,150 @@
+"""Bloom filters and BitFunnel-style document filtering."""
+
+import numpy as np
+import pytest
+
+from repro.apps.bitfunnel import BitFunnelIndex
+from repro.apps.bloom import BloomFilter, optimal_num_hashes
+from repro.errors import SimulationError
+from repro.sim import AmbitContext, CpuContext
+from repro.workloads import synthetic_corpus
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self):
+        items = [f"term{i}" for i in range(100)]
+        bloom = BloomFilter.build(items, bits=2048, num_hashes=3)
+        assert all(item in bloom for item in items)
+
+    def test_absent_items_mostly_rejected(self):
+        bloom = BloomFilter.build(
+            [f"term{i}" for i in range(50)], bits=4096, num_hashes=4
+        )
+        false_positives = sum(
+            1 for i in range(1000) if f"other{i}" in bloom
+        )
+        assert false_positives < 50  # ~theoretical FPR is well under 5%
+
+    def test_empty_filter_rejects_everything(self):
+        bloom = BloomFilter.empty(bits=512, num_hashes=3)
+        assert "anything" not in bloom
+
+    def test_theoretical_fpr(self):
+        bloom = BloomFilter.empty(bits=1024, num_hashes=3)
+        assert bloom.false_positive_rate(0) == 0.0
+        assert 0.0 < bloom.false_positive_rate(100) < 1.0
+
+    def test_optimal_hashes(self):
+        assert optimal_num_hashes(1024, 100) == round(1024 / 100 * 0.693)
+        assert optimal_num_hashes(64, 10_000) == 1
+
+    def test_deterministic_hashing(self):
+        a = BloomFilter.build(["x", "y"], bits=512, num_hashes=3)
+        b = BloomFilter.build(["x", "y"], bits=512, num_hashes=3)
+        assert np.array_equal(a.vector, b.vector)
+
+    def test_invalid_geometry(self):
+        with pytest.raises(SimulationError):
+            BloomFilter.empty(bits=100, num_hashes=3)  # not multiple of 64
+        with pytest.raises(SimulationError):
+            BloomFilter.empty(bits=512, num_hashes=0)
+
+
+class TestBitFunnel:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return synthetic_corpus(500, 10, np.random.default_rng(71))
+
+    @pytest.fixture(scope="class")
+    def index(self, corpus):
+        return BitFunnelIndex.build(corpus, signature_bits=256, num_hashes=3)
+
+    def test_match_includes_all_true_documents(self, corpus, index):
+        terms = corpus[42][:2]
+        matches = index.match(CpuContext(), terms)
+        for d, doc in enumerate(corpus):
+            if all(t in doc for t in terms):
+                assert d in matches  # Bloom signatures never miss
+
+    def test_match_equals_reference(self, corpus, index):
+        terms = corpus[7][:3]
+        assert index.match(CpuContext(), terms) == index.match_reference(terms)
+
+    def test_ambit_and_cpu_agree(self, corpus, index):
+        terms = corpus[99][:2]
+        assert index.match(CpuContext(), terms) == index.match(
+            AmbitContext(), terms
+        )
+
+    def test_query_positions_deterministic(self, index):
+        terms = ["memory3", "dram7"]
+        assert index.query_positions(terms) == index.query_positions(terms)
+
+    def test_more_terms_fewer_candidates(self, corpus, index):
+        one = index.match(CpuContext(), corpus[5][:1])
+        three = index.match(CpuContext(), corpus[5][:3])
+        assert set(three) <= set(one)
+
+    def test_empty_query_rejected(self, index):
+        with pytest.raises(SimulationError):
+            index.match(CpuContext(), [])
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(SimulationError):
+            BitFunnelIndex.build([], signature_bits=256)
+
+    def test_slices_shape(self, index):
+        assert len(index.slices) == 256
+        assert index.slices[0].dtype == np.uint64
+
+
+class TestHigherRankRows:
+    """BitFunnel's rank dial: memory vs candidate precision."""
+
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return synthetic_corpus(300, 10, np.random.default_rng(99))
+
+    def test_rank0_equivalent_to_default(self, corpus):
+        a = BitFunnelIndex.build(corpus, signature_bits=256, rank=0)
+        b = BitFunnelIndex.build(corpus, signature_bits=256)
+        terms = corpus[10][:2]
+        assert a.match(CpuContext(), terms) == b.match(CpuContext(), terms)
+
+    def test_higher_rank_shrinks_slices(self, corpus):
+        r0 = BitFunnelIndex.build(corpus, signature_bits=256, rank=0)
+        r2 = BitFunnelIndex.build(corpus, signature_bits=256, rank=2)
+        assert r2.slices[0].nbytes < r0.slices[0].nbytes
+        assert r2.num_groups == -(-r0.num_docs // 4)
+
+    def test_higher_rank_never_misses(self, corpus):
+        # Rank folding only adds candidates, never drops true matches.
+        r0 = BitFunnelIndex.build(corpus, signature_bits=256, rank=0)
+        r3 = BitFunnelIndex.build(corpus, signature_bits=256, rank=3)
+        terms = corpus[42][:2]
+        assert set(r0.match(CpuContext(), terms)) <= set(
+            r3.match(CpuContext(), terms)
+        )
+
+    def test_verified_results_identical_across_ranks(self, corpus):
+        terms = corpus[7][:2]
+        expected = [
+            d for d, doc in enumerate(corpus) if all(t in doc for t in terms)
+        ]
+        for rank in (0, 2, 4):
+            index = BitFunnelIndex.build(corpus, signature_bits=256, rank=rank)
+            verified = index.match_verified(CpuContext(), terms, corpus)
+            assert set(expected) <= set(verified)
+            # Verified candidates actually contain the terms.
+            assert all(
+                all(t in corpus[d] for t in terms) for d in verified
+            )
+
+    def test_rank_match_reference_agrees(self, corpus):
+        index = BitFunnelIndex.build(corpus, signature_bits=256, rank=2)
+        terms = corpus[5][:1]
+        assert index.match(CpuContext(), terms) == index.match_reference(terms)
+
+    def test_negative_rank_rejected(self, corpus):
+        with pytest.raises(SimulationError):
+            BitFunnelIndex.build(corpus, rank=-1)

@@ -1,0 +1,164 @@
+"""Graph processing (BFS/triangles) and WAH compression substrates."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.apps.compression import (
+    WahBitmap,
+    ambit_or_wah_decision,
+    wah_and,
+    wah_decode,
+    wah_encode,
+    wah_or,
+)
+from repro.apps.graph import BitGraph, bfs_levels, reachable_set, triangle_count
+from repro.errors import SimulationError
+from repro.sim import AmbitContext, CpuContext
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(101)
+
+
+def _random_digraph(n, p, rng):
+    edges = [
+        (u, v)
+        for u in range(n)
+        for v in range(n)
+        if u != v and rng.random() < p
+    ]
+    return edges
+
+
+class TestBitGraph:
+    def test_from_edges_and_neighbors(self):
+        g = BitGraph.from_edges(5, [(0, 1), (0, 3), (2, 4)])
+        assert g.neighbors(0) == [1, 3]
+        assert g.neighbors(2) == [4]
+        assert g.neighbors(1) == []
+
+    def test_edge_bounds(self):
+        with pytest.raises(SimulationError):
+            BitGraph.from_edges(3, [(0, 3)])
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(SimulationError):
+            BitGraph.from_edges(0, [])
+
+
+class TestBfs:
+    def test_levels_match_networkx(self, rng):
+        n = 60
+        edges = _random_digraph(n, 0.08, rng)
+        g = BitGraph.from_edges(n, edges)
+        nxg = nx.DiGraph()
+        nxg.add_nodes_from(range(n))
+        nxg.add_edges_from(edges)
+        expected = nx.single_source_shortest_path_length(nxg, 0)
+        assert bfs_levels(CpuContext(), g, 0) == dict(expected)
+
+    def test_ambit_and_cpu_agree(self, rng):
+        n = 40
+        edges = _random_digraph(n, 0.1, rng)
+        g = BitGraph.from_edges(n, edges)
+        assert bfs_levels(CpuContext(), g, 3) == bfs_levels(
+            AmbitContext(), g, 3
+        )
+
+    def test_unreachable_nodes_absent(self):
+        g = BitGraph.from_edges(4, [(0, 1)])
+        levels = bfs_levels(CpuContext(), g, 0)
+        assert set(levels) == {0, 1}
+
+    def test_reachable_set(self):
+        g = BitGraph.from_edges(5, [(0, 1), (1, 2), (3, 4)])
+        assert reachable_set(CpuContext(), g, 0) == [0, 1, 2]
+
+    def test_chain_levels(self):
+        g = BitGraph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        assert bfs_levels(CpuContext(), g, 0) == {0: 0, 1: 1, 2: 2, 3: 3}
+
+    def test_source_bounds(self):
+        g = BitGraph.from_edges(2, [(0, 1)])
+        with pytest.raises(SimulationError):
+            bfs_levels(CpuContext(), g, 5)
+
+
+class TestTriangles:
+    def test_matches_networkx(self, rng):
+        n = 30
+        nxg = nx.gnp_random_graph(n, 0.3, seed=7)
+        edges = []
+        for u, v in nxg.edges:
+            edges.append((u, v))
+            edges.append((v, u))
+        g = BitGraph.from_edges(n, edges)
+        expected = sum(nx.triangles(nxg).values()) // 3
+        assert triangle_count(CpuContext(), g) == expected
+
+    def test_triangle_free(self):
+        edges = [(0, 1), (1, 0), (1, 2), (2, 1)]
+        g = BitGraph.from_edges(3, edges)
+        assert triangle_count(CpuContext(), g) == 0
+
+    def test_single_triangle(self):
+        edges = []
+        for u, v in [(0, 1), (1, 2), (0, 2)]:
+            edges += [(u, v), (v, u)]
+        g = BitGraph.from_edges(3, edges)
+        assert triangle_count(CpuContext(), g) == 1
+
+
+class TestWah:
+    @pytest.mark.parametrize("density", [0.0, 0.001, 0.1, 0.5, 0.999, 1.0])
+    def test_roundtrip(self, rng, density):
+        bits = rng.random(4000) < density
+        assert np.array_equal(wah_decode(wah_encode(bits)), bits)
+
+    def test_roundtrip_non_group_aligned(self, rng):
+        bits = rng.random(1000) < 0.5  # 1000 % 63 != 0
+        assert np.array_equal(wah_decode(wah_encode(bits)), bits)
+
+    def test_sparse_compresses(self, rng):
+        sparse = rng.random(63 * 200) < 0.001
+        assert wah_encode(sparse).compression_ratio > 3.0
+
+    def test_dense_random_does_not_compress(self, rng):
+        dense = rng.random(63 * 200) < 0.5
+        assert wah_encode(dense).compression_ratio == pytest.approx(1.0)
+
+    def test_all_zeros_one_word(self):
+        bitmap = wah_encode(np.zeros(63 * 1000, dtype=bool))
+        assert bitmap.compressed_words == 1
+
+    def test_and_or_match_numpy(self, rng):
+        a = rng.random(3000) < 0.02
+        b = rng.random(3000) < 0.02
+        ea, eb = wah_encode(a), wah_encode(b)
+        assert np.array_equal(wah_decode(wah_and(ea, eb)), a & b)
+        assert np.array_equal(wah_decode(wah_or(ea, eb)), a | b)
+
+    def test_length_mismatch_rejected(self, rng):
+        with pytest.raises(SimulationError):
+            wah_and(
+                wah_encode(rng.random(100) < 0.5),
+                wah_encode(rng.random(200) < 0.5),
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            wah_encode(np.array([], dtype=bool))
+
+    def test_corrupt_stream_detected(self, rng):
+        bitmap = wah_encode(rng.random(630) < 0.5)
+        bad = WahBitmap(nbits=bitmap.nbits + 63, words=bitmap.words)
+        with pytest.raises(SimulationError):
+            wah_decode(bad)
+
+    def test_routing_decision(self, rng):
+        sparse = wah_encode(rng.random(63 * 500) < 0.0005)
+        dense = wah_encode(rng.random(63 * 500) < 0.5)
+        assert ambit_or_wah_decision(sparse) == "wah-cpu"
+        assert ambit_or_wah_decision(dense) == "ambit"

@@ -1,0 +1,205 @@
+"""The remaining Section 8.4 applications: masked init, crypto, DNA."""
+
+import numpy as np
+import pytest
+
+from repro.apps.crypto import (
+    combine_shares,
+    keystream,
+    make_shares,
+    xor_decrypt,
+    xor_encrypt,
+)
+from repro.apps.dna import (
+    decode_sequence,
+    encode_sequence,
+    hamming_distance,
+    match_mask,
+    shd_filter,
+    shd_filter_batch,
+)
+from repro.apps.masked_init import (
+    clear_color_channel,
+    masked_init,
+    reference_masked_init,
+)
+from repro.errors import SimulationError
+from repro.sim import AmbitContext, CpuContext
+from repro.workloads import mutate_dna, random_dna
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(81)
+
+
+def _vec(rng, n=256):
+    return rng.integers(0, 2**63, size=n, dtype=np.uint64)
+
+
+class TestMaskedInit:
+    def test_masked_clear(self, rng):
+        buf, mask = _vec(rng), _vec(rng)
+        out = masked_init(CpuContext(), buf, mask)
+        assert np.array_equal(out, buf & ~mask)
+
+    def test_masked_write(self, rng):
+        buf, mask, pattern = _vec(rng), _vec(rng), _vec(rng)
+        out = masked_init(AmbitContext(), buf, mask, pattern)
+        assert np.array_equal(out, reference_masked_init(buf, mask, pattern))
+
+    def test_full_mask_replaces_everything(self, rng):
+        buf, pattern = _vec(rng), _vec(rng)
+        mask = np.full_like(buf, np.uint64(2**64 - 1))
+        out = masked_init(CpuContext(), buf, mask, pattern)
+        assert np.array_equal(out, pattern)
+
+    def test_empty_mask_preserves(self, rng):
+        buf = _vec(rng)
+        out = masked_init(CpuContext(), buf, np.zeros_like(buf), _vec(rng))
+        assert np.array_equal(out, buf)
+
+    def test_clear_color_channel(self, rng):
+        image = _vec(rng, 64)
+        out = clear_color_channel(CpuContext(), image, channel=1)
+        as_bytes = out.view(np.uint8).reshape(-1, 4)
+        assert (as_bytes[:, 1] == 0).all()
+        original = image.view(np.uint8).reshape(-1, 4)
+        for ch in (0, 2, 3):
+            assert np.array_equal(as_bytes[:, ch], original[:, ch])
+
+    def test_shape_mismatch_rejected(self, rng):
+        with pytest.raises(SimulationError):
+            masked_init(CpuContext(), _vec(rng, 8), _vec(rng, 16))
+
+    def test_bad_channel_rejected(self, rng):
+        with pytest.raises(SimulationError):
+            clear_color_channel(CpuContext(), _vec(rng, 8), channel=4)
+
+
+class TestCrypto:
+    def test_encrypt_decrypt_roundtrip(self, rng):
+        pt = _vec(rng)
+        ct = xor_encrypt(AmbitContext(), pt, b"key", b"nonce")
+        assert not np.array_equal(ct, pt)
+        assert np.array_equal(xor_decrypt(AmbitContext(), ct, b"key", b"nonce"), pt)
+
+    def test_wrong_key_fails(self, rng):
+        pt = _vec(rng)
+        ct = xor_encrypt(CpuContext(), pt, b"key", b"nonce")
+        garbage = xor_decrypt(CpuContext(), ct, b"other", b"nonce")
+        assert not np.array_equal(garbage, pt)
+
+    def test_wrong_nonce_fails(self, rng):
+        pt = _vec(rng)
+        ct = xor_encrypt(CpuContext(), pt, b"key", b"nonce1")
+        assert not np.array_equal(
+            xor_decrypt(CpuContext(), ct, b"key", b"nonce2"), pt
+        )
+
+    def test_keystream_deterministic_and_keyed(self):
+        a = keystream(b"k", b"n", 64)
+        assert np.array_equal(a, keystream(b"k", b"n", 64))
+        assert not np.array_equal(a, keystream(b"k2", b"n", 64))
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(SimulationError):
+            keystream(b"", b"n", 4)
+
+    def test_secret_sharing_roundtrip(self, rng):
+        secret = _vec(rng)
+        shares = make_shares(AmbitContext(), secret, n=5, rng=rng)
+        assert len(shares) == 5
+        assert np.array_equal(combine_shares(AmbitContext(), shares), secret)
+
+    def test_incomplete_shares_reveal_nothing(self, rng):
+        secret = _vec(rng)
+        shares = make_shares(CpuContext(), secret, n=3, rng=rng)
+        partial = combine_shares(CpuContext(), shares[:2])
+        assert not np.array_equal(partial, secret)
+
+    def test_share_count_validated(self, rng):
+        with pytest.raises(SimulationError):
+            make_shares(CpuContext(), _vec(rng), n=1, rng=rng)
+        with pytest.raises(SimulationError):
+            combine_shares(CpuContext(), (_vec(rng),))
+
+
+class TestDna:
+    def test_encode_decode_roundtrip(self, rng):
+        seq = random_dna(321, rng)
+        assert decode_sequence(encode_sequence(seq), len(seq)) == seq
+
+    def test_invalid_base_rejected(self):
+        with pytest.raises(SimulationError):
+            encode_sequence("ACGX")
+
+    def test_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            encode_sequence("")
+
+    def test_match_mask_marks_agreements(self):
+        ctx = CpuContext()
+        a = encode_sequence("ACGTACGT")
+        b = encode_sequence("ACGAACGA")
+        mask = match_mask(ctx, a, b)
+        bits = np.unpackbits(mask.view(np.uint8), bitorder="little")[:8]
+        assert list(bits) == [1, 1, 1, 0, 1, 1, 1, 0]
+
+    def test_filter_accepts_close_candidate(self, rng):
+        ref = random_dna(200, rng)
+        read, _ = mutate_dna(ref, 3, rng)
+        decision = shd_filter(CpuContext(), read, ref, max_errors=5)
+        assert decision.accepted and decision.mismatches == hamming_distance(
+            read, ref
+        )
+
+    def test_filter_rejects_random_candidate(self, rng):
+        read = random_dna(200, rng)
+        window = random_dna(200, rng)
+        decision = shd_filter(CpuContext(), read, window, max_errors=5)
+        assert not decision.accepted
+
+    def test_shift_tolerance_recovers_insertion(self, rng):
+        # A one-base slip mismatches everywhere without shifts but is
+        # forgiven with max_shift=1.
+        ref = random_dna(300, rng)
+        slipped = ref[1:] + "A"
+        strict = shd_filter(CpuContext(), slipped, ref, max_errors=20,
+                            max_shift=0)
+        tolerant = shd_filter(CpuContext(), slipped, ref, max_errors=20,
+                              max_shift=1)
+        assert tolerant.mismatches < strict.mismatches
+        assert tolerant.accepted
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(SimulationError):
+            shd_filter(CpuContext(), "ACGT", "ACG", 1)
+
+    def test_batch_matches_individual(self, rng):
+        ref = random_dna(4000, rng)
+        reads, windows = [], []
+        for offset in (0, 64, 128, 777):
+            window = ref[offset : offset + 128]
+            read, _ = mutate_dna(window, int(rng.integers(0, 6)), rng)
+            reads.append(read)
+            windows.append(window)
+        batch = shd_filter_batch(CpuContext(), reads, windows, max_errors=4)
+        for read, window, decision in zip(reads, windows, batch):
+            single = shd_filter(CpuContext(), read, window, max_errors=4)
+            assert decision.accepted == single.accepted
+            assert decision.mismatches == single.mismatches
+
+    def test_batch_empty(self):
+        assert shd_filter_batch(CpuContext(), [], [], 1) == []
+
+    def test_batch_length_mismatch(self, rng):
+        with pytest.raises(SimulationError):
+            shd_filter_batch(CpuContext(), ["ACGT"], [], 1)
+
+    def test_ambit_and_cpu_contexts_agree(self, rng):
+        ref = random_dna(256, rng)
+        read, _ = mutate_dna(ref, 4, rng)
+        a = shd_filter(CpuContext(), read, ref, max_errors=10)
+        b = shd_filter(AmbitContext(), read, ref, max_errors=10)
+        assert (a.accepted, a.mismatches) == (b.accepted, b.mismatches)

@@ -1,0 +1,142 @@
+"""Red-black tree: correctness, invariants, instrumentation."""
+
+import numpy as np
+import pytest
+
+from repro.apps.rbtree import RedBlackTree
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(51)
+
+
+class TestBasicOps:
+    def test_insert_and_search(self):
+        tree = RedBlackTree()
+        for k in (5, 3, 8, 1):
+            assert tree.insert(k)
+        assert 5 in tree and 3 in tree and 8 in tree and 1 in tree
+        assert 9 not in tree
+
+    def test_duplicate_insert_rejected(self):
+        tree = RedBlackTree()
+        assert tree.insert(1)
+        assert not tree.insert(1)
+        assert len(tree) == 1
+
+    def test_len(self):
+        tree = RedBlackTree()
+        for k in range(10):
+            tree.insert(k)
+        assert len(tree) == 10
+
+    def test_inorder_sorted(self, rng):
+        tree = RedBlackTree()
+        keys = rng.permutation(200)
+        for k in keys:
+            tree.insert(int(k))
+        assert list(tree) == sorted(int(k) for k in keys)
+
+    def test_minimum(self):
+        tree = RedBlackTree()
+        for k in (9, 2, 7):
+            tree.insert(k)
+        assert tree.minimum() == 2
+
+    def test_minimum_of_empty_raises(self):
+        with pytest.raises(KeyError):
+            RedBlackTree().minimum()
+
+    def test_delete(self):
+        tree = RedBlackTree()
+        for k in range(20):
+            tree.insert(k)
+        assert tree.delete(7)
+        assert 7 not in tree
+        assert len(tree) == 19
+
+    def test_delete_absent(self):
+        tree = RedBlackTree()
+        tree.insert(1)
+        assert not tree.delete(2)
+        assert len(tree) == 1
+
+    def test_delete_root_repeatedly(self):
+        tree = RedBlackTree()
+        for k in range(10):
+            tree.insert(k)
+        while len(tree):
+            tree.delete(tree.root.key)
+        assert list(tree) == []
+
+
+class TestInvariants:
+    def test_invariants_after_random_inserts(self, rng):
+        tree = RedBlackTree()
+        for k in rng.permutation(500):
+            tree.insert(int(k))
+            if int(k) % 50 == 0:
+                tree.check_invariants()
+        tree.check_invariants()
+
+    def test_invariants_after_mixed_workload(self, rng):
+        tree = RedBlackTree()
+        live = set()
+        for _ in range(2000):
+            k = int(rng.integers(0, 300))
+            if rng.random() < 0.6:
+                assert tree.insert(k) == (k not in live)
+                live.add(k)
+            else:
+                assert tree.delete(k) == (k in live)
+                live.discard(k)
+        tree.check_invariants()
+        assert list(tree) == sorted(live)
+
+    def test_sequential_inserts_stay_balanced(self):
+        # Sorted input is the classic BST killer; RB trees stay O(log n).
+        tree = RedBlackTree()
+        for k in range(1024):
+            tree.insert(k)
+        tree.check_invariants()
+        tree.stats.reset()
+        assert 600 in tree
+        # log2(1024) = 10; RB height bound is 2*log2(n+1) = 20.
+        assert tree.stats.node_visits <= 20
+
+
+class TestInstrumentation:
+    def test_visits_counted(self):
+        tree = RedBlackTree()
+        for k in range(100):
+            tree.insert(k)
+        tree.stats.reset()
+        tree.search(50)
+        assert tree.stats.node_visits > 0
+
+    def test_allocations_counted(self):
+        tree = RedBlackTree()
+        for k in range(10):
+            tree.insert(k)
+        assert tree.stats.allocations == 10
+
+    def test_rotations_happen(self):
+        tree = RedBlackTree()
+        for k in range(50):
+            tree.insert(k)
+        assert tree.stats.rotations > 0
+
+    def test_search_cost_logarithmic(self, rng):
+        small, large = RedBlackTree(), RedBlackTree()
+        for k in range(64):
+            small.insert(k)
+        for k in range(65536):
+            large.insert(k)
+        small.stats.reset()
+        large.stats.reset()
+        for k in (0, 31, 63):
+            small.search(k)
+            large.search(k)
+        # 1024x the keys should cost only ~2-3x the visits.
+        assert large.stats.node_visits <= 4 * small.stats.node_visits

@@ -1,0 +1,121 @@
+"""Set implementations and the Figure 12 trade-off."""
+
+import numpy as np
+import pytest
+
+from repro.apps.sets import (
+    AmbitSetOps,
+    BitsetSetOps,
+    RBTreeSetOps,
+    reference_set_op,
+)
+from repro.errors import SimulationError
+from repro.sim.cpu import CpuModel
+from repro.workloads import random_sets
+
+DOMAIN = 64 * 1024
+
+
+@pytest.fixture
+def cpu():
+    return CpuModel()
+
+
+@pytest.fixture
+def impls(cpu):
+    return {
+        "rb": RBTreeSetOps(cpu),
+        "bitset": BitsetSetOps(DOMAIN, cpu),
+        "ambit": AmbitSetOps(DOMAIN, cpu),
+    }
+
+
+@pytest.fixture
+def sets():
+    return random_sets(5, 40, DOMAIN, np.random.default_rng(61))
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("op", ["union", "intersection", "difference"])
+    def test_all_implementations_agree(self, impls, sets, op):
+        ref = reference_set_op(sets, op)
+        for name, impl in impls.items():
+            assert getattr(impl, op)(sets).elements == ref, name
+
+    def test_intersection_with_overlap(self, impls):
+        sets = [[1, 2, 3, 4], [2, 3, 4, 5], [3, 4, 5, 6]]
+        for impl in impls.values():
+            assert impl.intersection(sets).elements == [3, 4]
+
+    def test_difference_semantics(self, impls):
+        sets = [[1, 2, 3, 4, 5], [2, 4], [5]]
+        for impl in impls.values():
+            assert impl.difference(sets).elements == [1, 3]
+
+    def test_union_of_disjoint(self, impls):
+        sets = [[1], [2], [3]]
+        for impl in impls.values():
+            assert impl.union(sets).elements == [1, 2, 3]
+
+    def test_single_set_identity(self, impls):
+        sets = [[7, 9]]
+        for impl in impls.values():
+            assert impl.union(sets).elements == [7, 9]
+
+    def test_empty_input_rejected(self, impls):
+        for impl in impls.values():
+            with pytest.raises(SimulationError):
+                impl.union([])
+
+    def test_domain_bounds_enforced(self, cpu):
+        bitset = BitsetSetOps(DOMAIN, cpu)
+        with pytest.raises(SimulationError):
+            bitset.union([[0]])  # domain is 1..N
+        with pytest.raises(SimulationError):
+            bitset.union([[DOMAIN + 1]])
+
+    def test_unknown_op_rejected(self, impls, sets):
+        with pytest.raises(SimulationError):
+            impls["rb"]._run(sets, "xor")
+        with pytest.raises(SimulationError):
+            impls["bitset"]._run(sets, "xor")
+
+
+class TestFigure12Shape:
+    def test_rb_wins_for_tiny_sets(self, impls):
+        tiny = random_sets(15, 4, DOMAIN, np.random.default_rng(1))
+        rb = impls["rb"].intersection(tiny).elapsed_ns
+        bitset = impls["bitset"].intersection(tiny).elapsed_ns
+        assert rb < bitset
+
+    def test_bitvectors_win_for_large_sets(self, impls):
+        big = random_sets(15, 2048, DOMAIN, np.random.default_rng(2))
+        rb = impls["rb"].union(big).elapsed_ns
+        bitset = impls["bitset"].union(big).elapsed_ns
+        ambit = impls["ambit"].union(big).elapsed_ns
+        assert bitset < rb
+        assert ambit < rb
+
+    def test_ambit_beats_bitset(self, impls):
+        # Paper: ~3X over the SIMD Bitset.
+        sets = random_sets(15, 256, DOMAIN, np.random.default_rng(3))
+        for op in ("union", "intersection", "difference"):
+            bitset = getattr(impls["bitset"], op)(sets).elapsed_ns
+            ambit = getattr(impls["ambit"], op)(sets).elapsed_ns
+            assert 1.5 <= bitset / ambit <= 12.0, op
+
+    def test_bitvector_cost_independent_of_element_count(self, impls):
+        # Bitvector ops scan the domain regardless of e (Section 8.3).
+        small = random_sets(15, 4, DOMAIN, np.random.default_rng(4))
+        large = random_sets(15, 2048, DOMAIN, np.random.default_rng(5))
+        t_small = impls["bitset"].union(small).elapsed_ns
+        t_large = impls["bitset"].union(large).elapsed_ns
+        assert t_small == pytest.approx(t_large, rel=0.01)
+
+    def test_rb_cost_grows_with_element_count(self, impls):
+        small = random_sets(15, 4, DOMAIN, np.random.default_rng(6))
+        large = random_sets(15, 2048, DOMAIN, np.random.default_rng(7))
+        assert (
+            impls["rb"].union(large).elapsed_ns
+            > 10 * impls["rb"].union(small).elapsed_ns
+        )

@@ -1,0 +1,99 @@
+"""Charge-sharing math: Equation 1 and its generalisation."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import constants
+from repro.circuit.charge import (
+    charge_sharing_deviation,
+    majority_expected,
+    single_cell_deviation,
+    tra_deviation_ideal,
+)
+from repro.errors import ConfigError
+
+
+class TestEquationOne:
+    def test_sign_follows_majority(self):
+        # delta > 0 iff k >= 2 (Section 3.1).
+        assert tra_deviation_ideal(0) < 0
+        assert tra_deviation_ideal(1) < 0
+        assert tra_deviation_ideal(2) > 0
+        assert tra_deviation_ideal(3) > 0
+
+    def test_closed_form(self):
+        # delta = (2k-3) Cc / (6Cc + 2Cb) * VDD, literally Equation 1.
+        cc, cb, vdd = 22e-15, 77e-15, 1.5
+        for k in range(4):
+            expected = (2 * k - 3) * cc / (6 * cc + 2 * cb) * vdd
+            assert tra_deviation_ideal(k, cc, cb, vdd) == pytest.approx(expected)
+
+    def test_symmetry(self):
+        # k and 3-k deviations are mirror images.
+        assert tra_deviation_ideal(3) == pytest.approx(-tra_deviation_ideal(0))
+        assert tra_deviation_ideal(2) == pytest.approx(-tra_deviation_ideal(1))
+
+    def test_invalid_k(self):
+        with pytest.raises(ConfigError):
+            tra_deviation_ideal(4)
+
+    def test_tra_deviation_smaller_than_single_cell(self):
+        # Issue 1 of Section 3.2: the TRA margin is reduced.
+        assert abs(tra_deviation_ideal(2)) < abs(single_cell_deviation(True))
+
+    def test_single_cell_signs(self):
+        assert single_cell_deviation(True) > 0
+        assert single_cell_deviation(False) < 0
+
+
+class TestGeneralisedChargeSharing:
+    def test_reduces_to_equation_one(self):
+        cc, cb, vdd = (
+            constants.CELL_CAPACITANCE_F,
+            constants.BITLINE_CAPACITANCE_F,
+            constants.VDD,
+        )
+        for k in range(4):
+            volts = [vdd if i < k else 0.0 for i in range(3)]
+            general = charge_sharing_deviation([cc] * 3, volts, cb, vdd / 2)
+            assert float(general) == pytest.approx(tra_deviation_ideal(k))
+
+    def test_broadcasts_over_arrays(self):
+        cc = np.full(10, constants.CELL_CAPACITANCE_F)
+        volts = [np.full(10, constants.VDD)] * 2 + [np.zeros(10)]
+        out = charge_sharing_deviation([cc] * 3, volts)
+        assert out.shape == (10,)
+        assert (out > 0).all()
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ConfigError):
+            charge_sharing_deviation([1e-15], [1.0, 0.0])
+
+    def test_no_cells_means_no_deviation(self):
+        assert float(charge_sharing_deviation([], [])) == pytest.approx(0.0)
+
+    def test_heavier_empty_cell_reduces_margin(self):
+        cc, vdd = constants.CELL_CAPACITANCE_F, constants.VDD
+        nominal = charge_sharing_deviation(
+            [cc, cc, cc], [vdd, vdd, 0.0]
+        )
+        heavy_empty = charge_sharing_deviation(
+            [cc, cc, cc * 1.25], [vdd, vdd, 0.0]
+        )
+        assert float(heavy_empty) < float(nominal)
+
+
+class TestMajorityReference:
+    def test_all_patterns(self):
+        for a in (0, 1):
+            for b in (0, 1):
+                for c in (0, 1):
+                    assert majority_expected([a, b, c]) == (
+                        1 if a + b + c >= 2 else 0
+                    )
+
+    def test_bad_input(self):
+        with pytest.raises(ConfigError):
+            majority_expected([0, 1])
+        with pytest.raises(ConfigError):
+            majority_expected([0, 1, 2])

@@ -1,0 +1,152 @@
+"""Process variation sampling, analog sensing, and the Table 2 study."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import constants
+from repro.circuit.montecarlo import (
+    TABLE2_LEVELS,
+    MonteCarloResult,
+    format_table2,
+    table2_experiment,
+    tra_failure_rate,
+)
+from repro.circuit.senseamp_dynamics import (
+    AnalogSenseModel,
+    max_tolerable_variation,
+    worst_case_corner_margin,
+)
+from repro.circuit.variation import VariationSampler, VariationSpec
+from repro.errors import ConfigError
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestVariationSampler:
+    def test_zero_level_is_exact(self, rng):
+        s = VariationSampler(VariationSpec(level=0.0), rng)
+        assert (s.relative(100) == 0).all()
+        assert (s.cell_capacitance(10) == constants.CELL_CAPACITANCE_F).all()
+
+    def test_draws_bounded_by_level(self, rng):
+        s = VariationSampler(VariationSpec(level=0.1), rng)
+        draws = s.relative(10_000)
+        assert np.abs(draws).max() <= 0.1
+
+    def test_stored_voltage_polarity(self, rng):
+        s = VariationSampler(VariationSpec(level=0.1), rng)
+        bits = np.array([1, 1, 0, 0])
+        v = s.stored_voltage(bits)
+        assert (v[:2] > constants.VDD * 0.8).all()
+        assert (v[2:] < constants.VDD * 0.2).all()
+
+    def test_sense_margin_grows_with_level(self, rng):
+        lo = VariationSampler(VariationSpec(level=0.05), rng)
+        hi = VariationSampler(VariationSpec(level=0.25), rng)
+        assert hi.sense_margin_sigma() > lo.sense_margin_sigma()
+
+    def test_invalid_level(self):
+        with pytest.raises(ConfigError):
+            VariationSpec(level=1.5)
+
+    def test_invalid_sigma(self):
+        with pytest.raises(ConfigError):
+            VariationSpec(level=0.1, sigma_fraction=0)
+
+
+class TestAnalogSenseModel:
+    def test_zero_variation_matches_majority(self, rng):
+        model = AnalogSenseModel(VariationSpec(level=0.0), rng)
+        bits = rng.integers(0, 2, size=(3, 4096)).astype(np.uint8)
+        expected = (bits.sum(axis=0) >= 2).astype(np.uint8)
+        assert np.array_equal(model.resolve_tra(bits), expected)
+
+    def test_small_variation_still_reliable(self, rng):
+        # Table 2: zero failures through +/-5 %.
+        model = AnalogSenseModel(VariationSpec(level=0.05), rng)
+        bits = rng.integers(0, 2, size=(3, 20_000)).astype(np.uint8)
+        expected = (bits.sum(axis=0) >= 2).astype(np.uint8)
+        assert np.array_equal(model.resolve_tra(bits), expected)
+
+    def test_deviation_shape_checked(self, rng):
+        model = AnalogSenseModel(VariationSpec(level=0.1), rng)
+        with pytest.raises(ConfigError):
+            model.deviations(np.zeros((2, 10), dtype=np.uint8))
+
+    def test_deviation_signs_at_zero_variation(self, rng):
+        model = AnalogSenseModel(VariationSpec(level=0.0), rng)
+        charged = np.array([[1], [1], [0]], dtype=np.uint8)
+        empty = np.array([[0], [0], [1]], dtype=np.uint8)
+        assert model.deviations(charged)[0] > 0
+        assert model.deviations(empty)[0] < 0
+
+
+class TestWorstCaseCorner:
+    def test_tolerance_is_about_six_percent(self):
+        # The paper's adversarial corner result.
+        tolerance = max_tolerable_variation()
+        assert 0.05 <= tolerance <= 0.07
+
+    def test_margin_positive_below_corner(self):
+        assert worst_case_corner_margin(0.03) > 0
+
+    def test_margin_negative_above_corner(self):
+        assert worst_case_corner_margin(0.10) < 0
+
+    def test_margin_monotone_decreasing(self):
+        margins = [worst_case_corner_margin(p) for p in (0.0, 0.02, 0.05, 0.08)]
+        assert all(a > b for a, b in zip(margins, margins[1:]))
+
+    def test_negative_level_rejected(self):
+        with pytest.raises(ConfigError):
+            worst_case_corner_margin(-0.1)
+
+
+class TestTable2:
+    def test_zero_levels_have_zero_failures(self):
+        for level in (0.0, 0.05):
+            result = tra_failure_rate(level, trials=5_000)
+            assert result.failures == 0
+
+    def test_failure_rate_monotone_in_level(self):
+        rates = [
+            tra_failure_rate(level, trials=20_000).failure_rate
+            for level in (0.10, 0.15, 0.20, 0.25)
+        ]
+        assert all(a < b for a, b in zip(rates, rates[1:]))
+
+    def test_table2_regime(self):
+        # Land in the paper's regime: sub-percent at 10 %, tens of
+        # percent at 25 %.
+        results = table2_experiment(trials=20_000, seed=9)
+        assert results[0.10].failure_percent < 1.5
+        assert 15.0 <= results[0.25].failure_percent <= 40.0
+
+    def test_marginal_patterns_fail_more(self):
+        random = tra_failure_rate(0.2, trials=20_000, patterns="random")
+        marginal = tra_failure_rate(0.2, trials=20_000, patterns="marginal")
+        assert marginal.failure_rate > random.failure_rate
+
+    def test_result_properties(self):
+        r = MonteCarloResult(level=0.1, trials=200, failures=3)
+        assert r.failure_rate == pytest.approx(0.015)
+        assert r.failure_percent == pytest.approx(1.5)
+
+    def test_bad_trials(self):
+        with pytest.raises(ConfigError):
+            tra_failure_rate(0.1, trials=0)
+
+    def test_bad_patterns(self):
+        with pytest.raises(ConfigError):
+            tra_failure_rate(0.1, trials=10, patterns="exotic")
+
+    def test_format_includes_paper_column(self):
+        text = format_table2(table2_experiment(trials=1_000))
+        assert "Paper %" in text
+        assert "+/-25%" in text
+
+    def test_levels_constant_matches_paper(self):
+        assert TABLE2_LEVELS == (0.0, 0.05, 0.10, 0.15, 0.20, 0.25)

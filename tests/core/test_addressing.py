@@ -1,0 +1,160 @@
+"""Row address grouping and the Table 1 wordline mapping."""
+
+import pytest
+
+from repro.core.addressing import AmbitAddressMap
+from repro.dram.cell import Wordline
+from repro.dram.geometry import SubarrayGeometry
+from repro.errors import AddressError
+
+GEO = SubarrayGeometry(rows=1024, row_bytes=8192)
+
+
+@pytest.fixture
+def amap():
+    return AmbitAddressMap(GEO)
+
+
+class TestGroups:
+    def test_paper_group_sizes(self, amap):
+        # Figure 7: 1006 D + 2 C + 16 B addresses = 1024.
+        assert amap.data_rows == 1006
+        assert amap.address_space == 1024
+
+    def test_group_classification(self, amap):
+        assert amap.group_of(0) == "D"
+        assert amap.group_of(1005) == "D"
+        assert amap.group_of(amap.c(0)) == "C"
+        assert amap.group_of(amap.c(1)) == "C"
+        assert amap.group_of(amap.b(0)) == "B"
+        assert amap.group_of(amap.b(15)) == "B"
+
+    def test_groups_are_disjoint_and_cover(self, amap):
+        for addr in range(amap.address_space):
+            flags = [
+                amap.is_d_group(addr),
+                amap.is_c_group(addr),
+                amap.is_b_group(addr),
+            ]
+            assert sum(flags) == 1
+
+    def test_out_of_space(self, amap):
+        with pytest.raises(AddressError):
+            amap.group_of(1024)
+
+    def test_d_range_checked(self, amap):
+        with pytest.raises(AddressError):
+            amap.d(1006)
+
+    def test_c_range_checked(self, amap):
+        with pytest.raises(AddressError):
+            amap.c(2)
+
+    def test_b_range_checked(self, amap):
+        with pytest.raises(AddressError):
+            amap.b(16)
+
+    def test_t_row_range_checked(self, amap):
+        with pytest.raises(AddressError):
+            amap.row_t(4)
+
+    def test_dcc_row_range_checked(self, amap):
+        with pytest.raises(AddressError):
+            amap.row_dcc(2)
+
+
+class TestTable1:
+    """The exact Table 1 mapping, entry by entry."""
+
+    def test_single_wordline_addresses(self, amap):
+        table = amap.b_group_wordlines()
+        assert table[amap.b(0)] == (Wordline(amap.row_t(0)),)
+        assert table[amap.b(1)] == (Wordline(amap.row_t(1)),)
+        assert table[amap.b(2)] == (Wordline(amap.row_t(2)),)
+        assert table[amap.b(3)] == (Wordline(amap.row_t(3)),)
+
+    def test_dcc_wordlines(self, amap):
+        table = amap.b_group_wordlines()
+        assert table[amap.b(4)] == (Wordline(amap.row_dcc(0)),)
+        assert table[amap.b(5)] == (Wordline(amap.row_dcc(0), negated=True),)
+        assert table[amap.b(6)] == (Wordline(amap.row_dcc(1)),)
+        assert table[amap.b(7)] == (Wordline(amap.row_dcc(1), negated=True),)
+
+    def test_double_wordline_addresses(self, amap):
+        # B8-B11 activate two wordlines (used to fork results).
+        table = amap.b_group_wordlines()
+        assert table[amap.b(8)] == (
+            Wordline(amap.row_dcc(0), negated=True),
+            Wordline(amap.row_t(0)),
+        )
+        assert table[amap.b(9)] == (
+            Wordline(amap.row_dcc(1), negated=True),
+            Wordline(amap.row_t(1)),
+        )
+        assert table[amap.b(10)] == (
+            Wordline(amap.row_t(2)),
+            Wordline(amap.row_t(3)),
+        )
+        assert table[amap.b(11)] == (
+            Wordline(amap.row_t(0)),
+            Wordline(amap.row_t(3)),
+        )
+
+    def test_triple_wordline_addresses(self, amap):
+        # B12-B15 trigger triple-row activations.
+        table = amap.b_group_wordlines()
+        assert table[amap.b(12)] == tuple(
+            Wordline(amap.row_t(i)) for i in (0, 1, 2)
+        )
+        assert table[amap.b(13)] == tuple(
+            Wordline(amap.row_t(i)) for i in (1, 2, 3)
+        )
+        assert table[amap.b(14)] == (
+            Wordline(amap.row_dcc(0)),
+            Wordline(amap.row_t(1)),
+            Wordline(amap.row_t(2)),
+        )
+        assert table[amap.b(15)] == (
+            Wordline(amap.row_dcc(1)),
+            Wordline(amap.row_t(0)),
+            Wordline(amap.row_t(3)),
+        )
+
+    def test_first_eight_addresses_raise_single_wordlines(self, amap):
+        table = amap.b_group_wordlines()
+        for i in range(8):
+            assert len(table[amap.b(i)]) == 1
+
+    def test_wordline_counts(self, amap):
+        table = amap.b_group_wordlines()
+        counts = [len(table[amap.b(i)]) for i in range(16)]
+        assert counts == [1] * 8 + [2] * 4 + [3] * 4
+
+
+class TestDecoder:
+    def test_full_decoder_covers_address_space(self, amap):
+        dec = amap.build_decoder()
+        assert dec.address_space() == amap.address_space
+        for addr in range(amap.address_space):
+            assert len(dec.decode(addr)) >= 1
+
+    def test_data_addresses_are_identity(self, amap):
+        dec = amap.build_decoder()
+        assert dec.decode(17) == (Wordline(17),)
+
+    def test_control_addresses(self, amap):
+        dec = amap.build_decoder()
+        assert dec.decode(amap.c(0)) == (Wordline(amap.row_c0),)
+        assert dec.decode(amap.c(1)) == (Wordline(amap.row_c1),)
+
+    def test_b12_raises_t0_t1_t2(self, amap):
+        # Figure 7's example: ACTIVATE B12 raises T0, T1, T2.
+        dec = amap.build_decoder()
+        rows = {wl.row for wl in dec.decode(amap.b(12))}
+        assert rows == {amap.row_t(0), amap.row_t(1), amap.row_t(2)}
+
+    def test_works_for_small_geometry(self):
+        small = AmbitAddressMap(SubarrayGeometry(rows=24, row_bytes=64))
+        dec = small.build_decoder()
+        assert dec.address_space() == 24
+        assert small.data_rows == 6

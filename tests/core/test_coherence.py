@@ -1,0 +1,123 @@
+"""Coherence: the Dirty-Block Index and the flush cost model (5.4.4)."""
+
+import pytest
+
+from repro.core.coherence import (
+    CoherenceCost,
+    CoherenceLog,
+    DirtyBlockIndex,
+    coherence_for_bbop,
+)
+from repro.errors import SimulationError
+
+ROW = 1024
+LINE = 64
+
+
+@pytest.fixture
+def dbi():
+    return DirtyBlockIndex(row_bytes=ROW, line_bytes=LINE)
+
+
+class TestDirtyBlockIndex:
+    def test_mark_and_count(self, dbi):
+        dbi.mark_dirty(0)
+        dbi.mark_dirty(LINE)
+        dbi.mark_dirty(LINE + 1)  # same line
+        assert dbi.dirty_lines_in_row(0) == 2
+
+    def test_rows_separated(self, dbi):
+        dbi.mark_dirty(0)
+        dbi.mark_dirty(ROW)
+        assert dbi.dirty_lines_in_row(0) == 1
+        assert dbi.dirty_lines_in_row(1) == 1
+
+    def test_any_dirty(self, dbi):
+        dbi.mark_dirty(2 * ROW)
+        assert dbi.any_dirty([0, 1, 2])
+        assert not dbi.any_dirty([0, 1])
+
+    def test_flush_clears_and_counts(self, dbi):
+        dbi.mark_dirty(0)
+        dbi.mark_dirty(LINE)
+        assert dbi.flush_rows([0]) == 2
+        assert dbi.dirty_lines_in_row(0) == 0
+
+    def test_flush_idempotent(self, dbi):
+        dbi.mark_dirty(0)
+        dbi.flush_rows([0])
+        assert dbi.flush_rows([0]) == 0
+
+    def test_mark_clean(self, dbi):
+        dbi.mark_dirty(0)
+        dbi.mark_clean(0)
+        assert dbi.dirty_lines_in_row(0) == 0
+
+    def test_lines_per_row(self, dbi):
+        assert dbi.lines_per_row == ROW // LINE
+
+    def test_bad_geometry(self):
+        with pytest.raises(SimulationError):
+            DirtyBlockIndex(row_bytes=100, line_bytes=64)
+
+
+class TestCostModel:
+    def test_flush_cost_scales_with_dirty_lines(self):
+        cost = CoherenceCost()
+        few = cost.flush_ns(dirty_lines=1, rows_looked_up=1)
+        many = cost.flush_ns(dirty_lines=100, rows_looked_up=1)
+        assert many > few
+
+    def test_lookup_only_when_clean(self):
+        cost = CoherenceCost(lookup_ns=2.0)
+        assert cost.flush_ns(0, rows_looked_up=3) == pytest.approx(6.0)
+
+    def test_invalidate_per_row(self):
+        cost = CoherenceCost(invalidate_ns_per_row=10.0)
+        assert cost.invalidate_ns(4) == pytest.approx(40.0)
+
+
+class TestBbopCoherence:
+    def test_clean_sources_cost_lookups_only(self, dbi):
+        cost = CoherenceCost(lookup_ns=2.0, invalidate_ns_per_row=10.0)
+        log = CoherenceLog()
+        wait = coherence_for_bbop(
+            dbi, cost, source_rows=[0, 1], dest_rows=[2], log=log,
+            op_latency_ns=196.0,
+        )
+        # Invalidation (10 ns) fully overlaps the 196 ns operation.
+        assert wait == pytest.approx(4.0)
+        assert log.lines_written_back == 0
+
+    def test_dirty_sources_pay_writeback(self, dbi):
+        cost = CoherenceCost(lookup_ns=0.0, writeback_bw_gbps=64.0 / 1.0)
+        log = CoherenceLog()
+        for i in range(4):
+            dbi.mark_dirty(i * 64)
+        wait = coherence_for_bbop(
+            dbi, cost, source_rows=[0], dest_rows=[1], log=log,
+            op_latency_ns=1e9,
+        )
+        assert wait == pytest.approx(4.0)  # 4 lines * 64 B / 64 B/ns
+        assert log.lines_written_back == 4
+
+    def test_dirty_destination_dropped_without_writeback(self, dbi):
+        dbi.mark_dirty(ROW)  # row 1 is the destination
+        cost = CoherenceCost(lookup_ns=0.0)
+        log = CoherenceLog()
+        coherence_for_bbop(
+            dbi, cost, source_rows=[0], dest_rows=[1], log=log,
+            op_latency_ns=100.0,
+        )
+        assert log.lines_written_back == 0
+        assert dbi.dirty_lines_in_row(1) == 0
+
+    def test_slow_invalidation_charges_overflow(self, dbi):
+        cost = CoherenceCost(lookup_ns=0.0, invalidate_ns_per_row=50.0)
+        log = CoherenceLog()
+        wait = coherence_for_bbop(
+            dbi, cost, source_rows=[0], dest_rows=[1, 2], log=log,
+            op_latency_ns=60.0,
+        )
+        # 100 ns invalidation vs 60 ns op: 40 ns exposed.
+        assert wait == pytest.approx(40.0)

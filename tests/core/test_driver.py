@@ -1,0 +1,155 @@
+"""The subarray-aware driver (Section 5.4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.device import AmbitDevice
+from repro.core.driver import (
+    SCRATCH_ROWS_PER_SUBARRAY,
+    AmbitDriver,
+    stage_row,
+)
+from repro.core.microprograms import BulkOp
+from repro.dram.chip import RowLocation
+from repro.dram.geometry import small_test_geometry
+from repro.errors import AllocationError
+
+GEO = small_test_geometry(rows=24, row_bytes=64, banks=2, subarrays_per_bank=2)
+DATA_ROWS = GEO.subarray.data_rows  # 6
+USABLE = DATA_ROWS - SCRATCH_ROWS_PER_SUBARRAY  # 4 per subarray
+
+
+@pytest.fixture
+def device():
+    return AmbitDevice(geometry=GEO)
+
+
+@pytest.fixture
+def driver(device):
+    return AmbitDriver(device)
+
+
+class TestAllocation:
+    def test_rows_needed(self, driver):
+        row_bits = GEO.subarray.row_bits
+        assert driver.rows_needed(1) == 1
+        assert driver.rows_needed(row_bits) == 1
+        assert driver.rows_needed(row_bits + 1) == 2
+
+    def test_zero_bits_rejected(self, driver):
+        with pytest.raises(AllocationError):
+            driver.allocate(0)
+
+    def test_multi_row_vector_spreads_across_banks(self, driver):
+        handle = driver.allocate(GEO.subarray.row_bits * 4)
+        banks = {r.bank for r in handle.rows}
+        assert len(banks) > 1  # bank-level parallelism
+
+    def test_colocated_allocation(self, driver):
+        a = driver.allocate(GEO.subarray.row_bits * 3)
+        b = driver.allocate(GEO.subarray.row_bits * 3, like=a)
+        assert driver.colocated(a, b)
+
+    def test_colocation_template_size_checked(self, driver):
+        a = driver.allocate(GEO.subarray.row_bits * 2)
+        with pytest.raises(AllocationError):
+            driver.allocate(GEO.subarray.row_bits * 3, like=a)
+
+    def test_free_returns_rows(self, driver):
+        before = driver.free_rows()
+        handle = driver.allocate(GEO.subarray.row_bits * 3)
+        assert driver.free_rows() == before - 3
+        driver.free(handle)
+        assert driver.free_rows() == before
+
+    def test_double_free_rejected(self, driver):
+        handle = driver.allocate(GEO.subarray.row_bits)
+        rows = list(handle.rows)
+        driver.free(handle)
+        handle.rows = rows
+        with pytest.raises(AllocationError):
+            driver.free(handle)
+
+    def test_exhaustion(self, driver):
+        total = driver.free_rows()
+        driver.allocate(GEO.subarray.row_bits * total)
+        with pytest.raises(AllocationError):
+            driver.allocate(GEO.subarray.row_bits)
+
+    def test_exhaustion_rolls_back(self, driver):
+        total = driver.free_rows()
+        before = driver.free_rows()
+        with pytest.raises(AllocationError):
+            driver.allocate(GEO.subarray.row_bits * (total + 1))
+        assert driver.free_rows() == before
+
+    def test_colocated_subarray_fills_up(self, driver):
+        # A single subarray has USABLE rows; co-locating more fails.
+        a = driver.allocate(GEO.subarray.row_bits)
+        likes = [a]
+        for _ in range(USABLE - 1):
+            likes.append(driver.allocate(GEO.subarray.row_bits, like=a))
+        with pytest.raises(AllocationError):
+            driver.allocate(GEO.subarray.row_bits, like=a)
+
+
+class TestScratchAndStaging:
+    def test_scratch_rows_not_allocated(self, driver):
+        scratch_addrs = {
+            driver.scratch_row(0, 0, i).address
+            for i in range(SCRATCH_ROWS_PER_SUBARRAY)
+        }
+        total = driver.free_rows()
+        handles = [
+            driver.allocate(GEO.subarray.row_bits) for _ in range(total)
+        ]
+        for h in handles:
+            for r in h.rows:
+                if (r.bank, r.subarray) == (0, 0):
+                    assert r.address not in scratch_addrs
+
+    def test_scratch_index_checked(self, driver):
+        with pytest.raises(AllocationError):
+            driver.scratch_row(0, 0, SCRATCH_ROWS_PER_SUBARRAY)
+
+    def test_stage_noop_when_colocated(self, device, driver):
+        a = RowLocation(0, 0, 1)
+        assert stage_row(device, a, RowLocation(0, 0, 2)) == a
+
+    def test_stage_across_banks(self, device, driver, rng=np.random.default_rng(1)):
+        data = rng.integers(0, 2**63, size=GEO.subarray.words_per_row, dtype=np.uint64)
+        src = RowLocation(0, 0, 1)
+        target = RowLocation(1, 0, 2)
+        device.write_row(src, data)
+        staged = stage_row(device, src, target)
+        assert (staged.bank, staged.subarray) == (1, 0)
+        assert np.array_equal(device.read_row(staged), data)
+
+    def test_stage_across_subarrays_same_bank(self, device, driver):
+        rng = np.random.default_rng(2)
+        data = rng.integers(0, 2**63, size=GEO.subarray.words_per_row, dtype=np.uint64)
+        src = RowLocation(0, 0, 1)
+        target = RowLocation(0, 1, 2)
+        device.write_row(src, data)
+        staged = stage_row(device, src, target)
+        assert (staged.bank, staged.subarray) == (0, 1)
+        assert np.array_equal(device.read_row(staged), data)
+
+    def test_staged_op_end_to_end(self, device, driver):
+        # Operands in different subarrays still compute correctly.
+        rng = np.random.default_rng(3)
+        words = GEO.subarray.words_per_row
+        a = rng.integers(0, 2**63, size=words, dtype=np.uint64)
+        b = rng.integers(0, 2**63, size=words, dtype=np.uint64)
+        la, lb = RowLocation(0, 0, 0), RowLocation(1, 1, 0)
+        dst = RowLocation(0, 0, 2)
+        device.write_row(la, a)
+        device.write_row(lb, b)
+        staged_b = stage_row(device, lb, dst)
+        device.bbop_row(BulkOp.AND, dst, la, staged_b)
+        assert np.array_equal(device.read_row(dst), a & b)
+
+    def test_staging_charges_time(self, device, driver):
+        before = device.busy_ns
+        stage_row(device, RowLocation(0, 0, 1), RowLocation(1, 0, 2))
+        assert device.busy_ns > before

@@ -1,0 +1,180 @@
+"""Figure 8: the command microprograms of every bulk operation."""
+
+import pytest
+
+from repro.core.addressing import AmbitAddressMap
+from repro.core.microprograms import (
+    BulkOp,
+    compile_and,
+    compile_copy,
+    compile_nand,
+    compile_nor,
+    compile_not,
+    compile_op,
+    compile_or,
+    compile_xnor,
+    compile_xor,
+)
+from repro.core.primitives import AAP, AP
+from repro.dram.geometry import SubarrayGeometry
+from repro.errors import AddressError
+
+GEO = SubarrayGeometry(rows=1024, row_bytes=8192)
+
+
+@pytest.fixture
+def amap():
+    return AmbitAddressMap(GEO)
+
+
+class TestFigure8Sequences:
+    def test_and_matches_figure_8a(self, amap):
+        di, dj, dk = 3, 7, 11
+        prog = compile_and(amap, di, dj, dk)
+        assert prog.primitives == (
+            AAP(di, amap.b(0)),
+            AAP(dj, amap.b(1)),
+            AAP(amap.c(0), amap.b(2)),
+            AAP(amap.b(12), dk),
+        )
+
+    def test_nand_matches_figure_8b(self, amap):
+        di, dj, dk = 3, 7, 11
+        prog = compile_nand(amap, di, dj, dk)
+        assert prog.primitives == (
+            AAP(di, amap.b(0)),
+            AAP(dj, amap.b(1)),
+            AAP(amap.c(0), amap.b(2)),
+            AAP(amap.b(12), amap.b(5)),
+            AAP(amap.b(4), dk),
+        )
+
+    def test_xor_matches_figure_8c(self, amap):
+        di, dj, dk = 3, 7, 11
+        prog = compile_xor(amap, di, dj, dk)
+        assert prog.primitives == (
+            AAP(di, amap.b(8)),
+            AAP(dj, amap.b(9)),
+            AAP(amap.c(0), amap.b(10)),
+            AP(amap.b(14)),
+            AP(amap.b(15)),
+            AAP(amap.c(1), amap.b(2)),
+            AAP(amap.b(12), dk),
+        )
+
+    def test_not_matches_section_5_2(self, amap):
+        # ACT Di; ACT B5; PRE; ACT B4; ACT Dk; PRE.
+        prog = compile_not(amap, 3, 11)
+        assert prog.primitives == (AAP(3, amap.b(5)), AAP(amap.b(4), 11))
+
+    def test_or_differs_from_and_only_in_control_row(self, amap):
+        and_prog = compile_and(amap, 3, 7, 11)
+        or_prog = compile_or(amap, 3, 7, 11)
+        assert and_prog.primitives[2] == AAP(amap.c(0), amap.b(2))
+        assert or_prog.primitives[2] == AAP(amap.c(1), amap.b(2))
+        assert and_prog.primitives[:2] == or_prog.primitives[:2]
+        assert and_prog.primitives[3] == or_prog.primitives[3]
+
+    def test_nor_differs_from_nand_only_in_control_row(self, amap):
+        nand = compile_nand(amap, 3, 7, 11)
+        nor = compile_nor(amap, 3, 7, 11)
+        assert nand.primitives[2].addr1 == amap.c(0)
+        assert nor.primitives[2].addr1 == amap.c(1)
+
+    def test_xnor_swaps_control_rows(self, amap):
+        xor = compile_xor(amap, 3, 7, 11)
+        xnor = compile_xnor(amap, 3, 7, 11)
+        assert xor.primitives[2].addr1 == amap.c(0)
+        assert xnor.primitives[2].addr1 == amap.c(1)
+        assert xor.primitives[5].addr1 == amap.c(1)
+        assert xnor.primitives[5].addr1 == amap.c(0)
+
+    def test_copy_is_single_aap(self, amap):
+        prog = compile_copy(amap, 3, 11)
+        assert prog.primitives == (AAP(3, 11),)
+
+
+class TestPrimitiveCounts:
+    """Primitive counts drive both the latency and energy analyses."""
+
+    @pytest.mark.parametrize(
+        "op,aap,ap",
+        [
+            (BulkOp.NOT, 2, 0),
+            (BulkOp.COPY, 1, 0),
+            (BulkOp.AND, 4, 0),
+            (BulkOp.OR, 4, 0),
+            (BulkOp.NAND, 5, 0),
+            (BulkOp.NOR, 5, 0),
+            (BulkOp.XOR, 5, 2),
+            (BulkOp.XNOR, 5, 2),
+        ],
+    )
+    def test_counts(self, amap, op, aap, ap):
+        prog = compile_op(amap, op, 11, 3, None if op.arity == 1 else 7)
+        assert (prog.num_aap, prog.num_ap) == (aap, ap)
+
+
+class TestValidation:
+    def test_destination_must_be_data_row(self, amap):
+        with pytest.raises(AddressError):
+            compile_and(amap, 3, 7, amap.b(0))
+
+    def test_source_must_be_data_or_control(self, amap):
+        with pytest.raises(AddressError):
+            compile_and(amap, amap.b(3), 7, 11)
+
+    def test_control_rows_allowed_as_sources(self, amap):
+        compile_and(amap, amap.c(1), 7, 11)  # no raise
+
+    def test_copy_to_self_rejected(self, amap):
+        with pytest.raises(AddressError):
+            compile_copy(amap, 3, 3)
+
+    def test_arity_enforced(self, amap):
+        with pytest.raises(AddressError):
+            compile_op(amap, BulkOp.NOT, 11, 3, 7)
+        with pytest.raises(AddressError):
+            compile_op(amap, BulkOp.AND, 11, 3)
+
+    def test_not_destination_checked(self, amap):
+        with pytest.raises(AddressError):
+            compile_not(amap, 3, amap.c(0))
+
+
+class TestMajMicroprogram:
+    def test_maj_structure(self, amap):
+        from repro.core.microprograms import compile_maj
+        from repro.core.primitives import AAP
+
+        prog = compile_maj(amap, 3, 7, 9, 11)
+        assert prog.primitives == (
+            AAP(3, amap.b(0)),
+            AAP(7, amap.b(1)),
+            AAP(9, amap.b(2)),
+            AAP(amap.b(12), 11),
+        )
+        assert prog.num_aap == 4 and prog.num_ap == 0
+
+    def test_maj_same_cost_as_and(self, amap):
+        from repro.core.microprograms import compile_and, compile_maj
+
+        assert compile_maj(amap, 0, 1, 2, 3).num_aap == compile_and(
+            amap, 0, 1, 3
+        ).num_aap
+
+    def test_maj_via_compile_op(self, amap):
+        prog = compile_op(amap, BulkOp.MAJ, 11, 3, 7, 9)
+        assert prog.op is BulkOp.MAJ
+
+    def test_maj_arity_enforced(self, amap):
+        with pytest.raises(AddressError):
+            compile_op(amap, BulkOp.MAJ, 11, 3, 7)
+        with pytest.raises(AddressError):
+            compile_op(amap, BulkOp.AND, 11, 3, 7, 9)
+
+    def test_maj_destination_checked(self, amap):
+        from repro.core.microprograms import compile_maj
+
+        with pytest.raises(AddressError):
+            compile_maj(amap, 0, 1, 2, amap.b(0))

@@ -1,0 +1,101 @@
+"""AAP/AP primitives and the split-decoder timing (Section 5.3)."""
+
+import pytest
+
+from repro.core.addressing import AmbitAddressMap
+from repro.core.microprograms import BulkOp, compile_op
+from repro.core.primitives import AAP, AP, sequence_latency_ns
+from repro.dram.commands import Opcode
+from repro.dram.geometry import SubarrayGeometry
+from repro.dram.timing import ddr3_1600
+
+GEO = SubarrayGeometry(rows=1024, row_bytes=8192)
+
+
+@pytest.fixture
+def amap():
+    return AmbitAddressMap(GEO)
+
+
+@pytest.fixture
+def timing():
+    return ddr3_1600()
+
+
+class TestCommandExpansion:
+    def test_aap_commands(self):
+        cmds = list(AAP(3, 7).commands(bank=1, subarray=2))
+        assert [c.opcode for c in cmds] == [
+            Opcode.ACTIVATE,
+            Opcode.ACTIVATE,
+            Opcode.PRECHARGE,
+        ]
+        assert cmds[0].row == 3 and cmds[1].row == 7
+        assert all(c.bank == 1 and c.subarray == 2 for c in cmds)
+
+    def test_ap_commands(self):
+        cmds = list(AP(5).commands(bank=0, subarray=0))
+        assert [c.opcode for c in cmds] == [Opcode.ACTIVATE, Opcode.PRECHARGE]
+
+
+class TestLatency:
+    def test_overlapped_aap(self, amap, timing):
+        # D-group + B-group: decoders overlap -> 49 ns.
+        aap = AAP(3, amap.b(0))
+        assert aap.latency_ns(timing, amap) == pytest.approx(49.0)
+
+    def test_b_to_d_also_overlaps(self, amap, timing):
+        aap = AAP(amap.b(12), 3)
+        assert aap.latency_ns(timing, amap) == pytest.approx(49.0)
+
+    def test_both_b_group_serialises(self, amap, timing):
+        # nand's AAP(B12, B5): both on the small decoder -> 80 ns.
+        aap = AAP(amap.b(12), amap.b(5))
+        assert aap.latency_ns(timing, amap) == pytest.approx(80.0)
+
+    def test_both_d_group_serialises(self, amap, timing):
+        # A plain RowClone copy between data rows has no decoder split.
+        aap = AAP(3, 7)
+        assert aap.latency_ns(timing, amap) == pytest.approx(80.0)
+
+    def test_split_decoder_disabled(self, amap, timing):
+        aap = AAP(3, amap.b(0))
+        assert aap.latency_ns(timing, amap, split_decoder=False) == pytest.approx(
+            80.0
+        )
+
+    def test_ap_latency(self, amap, timing):
+        assert AP(amap.b(14)).latency_ns(timing, amap) == pytest.approx(45.0)
+
+
+class TestOperationLatencies:
+    """End-to-end per-op latencies on DDR3-1600."""
+
+    @pytest.mark.parametrize(
+        "op,expected_ns",
+        [
+            # not: 2 overlapped AAPs.
+            (BulkOp.NOT, 2 * 49.0),
+            # and/or: 3 overlapped AAPs + TRA AAP (overlapped).
+            (BulkOp.AND, 4 * 49.0),
+            (BulkOp.OR, 4 * 49.0),
+            # nand/nor: 4 overlapped + the B12->B5 serial AAP.
+            (BulkOp.NAND, 4 * 49.0 + 80.0),
+            (BulkOp.NOR, 4 * 49.0 + 80.0),
+            # xor/xnor: 5 overlapped AAPs + 2 APs.
+            (BulkOp.XOR, 5 * 49.0 + 2 * 45.0),
+            (BulkOp.XNOR, 5 * 49.0 + 2 * 45.0),
+        ],
+    )
+    def test_latency(self, amap, timing, op, expected_ns):
+        prog = compile_op(amap, op, 11, 3, None if op.arity == 1 else 7)
+        assert sequence_latency_ns(prog.primitives, timing, amap) == pytest.approx(
+            expected_ns
+        )
+
+    def test_naive_mode_is_uniform_80ns_per_aap(self, amap, timing):
+        prog = compile_op(amap, BulkOp.AND, 11, 3, 7)
+        latency = sequence_latency_ns(
+            prog.primitives, timing, amap, split_decoder=False
+        )
+        assert latency == pytest.approx(4 * 80.0)

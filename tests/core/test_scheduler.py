@@ -1,0 +1,132 @@
+"""Interleaving Ambit jobs with regular memory traffic (Section 5.5.2)."""
+
+import pytest
+
+from repro.core.addressing import AmbitAddressMap
+from repro.core.microprograms import BulkOp, compile_op
+from repro.core.scheduler import AmbitJob, InterleavingController
+from repro.dram.controller import MemRequest, RequestType
+from repro.dram.geometry import SubarrayGeometry
+from repro.dram.timing import ddr3_1600
+from repro.errors import SimulationError
+
+AMAP = AmbitAddressMap(SubarrayGeometry(rows=1024, row_bytes=8192))
+
+
+def _controller(banks=2):
+    return InterleavingController(ddr3_1600(), AMAP, banks=banks)
+
+
+def _job(bank=0, arrival=0.0, op=BulkOp.AND):
+    prog = compile_op(AMAP, op, 2, 0, None if op.arity == 1 else 1)
+    return AmbitJob(program=prog, bank=bank, arrival_ns=arrival)
+
+
+def _req(bank=0, arrival=0.0, row=5):
+    return MemRequest(RequestType.READ, bank=bank, row=row, arrival_ns=arrival)
+
+
+class TestPureStreams:
+    def test_jobs_only(self):
+        ctrl = _controller()
+        ctrl.enqueue_job(_job())
+        stats = ctrl.run()
+        # One AND = 4 overlapped AAPs = 196 ns.
+        assert stats.makespan_ns == pytest.approx(196.0)
+        assert stats.job_latencies == [pytest.approx(196.0)]
+
+    def test_requests_only(self):
+        ctrl = _controller()
+        ctrl.enqueue_request(_req())
+        stats = ctrl.run()
+        t = ddr3_1600()
+        assert stats.mean_request_latency == pytest.approx(
+            t.tRCD + t.tCL + t.tBL
+        )
+
+    def test_empty(self):
+        stats = _controller().run()
+        assert stats.makespan_ns == 0.0
+
+
+class TestInterleaving:
+    def test_request_slips_between_primitives(self):
+        # A request arriving mid-job is served at a primitive boundary,
+        # not after the whole job.
+        ctrl = _controller()
+        ctrl.enqueue_job(_job(arrival=0.0))
+        ctrl.enqueue_request(_req(arrival=10.0))
+        stats = ctrl.run()
+        req_finish = stats.request_latencies[0] + 10.0
+        assert req_finish < 196.0 + 25.0  # served before the job's end
+
+    def test_job_delayed_by_interleaved_request(self):
+        alone = _controller()
+        alone.enqueue_job(_job())
+        base = alone.run().job_latencies[0]
+
+        shared = _controller()
+        shared.enqueue_job(_job(arrival=0.0))
+        shared.enqueue_request(_req(arrival=1.0))
+        delayed = shared.run().job_latencies[0]
+        assert delayed > base
+
+    def test_banks_independent(self):
+        ctrl = _controller(banks=2)
+        ctrl.enqueue_job(_job(bank=0))
+        ctrl.enqueue_job(_job(bank=1))
+        stats = ctrl.run()
+        # Parallel banks: makespan equals one job, not two.
+        assert stats.makespan_ns == pytest.approx(196.0)
+
+    def test_same_bank_serialises(self):
+        ctrl = _controller(banks=2)
+        ctrl.enqueue_job(_job(bank=0))
+        ctrl.enqueue_job(_job(bank=0))
+        stats = ctrl.run()
+        assert stats.makespan_ns == pytest.approx(392.0)
+
+    def test_request_latency_under_load_grows(self):
+        # Foreground latency degrades gracefully under Ambit load: each
+        # request waits at most one primitive.
+        light = _controller()
+        light.enqueue_request(_req(arrival=5.0))
+        light_latency = light.run().mean_request_latency
+
+        heavy = _controller()
+        for i in range(4):
+            heavy.enqueue_job(_job(arrival=0.0))
+        heavy.enqueue_request(_req(arrival=5.0))
+        heavy_latency = heavy.run().mean_request_latency
+        assert heavy_latency > light_latency
+        # Bounded interference: waits for the in-flight primitive (49ns
+        # AAP), not for all four queued jobs (~784 ns).
+        assert heavy_latency < light_latency + 100.0
+
+    def test_arrival_order_respected_for_idle_bank(self):
+        ctrl = _controller()
+        ctrl.enqueue_request(_req(arrival=500.0))
+        stats = ctrl.run()
+        assert stats.request_latencies[0] == pytest.approx(
+            ddr3_1600().tRCD + ddr3_1600().tCL + ddr3_1600().tBL
+        )
+
+    def test_bank_bounds_checked(self):
+        ctrl = _controller(banks=2)
+        with pytest.raises(SimulationError):
+            ctrl.enqueue_job(_job(bank=2))
+        with pytest.raises(SimulationError):
+            ctrl.enqueue_request(_req(bank=5))
+
+    def test_zero_banks_rejected(self):
+        with pytest.raises(SimulationError):
+            InterleavingController(ddr3_1600(), AMAP, banks=0)
+
+    def test_naive_decoder_jobs_slower(self):
+        fast = _controller()
+        fast.enqueue_job(_job())
+        slow = InterleavingController(
+            ddr3_1600(), AMAP, banks=2, split_decoder=False
+        )
+        slow.enqueue_job(_job())
+        assert slow.run().mean_job_latency > fast.run().mean_job_latency

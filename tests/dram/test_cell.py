@@ -1,0 +1,59 @@
+"""Row decoders and wordline records."""
+
+import pytest
+
+from repro.dram.cell import DirectRowDecoder, MappingRowDecoder, Wordline
+from repro.errors import AddressError
+
+
+class TestDirectDecoder:
+    def test_identity_mapping(self):
+        dec = DirectRowDecoder(8)
+        assert dec.decode(5) == (Wordline(5),)
+
+    def test_address_space(self):
+        assert DirectRowDecoder(8).address_space() == 8
+
+    def test_out_of_range(self):
+        with pytest.raises(AddressError):
+            DirectRowDecoder(8).decode(8)
+
+    def test_negative_rejected(self):
+        with pytest.raises(AddressError):
+            DirectRowDecoder(8).decode(-1)
+
+    def test_zero_rows_rejected(self):
+        with pytest.raises(AddressError):
+            DirectRowDecoder(0)
+
+
+class TestMappingDecoder:
+    def test_fanout(self):
+        dec = MappingRowDecoder({0: (Wordline(1), Wordline(2))})
+        assert dec.decode(0) == (Wordline(1), Wordline(2))
+
+    def test_unmapped_address(self):
+        dec = MappingRowDecoder({0: (Wordline(0),)})
+        with pytest.raises(AddressError):
+            dec.decode(1)
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(AddressError):
+            MappingRowDecoder({})
+
+    def test_empty_fanout_rejected(self):
+        with pytest.raises(AddressError):
+            MappingRowDecoder({0: ()})
+
+    def test_address_space_is_max_plus_one(self):
+        dec = MappingRowDecoder({0: (Wordline(0),), 7: (Wordline(1),)})
+        assert dec.address_space() == 8
+
+
+class TestWordline:
+    def test_equality(self):
+        assert Wordline(3) == Wordline(3, negated=False)
+        assert Wordline(3) != Wordline(3, negated=True)
+
+    def test_hashable(self):
+        assert len({Wordline(1), Wordline(1), Wordline(2)}) == 2

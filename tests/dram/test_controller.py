@@ -1,0 +1,96 @@
+"""FR-FCFS memory controller scheduling."""
+
+import pytest
+
+from repro.dram.controller import FrFcfsScheduler, MemRequest, RequestType
+from repro.dram.timing import ddr4_2400
+from repro.errors import SimulationError
+
+
+def _req(bank, row, arrival=0.0, rtype=RequestType.READ):
+    return MemRequest(rtype=rtype, bank=bank, row=row, arrival_ns=arrival)
+
+
+@pytest.fixture
+def sched():
+    return FrFcfsScheduler(timing=ddr4_2400(), banks=4)
+
+
+class TestScheduling:
+    def test_empty_queue(self, sched):
+        makespan, done = sched.run()
+        assert makespan == 0.0 and done == []
+
+    def test_single_request(self, sched):
+        t = sched.timing
+        sched.enqueue(_req(0, 1))
+        makespan, done = sched.run()
+        assert makespan == pytest.approx(t.tRCD + t.tCL + t.tBL)
+
+    def test_row_hit_faster_than_miss(self, sched):
+        t = sched.timing
+        sched.enqueue(_req(0, 1))
+        sched.enqueue(_req(0, 1))
+        makespan, done = sched.run()
+        hit_latency = done[1].finish_ns - done[0].finish_ns
+        assert hit_latency == pytest.approx(t.tCL + t.tBL)
+
+    def test_conflict_pays_precharge(self, sched):
+        sched.enqueue(_req(0, 1))
+        sched.enqueue(_req(0, 2))
+        _, done = sched.run()
+        t = sched.timing
+        conflict_latency = done[1].finish_ns - done[1].start_ns
+        assert conflict_latency == pytest.approx(t.tRP + t.tRCD + t.tCL + t.tBL)
+
+    def test_fr_prioritises_row_hits(self, sched):
+        # Older request to a different row loses to a younger row hit.
+        sched.enqueue(_req(0, 1, arrival=0.0))
+        sched.enqueue(_req(0, 2, arrival=1.0))
+        sched.enqueue(_req(0, 1, arrival=2.0))
+        _, done = sched.run()
+        served_rows = [r.row for r in done]
+        assert served_rows == [1, 1, 2]
+
+    def test_banks_overlap(self):
+        t = ddr4_2400()
+        serial = FrFcfsScheduler(timing=t, banks=4)
+        for i in range(4):
+            serial.enqueue(_req(0, i))  # all conflicts on one bank
+        span_serial, _ = serial.run()
+
+        parallel = FrFcfsScheduler(timing=t, banks=4)
+        for i in range(4):
+            parallel.enqueue(_req(i, 0))  # one per bank
+        span_parallel, _ = parallel.run()
+        assert span_parallel < span_serial
+
+    def test_bus_serialises_bursts(self):
+        t = ddr4_2400()
+        sched = FrFcfsScheduler(timing=t, banks=4)
+        for i in range(4):
+            sched.enqueue(_req(i, 0))
+        makespan, done = sched.run()
+        finishes = sorted(r.finish_ns for r in done)
+        for a, b in zip(finishes, finishes[1:]):
+            assert b - a >= t.tBL - 1e-9
+
+    def test_arrival_times_respected(self, sched):
+        sched.enqueue(_req(0, 1, arrival=500.0))
+        _, done = sched.run()
+        assert done[0].start_ns >= 500.0
+
+    def test_bad_bank_rejected(self, sched):
+        with pytest.raises(SimulationError):
+            sched.enqueue(_req(9, 0))
+
+    def test_zero_banks_rejected(self):
+        with pytest.raises(SimulationError):
+            FrFcfsScheduler(timing=ddr4_2400(), banks=0)
+
+    def test_row_hit_rate_diagnostic(self, sched):
+        sched.enqueue(_req(0, 1))
+        sched.enqueue(_req(0, 1))
+        sched.enqueue(_req(0, 2))
+        _, done = sched.run()
+        assert sched.row_hit_rate(done) == pytest.approx(1 / 3)

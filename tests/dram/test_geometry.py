@@ -1,0 +1,73 @@
+"""Geometry arithmetic and validation."""
+
+import pytest
+
+from repro.dram.geometry import (
+    NUM_BITWISE_STORAGE_ROWS,
+    NUM_CONTROL_ROWS,
+    DramGeometry,
+    SubarrayGeometry,
+    small_test_geometry,
+)
+from repro.errors import ConfigError
+
+
+class TestSubarrayGeometry:
+    def test_paper_default_has_1006_data_rows(self):
+        # Figure 7: a 1024-row subarray exposes 1006 D-group addresses.
+        geo = SubarrayGeometry(rows=1024, row_bytes=8192)
+        assert geo.data_rows == 1006
+
+    def test_reserved_rows_are_eight(self):
+        assert NUM_BITWISE_STORAGE_ROWS + NUM_CONTROL_ROWS == 8
+
+    def test_row_bits(self):
+        assert SubarrayGeometry(rows=64, row_bytes=8192).row_bits == 65536
+
+    def test_words_per_row(self):
+        assert SubarrayGeometry(rows=64, row_bytes=8192).words_per_row == 1024
+
+    def test_512_row_subarray_supported(self):
+        geo = SubarrayGeometry(rows=512, row_bytes=8192)
+        assert geo.data_rows == 512 - 18
+
+    def test_too_few_rows_rejected(self):
+        with pytest.raises(ConfigError):
+            SubarrayGeometry(rows=8, row_bytes=64)
+
+    def test_row_bytes_must_be_multiple_of_8(self):
+        with pytest.raises(ConfigError):
+            SubarrayGeometry(rows=32, row_bytes=63)
+
+    def test_row_bytes_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            SubarrayGeometry(rows=32, row_bytes=0)
+
+    def test_storage_rows_equal_total_rows(self):
+        geo = SubarrayGeometry(rows=128, row_bytes=64)
+        assert geo.storage_rows == 128
+
+
+class TestDramGeometry:
+    def test_paper_default(self):
+        geo = DramGeometry()
+        assert geo.banks == 8
+        assert geo.subarray.row_bytes == 8192
+
+    def test_data_capacity(self):
+        geo = small_test_geometry(rows=32, row_bytes=64, banks=2, subarrays_per_bank=2)
+        per_sub = 32 - 18  # 16 B-group + 2 C-group addresses reserved
+        assert geo.data_rows_per_bank == 2 * per_sub
+        assert geo.data_capacity_bytes == 2 * 2 * per_sub * 64
+
+    def test_invalid_banks(self):
+        with pytest.raises(ConfigError):
+            DramGeometry(banks=0)
+
+    def test_invalid_subarrays(self):
+        with pytest.raises(ConfigError):
+            DramGeometry(subarrays_per_bank=0)
+
+    def test_row_bytes_passthrough(self):
+        geo = small_test_geometry(row_bytes=128)
+        assert geo.row_bytes == 128

@@ -1,0 +1,92 @@
+"""RowClone FPM/PSM: in-DRAM copy (the substrate of Section 3.4)."""
+
+import numpy as np
+import pytest
+
+from repro.dram.chip import DramChip, RowLocation
+from repro.dram.geometry import small_test_geometry
+from repro.dram.rowclone import (
+    fpm_latency_ns,
+    initialize_row,
+    psm_latency_ns,
+    rowclone_fpm,
+    rowclone_psm,
+)
+from repro.dram.timing import ddr3_1600
+from repro.errors import DramProtocolError
+
+GEO = small_test_geometry(rows=24, row_bytes=64, banks=2, subarrays_per_bank=2)
+
+
+@pytest.fixture
+def chip():
+    return DramChip(GEO)
+
+
+@pytest.fixture
+def data(rng=np.random.default_rng(5)):
+    return rng.integers(0, 2**63, size=GEO.subarray.words_per_row, dtype=np.uint64)
+
+
+class TestFpm:
+    def test_copies_within_subarray(self, chip, data):
+        chip.poke_row(RowLocation(0, 0, 2), data)
+        rowclone_fpm(chip, bank=0, subarray=0, src_address=2, dst_address=5)
+        assert np.array_equal(chip.peek_row(RowLocation(0, 0, 5)), data)
+
+    def test_source_preserved(self, chip, data):
+        chip.poke_row(RowLocation(0, 0, 2), data)
+        rowclone_fpm(chip, 0, 0, 2, 5)
+        assert np.array_equal(chip.peek_row(RowLocation(0, 0, 2)), data)
+
+    def test_identical_rows_rejected(self, chip):
+        with pytest.raises(DramProtocolError):
+            rowclone_fpm(chip, 0, 0, 3, 3)
+
+    def test_command_sequence(self, chip, data):
+        chip.poke_row(RowLocation(0, 0, 2), data)
+        chip.trace.clear()
+        rowclone_fpm(chip, 0, 0, 2, 5)
+        acts, pres, rds, wrs = chip.trace.counts()
+        # Exactly ACT, ACT, PRE -- no data over the channel.
+        assert (acts, pres, rds, wrs) == (2, 1, 0, 0)
+
+    def test_bank_left_precharged(self, chip, data):
+        chip.poke_row(RowLocation(0, 0, 2), data)
+        rowclone_fpm(chip, 0, 0, 2, 5)
+        assert chip.bank(0).open_subarray is None
+
+    def test_latency_is_80ns(self):
+        assert fpm_latency_ns(ddr3_1600()) == pytest.approx(80.0)
+
+
+class TestPsm:
+    def test_copies_across_banks(self, chip, data):
+        src = RowLocation(0, 1, 2)
+        dst = RowLocation(1, 0, 4)
+        chip.poke_row(src, data)
+        rowclone_psm(chip, src, dst)
+        assert np.array_equal(chip.peek_row(dst), data)
+
+    def test_same_bank_rejected(self, chip):
+        with pytest.raises(DramProtocolError):
+            rowclone_psm(chip, RowLocation(0, 0, 1), RowLocation(0, 1, 1))
+
+    def test_both_banks_precharged_after(self, chip, data):
+        src, dst = RowLocation(0, 0, 1), RowLocation(1, 0, 1)
+        chip.poke_row(src, data)
+        rowclone_psm(chip, src, dst)
+        assert chip.bank(0).open_subarray is None
+        assert chip.bank(1).open_subarray is None
+
+    def test_psm_slower_than_fpm(self):
+        t = ddr3_1600()
+        assert psm_latency_ns(t, 8192) > fpm_latency_ns(t)
+
+
+class TestInitialize:
+    def test_initialize_from_control_row(self, chip):
+        ones = np.full(GEO.subarray.words_per_row, np.uint64(2**64 - 1))
+        chip.poke_row(RowLocation(0, 0, 7), ones)
+        initialize_row(chip, 0, 0, control_address=7, dst_address=3)
+        assert np.array_equal(chip.peek_row(RowLocation(0, 0, 3)), ones)

@@ -1,0 +1,96 @@
+"""Sense amplifier array: sensing, latching, protocol enforcement."""
+
+import numpy as np
+import pytest
+
+from repro.dram.senseamp import SenseAmplifierArray, _pack_bits, _unpack_bits, majority3
+from repro.errors import DramProtocolError
+
+WORDS = 4
+
+
+def _v(rng):
+    return rng.integers(0, 2**63, size=WORDS, dtype=np.uint64)
+
+
+@pytest.fixture
+def amps():
+    return SenseAmplifierArray(WORDS)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(3)
+
+
+class TestMajority3:
+    def test_truth_table(self):
+        # All 8 input combinations of the majority function.
+        for a in (0, 1):
+            for b in (0, 1):
+                for c in (0, 1):
+                    arr = lambda x: np.array([np.uint64(0xFFFFFFFFFFFFFFFF * x)])
+                    out = majority3(arr(a), arr(b), arr(c))
+                    expected = 0xFFFFFFFFFFFFFFFF if a + b + c >= 2 else 0
+                    assert int(out[0]) == expected, (a, b, c)
+
+    def test_equals_rewritten_form(self, rng):
+        # C(A+B) + !C(AB), the identity Section 3.1 relies on.
+        a, b, c = _v(rng), _v(rng), _v(rng)
+        rewritten = (c & (a | b)) | (~c & (a & b))
+        assert np.array_equal(majority3(a, b, c), rewritten)
+
+
+class TestSensing:
+    def test_single_cell(self, amps, rng):
+        v = _v(rng)
+        assert np.array_equal(amps.sense([(v, False)]), v)
+
+    def test_single_negated_cell(self, amps, rng):
+        v = _v(rng)
+        assert np.array_equal(amps.sense([(v, True)]), ~v)
+
+    def test_three_cells_majority(self, amps, rng):
+        a, b, c = _v(rng), _v(rng), _v(rng)
+        out = amps.sense([(a, False), (b, False), (c, False)])
+        assert np.array_equal(out, majority3(a, b, c))
+
+    def test_three_cells_with_negation(self, amps, rng):
+        a, b, c = _v(rng), _v(rng), _v(rng)
+        out = amps.sense([(a, True), (b, False), (c, False)])
+        assert np.array_equal(out, majority3(~a, b, c))
+
+    def test_two_cells_rejected(self, amps, rng):
+        with pytest.raises(DramProtocolError):
+            amps.sense([(_v(rng), False), (_v(rng), False)])
+
+    def test_sense_while_enabled_rejected(self, amps, rng):
+        amps.sense([(_v(rng), False)])
+        with pytest.raises(DramProtocolError):
+            amps.sense([(_v(rng), False)])
+
+    def test_precharge_resets(self, amps, rng):
+        amps.sense([(_v(rng), False)])
+        amps.precharge()
+        assert not amps.enabled
+
+    def test_latch_requires_enabled(self, amps):
+        with pytest.raises(DramProtocolError):
+            _ = amps.latch
+
+    def test_overwrite_requires_enabled(self, amps, rng):
+        with pytest.raises(DramProtocolError):
+            amps.overwrite(_v(rng))
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(DramProtocolError):
+            SenseAmplifierArray(0)
+
+
+class TestBitPacking:
+    def test_roundtrip(self, rng):
+        v = _v(rng)
+        assert np.array_equal(_pack_bits(_unpack_bits(v), WORDS), v)
+
+    def test_unpack_length(self, rng):
+        assert _unpack_bits(_v(rng)).size == WORDS * 64

@@ -1,0 +1,81 @@
+"""The paper's latency identities (Sections 3.4 and 5.3)."""
+
+import pytest
+
+from repro.dram.timing import (
+    PRESETS,
+    TimingParameters,
+    ddr3_1333,
+    ddr3_1600,
+    ddr4_2400,
+    preset,
+)
+from repro.errors import ConfigError
+
+
+class TestPaperIdentities:
+    def test_naive_aap_is_80ns_on_ddr3_1600(self):
+        # Section 5.3: 2*tRAS + tRP = 80 ns for DDR3-1600 (8-8-8).
+        assert ddr3_1600().aap_latency(split_decoder=False) == pytest.approx(80.0)
+
+    def test_optimised_aap_is_49ns_on_ddr3_1600(self):
+        # Section 5.3: tRAS + 4ns + tRP = 49 ns.
+        assert ddr3_1600().aap_latency(split_decoder=True) == pytest.approx(49.0)
+
+    def test_ap_is_45ns_on_ddr3_1600(self):
+        assert ddr3_1600().ap_latency() == pytest.approx(45.0)
+
+    def test_rowclone_fpm_is_80ns_unoptimised(self):
+        # Section 3.4: "This operation takes only 80 ns".
+        assert ddr3_1600().rowclone_fpm_latency() == pytest.approx(80.0)
+
+    def test_rowclone_fpm_accelerated_by_split_decoder(self):
+        assert ddr3_1600().rowclone_fpm_latency(split_decoder=True) == pytest.approx(
+            49.0
+        )
+
+    def test_split_decoder_always_faster(self):
+        for factory in PRESETS.values():
+            t = factory()
+            assert t.aap_latency(True) < t.aap_latency(False)
+
+
+class TestParameters:
+    def test_trc_is_ras_plus_rp(self):
+        t = ddr3_1333()
+        assert t.trc == pytest.approx(t.tRAS + t.tRP)
+
+    def test_preset_lookup(self):
+        assert preset("DDR3-1600").name == "DDR3-1600"
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ConfigError):
+            preset("DDR9-9999")
+
+    def test_all_presets_constructible(self):
+        for name in PRESETS:
+            assert preset(name).tRAS > 0
+
+    def test_negative_timing_rejected(self):
+        with pytest.raises(ConfigError):
+            TimingParameters(
+                name="bad", tCK=1, tRCD=-1, tRAS=35, tRP=10, tCL=10, tBL=5
+            )
+
+    def test_negative_overlap_rejected(self):
+        with pytest.raises(ConfigError):
+            TimingParameters(
+                name="bad",
+                tCK=1,
+                tRCD=10,
+                tRAS=35,
+                tRP=10,
+                tCL=10,
+                tBL=5,
+                tAAP_OVERLAP=-1,
+            )
+
+    def test_activate_read_row_latency(self):
+        t = ddr4_2400()
+        latency = t.activate_read_row_latency(8192)
+        assert latency > 8192 / t.io_gbps  # transfer plus command overhead

@@ -1,0 +1,76 @@
+"""Application-level energy accounting."""
+
+import pytest
+
+from repro.core.microprograms import BulkOp
+from repro.energy.accounting import ambit_op_energy_nj_per_kb
+from repro.energy.applications import (
+    WorkloadEnergy,
+    ambit_op_energy_nj,
+    bitmap_index_query_energy,
+)
+from repro.errors import SimulationError
+
+
+class TestClosedFormAmbitEnergy:
+    @pytest.mark.parametrize(
+        "op", [BulkOp.NOT, BulkOp.AND, BulkOp.OR, BulkOp.NAND, BulkOp.XOR]
+    )
+    def test_matches_trace_measurement(self, op):
+        # The closed form must agree with folding a real command trace.
+        closed = ambit_op_energy_nj(op, 8192) / 8  # nJ/KB
+        measured = ambit_op_energy_nj_per_kb(op)
+        assert closed == pytest.approx(measured, rel=0.01)
+
+    def test_maj_costs_like_and(self):
+        assert ambit_op_energy_nj(BulkOp.MAJ) == pytest.approx(
+            ambit_op_energy_nj(BulkOp.AND)
+        )
+
+
+class TestWorkloadEnergy:
+    def test_accumulates_per_row(self):
+        w = WorkloadEnergy(vector_bytes=3 * 8192)
+        w.add_op(BulkOp.AND, 2)
+        assert w.operations == 2
+        assert w.ambit_nj == pytest.approx(
+            2 * 3 * ambit_op_energy_nj(BulkOp.AND)
+        )
+
+    def test_reduction_in_table3_regime(self):
+        w = WorkloadEnergy(vector_bytes=1 << 20)
+        w.add_op(BulkOp.AND, 10)
+        assert 35 <= w.reduction <= 50  # Table 3 and/or: ~43x
+
+    def test_no_ops_rejected(self):
+        with pytest.raises(SimulationError):
+            _ = WorkloadEnergy(vector_bytes=8192).reduction
+
+    def test_bad_sizes_rejected(self):
+        with pytest.raises(SimulationError):
+            WorkloadEnergy(vector_bytes=0)
+        with pytest.raises(SimulationError):
+            WorkloadEnergy(vector_bytes=100).add_op(BulkOp.AND, -1)
+
+
+class TestBitmapQueryEnergy:
+    def test_operation_count(self):
+        e = bitmap_index_query_energy(users=8_000_000, weeks=4)
+        assert e.operations == 6 * 4 + 2 * 4 - 1  # 6w OR + (2w-1) AND
+
+    def test_reduction_near_and_or_row(self):
+        # The query is all AND/OR, so the workload reduction sits at the
+        # Table 3 and/or figure (~42-44x).
+        e = bitmap_index_query_energy(users=16_000_000, weeks=3)
+        assert e.reduction == pytest.approx(41.6, rel=0.10)
+
+    def test_energy_scales_with_users_and_weeks(self):
+        small = bitmap_index_query_energy(8_000_000, 2)
+        wide = bitmap_index_query_energy(8_000_000, 4)
+        big = bitmap_index_query_energy(16_000_000, 2)
+        assert wide.ambit_nj > small.ambit_nj
+        assert big.ambit_nj == pytest.approx(2 * small.ambit_nj, rel=0.01)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(SimulationError):
+            bitmap_index_query_energy(0, 2)

@@ -1,0 +1,85 @@
+"""Ambit-3D: the mechanism at 3D-stacked-DRAM geometry.
+
+Section 1: "since almost all DRAM technologies use the same underlying
+DRAM microarchitecture, Ambit can be integrated with any of these DRAM
+technologies."  We verify that claim holds in the model: a functional
+device with HMC-like geometry (many banks, narrow rows) computes the
+same results, and its measured throughput matches the Ambit-3D
+analytical model bank-for-bank.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.device import AmbitDevice
+from repro.core.microprograms import BulkOp
+from repro.dram.chip import RowLocation
+from repro.dram.geometry import DramGeometry, SubarrayGeometry
+from repro.dram.timing import hmc_like
+from repro.perf.systems import AmbitSystem, ambit_3d
+from repro.perf.throughput import measure_ambit_functional
+
+# A slice of the 256-bank HMC device: 16 banks is enough to verify the
+# scaling law while keeping the functional model fast.
+GEO_3D = DramGeometry(
+    banks=16,
+    subarrays_per_bank=1,
+    subarray=SubarrayGeometry(rows=32, row_bytes=1024),
+)
+
+
+@pytest.fixture
+def device():
+    return AmbitDevice(geometry=GEO_3D, timing=hmc_like())
+
+
+class TestFunctionalAt3dGeometry:
+    @pytest.mark.parametrize("op", [BulkOp.AND, BulkOp.XOR, BulkOp.NOT])
+    def test_ops_bit_exact(self, device, op):
+        rng = np.random.default_rng(0)
+        words = GEO_3D.subarray.words_per_row
+        reference = {
+            BulkOp.AND: lambda a, b: a & b,
+            BulkOp.XOR: lambda a, b: a ^ b,
+            BulkOp.NOT: lambda a, b: ~a,
+        }
+        for bank in range(0, GEO_3D.banks, 5):
+            a = rng.integers(0, 2**64, size=words, dtype=np.uint64)
+            b = rng.integers(0, 2**64, size=words, dtype=np.uint64)
+            device.write_row(RowLocation(bank, 0, 0), a)
+            device.write_row(RowLocation(bank, 0, 1), b)
+            device.bbop_row(
+                op,
+                RowLocation(bank, 0, 2),
+                RowLocation(bank, 0, 0),
+                None if op.arity == 1 else RowLocation(bank, 0, 1),
+            )
+            assert np.array_equal(
+                device.read_row(RowLocation(bank, 0, 2)), reference[op](a, b)
+            )
+
+    def test_functional_throughput_matches_model(self, device):
+        model = AmbitSystem(
+            "hmc-slice", timing=hmc_like(), banks=GEO_3D.banks, row_bytes=1024
+        )
+        measured = measure_ambit_functional(device, BulkOp.AND, rows_per_bank=2)
+        assert measured == pytest.approx(
+            model.throughput_gops(BulkOp.AND), rel=1e-6
+        )
+
+    def test_full_ambit_3d_extrapolates_linearly(self, device):
+        # 256 banks = 16x the measured 16-bank slice.
+        slice_model = AmbitSystem(
+            "slice", timing=hmc_like(), banks=16, row_bytes=1024
+        )
+        assert ambit_3d().throughput_gops(BulkOp.AND) == pytest.approx(
+            16 * slice_model.throughput_gops(BulkOp.AND)
+        )
+
+    def test_3d_beats_hmc_logic_layer(self):
+        from repro.perf.systems import hmc20
+
+        assert (
+            ambit_3d().throughput_gops(BulkOp.AND)
+            > 5 * hmc20().throughput_gops(BulkOp.AND)
+        )

@@ -1,0 +1,63 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        subparsers = next(
+            a for a in parser._actions if a.dest == "command"
+        )
+        assert set(subparsers.choices) == {
+            "list", "table2", "table3", "fig9", "fig10", "fig11", "fig12",
+            "demo", "report",
+        }
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig10"])
+        assert args.users == 8_000_000 and args.weeks == 4
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        assert "table2" in capsys.readouterr().out
+
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "verified bit-exact" in out
+        assert "ACTIVATEs" in out
+
+    def test_table2_small(self, capsys):
+        assert main(["table2", "--trials", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "Paper %" in out and "corner" in out
+
+    def test_table3(self, capsys):
+        assert main(["table3"]) == 0
+        assert "nJ/KB" in capsys.readouterr().out
+
+    def test_fig9(self, capsys):
+        assert main(["fig9"]) == 0
+        assert "Ambit-3D" in capsys.readouterr().out
+
+    def test_fig10_small(self, capsys):
+        assert main(["fig10", "--users", "200000", "--weeks", "2"]) == 0
+        assert "paper: 5.4-6.6X" in capsys.readouterr().out
+
+    def test_fig11_small(self, capsys):
+        assert main(["fig11", "--rows", "100000", "--bits", "8"]) == 0
+        assert "count(*)" in capsys.readouterr().out
+
+    def test_fig12_small(self, capsys):
+        assert main(["fig12", "--elements", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "rbtree" in out and "ambit" in out

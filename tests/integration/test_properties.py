@@ -1,0 +1,178 @@
+"""Property-based tests (hypothesis) over the core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.bitweaving import BitWeavingColumn, scan_range_ambit
+from repro.apps.rbtree import RedBlackTree
+from repro.core.addressing import AmbitAddressMap
+from repro.core.device import AmbitDevice
+from repro.core.microprograms import BulkOp, compile_op
+from repro.dram.chip import RowLocation
+from repro.dram.geometry import SubarrayGeometry, small_test_geometry
+from repro.dram.senseamp import majority3
+from repro.sim import AmbitContext
+
+GEO = small_test_geometry(rows=24, row_bytes=64, banks=1, subarrays_per_bank=1)
+WORDS = GEO.subarray.words_per_row
+
+uint64s = st.integers(min_value=0, max_value=2**64 - 1)
+rows_strategy = st.lists(uint64s, min_size=WORDS, max_size=WORDS).map(
+    lambda xs: np.array(xs, dtype=np.uint64)
+)
+
+REFERENCE = {
+    BulkOp.NOT: lambda a, b: ~a,
+    BulkOp.AND: lambda a, b: a & b,
+    BulkOp.OR: lambda a, b: a | b,
+    BulkOp.NAND: lambda a, b: ~(a & b),
+    BulkOp.NOR: lambda a, b: ~(a | b),
+    BulkOp.XOR: lambda a, b: a ^ b,
+    BulkOp.XNOR: lambda a, b: ~(a ^ b),
+}
+
+
+def _fresh_device():
+    return AmbitDevice(geometry=GEO)
+
+
+def loc(a):
+    return RowLocation(0, 0, a)
+
+
+class TestBulkOpProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(a=rows_strategy, b=rows_strategy, op=st.sampled_from(list(REFERENCE)))
+    def test_device_matches_numpy(self, a, b, op):
+        device = _fresh_device()
+        device.write_row(loc(0), a)
+        device.write_row(loc(1), b)
+        device.bbop_row(op, loc(2), loc(0), None if op.arity == 1 else loc(1))
+        assert np.array_equal(
+            device.read_row(loc(2)), REFERENCE[op](a, b)
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(a=rows_strategy, b=rows_strategy)
+    def test_de_morgan_in_dram(self, a, b):
+        # nand(a, b) computed in DRAM equals or(not a, not b).
+        device = _fresh_device()
+        device.write_row(loc(0), a)
+        device.write_row(loc(1), b)
+        device.bbop_row(BulkOp.NAND, loc(2), loc(0), loc(1))
+        device.bbop_row(BulkOp.NOT, loc(3), loc(0))
+        device.bbop_row(BulkOp.NOT, loc(4), loc(1))
+        device.bbop_row(BulkOp.OR, loc(5), loc(3), loc(4))
+        assert np.array_equal(device.read_row(loc(2)), device.read_row(loc(5)))
+
+    @settings(max_examples=20, deadline=None)
+    @given(a=rows_strategy)
+    def test_double_not_is_identity(self, a):
+        device = _fresh_device()
+        device.write_row(loc(0), a)
+        device.bbop_row(BulkOp.NOT, loc(1), loc(0))
+        device.bbop_row(BulkOp.NOT, loc(2), loc(1))
+        assert np.array_equal(device.read_row(loc(2)), a)
+
+    @settings(max_examples=20, deadline=None)
+    @given(a=rows_strategy, b=rows_strategy)
+    def test_xor_self_inverse(self, a, b):
+        device = _fresh_device()
+        device.write_row(loc(0), a)
+        device.write_row(loc(1), b)
+        device.bbop_row(BulkOp.XOR, loc(2), loc(0), loc(1))
+        device.bbop_row(BulkOp.XOR, loc(3), loc(2), loc(1))
+        assert np.array_equal(device.read_row(loc(3)), a)
+
+
+class TestMajorityProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(a=uint64s, b=uint64s, c=uint64s)
+    def test_majority_symmetric(self, a, b, c):
+        arrs = [np.array([x], dtype=np.uint64) for x in (a, b, c)]
+        out = majority3(*arrs)
+        for perm in ((1, 0, 2), (2, 1, 0), (1, 2, 0)):
+            assert np.array_equal(out, majority3(*[arrs[i] for i in perm]))
+
+    @settings(max_examples=50, deadline=None)
+    @given(a=uint64s, b=uint64s)
+    def test_majority_with_zero_is_and(self, a, b):
+        z = np.array([0], dtype=np.uint64)
+        aa = np.array([a], dtype=np.uint64)
+        bb = np.array([b], dtype=np.uint64)
+        assert int(majority3(aa, bb, z)[0]) == a & b
+
+    @settings(max_examples=50, deadline=None)
+    @given(a=uint64s, b=uint64s)
+    def test_majority_with_ones_is_or(self, a, b):
+        ones = np.array([2**64 - 1], dtype=np.uint64)
+        aa = np.array([a], dtype=np.uint64)
+        bb = np.array([b], dtype=np.uint64)
+        assert int(majority3(aa, bb, ones)[0]) == a | b
+
+
+class TestMicroprogramProperties:
+    AMAP = AmbitAddressMap(SubarrayGeometry(rows=1024, row_bytes=8192))
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        op=st.sampled_from(list(REFERENCE)),
+        di=st.integers(0, 1005),
+        dj=st.integers(0, 1005),
+        dk=st.integers(0, 1005),
+    )
+    def test_programs_end_precharged_and_target_dk_last(self, op, di, dj, dk):
+        prog = compile_op(
+            self.AMAP, op, dk, di, None if op.arity == 1 else dj
+        )
+        # Every program's final primitive writes the destination row.
+        last = prog.primitives[-1]
+        assert last.addr2 == dk
+        # And every primitive precharges: program leaves the bank closed.
+        assert prog.num_aap + prog.num_ap == len(prog.primitives)
+
+
+class TestRbTreeProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(-1000, 1000), max_size=200))
+    def test_matches_python_set(self, keys):
+        tree = RedBlackTree()
+        reference = set()
+        for k in keys:
+            assert tree.insert(k) == (k not in reference)
+            reference.add(k)
+        assert list(tree) == sorted(reference)
+        tree.check_invariants()
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(st.tuples(st.booleans(), st.integers(0, 50)), max_size=300)
+    )
+    def test_insert_delete_interleaved(self, ops):
+        tree = RedBlackTree()
+        reference = set()
+        for insert, key in ops:
+            if insert:
+                tree.insert(key)
+                reference.add(key)
+            else:
+                tree.delete(key)
+                reference.discard(key)
+        assert list(tree) == sorted(reference)
+        tree.check_invariants()
+
+
+class TestBitWeavingProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        values=st.lists(st.integers(0, 255), min_size=1, max_size=300),
+        bounds=st.tuples(st.integers(0, 255), st.integers(0, 255)),
+    )
+    def test_scan_matches_numpy(self, values, bounds):
+        c1, c2 = min(bounds), max(bounds)
+        arr = np.array(values, dtype=np.uint64)
+        col = BitWeavingColumn.encode(arr, 8)
+        _, count = scan_range_ambit(AmbitContext(), col, c1, c2)
+        assert count == int(((arr >= c1) & (arr <= c2)).sum())

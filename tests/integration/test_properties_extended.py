@@ -1,0 +1,169 @@
+"""Additional property-based tests over substrates and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.compression import wah_and, wah_decode, wah_encode, wah_or
+from repro.apps.crypto import keystream, xor_decrypt, xor_encrypt
+from repro.circuit.charge import charge_sharing_deviation
+from repro.core.ecc import tmr_decode, tmr_encode
+from repro.dram.senseamp import majority3
+from repro.sim import CpuContext
+
+
+def _bits(data: list) -> np.ndarray:
+    return np.array(data, dtype=bool)
+
+
+class TestWahProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.booleans(), min_size=1, max_size=500))
+    def test_roundtrip(self, data):
+        bits = _bits(data)
+        assert np.array_equal(wah_decode(wah_encode(bits)), bits)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(1, 400),
+        st.floats(0.0, 1.0),
+        st.floats(0.0, 1.0),
+        st.integers(0, 2**32),
+    )
+    def test_ops_match_numpy(self, n, da, db, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.random(n) < da
+        b = rng.random(n) < db
+        assert np.array_equal(wah_decode(wah_and(wah_encode(a), wah_encode(b))), a & b)
+        assert np.array_equal(wah_decode(wah_or(wah_encode(a), wah_encode(b))), a | b)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.booleans(), min_size=1, max_size=1000))
+    def test_never_larger_than_raw(self, data):
+        bitmap = wah_encode(_bits(data))
+        assert bitmap.compressed_words <= bitmap.uncompressed_groups
+
+
+class TestCryptoProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(st.integers(0, 2**64 - 1), min_size=1, max_size=64),
+        st.binary(min_size=1, max_size=16),
+        st.binary(min_size=0, max_size=8),
+    )
+    def test_decrypt_inverts_encrypt(self, words, key, nonce):
+        pt = np.array(words, dtype=np.uint64)
+        ct = xor_encrypt(CpuContext(), pt, key, nonce)
+        assert np.array_equal(xor_decrypt(CpuContext(), ct, key, nonce), pt)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.binary(min_size=1, max_size=16), st.integers(1, 64))
+    def test_keystream_length_and_determinism(self, key, n):
+        a = keystream(key, b"n", n)
+        assert a.size == n
+        assert np.array_equal(a, keystream(key, b"n", n))
+
+
+class TestTmrProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.integers(0, 2**64 - 1), min_size=1, max_size=16),
+        st.integers(0, 2),
+        st.integers(0, 63),
+    )
+    def test_single_replica_flip_always_corrected(self, words, replica, bit):
+        data = np.array(words, dtype=np.uint64)
+        replicas = list(tmr_encode(data))
+        replicas[replica] = replicas[replica].copy()
+        replicas[replica][0] ^= np.uint64(1) << np.uint64(bit)
+        result = tmr_decode(*replicas)
+        assert np.array_equal(result.data, data)
+        assert result.corrected_bits == 1
+
+
+class TestChargeSharingProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.floats(10e-15, 40e-15, allow_nan=False), min_size=3, max_size=3
+        ),
+        st.lists(st.integers(0, 1), min_size=3, max_size=3),
+    )
+    def test_sign_matches_majority_for_full_levels(self, caps, bits):
+        # With fully charged/empty cells, arbitrary positive cell
+        # capacitances never flip a unanimous (k=0 or k=3) result, and
+        # the nominal-capacitance majority rule holds whenever caps are
+        # equal.
+        vdd = 1.5
+        volts = [vdd * b for b in bits]
+        delta = float(charge_sharing_deviation(caps, volts, 77e-15, vdd / 2))
+        k = sum(bits)
+        if k == 3:
+            assert delta > 0
+        elif k == 0:
+            assert delta < 0
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(0, 2**64 - 1), st.integers(0, 2**64 - 1),
+           st.integers(0, 2**64 - 1))
+    def test_majority_idempotent_and_bounded(self, a, b, c):
+        arrs = [np.array([x], dtype=np.uint64) for x in (a, b, c)]
+        out = int(majority3(*arrs)[0])
+        # Majority is bounded by OR and contains AND of any pair.
+        assert out & ~(a | b | c) == 0
+        assert (a & b) & ~out == 0
+        assert (b & c) & ~out == 0
+        assert (a & c) & ~out == 0
+
+
+class TestArithmeticProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(st.integers(0, 2**10 - 1), min_size=1, max_size=200),
+        st.lists(st.integers(0, 2**10 - 1), min_size=1, max_size=200),
+    )
+    def test_addition_matches_integers(self, xs, ys):
+        from repro.apps.arithmetic import add_columns
+        from repro.apps.bitweaving import BitWeavingColumn
+
+        n = min(len(xs), len(ys))
+        a = np.array(xs[:n], dtype=np.uint64)
+        b = np.array(ys[:n], dtype=np.uint64)
+        out = add_columns(
+            CpuContext(),
+            BitWeavingColumn.encode(a, 10),
+            BitWeavingColumn.encode(b, 10),
+        )
+        assert np.array_equal(out.decode(), a + b)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 255), st.integers(0, 255)),
+            min_size=1,
+            max_size=150,
+        )
+    )
+    def test_subtraction_matches_integers(self, pairs):
+        from repro.apps.arithmetic import subtract_columns
+        from repro.apps.bitweaving import BitWeavingColumn
+
+        big = np.array([max(x, y) for x, y in pairs], dtype=np.uint64)
+        small = np.array([min(x, y) for x, y in pairs], dtype=np.uint64)
+        out = subtract_columns(
+            CpuContext(),
+            BitWeavingColumn.encode(big, 8),
+            BitWeavingColumn.encode(small, 8),
+        )
+        assert np.array_equal(out.decode(), big - small)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(0, 2**12 - 1), min_size=1, max_size=300))
+    def test_sum_aggregate_matches_builtin(self, values):
+        from repro.apps.arithmetic import sum_aggregate
+        from repro.apps.bitweaving import BitWeavingColumn
+
+        arr = np.array(values, dtype=np.uint64)
+        column = BitWeavingColumn.encode(arr, 12)
+        assert sum_aggregate(CpuContext(), column) == int(arr.sum())

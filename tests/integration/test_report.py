@@ -1,0 +1,36 @@
+"""The one-shot reproduction report generator."""
+
+import pytest
+
+from repro.cli import main
+from repro.report import ReportConfig, generate_report
+
+
+class TestReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return generate_report(ReportConfig(fast=True))
+
+    def test_contains_every_experiment(self, report):
+        for heading in ("Table 2", "Table 3", "Figure 9", "Figure 10",
+                        "Figure 11", "Figure 12"):
+            assert heading in report
+
+    def test_paper_references_present(self, report):
+        assert "paper: ~6%" in report or "Paper" in report
+        assert "5.4x-6.6x" in report
+
+    def test_markdown_tables_well_formed(self, report):
+        for line in report.splitlines():
+            if line.startswith("|") and not line.startswith("|--"):
+                assert line.rstrip().endswith("|"), line
+
+    def test_fast_config_scales(self):
+        fast, full = ReportConfig(fast=True), ReportConfig(fast=False)
+        assert fast.mc_trials < full.mc_trials
+        assert len(fast.fig12_elements) < len(full.fig12_elements)
+
+    def test_cli_report_to_file(self, tmp_path):
+        out = tmp_path / "report.md"
+        assert main(["report", "--fast", "--output", str(out)]) == 0
+        assert "Ambit reproduction report" in out.read_text()

@@ -1,0 +1,87 @@
+"""Memory-bus vs device integration (the Section 5.4 argument)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.perf.integration import (
+    DeviceIntegration,
+    MemoryBusIntegration,
+    integration_comparison,
+)
+
+ROW = 8192
+OP_NS = 196.0  # bulk AND on one row pair (DDR3-1600)
+
+
+class TestOverheads:
+    def test_bus_overhead_constant(self):
+        bus = MemoryBusIntegration()
+        assert bus.overhead_ns(3 * ROW, ROW) == bus.overhead_ns(300 * ROW, ROW)
+
+    def test_device_pays_dma_for_nonresident_data(self):
+        dev = DeviceIntegration()
+        resident = dev.overhead_ns(3 * ROW, ROW, operands_resident=True,
+                                   result_consumed_by_host=False)
+        cold = dev.overhead_ns(3 * ROW, ROW, operands_resident=False,
+                               result_consumed_by_host=False)
+        assert cold > resident
+        assert cold - resident == pytest.approx(3 * ROW / dev.link_gbps)
+
+    def test_device_pays_result_readback(self):
+        dev = DeviceIntegration()
+        kept = dev.overhead_ns(0, ROW, operands_resident=True,
+                               result_consumed_by_host=False)
+        read = dev.overhead_ns(0, ROW, operands_resident=True,
+                               result_consumed_by_host=True)
+        assert read - kept == pytest.approx(ROW / dev.link_gbps)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigError):
+            DeviceIntegration(link_gbps=0)
+
+
+class TestComparison:
+    def test_memory_bus_wins_cold_data(self):
+        result = integration_comparison(
+            operand_bytes=3 * ROW,
+            result_bytes=ROW,
+            operations=100,
+            op_latency_ns=OP_NS,
+            operands_resident=False,
+        )
+        # Data movement over the link dwarfs everything: the paper's
+        # "no need to copy data" benefit.
+        assert result["device_penalty"] > 5.0
+
+    def test_memory_bus_wins_even_resident(self):
+        result = integration_comparison(
+            operand_bytes=3 * ROW,
+            result_bytes=ROW,
+            operations=100,
+            op_latency_ns=OP_NS,
+            operands_resident=True,
+            result_consumed_by_host=False,
+        )
+        # Per-op driver round trips (~2 us) vs bbop issue (~30 ns):
+        # CPU-instruction triggering still wins by ~10X.
+        assert result["device_penalty"] > 3.0
+
+    def test_penalty_shrinks_with_resident_batching(self):
+        cold = integration_comparison(
+            3 * ROW, ROW, 10, OP_NS, operands_resident=False
+        )["device_penalty"]
+        resident = integration_comparison(
+            3 * ROW, ROW, 10, OP_NS, operands_resident=True,
+            result_consumed_by_host=False,
+        )["device_penalty"]
+        assert resident < cold
+
+    def test_operation_count_validated(self):
+        with pytest.raises(ConfigError):
+            integration_comparison(ROW, ROW, 0, OP_NS)
+
+    def test_totals_scale_linearly(self):
+        one = integration_comparison(3 * ROW, ROW, 1, OP_NS)
+        ten = integration_comparison(3 * ROW, ROW, 10, OP_NS)
+        assert ten["memory_bus_ns"] == pytest.approx(10 * one["memory_bus_ns"])
+        assert ten["device_ns"] == pytest.approx(10 * one["device_ns"])

@@ -1,0 +1,58 @@
+"""The paper's un-shown claim: even naive Ambit beats existing systems.
+
+Section 5.3: "While even this naive approach offers better throughput
+and energy efficiency than existing systems (not shown here), we propose
+a simple optimization..."  We can show it.
+"""
+
+import pytest
+
+from repro.core.microprograms import BulkOp
+from repro.dram.timing import ddr3_1600
+from repro.energy import DEFAULT_ENERGY, ddr_op_energy_nj_per_kb
+from repro.perf.systems import (
+    FIGURE9_OPS,
+    AmbitSystem,
+    gtx745,
+    hmc20,
+    skylake,
+)
+
+
+@pytest.fixture
+def naive_ambit():
+    return AmbitSystem(
+        "Ambit(naive)",
+        timing=ddr3_1600(),
+        banks=8,
+        row_bytes=8192,
+        split_decoder=False,
+    )
+
+
+class TestNaiveAmbitStillWins:
+    def test_beats_cpu_and_gpu_on_every_op(self, naive_ambit):
+        for op in FIGURE9_OPS:
+            t = naive_ambit.throughput_gops(op)
+            assert t > skylake().throughput_gops(op)
+            assert t > gtx745().throughput_gops(op)
+
+    def test_beats_hmc_on_every_op(self, naive_ambit):
+        for op in FIGURE9_OPS:
+            assert naive_ambit.throughput_gops(op) > hmc20().throughput_gops(op)
+
+    def test_but_loses_to_optimised_ambit(self, naive_ambit):
+        optimised = AmbitSystem(
+            "Ambit", timing=ddr3_1600(), banks=8, row_bytes=8192
+        )
+        for op in FIGURE9_OPS:
+            assert naive_ambit.throughput_gops(op) < optimised.throughput_gops(op)
+
+    def test_naive_energy_still_far_below_ddr(self):
+        # Energy is activation-count arithmetic, unchanged by the AAP
+        # overlap, so even the naive design keeps the Table 3 wins.
+        params = DEFAULT_ENERGY
+        and_naive_per_kb = (
+            (8 * params.act_nj + params.act_nj * 0.44 + 4 * params.pre_nj) / 8
+        )
+        assert ddr_op_energy_nj_per_kb(BulkOp.AND) / and_naive_per_kb > 25

@@ -1,0 +1,91 @@
+"""LRU cache model: hits, evictions, coherence operations."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.cache import Cache
+
+
+@pytest.fixture
+def cache():
+    # 4 sets x 2 ways x 64 B lines = 512 B.
+    return Cache(size_bytes=512, line_bytes=64, associativity=2)
+
+
+class TestBasics:
+    def test_cold_miss_then_hit(self, cache):
+        assert cache.access(0) is False
+        assert cache.access(0) is True
+        assert cache.access(63) is True  # same line
+
+    def test_different_lines_miss(self, cache):
+        cache.access(0)
+        assert cache.access(64) is False
+
+    def test_lru_eviction(self, cache):
+        # Three lines mapping to the same set: the oldest is evicted.
+        cache.access(0)        # set 0
+        cache.access(256)      # set 0 (4 sets * 64 B = 256 stride)
+        cache.access(512)      # set 0 -> evicts line 0
+        assert cache.access(0) is False
+
+    def test_lru_order_updated_on_hit(self, cache):
+        cache.access(0)
+        cache.access(256)
+        cache.access(0)        # refresh line 0
+        cache.access(512)      # should evict 256, not 0
+        assert cache.access(0) is True
+        assert cache.access(256) is False
+
+    def test_dirty_eviction_counts_writeback(self, cache):
+        cache.access(0, write=True)
+        cache.access(256)
+        cache.access(512)  # evicts dirty line 0
+        assert cache.stats.writebacks == 1
+
+    def test_clean_eviction_no_writeback(self, cache):
+        cache.access(0)
+        cache.access(256)
+        cache.access(512)
+        assert cache.stats.writebacks == 0
+
+    def test_hit_rate(self, cache):
+        cache.access(0)
+        cache.access(0)
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+    def test_geometry_validated(self):
+        with pytest.raises(ConfigError):
+            Cache(size_bytes=500, line_bytes=64, associativity=2)
+        with pytest.raises(ConfigError):
+            Cache(size_bytes=0)
+
+
+class TestCoherenceOps:
+    def test_flush_range_writes_back_dirty(self, cache):
+        cache.access(0, write=True)
+        cache.access(64, write=False)
+        written = cache.flush_range(0, 128)
+        assert written == 1
+        assert cache.access(0) is False  # evicted
+
+    def test_invalidate_range_drops_without_writeback(self, cache):
+        cache.access(0, write=True)
+        dropped = cache.invalidate_range(0, 64)
+        assert dropped == 1
+        assert cache.stats.writebacks == 0
+        assert cache.access(0) is False
+
+    def test_dirty_lines_in_range(self, cache):
+        cache.access(0, write=True)
+        cache.access(64, write=True)
+        cache.access(128)
+        assert cache.dirty_lines_in_range(0, 192) == 2
+
+    def test_resident_lines(self, cache):
+        cache.access(0)
+        cache.access(64)
+        assert cache.resident_lines == 2
+
+    def test_flush_untouched_range_is_noop(self, cache):
+        assert cache.flush_range(4096, 512) == 0

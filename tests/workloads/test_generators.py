@@ -1,0 +1,109 @@
+"""Workload generators: determinism and statistical shape."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.workloads import (
+    column_values,
+    mutate_dna,
+    random_dna,
+    random_packed_vector,
+    random_sets,
+    read_windows,
+    synthetic_corpus,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(91)
+
+
+class TestPackedVectors:
+    def test_density(self, rng):
+        v = random_packed_vector(100_000, rng, density=0.25)
+        ones = int(np.unpackbits(v.view(np.uint8)).sum())
+        assert 0.2 < ones / 100_000 < 0.3
+
+    def test_padding_zeroed(self, rng):
+        v = random_packed_vector(70, rng, density=1.0)
+        bits = np.unpackbits(v.view(np.uint8), bitorder="little")
+        assert bits[:70].all() and not bits[70:].any()
+
+    def test_invalid_size(self, rng):
+        with pytest.raises(SimulationError):
+            random_packed_vector(0, rng)
+
+
+class TestColumns:
+    def test_uniform_range(self, rng):
+        vals = column_values(10_000, 6, rng)
+        assert vals.max() < 64 and vals.min() >= 0
+
+    def test_skewed_supported(self, rng):
+        vals = column_values(10_000, 8, rng, distribution="skewed")
+        assert vals.max() < 256
+        # Zipf skew: the small values dominate.
+        assert (vals <= 4).mean() > 0.5
+
+    def test_unknown_distribution(self, rng):
+        with pytest.raises(SimulationError):
+            column_values(10, 4, rng, distribution="normal")
+
+    def test_bad_shape(self, rng):
+        with pytest.raises(SimulationError):
+            column_values(0, 4, rng)
+        with pytest.raises(SimulationError):
+            column_values(10, 65, rng)
+
+
+class TestSets:
+    def test_shape_and_domain(self, rng):
+        sets = random_sets(5, 20, 1000, rng)
+        assert len(sets) == 5
+        for s in sets:
+            assert len(s) == 20 and len(set(s)) == 20
+            assert all(1 <= e <= 1000 for e in s)
+
+    def test_oversized_rejected(self, rng):
+        with pytest.raises(SimulationError):
+            random_sets(1, 11, 10, rng)
+
+
+class TestCorpusAndDna:
+    def test_corpus_shape(self, rng):
+        docs = synthetic_corpus(20, 7, rng)
+        assert len(docs) == 20 and all(len(d) == 7 for d in docs)
+
+    def test_corpus_invalid(self, rng):
+        with pytest.raises(SimulationError):
+            synthetic_corpus(0, 5, rng)
+
+    def test_dna_alphabet(self, rng):
+        seq = random_dna(500, rng)
+        assert set(seq) <= set("ACGT") and len(seq) == 500
+
+    def test_mutations_change_exactly_positions(self, rng):
+        seq = random_dna(200, rng)
+        mutant, positions = mutate_dna(seq, 10, rng)
+        diffs = [i for i, (a, b) in enumerate(zip(seq, mutant)) if a != b]
+        assert diffs == positions and len(diffs) == 10
+
+    def test_too_many_mutations(self, rng):
+        with pytest.raises(SimulationError):
+            mutate_dna("ACGT", 5, rng)
+
+    def test_read_windows_valid(self, rng):
+        ref = random_dna(1000, rng)
+        for offset, window in read_windows(ref, 100, 20, rng):
+            assert ref[offset : offset + 100] == window
+
+    def test_read_longer_than_reference(self, rng):
+        with pytest.raises(SimulationError):
+            read_windows("ACGT", 10, 1, rng)
+
+    def test_determinism(self):
+        a = random_dna(100, np.random.default_rng(1))
+        b = random_dna(100, np.random.default_rng(1))
+        assert a == b
