@@ -1,0 +1,83 @@
+"""Allocator micro-benchmark: the driver must not dominate large runs.
+
+``AmbitDriver`` used to keep its per-stripe free pools as plain lists,
+paying ``list.pop(0)`` (O(n)) per allocated row and a linear membership
+scan per freed row -- on a paper-sized device (1006 D-rows x 64
+subarrays) allocate/free churn of row-sized handles was quadratic and
+showed up ahead of the functional DRAM model itself.  The pools are now
+a ``deque`` + mirror ``set``; this benchmark pins the O(1) behaviour
+(and double-free detection stays exact, which the test asserts).
+"""
+
+import pytest
+
+from repro.core.device import AmbitDevice
+from repro.core.driver import AmbitDriver
+from repro.dram.geometry import DramGeometry, SubarrayGeometry
+from repro.errors import AllocationError
+
+#: Paper-shaped subarrays (1024 rows) but tiny 64-byte rows: allocator
+#: cost is row-count bound, not data bound.
+GEO = DramGeometry(
+    banks=4,
+    subarrays_per_bank=8,
+    subarray=SubarrayGeometry(rows=1024, row_bytes=64),
+)
+
+
+@pytest.fixture(scope="module")
+def driver():
+    return AmbitDriver(AmbitDevice(geometry=GEO))
+
+
+def test_bench_allocator_churn(benchmark, driver):
+    """Allocate-then-free 1024 single-row vectors, round-robin striped."""
+    row_bits = driver.device.row_bits
+
+    def churn():
+        handles = [driver.allocate(row_bits) for _ in range(1024)]
+        for handle in handles:
+            driver.free(handle)
+        return handles
+
+    handles = benchmark(churn)
+    total = GEO.banks * GEO.subarrays_per_bank * (
+        GEO.subarray.data_rows - 2  # minus per-subarray scratch rows
+    )
+    assert driver.free_rows() == total
+    assert all(not h.rows for h in handles)
+
+
+def test_bench_allocator_colocated_churn(benchmark, driver):
+    """Co-located pair allocation (the bbop fast path's contract)."""
+    nbits = driver.device.row_bits * 8
+
+    def churn():
+        pairs = []
+        for _ in range(64):
+            a = driver.allocate(nbits)
+            b = driver.allocate(nbits, like=a)
+            pairs.append((a, b))
+        for a, b in pairs:
+            driver.free(a)
+            driver.free(b)
+
+    benchmark(churn)
+
+
+def test_bench_allocator_double_free_detection(benchmark, driver):
+    """Double-free detection is O(1) per row and still exact."""
+    row_bits = driver.device.row_bits
+
+    def alloc_free_check():
+        handle = driver.allocate(row_bits)
+        rows = list(handle.rows)
+        driver.free(handle)
+        return rows
+
+    rows = benchmark(alloc_free_check)
+    stale = type(
+        "H", (), {"rows": rows, "num_rows": len(rows), "nbits": row_bits}
+    )()
+    with pytest.raises(AllocationError):
+        driver.free(stale)

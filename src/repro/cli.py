@@ -10,6 +10,7 @@ Usage::
     python -m repro fig11 [--rows N] [--bits B]
     python -m repro fig12 [--elements E]
     python -m repro demo                 # quick end-to-end smoke demo
+    python -m repro profile [WORKLOAD] [--chrome-trace FILE] [--jsonl FILE]
 
 Every command prints the same formatted table the corresponding
 benchmark writes to ``benchmarks/results/``.
@@ -138,6 +139,35 @@ def _cmd_demo(args: argparse.Namespace) -> None:
     print("  verified bit-exact against numpy")
 
 
+def _cmd_profile(args: argparse.Namespace) -> None:
+    from repro.obs.sinks import ChromeTraceSink, JsonLinesSink
+    from repro.perf.profiling import profile_geometry, run_profile_workload
+
+    sinks = []
+    if args.chrome_trace:
+        sinks.append(ChromeTraceSink(args.chrome_trace))
+    if args.jsonl:
+        sinks.append(JsonLinesSink(args.jsonl))
+    try:
+        report = run_profile_workload(
+            args.workload,
+            repeats=args.repeats,
+            geometry=profile_geometry(row_bytes=args.row_bytes),
+            sinks=sinks,
+        )
+    finally:
+        for sink in sinks:
+            sink.close()
+    print(f"profile: workload={args.workload} repeats={args.repeats} "
+          f"row_bytes={args.row_bytes} (bit-exact vs numpy)")
+    print(report.format_table())
+    if args.chrome_trace:
+        print(f"\nChrome trace written to {args.chrome_trace} "
+              f"(load in chrome://tracing or https://ui.perfetto.dev)")
+    if args.jsonl:
+        print(f"JSON-lines event log written to {args.jsonl}")
+
+
 def _cmd_report(args: argparse.Namespace) -> None:
     from repro.report import ReportConfig, generate_report
 
@@ -160,6 +190,7 @@ def _cmd_list(args: argparse.Namespace) -> None:
         ("fig11", "BitWeaving column scans (Section 8.2)"),
         ("fig12", "set operations (Section 8.3)"),
         ("demo", "end-to-end functional smoke demo"),
+        ("profile", "per-op counters + optional Chrome trace"),
         ("report", "full markdown reproduction report"),
     ):
         print(f"  {name:<8} {doc}")
@@ -197,6 +228,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_fig12)
 
     sub.add_parser("demo", help="functional demo").set_defaults(func=_cmd_demo)
+
+    p = sub.add_parser(
+        "profile",
+        help="profile a bulk-op workload (counters + Chrome trace)",
+    )
+    p.add_argument(
+        "workload",
+        nargs="?",
+        default="all",
+        help="one of: and, or, not, nand, nor, xor, xnor, maj, copy, all",
+    )
+    p.add_argument("--repeats", type=int, default=4,
+                   help="row-sized instances per op")
+    p.add_argument("--row-bytes", type=int, default=512,
+                   help="row size of the profiled device")
+    p.add_argument("--chrome-trace", default=None, metavar="FILE",
+                   help="write a chrome://tracing / Perfetto trace_event JSON")
+    p.add_argument("--jsonl", default=None, metavar="FILE",
+                   help="write the raw event stream as JSON lines")
+    p.set_defaults(func=_cmd_profile)
 
     p = sub.add_parser("report", help="full reproduction report (markdown)")
     p.add_argument("--fast", action="store_true",

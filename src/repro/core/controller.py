@@ -103,19 +103,34 @@ class AmbitController:
         return program
 
     def run_program(self, program: Microprogram, bank: int, subarray: int) -> None:
-        """Stream an already-compiled microprogram to the chip."""
+        """Stream an already-compiled microprogram to the chip.
+
+        When a tracer is attached to the chip, each primitive is emitted
+        as a span with its accounted latency, and the whole program as a
+        bulk-op span carrying aggregate attributes.
+        """
         if self.chip.bank(bank).open_subarray is not None:
             raise DramProtocolError(
                 f"bank {bank} must be precharged before a bulk operation"
             )
+        tracer = self.chip.tracer
+        if tracer is not None:
+            tracer.begin_op(program.op.value, bank, subarray, self.chip.clock_ns)
         for primitive in program.primitives:
             latency = primitive.latency_ns(
                 self.timing, self.amap, self.split_decoder
             )
+            start_ns = self.chip.clock_ns
             for command in primitive.commands(bank, subarray):
                 self.chip.execute(command)
             self._account(primitive, bank, latency)
+            if tracer is not None:
+                tracer.record_primitive(
+                    type(primitive).__name__, bank, subarray, start_ns, latency
+                )
         self.stats.ops[program.op] += 1
+        if tracer is not None:
+            tracer.end_op(self.chip.clock_ns)
 
     def copy(self, bank: int, subarray: int, src: int, dst: int) -> None:
         """RowClone-FPM copy through the AAP machinery."""

@@ -117,6 +117,10 @@ class AmbitDevice:
 
     def psm_copy(self, src: RowLocation, dst: RowLocation) -> None:
         """RowClone-PSM copy between banks, with latency accounting."""
+        tracer = self.chip.tracer
+        start_ns = self.chip.clock_ns
+        if tracer is not None:
+            tracer.begin_op("psm_copy", dst.bank, dst.subarray, start_ns)
         rowclone_psm(self.chip, src, dst)
         latency = psm_latency_ns(self.timing, self.geometry.row_bytes)
         stats = self.controller.stats
@@ -124,6 +128,12 @@ class AmbitDevice:
         stats.bank_busy_ns[src.bank] += latency
         stats.bank_busy_ns[dst.bank] += latency
         self.chip.clock_ns += latency
+        if tracer is not None:
+            tracer.record_primitive(
+                "PSM_COPY", dst.bank, dst.subarray, start_ns, latency,
+                src_bank=src.bank, src_subarray=src.subarray,
+            )
+            tracer.end_op(self.chip.clock_ns)
 
     # ------------------------------------------------------------------
     # Host (functional) access
@@ -160,3 +170,45 @@ class AmbitDevice:
     def reset_stats(self) -> None:
         """Clear controller statistics and the command trace."""
         self.controller.reset_stats()
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    @property
+    def tracer(self):
+        """The attached :class:`repro.obs.tracer.Tracer` (or ``None``)."""
+        return self.chip.tracer
+
+    def attach_tracer(self, tracer=None):
+        """Attach a tracer to the command path; returns it.
+
+        With no argument, builds a :class:`repro.obs.tracer.Tracer`
+        configured with this device's timing and row size (but no sinks
+        -- add a ring buffer / Chrome sink as needed).
+        """
+        if tracer is None:
+            from repro.obs.tracer import Tracer
+
+            tracer = Tracer(timing=self.timing, row_bytes=self.row_bytes)
+        self.chip.tracer = tracer
+        return tracer
+
+    def detach_tracer(self):
+        """Detach and return the current tracer (without closing it)."""
+        tracer, self.chip.tracer = self.chip.tracer, None
+        return tracer
+
+    def profile(self):
+        """Profile a region of work: counters + per-bulk-op summaries.
+
+        Usage::
+
+            with device.profile() as prof:
+                device.bbop_row(BulkOp.AND, dk, di, dj)
+            print(prof.format_table())
+
+        See :func:`repro.obs.profiler.profile`.
+        """
+        from repro.obs.profiler import profile as _profile
+
+        return _profile(self)

@@ -21,8 +21,9 @@ rows with
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Set, Tuple
 
 from repro.core.device import AmbitDevice
 from repro.dram.chip import RowLocation
@@ -111,15 +112,20 @@ class AmbitDriver:
             )
         #: Free local row addresses per stripe, lowest-first.  The top
         #: SCRATCH_ROWS_PER_SUBARRAY addresses are reserved as scratch.
-        self._free: Dict[StripeKey, List[int]] = {}
+        #: A deque (O(1) popleft) with a mirror set (O(1) double-free
+        #: detection) -- with list.pop(0) + linear membership scans the
+        #: allocator dominated large runs (see
+        #: ``benchmarks/test_bench_allocator.py``).
+        self._free: Dict[StripeKey, Deque[int]] = {}
+        self._free_sets: Dict[StripeKey, Set[int]] = {}
         self._stripes: List[StripeKey] = []
         for bank in range(geo.banks):
             for sub in range(geo.subarrays_per_bank):
                 key = (bank, sub)
                 self._stripes.append(key)
-                self._free[key] = list(
-                    range(data_rows - SCRATCH_ROWS_PER_SUBARRAY)
-                )
+                addresses = range(data_rows - SCRATCH_ROWS_PER_SUBARRAY)
+                self._free[key] = deque(addresses)
+                self._free_sets[key] = set(addresses)
         # Interleave stripes bank-major so consecutive chunks of one
         # vector hit different banks (maximising bank-level parallelism).
         self._stripes.sort(key=lambda k: (k[1], k[0]))
@@ -160,18 +166,22 @@ class AmbitDriver:
                     rows.append(self._take_round_robin())
         except AllocationError:
             for loc in rows:  # roll back the partial allocation
-                self._free[(loc.bank, loc.subarray)].append(loc.address)
+                self._release(loc)
             raise
         return BitVectorHandle(nbits=nbits, rows=rows)
 
     def free(self, handle: BitVectorHandle) -> None:
         """Return a bitvector's rows to the free pool."""
         for loc in handle.rows:
-            free_list = self._free[(loc.bank, loc.subarray)]
-            if loc.address in free_list:
+            if loc.address in self._free_sets[(loc.bank, loc.subarray)]:
                 raise AllocationError(f"double free of row {loc}")
-            free_list.append(loc.address)
+            self._release(loc)
         handle.rows = []
+
+    def _release(self, loc: RowLocation) -> None:
+        key = (loc.bank, loc.subarray)
+        self._free[key].append(loc.address)
+        self._free_sets[key].add(loc.address)
 
     def scratch_row(self, bank: int, subarray: int, index: int = 0) -> RowLocation:
         """A reserved staging row in the given subarray."""
@@ -215,7 +225,9 @@ class AmbitDriver:
                 f"subarray bank={key[0]} sub={key[1]} is full; cannot "
                 f"co-locate (free elsewhere or use a fresh group)"
             )
-        return RowLocation(bank=key[0], subarray=key[1], address=free_list.pop(0))
+        address = free_list.popleft()
+        self._free_sets[key].discard(address)
+        return RowLocation(bank=key[0], subarray=key[1], address=address)
 
     def _take_round_robin(self) -> RowLocation:
         for offset in range(len(self._stripes)):

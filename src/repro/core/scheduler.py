@@ -92,6 +92,7 @@ class InterleavingController:
         amap: AmbitAddressMap,
         banks: int = 8,
         split_decoder: bool = True,
+        tracer=None,
     ):
         if banks <= 0:
             raise SimulationError("need at least one bank")
@@ -99,6 +100,11 @@ class InterleavingController:
         self.amap = amap
         self.banks = banks
         self.split_decoder = split_decoder
+        #: Optional :class:`repro.obs.tracer.Tracer`: completed requests
+        #: and jobs are emitted as spans, so interference between
+        #: foreground traffic and Ambit jobs is visible in a Chrome
+        #: trace.
+        self.tracer = tracer
         self.requests: List[MemRequest] = []
         self.jobs: List[AmbitJob] = []
 
@@ -170,6 +176,11 @@ class InterleavingController:
                     finish = start + self._request_latency()
                     req.start_ns, req.finish_ns = start, finish
                     request_latencies.append(finish - arrival)
+                    if self.tracer is not None:
+                        self.tracer.span(
+                            "mem_request", start, finish - start,
+                            bank=bank, queue_ns=start - arrival,
+                        )
                     now = finish
                 elif primitive_queue:
                     job, index = primitive_queue.pop(0)
@@ -182,6 +193,14 @@ class InterleavingController:
                     if index == len(job.program.primitives) - 1:
                         job.finish_ns = now
                         job_latencies.append(now - job.arrival_ns)
+                        if self.tracer is not None:
+                            self.tracer.span(
+                                f"job:{job.program.op.value}",
+                                job.start_ns or now,
+                                now - (job.start_ns or now),
+                                bank=bank,
+                                queue_ns=(job.start_ns or now) - job.arrival_ns,
+                            )
                 elif pending_jobs:
                     now = pending_jobs[0][0]
             makespan = max(makespan, now)

@@ -43,6 +43,7 @@ from repro.dram.subarray import Subarray
 from repro.dram.trace_io import (
     TraceEntry,
     dump_trace,
+    dump_trace_with_data,
     parse_trace,
     replay_trace,
 )
@@ -93,6 +94,7 @@ __all__ = [
     "activate",
     "ddr3_1333",
     "dump_trace",
+    "dump_trace_with_data",
     "ddr3_1600",
     "ddr3_2133",
     "ddr4_2400",

@@ -71,10 +71,21 @@ class DramChip:
         #: Model time in nanoseconds; advanced by whichever timing engine
         #: drives the chip.  Used only for retention bookkeeping.
         self.clock_ns: float = 0.0
+        #: Optional observability hook (a :class:`repro.obs.tracer.Tracer`
+        #: or anything exposing ``record_command(issued, clock_ns)``).
+        #: Every executed command is reported through it, making
+        #: :meth:`execute` the single instrumentation choke point.
+        self.tracer: Optional[object] = None
 
     # ------------------------------------------------------------------
     # Command execution
     # ------------------------------------------------------------------
+    def _record(self, issued: IssuedCommand) -> None:
+        """Append to the command trace and notify the attached tracer."""
+        self.trace.append(issued)
+        if self.tracer is not None:
+            self.tracer.record_command(issued, self.clock_ns)
+
     def execute(self, command: Command) -> Optional[int]:
         """Execute one DRAM command; READ returns the word read."""
         if command.opcode is Opcode.ACTIVATE:
@@ -83,19 +94,19 @@ class DramChip:
             raised, onto_open = self.bank(command.bank).activate(
                 command.subarray, command.row, self.clock_ns
             )
-            self.trace.append(
+            self._record(
                 IssuedCommand(command, wordlines_raised=raised, onto_open_row=onto_open)
             )
             return None
         if command.opcode is Opcode.PRECHARGE:
             self.bank(command.bank).precharge()
-            self.trace.append(IssuedCommand(command))
+            self._record(IssuedCommand(command))
             return None
         if command.opcode is Opcode.READ:
             if command.column is None:
                 raise DramProtocolError("READ requires a column")
             value = self.bank(command.bank).read_word(command.column)
-            self.trace.append(IssuedCommand(command))
+            self._record(IssuedCommand(command))
             return value
         if command.opcode is Opcode.WRITE:
             raise DramProtocolError(
@@ -105,7 +116,7 @@ class DramChip:
         if command.opcode is Opcode.REFRESH:
             for bank in self.banks:
                 bank.refresh(self.clock_ns)
-            self.trace.append(IssuedCommand(command))
+            self._record(IssuedCommand(command))
             return None
         raise DramProtocolError(f"unknown opcode {command.opcode}")
 
@@ -125,10 +136,14 @@ class DramChip:
         )  # type: ignore[return-value]
 
     def write_word(self, bank: int, column: int, value: int) -> None:
-        """Issue a WRITE carrying ``value``."""
+        """Issue a WRITE carrying ``value``; the payload is retained in
+        the trace so dumps and replays are lossless."""
         self.bank(bank).write_word(column, value, self.clock_ns)
-        self.trace.append(
-            IssuedCommand(Command(Opcode.WRITE, bank=bank, column=column))
+        self._record(
+            IssuedCommand(
+                Command(Opcode.WRITE, bank=bank, column=column),
+                write_value=int(value),
+            )
         )
 
     def refresh(self) -> None:

@@ -100,6 +100,11 @@ class IssuedCommand:
     #: second ACTIVATE of an AAP).  These are the "overlapped"
     #: activations that the split row decoder accelerates (Section 5.3).
     onto_open_row: bool = False
+    #: The 64-bit word a WRITE carried (``None`` for every other
+    #: command).  The functional model applies writes immediately, so
+    #: without this the payload would be lost to trace dumps and replay
+    #: (see :func:`repro.dram.trace_io.dump_trace_with_data`).
+    write_value: Optional[int] = None
 
 
 @dataclass

@@ -64,6 +64,9 @@ class FrFcfsScheduler:
 
     timing: TimingParameters
     banks: int = 8
+    #: Optional :class:`repro.obs.tracer.Tracer`; serviced requests are
+    #: emitted as ``mem_request`` spans (bank, row, hit/miss class).
+    tracer: Optional[object] = None
     queue: List[MemRequest] = field(default_factory=list)
     _bank_states: Dict[int, _BankState] = field(default_factory=dict)
     _bus_free_ns: float = 0.0
@@ -102,6 +105,7 @@ class FrFcfsScheduler:
         t = self.timing
         bank = self._bank_states[request.bank]
         start = max(now_ns, bank.ready_ns, request.arrival_ns)
+        access_class = "hit"
         if bank.open_row == request.row:
             latency = t.tCL + t.tBL
         elif bank.open_row is None:
@@ -109,12 +113,14 @@ class FrFcfsScheduler:
             latency = t.tRCD + t.tCL + t.tBL
             self._act_time[request.bank] = start
             bank.open_row = request.row
+            access_class = "miss"
         else:
             # Conflict: precharge (respecting tRAS), activate, access.
             start = max(start, self._act_time[request.bank] + t.tRAS)
             latency = t.tRP + t.tRCD + t.tCL + t.tBL
             self._act_time[request.bank] = start + t.tRP
             bank.open_row = request.row
+            access_class = "conflict"
         # Serialise the burst on the shared data bus.
         data_start = max(start + latency - t.tBL, self._bus_free_ns)
         finish = data_start + t.tBL
@@ -122,6 +128,12 @@ class FrFcfsScheduler:
         bank.ready_ns = finish
         request.start_ns = start
         request.finish_ns = finish
+        if self.tracer is not None:
+            self.tracer.span(
+                "mem_request", start, finish - start,
+                bank=request.bank, row=request.row,
+                rtype=request.rtype.value, access=access_class,
+            )
         return finish
 
     def run(self) -> Tuple[float, List[MemRequest]]:

@@ -64,12 +64,27 @@ class TraceEntry:
 def dump_trace(issued: Iterable[IssuedCommand]) -> str:
     """Serialise an executed-command log to the text format.
 
-    WRITE payloads are not retained in :class:`IssuedCommand` (the
-    functional model applies them immediately), so WR lines dump with a
-    zero payload; use :func:`dump_trace_with_data` when replaying writes
-    matters.
+    Equivalent to :func:`dump_trace_with_data`: WRITE payloads are
+    retained in :class:`IssuedCommand` by the functional write path, so
+    dumps are lossless.  (The alias survives for callers that predate
+    payload threading.)
     """
-    return "\n".join(TraceEntry(e.command).format() for e in issued)
+    return dump_trace_with_data(issued)
+
+
+def dump_trace_with_data(issued: Iterable[IssuedCommand]) -> str:
+    """Serialise an executed-command log, including WRITE payloads.
+
+    WR lines carry the 64-bit word recorded at execution time
+    (:meth:`repro.dram.chip.DramChip.write_word`), so
+    ``replay_trace(parse_trace(dump_trace_with_data(...)))`` reproduces
+    the original device state bit-for-bit.  An :class:`IssuedCommand`
+    synthesised without a payload dumps as ``0``.
+    """
+    return "\n".join(
+        TraceEntry(e.command, write_value=e.write_value).format()
+        for e in issued
+    )
 
 
 def parse_trace(text: str) -> List[TraceEntry]:
@@ -124,7 +139,12 @@ def replay_trace(chip: DramChip, entries: Iterable[TraceEntry]) -> List[int]:
     for entry in entries:
         cmd = entry.command
         if cmd.opcode is Opcode.WRITE:
-            chip.write_word(cmd.bank, cmd.column, entry.write_value or 0)
+            # An explicit None check: a genuine 0x0 payload must be
+            # written as zero *because it was recorded*, not because the
+            # payload was missing (``entry.write_value or 0`` conflated
+            # the two).
+            value = entry.write_value if entry.write_value is not None else 0
+            chip.write_word(cmd.bank, cmd.column, value)
         elif cmd.opcode is Opcode.READ:
             reads.append(chip.read_word(cmd.bank, cmd.column))
         else:

@@ -1,0 +1,55 @@
+"""Observability: structured command tracing and per-operation profiling.
+
+Everything Ambit claims -- latency, energy, interference -- reduces to a
+*command sequence*: the AAP/AP chains of Figure 8 streamed at the Table 1
+addresses.  This package makes that stream a first-class, inspectable
+artifact instead of a raw ``chip.trace`` list:
+
+* :class:`~repro.obs.tracer.Tracer` -- attached at the chip's command
+  choke point (:meth:`repro.dram.chip.DramChip.execute`), it turns every
+  ACT/PRE/RD/WR/REF plus every AAP/AP primitive and bulk operation into
+  a typed :class:`~repro.obs.events.TraceEvent` carrying the issue
+  clock, latency and energy, fanned out to pluggable sinks.
+* Sinks (:mod:`repro.obs.sinks`) -- in-memory ring buffer, JSON-lines
+  file, and Chrome ``trace_event`` format (load the output in
+  ``chrome://tracing`` or https://ui.perfetto.dev), plus a streaming
+  :class:`~repro.obs.counters.CounterSink`.
+* :class:`~repro.obs.counters.CounterSet` -- per-operation counters
+  (AAPs, APs, TRAs, RowClone FPM/PSM copies, busy-ns, pJ) with delta
+  arithmetic.
+* :func:`~repro.obs.profiler.profile` -- a context manager (exposed as
+  :meth:`repro.core.device.AmbitDevice.profile`) aggregating counters
+  and per-bulk-op summaries over a region of work.
+
+The same machinery backs the golden-trace regression suite: the
+``command_log`` pytest fixture (``tests/conftest.py``) records exact
+command sequences so microprogram drift is a visible diff.
+"""
+
+from repro.obs.capture import CommandLog
+from repro.obs.counters import CounterSet, OpStats
+from repro.obs.events import TraceEvent
+from repro.obs.profiler import ProfileReport, profile
+from repro.obs.sinks import (
+    ChromeTraceSink,
+    CounterSink,
+    JsonLinesSink,
+    RingBufferSink,
+    TraceSink,
+)
+from repro.obs.tracer import Tracer
+
+__all__ = [
+    "ChromeTraceSink",
+    "CommandLog",
+    "CounterSet",
+    "CounterSink",
+    "JsonLinesSink",
+    "OpStats",
+    "ProfileReport",
+    "RingBufferSink",
+    "TraceSink",
+    "TraceEvent",
+    "Tracer",
+    "profile",
+]

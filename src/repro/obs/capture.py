@@ -1,0 +1,80 @@
+"""Command-log capture: the backbone of golden-trace testing.
+
+:class:`CommandLog` attaches a tracer (ring buffer + counters) to a
+device and exposes the commands executed since creation (or the last
+:meth:`CommandLog.clear`) in the :mod:`repro.dram.trace_io` text format,
+plus the counter deltas.  Tests use it through the ``command_log``
+pytest fixture (``tests/conftest.py``) to assert *exact* command
+sequences -- any change to microprogram sequencing becomes a visible
+diff against the checked-in golden traces instead of silent drift.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.dram.trace_io import dump_trace_with_data
+from repro.obs.counters import CounterSet
+from repro.obs.events import TraceEvent
+from repro.obs.sinks import CounterSink, RingBufferSink
+from repro.obs.tracer import Tracer
+
+
+class CommandLog:
+    """Live record of a device's command stream.
+
+    Parameters
+    ----------
+    device:
+        An :class:`~repro.core.device.AmbitDevice`.  The log attaches a
+        tracer; call :meth:`detach` (or let the pytest fixture do it)
+        when done.
+    """
+
+    def __init__(self, device):
+        self.device = device
+        self.ring = RingBufferSink()
+        self._counter_sink = CounterSink()
+        self.tracer = device.attach_tracer(
+            Tracer(
+                sinks=[self.ring, self._counter_sink],
+                timing=device.timing,
+                row_bytes=device.row_bytes,
+            )
+        )
+        self._trace_start = len(device.chip.trace)
+
+    # ------------------------------------------------------------------
+    @property
+    def events(self) -> List[TraceEvent]:
+        """All structured events since the last clear."""
+        return self.ring.events
+
+    def commands(self) -> List[TraceEvent]:
+        """Bus-command events since the last clear."""
+        return self.ring.commands()
+
+    def lines(self) -> List[str]:
+        """Commands since the last clear, one trace-format line each."""
+        issued = self.device.chip.trace.entries[self._trace_start:]
+        text = dump_trace_with_data(issued)
+        return text.splitlines() if text else []
+
+    def text(self) -> str:
+        """Commands since the last clear as one trace-format string."""
+        return "\n".join(self.lines())
+
+    def counters(self) -> CounterSet:
+        """Counter deltas since the last clear (an independent copy)."""
+        return self._counter_sink.counters.copy()
+
+    def clear(self) -> None:
+        """Forget everything recorded so far."""
+        self.ring.clear()
+        self._counter_sink.reset()
+        self._trace_start = len(self.device.chip.trace)
+
+    def detach(self) -> None:
+        """Detach the underlying tracer from the device."""
+        if self.device.tracer is self.tracer:
+            self.device.detach_tracer()

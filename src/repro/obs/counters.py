@@ -1,0 +1,204 @@
+"""Per-operation counters aggregated from trace events.
+
+:class:`CounterSet` is the quantitative summary of a stretch of command
+stream: how many of each bus command, how many AAP/AP primitives, how
+many triple-row activations, how much accounted busy time and energy.
+It supports delta arithmetic (``after - before``) so profiling regions
+compose, and is filled either streamingly (as a
+:class:`~repro.obs.sinks.CounterSink`) or from a slice of the chip's
+:class:`~repro.dram.commands.CommandTrace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable
+
+from repro.obs.events import (
+    KIND_COMMAND,
+    KIND_OP,
+    KIND_PRIMITIVE,
+    TraceEvent,
+)
+
+#: Bulk-op span names that are RowClone copies rather than logic ops.
+_FPM_COPY_OPS = ("copy", "init0", "init1")
+_PSM_COPY_OP = "psm_copy"
+
+
+@dataclass
+class OpStats:
+    """Aggregate cost of all executions of one bulk operation."""
+
+    count: int = 0
+    aaps: int = 0
+    aps: int = 0
+    commands: int = 0
+    busy_ns: float = 0.0
+    energy_pj: float = 0.0
+
+    def observe(self, event: TraceEvent) -> None:
+        """Fold one ``kind="op"`` event into the aggregate."""
+        self.count += 1
+        self.aaps += int(event.attrs.get("aaps", 0))
+        self.aps += int(event.attrs.get("aps", 0))
+        self.commands += int(event.attrs.get("commands", 0))
+        self.busy_ns += event.dur_ns
+        self.energy_pj += event.energy_pj
+
+
+@dataclass
+class CounterSet:
+    """Counters over a stretch of the command stream.
+
+    ``busy_ns`` is the *serial* accounted time (every primitive end to
+    end, the same convention as
+    :attr:`repro.core.controller.ControllerStats.busy_ns`); ``energy_pj``
+    folds the per-command energy model.
+    """
+
+    activates: int = 0
+    precharges: int = 0
+    reads: int = 0
+    writes: int = 0
+    refreshes: int = 0
+    #: ACTIVATEs that raised two wordlines (DCC rows B4/B5).
+    double_row_activations: int = 0
+    #: Triple-row activations -- the in-DRAM majority computations.
+    tras: int = 0
+    aaps: int = 0
+    aps: int = 0
+    #: Intra-subarray RowClone copies driven as whole bulk ops
+    #: (``copy``/``init0``/``init1`` programs; each is one AAP).
+    rowclone_fpm: int = 0
+    #: Inter-bank RowClone-PSM row transfers.
+    rowclone_psm: int = 0
+    busy_ns: float = 0.0
+    energy_pj: float = 0.0
+    #: Completed bulk operations by name (``and``, ``xor``, ...).
+    ops: Dict[str, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+    def observe(self, event: TraceEvent) -> None:
+        """Fold one trace event into the counters."""
+        if event.kind == KIND_COMMAND:
+            self._observe_command(event)
+        elif event.kind == KIND_PRIMITIVE:
+            if event.name == "AAP":
+                self.aaps += 1
+            elif event.name == "AP":
+                self.aps += 1
+            elif event.name == "PSM_COPY":
+                self.rowclone_psm += 1
+            self.busy_ns += event.dur_ns
+        elif event.kind == KIND_OP:
+            self.ops[event.name] = self.ops.get(event.name, 0) + 1
+            if event.name in _FPM_COPY_OPS:
+                self.rowclone_fpm += 1
+
+    def _observe_command(self, event: TraceEvent) -> None:
+        if event.name == "ACT":
+            self.activates += 1
+            if event.wordlines == 2:
+                self.double_row_activations += 1
+            elif event.wordlines >= 3:
+                self.tras += 1
+        elif event.name == "PRE":
+            self.precharges += 1
+        elif event.name == "RD":
+            self.reads += 1
+        elif event.name == "WR":
+            self.writes += 1
+        elif event.name == "REF":
+            self.refreshes += 1
+        self.energy_pj += event.energy_pj
+
+    def observe_all(self, events: Iterable[TraceEvent]) -> "CounterSet":
+        """Fold many events; returns ``self`` for chaining."""
+        for event in events:
+            self.observe(event)
+        return self
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    @property
+    def commands(self) -> int:
+        """Total bus commands observed."""
+        return (
+            self.activates
+            + self.precharges
+            + self.reads
+            + self.writes
+            + self.refreshes
+        )
+
+    def __sub__(self, other: "CounterSet") -> "CounterSet":
+        ops = dict(self.ops)
+        for name, count in other.ops.items():
+            ops[name] = ops.get(name, 0) - count
+        result = CounterSet(ops={k: v for k, v in ops.items() if v})
+        for name in _NUMERIC_FIELDS:
+            setattr(result, name, getattr(self, name) - getattr(other, name))
+        return result
+
+    def __add__(self, other: "CounterSet") -> "CounterSet":
+        ops = dict(self.ops)
+        for name, count in other.ops.items():
+            ops[name] = ops.get(name, 0) + count
+        result = CounterSet(ops=ops)
+        for name in _NUMERIC_FIELDS:
+            setattr(result, name, getattr(self, name) + getattr(other, name))
+        return result
+
+    def copy(self) -> "CounterSet":
+        """An independent snapshot of the current values."""
+        return self + CounterSet()
+
+    # ------------------------------------------------------------------
+    # Presentation
+    # ------------------------------------------------------------------
+    def as_dict(self) -> Dict[str, Any]:
+        """Flatten to a plain dict (for JSON dumps and assertions)."""
+        record: Dict[str, Any] = {
+            name: getattr(self, name) for name in _NUMERIC_FIELDS
+        }
+        record["ops"] = dict(self.ops)
+        return record
+
+    def format(self) -> str:
+        """A compact human-readable summary block."""
+        lines = [
+            f"commands : {self.commands:>10}  "
+            f"(ACT {self.activates}, PRE {self.precharges}, "
+            f"RD {self.reads}, WR {self.writes}, REF {self.refreshes})",
+            f"TRAs     : {self.tras:>10}  "
+            f"(dual-wordline ACTs {self.double_row_activations})",
+            f"AAP / AP : {self.aaps:>10} / {self.aps}",
+            f"RowClone : {self.rowclone_fpm:>10} FPM, {self.rowclone_psm} PSM",
+            f"busy     : {self.busy_ns:>10.1f} ns",
+            f"energy   : {self.energy_pj:>10.1f} pJ",
+        ]
+        if self.ops:
+            ops = ", ".join(f"{k}={v}" for k, v in sorted(self.ops.items()))
+            lines.append(f"bulk ops : {ops}")
+        return "\n".join(lines)
+
+
+_NUMERIC_FIELDS = (
+    "activates",
+    "precharges",
+    "reads",
+    "writes",
+    "refreshes",
+    "double_row_activations",
+    "tras",
+    "aaps",
+    "aps",
+    "rowclone_fpm",
+    "rowclone_psm",
+    "busy_ns",
+    "energy_pj",
+)

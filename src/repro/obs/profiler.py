@@ -1,0 +1,109 @@
+"""Region profiling: counters plus per-bulk-op summaries.
+
+``with device.profile() as prof:`` brackets a stretch of work; on exit
+``prof`` holds the :class:`~repro.obs.counters.CounterSet` delta of the
+region and a per-operation breakdown (count, AAPs, APs, busy-ns, pJ per
+AND/OR/NOT/... executed inside it).  If the device already has a tracer
+attached (e.g. one writing a Chrome trace), the profiler piggybacks on
+it; otherwise it attaches a temporary tracer for the duration of the
+region.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.obs.counters import CounterSet, OpStats
+from repro.obs.events import KIND_OP, TraceEvent
+from repro.obs.sinks import CounterSink, TraceSink
+from repro.obs.tracer import Tracer
+
+
+class _OpAggregator(TraceSink):
+    """Aggregate ``kind="op"`` events into per-op statistics."""
+
+    def __init__(self):
+        self.per_op: Dict[str, OpStats] = {}
+
+    def emit(self, event: TraceEvent) -> None:
+        if event.kind != KIND_OP:
+            return
+        self.per_op.setdefault(event.name, OpStats()).observe(event)
+
+
+class ProfileReport:
+    """The result of one profiled region."""
+
+    def __init__(self):
+        self.counters = CounterSet()
+        self.per_op: Dict[str, OpStats] = {}
+        self._finalized = False
+
+    def _finalize(
+        self, counters: CounterSet, per_op: Dict[str, OpStats]
+    ) -> None:
+        self.counters = counters
+        self.per_op = per_op
+        self._finalized = True
+
+    # ------------------------------------------------------------------
+    def rows(self) -> List[Tuple[str, OpStats]]:
+        """Per-op rows, sorted by descending busy time."""
+        return sorted(
+            self.per_op.items(), key=lambda item: -item[1].busy_ns
+        )
+
+    def format_table(self) -> str:
+        """Render the per-op table plus the counter footer."""
+        lines = [
+            f"{'op':>10} {'count':>7} {'AAPs':>7} {'APs':>6} {'cmds':>7} "
+            f"{'busy ns':>12} {'energy pJ':>12}"
+        ]
+        for name, stats in self.rows():
+            lines.append(
+                f"{name:>10} {stats.count:>7} {stats.aaps:>7} "
+                f"{stats.aps:>6} {stats.commands:>7} "
+                f"{stats.busy_ns:>12.1f} {stats.energy_pj:>12.1f}"
+            )
+        if not self.per_op:
+            lines.append(f"{'(no bulk operations executed)':>40}")
+        lines.append("")
+        lines.append(self.counters.format())
+        return "\n".join(lines)
+
+
+@contextmanager
+def profile(
+    device: "object", tracer: Optional[Tracer] = None
+) -> Iterator[ProfileReport]:
+    """Profile a region of work on an Ambit device.
+
+    Parameters
+    ----------
+    device:
+        An :class:`~repro.core.device.AmbitDevice` (anything exposing
+        ``attach_tracer``/``detach_tracer``/``tracer``).
+    tracer:
+        Explicit tracer to aggregate from; defaults to the device's
+        attached tracer, or a temporary one for the region.
+    """
+    active = tracer if tracer is not None else device.tracer
+    temporary = active is None
+    if temporary:
+        active = device.attach_tracer(Tracer(
+            timing=device.timing, row_bytes=device.row_bytes
+        ))
+    counter_sink = CounterSink()
+    op_sink = _OpAggregator()
+    active.add_sink(counter_sink)
+    active.add_sink(op_sink)
+    report = ProfileReport()
+    try:
+        yield report
+    finally:
+        active.remove_sink(counter_sink)
+        active.remove_sink(op_sink)
+        if temporary:
+            device.detach_tracer()
+        report._finalize(counter_sink.counters, op_sink.per_op)

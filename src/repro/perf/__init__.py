@@ -17,6 +17,12 @@ from repro.perf.integration import (
     MemoryBusIntegration,
     integration_comparison,
 )
+from repro.perf.profiling import (
+    LOGIC_OPS,
+    WORKLOADS,
+    profile_geometry,
+    run_profile_workload,
+)
 from repro.perf.throughput import (
     PAPER_MEAN_SPEEDUPS,
     Figure9Result,
@@ -32,7 +38,11 @@ __all__ = [
     "MemoryBusIntegration",
     "FIGURE9_OPS",
     "Figure9Result",
+    "LOGIC_OPS",
     "PAPER_MEAN_SPEEDUPS",
+    "WORKLOADS",
+    "profile_geometry",
+    "run_profile_workload",
     "TRAFFIC_PER_OUTPUT_BYTE",
     "ambit",
     "ambit_3d",

@@ -169,6 +169,23 @@ def _section_fig12(cfg: ReportConfig) -> List[str]:
     return lines
 
 
+def _section_profile(cfg: ReportConfig) -> List[str]:
+    from repro.perf.profiling import run_profile_workload
+
+    report = run_profile_workload("all", repeats=2 if cfg.fast else 4)
+    return [
+        "## Command-stream profile — all seven bulk ops",
+        "",
+        "Per-operation command counts, accounted busy time and energy,",
+        "measured by the `repro.obs` tracer over a bit-exact run",
+        "(regenerate interactively with `python -m repro profile`).",
+        "",
+        "```",
+        report.format_table(),
+        "```",
+    ]
+
+
 def generate_report(cfg: ReportConfig) -> str:
     """Run every experiment and return the markdown report."""
     started = time.time()
@@ -185,6 +202,7 @@ def generate_report(cfg: ReportConfig) -> str:
         _section_fig10,
         _section_fig11,
         _section_fig12,
+        _section_profile,
     ):
         sections.extend(builder(cfg))
         sections.append("")

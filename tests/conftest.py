@@ -20,6 +20,27 @@ def device(tiny_geo) -> AmbitDevice:
 
 
 @pytest.fixture
+def command_log(device):
+    """Structured command capture on ``device``.
+
+    Lets any test assert exact command sequences and counter deltas::
+
+        device.bbop_row(BulkOp.AND, dk, di, dj)
+        assert command_log.lines()[0] == "ACT 0 0 0"
+        assert command_log.counters().tras == 1
+
+    ``lines()``/``text()`` render the :mod:`repro.dram.trace_io` format
+    (WR lines include payloads); ``counters()`` returns the
+    :class:`repro.obs.CounterSet` delta; ``clear()`` resets both.
+    """
+    from repro.obs import CommandLog
+
+    log = CommandLog(device)
+    yield log
+    log.detach()
+
+
+@pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(12345)
 

@@ -1,0 +1,79 @@
+"""Golden command-sequence definitions + regeneration entry point.
+
+Each ``tests/golden/<op>.trace`` file is the exact
+:mod:`repro.dram.trace_io` text of one bulk bitwise operation (Figure 8)
+executed on the canonical tiny device at fixed addresses.  The tests in
+``tests/obs/test_golden_traces.py`` assert byte-for-byte equality, so a
+change to microprogram sequencing is a reviewable diff, never silent
+drift.
+
+After an *intentional* microprogram change, regenerate with::
+
+    PYTHONPATH=src python -m tests.golden.regen
+
+and commit the resulting diffs alongside the change that caused them.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.core.device import AmbitDevice
+from repro.core.microprograms import BulkOp
+from repro.dram.chip import RowLocation
+from repro.dram.geometry import small_test_geometry
+from repro.obs import CommandLog
+
+GOLDEN_DIR = pathlib.Path(__file__).parent
+
+#: The seven bulk bitwise operations with golden traces.
+GOLDEN_OPS = (
+    BulkOp.AND,
+    BulkOp.OR,
+    BulkOp.NOT,
+    BulkOp.NAND,
+    BulkOp.NOR,
+    BulkOp.XOR,
+    BulkOp.XNOR,
+)
+
+#: Fixed operand addresses: Di=0, Dj=1, Dk=3 in bank 0, subarray 0.
+DST = RowLocation(0, 0, 3)
+SRC1 = RowLocation(0, 0, 0)
+SRC2 = RowLocation(0, 0, 1)
+
+
+def golden_device() -> AmbitDevice:
+    """The canonical device shape (identical to the ``tiny_geo`` fixture)."""
+    return AmbitDevice(
+        geometry=small_test_geometry(
+            rows=32, row_bytes=64, banks=2, subarrays_per_bank=2
+        )
+    )
+
+
+def golden_trace_text(op: BulkOp, device: AmbitDevice = None) -> str:
+    """The trace text of one canonical execution of ``op``."""
+    if device is None:
+        device = golden_device()
+    log = CommandLog(device)
+    try:
+        device.bbop_row(op, DST, SRC1, SRC2 if op.arity >= 2 else None)
+        return log.text() + "\n"
+    finally:
+        log.detach()
+
+
+def golden_path(op: BulkOp) -> pathlib.Path:
+    return GOLDEN_DIR / f"{op.value}.trace"
+
+
+def main() -> None:
+    for op in GOLDEN_OPS:
+        path = golden_path(op)
+        path.write_text(golden_trace_text(op))
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Golden command-sequence regression tests (Figure 8).
+
+Every bulk bitwise operation's exact DRAM command stream is pinned to a
+checked-in file under ``tests/golden/``.  A byte changed in microprogram
+sequencing -- a reordered AAP, a different control row, an extra
+PRECHARGE -- fails here with a diff instead of drifting silently.
+"""
+
+import pytest
+
+from repro.core.microprograms import COMPILERS, BulkOp, compile_nand, compile_or
+from tests.golden.regen import (
+    DST,
+    GOLDEN_OPS,
+    SRC1,
+    SRC2,
+    golden_path,
+    golden_trace_text,
+)
+
+REGEN_HINT = (
+    "command sequence drifted from tests/golden/; if this change is "
+    "intentional, regenerate with `PYTHONPATH=src python -m "
+    "tests.golden.regen` and commit the diff"
+)
+
+
+@pytest.mark.parametrize("op", GOLDEN_OPS, ids=lambda op: op.value)
+def test_golden_command_sequence(op):
+    """Byte-for-byte equality against the checked-in golden trace."""
+    golden = golden_path(op).read_text()
+    assert golden_trace_text(op) == golden, f"{op.value}: {REGEN_HINT}"
+
+
+def test_golden_files_are_distinct():
+    """The seven programs are genuinely different command streams
+    (except the and/or and nand/nor pairs, which differ only in the
+    control-row address -- still distinct lines)."""
+    texts = {op.value: golden_path(op).read_text() for op in GOLDEN_OPS}
+    assert len(set(texts.values())) == len(texts)
+
+
+def test_command_log_fixture_matches_golden(device, command_log):
+    """The ``command_log`` fixture records the same canonical stream."""
+    device.bbop_row(BulkOp.AND, DST, SRC1, SRC2)
+    assert command_log.text() + "\n" == golden_path(BulkOp.AND).read_text()
+    counters = command_log.counters()
+    assert counters.aaps == 4
+    assert counters.aps == 0
+    assert counters.tras == 1  # the one TRA of Figure 8a
+    assert counters.ops == {"and": 1}
+
+
+def test_command_log_clear_resets(device, command_log):
+    device.bbop_row(BulkOp.NOT, DST, SRC1)
+    command_log.clear()
+    assert command_log.lines() == []
+    assert command_log.counters().commands == 0
+    device.bbop_row(BulkOp.AND, DST, SRC1, SRC2)
+    assert command_log.text() + "\n" == golden_path(BulkOp.AND).read_text()
+
+
+class TestDeliberateMutationIsCaught:
+    """The acceptance criterion: a microprogram mutation must fail the
+    golden comparison, not pass unnoticed."""
+
+    def test_swapped_control_row(self, monkeypatch):
+        # AND compiled as OR: identical shape, one control-row address
+        # differs (C0 -> C1).  Exactly the subtle drift goldens exist for.
+        monkeypatch.setitem(COMPILERS, BulkOp.AND, compile_or)
+        assert golden_trace_text(BulkOp.AND) != golden_path(BulkOp.AND).read_text()
+
+    def test_wrong_program_shape(self, monkeypatch):
+        monkeypatch.setitem(COMPILERS, BulkOp.OR, compile_nand)
+        assert golden_trace_text(BulkOp.OR) != golden_path(BulkOp.OR).read_text()

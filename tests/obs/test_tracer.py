@@ -1,0 +1,245 @@
+"""Tracer + sink unit tests: the chip-to-sink reporting path."""
+
+import io
+import json
+
+import pytest
+
+from repro.core.microprograms import BulkOp
+from repro.dram.chip import RowLocation
+from repro.obs import (
+    ChromeTraceSink,
+    CounterSet,
+    CounterSink,
+    JsonLinesSink,
+    RingBufferSink,
+    Tracer,
+)
+from repro.obs.events import KIND_COMMAND, KIND_OP, KIND_PRIMITIVE, TraceEvent
+
+DST = RowLocation(0, 0, 3)
+SRC1 = RowLocation(0, 0, 0)
+SRC2 = RowLocation(0, 0, 1)
+
+
+@pytest.fixture
+def traced(device):
+    """Device with a ring-buffer tracer attached; yields (device, ring)."""
+    ring = RingBufferSink()
+    device.attach_tracer(
+        Tracer(sinks=[ring], timing=device.timing, row_bytes=device.row_bytes)
+    )
+    yield device, ring
+    device.detach_tracer()
+
+
+class TestChipReporting:
+    def test_every_command_reported(self, traced):
+        device, ring = traced
+        device.bbop_row(BulkOp.AND, DST, SRC1, SRC2)
+        commands = ring.commands()
+        # Figure 8a: four AAPs = 4 * (ACT, ACT, PRE) = 12 bus commands.
+        assert [e.name for e in commands] == ["ACT", "ACT", "PRE"] * 4
+        assert len(commands) == len(device.chip.trace)
+
+    def test_tra_wordlines_reported(self, traced):
+        device, ring = traced
+        device.bbop_row(BulkOp.AND, DST, SRC1, SRC2)
+        tras = [e for e in ring.commands() if e.wordlines >= 3]
+        assert len(tras) == 1  # the single triple-row activation
+        assert tras[0].name == "ACT"
+
+    def test_write_payload_in_attrs(self, traced):
+        device, ring = traced
+        chip = device.chip
+        chip.activate(0, 0, 5)
+        chip.write_word(0, 0, 0xDEADBEEF)
+        chip.write_word(0, 1, 0)  # zero payloads must survive too
+        chip.precharge(0)
+        writes = [e for e in ring.commands() if e.name == "WR"]
+        assert [e.attrs["write_value"] for e in writes] == [0xDEADBEEF, 0]
+
+    def test_nominal_durations_from_timing(self, traced):
+        device, ring = traced
+        device.bbop_row(BulkOp.NOT, DST, SRC1)
+        t = device.timing
+        for event in ring.commands():
+            expected = t.tRCD if event.name == "ACT" else t.tRP
+            assert event.dur_ns == expected
+            assert event.energy_pj > 0
+
+    def test_no_timing_means_zero_duration(self):
+        from repro.dram.commands import Command, IssuedCommand, Opcode
+
+        ring = RingBufferSink()
+        tracer = Tracer(sinks=[ring])
+        issued = IssuedCommand(Command(Opcode.ACTIVATE, bank=0, subarray=0, row=1))
+        tracer.record_command(issued, clock_ns=10.0)
+        assert ring.events[0].dur_ns == 0.0
+        assert ring.events[0].ts_ns == 10.0
+
+    def test_detach_stops_reporting(self, traced):
+        device, ring = traced
+        device.bbop_row(BulkOp.NOT, DST, SRC1)
+        seen = len(ring)
+        device.detach_tracer()
+        device.bbop_row(BulkOp.NOT, DST, SRC1)
+        assert len(ring) == seen
+        # chip's own raw trace still grows, unaffected by detaching
+        assert len(device.chip.trace) > seen / 2
+
+    def test_op_and_primitive_events(self, traced):
+        device, ring = traced
+        device.bbop_row(BulkOp.XOR, DST, SRC1, SRC2)
+        names = [e.name for e in ring.of_kind(KIND_PRIMITIVE)]
+        assert names.count("AAP") == 5 and names.count("AP") == 2  # Figure 8d
+        (op,) = ring.of_kind(KIND_OP)
+        assert op.name == "xor"
+        assert op.attrs == {"aaps": 5, "aps": 2, "commands": 19}
+        # op span covers exactly the accounted latency
+        assert op.dur_ns == pytest.approx(
+            device.controller.op_latency_ns(BulkOp.XOR)
+        )
+
+    def test_psm_copy_traced(self, traced):
+        device, ring = traced
+        device.psm_copy(RowLocation(0, 0, 0), RowLocation(1, 0, 0))
+        names = [e.name for e in ring.of_kind(KIND_PRIMITIVE)]
+        assert names == ["PSM_COPY"]
+        (op,) = ring.of_kind(KIND_OP)
+        assert op.name == "psm_copy"
+
+
+class TestSinks:
+    def test_ring_buffer_capacity(self):
+        ring = RingBufferSink(capacity=3)
+        for i in range(10):
+            ring.emit(TraceEvent(kind="cmd", name="ACT", ts_ns=float(i), seq=i))
+        assert len(ring) == 3
+        assert [e.seq for e in ring.events] == [7, 8, 9]
+        ring.clear()
+        assert len(ring) == 0
+
+    def test_jsonl_sink_parseable(self, device):
+        buf = io.StringIO()
+        sink = JsonLinesSink(buf)
+        device.attach_tracer(
+            Tracer(sinks=[sink], timing=device.timing, row_bytes=device.row_bytes)
+        )
+        try:
+            device.bbop_row(BulkOp.AND, DST, SRC1, SRC2)
+        finally:
+            device.detach_tracer()
+        sink.close()
+        records = [json.loads(line) for line in buf.getvalue().splitlines()]
+        assert len(records) == 12 + 4 + 1  # commands + AAPs + op
+        seqs = [r["seq"] for r in records]
+        assert seqs == sorted(seqs)
+        kinds = {r["kind"] for r in records}
+        assert kinds == {"cmd", "primitive", "op"}
+        tra = [r for r in records if r.get("wordlines", 1) >= 3]
+        assert len(tra) == 1
+
+    def test_chrome_sink_document_valid(self, device, tmp_path):
+        path = tmp_path / "trace.json"
+        sink = ChromeTraceSink(str(path))
+        device.attach_tracer(
+            Tracer(sinks=[sink], timing=device.timing, row_bytes=device.row_bytes)
+        )
+        try:
+            device.bbop_row(BulkOp.NAND, DST, SRC1, SRC2)
+        finally:
+            device.detach_tracer()
+        sink.close()
+        sink.close()  # idempotent
+
+        document = json.loads(path.read_text())
+        assert set(document) == {"traceEvents", "displayTimeUnit"}
+        events = document["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        spans = [e for e in events if e["ph"] == "X"]
+        assert any(m["name"] == "process_name" for m in meta)
+        assert any(m["args"]["name"] == "bank0/cmds" for m in meta)
+        assert any(m["args"]["name"] == "bank0/ops" for m in meta)
+        for record in spans:
+            assert set(record) >= {"name", "cat", "ph", "ts", "dur", "pid", "tid"}
+            assert record["dur"] > 0
+        # commands on the even lane, primitives/ops on the odd lane
+        assert {r["tid"] for r in spans if r["cat"] == "cmd"} == {0}
+        assert {r["tid"] for r in spans if r["cat"] != "cmd"} == {1}
+
+    def test_counter_sink_streaming_matches_batch(self, device):
+        counter_sink = CounterSink()
+        ring = RingBufferSink()
+        device.attach_tracer(
+            Tracer(
+                sinks=[counter_sink, ring],
+                timing=device.timing,
+                row_bytes=device.row_bytes,
+            )
+        )
+        try:
+            device.bbop_row(BulkOp.NOR, DST, SRC1, SRC2)
+        finally:
+            device.detach_tracer()
+        batch = CounterSet().observe_all(ring.events)
+        assert counter_sink.counters.as_dict() == batch.as_dict()
+
+
+class TestCounterSet:
+    def _sample(self, aaps=2, busy=10.0):
+        c = CounterSet()
+        c.aaps = aaps
+        c.busy_ns = busy
+        c.ops = {"and": 1}
+        return c
+
+    def test_delta_arithmetic(self):
+        after = self._sample(aaps=5, busy=30.0)
+        after.ops = {"and": 2, "xor": 1}
+        before = self._sample(aaps=2, busy=10.0)
+        delta = after - before
+        assert delta.aaps == 3
+        assert delta.busy_ns == pytest.approx(20.0)
+        assert delta.ops == {"and": 1, "xor": 1}
+
+    def test_add_and_copy_independent(self):
+        a = self._sample()
+        b = a.copy()
+        b.aaps += 1
+        b.ops["and"] += 1
+        assert a.aaps == 2 and a.ops == {"and": 1}
+        total = a + b
+        assert total.aaps == 5
+        assert total.ops == {"and": 3}
+
+    def test_commands_property_and_format(self):
+        c = CounterSet(activates=8, precharges=4, writes=2)
+        assert c.commands == 14
+        text = c.format()
+        assert "ACT 8" in text and "WR 2" in text
+
+    def test_tra_vs_dcc_classification(self):
+        events = [
+            TraceEvent(kind=KIND_COMMAND, name="ACT", ts_ns=0, wordlines=3),
+            TraceEvent(kind=KIND_COMMAND, name="ACT", ts_ns=1, wordlines=2),
+            TraceEvent(kind=KIND_COMMAND, name="ACT", ts_ns=2, wordlines=1),
+        ]
+        c = CounterSet().observe_all(events)
+        assert c.activates == 3
+        assert c.tras == 1
+        assert c.double_row_activations == 1
+
+
+def test_tracer_context_manager_closes_sinks():
+    class Closeable(RingBufferSink):
+        closed = False
+
+        def close(self):
+            self.closed = True
+
+    sink = Closeable()
+    with Tracer(sinks=[sink]) as tracer:
+        tracer.span("x", 0.0, 1.0)
+    assert sink.closed
+    assert sink.events[0].kind == "span"
