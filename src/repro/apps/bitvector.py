@@ -130,19 +130,51 @@ class BitVector:
         Chunks not co-located with the destination are staged through
         scratch rows (the driver's slow path); co-located layouts --
         anything allocated with ``like=`` -- run pure RowClone-FPM.
+
+        With no tracer attached, co-located chunks execute through the
+        batch engine (:mod:`repro.engine`): one fused kernel per
+        (bank, subarray) group, issued round-robin across banks, with
+        identical results and identical timing/energy accounting.  With
+        a tracer attached, every chunk walks the per-row command path so
+        the emitted trace stream is unchanged.
         """
         operands = [self] + ([other] if other is not None else [])
         for v in operands + [dst]:
             if v.handle.num_rows != self.handle.num_rows:
                 raise AllocationError("bitvector operands must have equal row counts")
         driver = self.system.driver
+        if self.device.tracer is not None:
+            for i in range(self.handle.num_rows):
+                d = dst.handle.rows[i]
+                a = driver.stage_for(self.handle.rows[i], d, scratch_index=0)
+                b = None
+                if other is not None:
+                    b = driver.stage_for(other.handle.rows[i], d, scratch_index=1)
+                self.device.bbop_row(op, d, a, b)
+            return dst
+        # Batched path: fuse co-located chunks, stage strays per row.
+        dst_rows, src_rows, other_rows = [], [], []
         for i in range(self.handle.num_rows):
             d = dst.handle.rows[i]
-            a = driver.stage_for(self.handle.rows[i], d, scratch_index=0)
-            b = None
-            if other is not None:
-                b = driver.stage_for(other.handle.rows[i], d, scratch_index=1)
-            self.device.bbop_row(op, d, a, b)
+            a = self.handle.rows[i]
+            b = other.handle.rows[i] if other is not None else None
+            colocated = (a.bank, a.subarray) == (d.bank, d.subarray) and (
+                b is None or (b.bank, b.subarray) == (d.bank, d.subarray)
+            )
+            if colocated:
+                dst_rows.append(d)
+                src_rows.append(a)
+                if b is not None:
+                    other_rows.append(b)
+            else:
+                a = driver.stage_for(a, d, scratch_index=0)
+                if b is not None:
+                    b = driver.stage_for(b, d, scratch_index=1)
+                self.device.bbop_row(op, d, a, b)
+        if dst_rows:
+            self.device.engine.run_rows(
+                op, dst_rows, src_rows, other_rows if other is not None else None
+            )
         return dst
 
     def _binary(self, op: BulkOp, other: "BitVector") -> "BitVector":

@@ -20,10 +20,11 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 from repro.core.addressing import AmbitAddressMap
-from repro.core.microprograms import BulkOp, Microprogram, compile_op
+from repro.core.microprograms import BulkOp, Microprogram
 from repro.core.primitives import AAP, AP
 from repro.dram.chip import DramChip
 from repro.dram.timing import TimingParameters
+from repro.engine.plan import PlanCache, RowPlan
 from repro.errors import DramProtocolError
 
 
@@ -78,6 +79,10 @@ class AmbitController:
         self.split_decoder = split_decoder
         self.amap = AmbitAddressMap(chip.geometry.subarray)
         self.stats = ControllerStats()
+        #: Memoised microprogram compilation (shared with the batch
+        #: engine).  Survives :meth:`reset_stats` -- only its hit/miss
+        #: counters are statistics.
+        self.plan_cache = PlanCache(self.amap, timing, split_decoder)
 
     # ------------------------------------------------------------------
     # Bulk operations
@@ -97,10 +102,14 @@ class AmbitController:
         ``dk``/``di``/``dj`` are local row addresses (D-group for data,
         C-group sources are allowed so tests can use constant rows).
         Returns the microprogram that was executed.
+
+        The compiled plan is memoised in :attr:`plan_cache`: repeated
+        operations at the same local addresses (every row of a striped
+        bitvector) reuse the microprogram and its latencies.
         """
-        program = compile_op(self.amap, op, dk, di, dj, dl)
-        self.run_program(program, bank, subarray)
-        return program
+        plan = self.plan_cache.get(op, dk, di, dj, dl)
+        self.run_plan(plan, bank, subarray)
+        return plan.program
 
     def run_program(self, program: Microprogram, bank: int, subarray: int) -> None:
         """Stream an already-compiled microprogram to the chip.
@@ -109,6 +118,23 @@ class AmbitController:
         as a span with its accounted latency, and the whole program as a
         bulk-op span carrying aggregate attributes.
         """
+        latencies = tuple(
+            p.latency_ns(self.timing, self.amap, self.split_decoder)
+            for p in program.primitives
+        )
+        self._run(program, latencies, bank, subarray)
+
+    def run_plan(self, plan: RowPlan, bank: int, subarray: int) -> None:
+        """Stream a cached plan to the chip (latencies pre-computed)."""
+        self._run(plan.program, plan.latencies_ns, bank, subarray)
+
+    def _run(
+        self,
+        program: Microprogram,
+        latencies: Tuple[float, ...],
+        bank: int,
+        subarray: int,
+    ) -> None:
         if self.chip.bank(bank).open_subarray is not None:
             raise DramProtocolError(
                 f"bank {bank} must be precharged before a bulk operation"
@@ -116,10 +142,7 @@ class AmbitController:
         tracer = self.chip.tracer
         if tracer is not None:
             tracer.begin_op(program.op.value, bank, subarray, self.chip.clock_ns)
-        for primitive in program.primitives:
-            latency = primitive.latency_ns(
-                self.timing, self.amap, self.split_decoder
-            )
+        for primitive, latency in zip(program.primitives, latencies):
             start_ns = self.chip.clock_ns
             for command in primitive.commands(bank, subarray):
                 self.chip.execute(command)
@@ -144,22 +167,25 @@ class AmbitController:
 
         Uses representative D-group addresses; every instance of an op
         has the same primitive structure, so the latency is uniform.
+        The compiled plan is cached, so repeated queries are O(1).
         """
-        program = compile_op(
-            self.amap, op, 3, 0,
+        plan = self.plan_cache.get(
+            op, 3, 0,
             None if op.arity == 1 else 1,
             2 if op.arity == 3 else None,
         )
-        return sum(
-            p.latency_ns(self.timing, self.amap, self.split_decoder)
-            for p in program.primitives
-        )
+        return plan.total_ns
 
     # ------------------------------------------------------------------
     def reset_stats(self) -> None:
-        """Clear accumulated statistics and the command trace."""
+        """Clear accumulated statistics and the command trace.
+
+        The plan cache's compiled programs survive (they are derived
+        state, not statistics); only its hit/miss counters are zeroed.
+        """
         self.stats = ControllerStats()
         self.chip.trace.clear()
+        self.plan_cache.reset_counters()
 
     def _account(self, primitive, bank: int, latency: float) -> None:
         if isinstance(primitive, AAP):

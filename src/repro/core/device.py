@@ -59,6 +59,7 @@ class AmbitDevice:
         self.controller = AmbitController(
             self.chip, self.timing, split_decoder=split_decoder
         )
+        self._engine = None
         self._initialize_control_rows()
 
     # ------------------------------------------------------------------
@@ -114,6 +115,22 @@ class AmbitDevice:
             dj=None if src2 is None else src2.address,
             dl=None if src3 is None else src3.address,
         )
+
+    @property
+    def engine(self):
+        """The device's :class:`~repro.engine.batch.BatchEngine`.
+
+        Built lazily; use it to execute whole row batches with plan
+        caching, fused kernels, and bank-interleaved issue::
+
+            report = device.engine.run_rows(BulkOp.AND, dsts, srcs1, srcs2)
+            print(report.parallelism.format())
+        """
+        if self._engine is None:
+            from repro.engine.batch import BatchEngine
+
+            self._engine = BatchEngine(self)
+        return self._engine
 
     def psm_copy(self, src: RowLocation, dst: RowLocation) -> None:
         """RowClone-PSM copy between banks, with latency accounting."""

@@ -129,7 +129,15 @@ class AmbitDriver:
         # Interleave stripes bank-major so consecutive chunks of one
         # vector hit different banks (maximising bank-level parallelism).
         self._stripes.sort(key=lambda k: (k[1], k[0]))
-        self._next_stripe = 0
+        #: Rotating queue of stripes believed to have free rows.  A
+        #: stripe found empty is dropped (lazily -- ``_take_from`` via
+        #: ``like=`` can drain a stripe without touching the queue) and
+        #: re-queued when a row is freed back to it, so round-robin
+        #: allocation is amortized O(1) even when most stripes are full
+        #: (the old implementation rescanned every full stripe on each
+        #: allocation).
+        self._live: Deque[StripeKey] = deque(self._stripes)
+        self._live_set: Set[StripeKey] = set(self._stripes)
 
     # ------------------------------------------------------------------
     # Allocation
@@ -182,6 +190,9 @@ class AmbitDriver:
         key = (loc.bank, loc.subarray)
         self._free[key].append(loc.address)
         self._free_sets[key].add(loc.address)
+        if key not in self._live_set:
+            self._live_set.add(key)
+            self._live.append(key)
 
     def scratch_row(self, bank: int, subarray: int, index: int = 0) -> RowLocation:
         """A reserved staging row in the given subarray."""
@@ -230,11 +241,15 @@ class AmbitDriver:
         return RowLocation(bank=key[0], subarray=key[1], address=address)
 
     def _take_round_robin(self) -> RowLocation:
-        for offset in range(len(self._stripes)):
-            key = self._stripes[(self._next_stripe + offset) % len(self._stripes)]
-            if self._free[key]:
-                self._next_stripe = (
-                    self._next_stripe + offset + 1
-                ) % len(self._stripes)
-                return self._take_from(key)
+        live = self._live
+        while live:
+            key = live[0]
+            if not self._free[key]:
+                # Stale entry (drained directly or via co-location).
+                live.popleft()
+                self._live_set.discard(key)
+                continue
+            location = self._take_from(key)
+            live.rotate(-1)
+            return location
         raise AllocationError("device is out of D-group rows")

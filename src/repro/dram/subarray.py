@@ -169,6 +169,60 @@ class Subarray:
             self.cells[storage_row] = value.astype(np.uint64)
         self.last_restore_ns[storage_row] = now_ns
 
+    def peek_batch(self, storage_rows) -> np.ndarray:
+        """Read several storage rows at once (debug port).
+
+        Returns an ``(len(storage_rows), words_per_row)`` uint64 copy.
+        This is the read side of the batch engine's fused kernels: one
+        fancy-indexed numpy gather instead of N per-row peeks.
+        """
+        index = self._batch_index(storage_rows)
+        return self.cells[index]  # advanced indexing copies
+
+    def poke_batch(self, storage_rows, values: np.ndarray, now_ns: float = 0.0) -> None:
+        """Write several storage rows at once (debug port).
+
+        Stuck-at rows keep their pinned value, exactly as :meth:`poke`;
+        every written row counts as restored at ``now_ns``.  Duplicate
+        row indices are rejected (assignment order would be ambiguous).
+        """
+        index = self._batch_index(storage_rows, unique=True)
+        values = np.asarray(values, dtype=np.uint64)
+        if values.shape != (index.size, self.geometry.words_per_row):
+            raise AddressError(
+                f"poke_batch needs shape ({index.size}, "
+                f"{self.geometry.words_per_row}); got {values.shape}"
+            )
+        self.cells[index] = values
+        if self.stuck:
+            for row in np.intersect1d(index, list(self.stuck)):
+                self.cells[row] = self.stuck[int(row)]
+        self.last_restore_ns[index] = now_ns
+
+    def touch_rows(self, storage_rows, now_ns: float) -> None:
+        """Mark rows as restored at ``now_ns`` without changing contents.
+
+        The batch engine uses this for the *source* rows of a fused
+        operation: on the command path their activation restores (and
+        thereby refreshes) them.
+        """
+        self.last_restore_ns[self._batch_index(storage_rows)] = now_ns
+
+    def _batch_index(self, storage_rows, unique: bool = False) -> np.ndarray:
+        index = np.asarray(storage_rows, dtype=np.intp)
+        if index.ndim != 1:
+            raise AddressError(
+                f"batch row index must be one-dimensional; got shape {index.shape}"
+            )
+        if index.size:
+            if int(index.min()) < 0 or int(index.max()) >= self.geometry.storage_rows:
+                raise AddressError(
+                    f"batch rows out of range [0, {self.geometry.storage_rows})"
+                )
+            if unique and np.unique(index).size != index.size:
+                raise AddressError("batch write targets duplicate rows")
+        return index
+
     # ------------------------------------------------------------------
     # Retention bookkeeping (issue 4 of Section 3.2)
     # ------------------------------------------------------------------

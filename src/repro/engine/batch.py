@@ -1,0 +1,322 @@
+"""The batched execution engine: fused row-batch kernels over cached plans.
+
+The per-row execution path walks every bulk operation through
+``compile -> primitives -> Command objects -> Subarray.activate`` one
+row at a time; pure Python dispatch dominates long before the functional
+numpy work does.  This engine is the fast path the ROADMAP asks for:
+
+1. **Plan once** -- every row reuses a cached
+   :class:`~repro.engine.plan.RowPlan` (microprogram + latencies +
+   per-(bank, subarray) command schedule) from the controller's
+   :class:`~repro.engine.plan.PlanCache`.
+2. **Execute in bulk** -- all rows of a (bank, subarray) group are
+   applied as *one* vectorised numpy operation over an
+   ``(N x words_per_row)`` view (:meth:`repro.dram.subarray.Subarray.peek_batch`
+   / ``poke_batch``), while the accounting (per-row command
+   timing/energy, AAP/AP counts, the command trace itself) is charged
+   exactly as if every row had walked the per-row path.
+3. **Overlap across banks** -- groups are issued round-robin across
+   banks (:class:`~repro.engine.scheduler.BatchScheduler`), and every
+   batch returns a :class:`~repro.engine.scheduler.ParallelismReport`
+   comparing serialized vs bank-interleaved makespan.
+
+The fused kernel only engages when it is *provably* equivalent to the
+per-row walk: no tracer attached (a tracer observes per-primitive spans
+in execution order; the slow path preserves them byte-for-byte), no
+analog charge model (TRA outcomes would depend on cell-level state), no
+injected stuck-at faults in the target subarray (faults corrupt the
+B-group walk in ways the fused kernel cannot see), and no read/write
+hazards between the rows of a group.  Ineligible groups transparently
+fall back to the per-row walk -- results are always correct; batching is
+purely an optimisation.
+
+Known modelling deltas of the fast path (documented, not observable
+through the bulk-op API): B-group designated rows are not rewritten (all
+microprograms re-copy their operands into the B-group before using it,
+so no later operation can observe the stale values), and
+retention-refresh stamps of the rows a group touches are set to the
+group's issue time instead of each primitive's individual clock.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.microprograms import BulkOp
+from repro.dram.chip import RowLocation
+from repro.engine.plan import RowPlan
+from repro.engine.scheduler import BatchScheduler, CommandGroup, ParallelismReport
+from repro.errors import AddressError, DramProtocolError
+
+
+@dataclass(frozen=True)
+class BatchReport:
+    """Outcome of one batched bulk operation."""
+
+    #: Rows executed in total.
+    rows: int
+    #: Rows that took the fused numpy kernel.
+    fused_rows: int
+    #: Rows that fell back to the per-row command walk.
+    fallback_rows: int
+    #: Serialized-vs-interleaved makespan comparison for the batch.
+    parallelism: ParallelismReport
+
+
+def apply_bulk_op(
+    op: BulkOp,
+    src1: np.ndarray,
+    src2: Optional[np.ndarray] = None,
+    src3: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """The functional effect of a bulk operation on packed uint64 rows.
+
+    This is the single definition of truth the fused kernels use; the
+    property tests pin it against the command-level walk bit for bit.
+    """
+    if op is BulkOp.NOT:
+        return ~src1
+    if op is BulkOp.COPY:
+        return src1.copy()
+    if op is BulkOp.MAJ:
+        return (src1 & src2) | (src1 & src3) | (src2 & src3)
+    if src2 is None:
+        raise AddressError(f"{op.value} needs a second operand")
+    if op is BulkOp.AND:
+        return src1 & src2
+    if op is BulkOp.OR:
+        return src1 | src2
+    if op is BulkOp.XOR:
+        return src1 ^ src2
+    if op is BulkOp.NAND:
+        return ~(src1 & src2)
+    if op is BulkOp.NOR:
+        return ~(src1 | src2)
+    if op is BulkOp.XNOR:
+        return ~(src1 ^ src2)
+    raise AddressError(f"unknown bulk operation {op}")
+
+
+class _Group:
+    """All rows of one batch that target one (bank, subarray)."""
+
+    __slots__ = ("bank", "subarray", "indices", "plans")
+
+    def __init__(self, bank: int, subarray: int):
+        self.bank = bank
+        self.subarray = subarray
+        self.indices: List[int] = []
+        self.plans: List[RowPlan] = []
+
+    @property
+    def duration_ns(self) -> float:
+        return sum(plan.total_ns for plan in self.plans)
+
+
+class BatchEngine:
+    """Batched execution of bulk operations on an Ambit device.
+
+    Sits between the driver and the chip: callers hand over *row lists*
+    (operand ``i`` of every list lives in the same subarray -- the
+    driver's co-location contract) and the engine plans, fuses, and
+    issues them with bank-level overlap.
+    """
+
+    def __init__(self, device):
+        self.device = device
+        self.controller = device.controller
+        self.chip = device.chip
+        self.scheduler = BatchScheduler()
+
+    # ------------------------------------------------------------------
+    @property
+    def plan_cache(self):
+        return self.controller.plan_cache
+
+    def run_rows(
+        self,
+        op: BulkOp,
+        dst: Sequence[RowLocation],
+        src1: Sequence[RowLocation],
+        src2: Optional[Sequence[RowLocation]] = None,
+        src3: Optional[Sequence[RowLocation]] = None,
+    ) -> BatchReport:
+        """Execute ``dst[i] = op(src1[i], src2[i], src3[i])`` for every row.
+
+        All operands of row ``i`` must share ``dst[i]``'s (bank,
+        subarray); stage strays first (:meth:`repro.core.driver.AmbitDriver.stage_for`).
+        Timing, energy, statistics, and the command trace are charged
+        exactly as the per-row path would.
+        """
+        n = len(dst)
+        for name, rows in (("src1", src1), ("src2", src2), ("src3", src3)):
+            if rows is not None and len(rows) != n:
+                raise AddressError(
+                    f"batch operand lists must align: {name} has "
+                    f"{len(rows)} rows, dst has {n}"
+                )
+        if n == 0:
+            return BatchReport(
+                rows=0, fused_rows=0, fallback_rows=0,
+                parallelism=self.scheduler.report(()),
+            )
+
+        groups = self._plan_groups(op, dst, src1, src2, src3)
+        command_groups = [
+            CommandGroup(bank=g.bank, duration_ns=g.duration_ns, payload=g)
+            for g in groups
+        ]
+        parallelism = self.scheduler.report(command_groups)
+
+        fused = 0
+        for issued in self.scheduler.order(command_groups):
+            group: _Group = issued.payload
+            if self._fused_eligible(group, dst, src1, src2, src3):
+                self._run_group_fused(op, group, dst, src1, src2, src3)
+                fused += len(group.indices)
+            else:
+                self._run_group_per_row(group)
+        return BatchReport(
+            rows=n,
+            fused_rows=fused,
+            fallback_rows=n - fused,
+            parallelism=parallelism,
+        )
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    def _plan_groups(
+        self,
+        op: BulkOp,
+        dst: Sequence[RowLocation],
+        src1: Sequence[RowLocation],
+        src2: Optional[Sequence[RowLocation]],
+        src3: Optional[Sequence[RowLocation]],
+    ) -> List[_Group]:
+        cache = self.plan_cache
+        groups: "OrderedDict[Tuple[int, int], _Group]" = OrderedDict()
+        for i in range(len(dst)):
+            d = dst[i]
+            sources = [src1[i]]
+            if src2 is not None:
+                sources.append(src2[i])
+            if src3 is not None:
+                sources.append(src3[i])
+            for loc in sources:
+                if (loc.bank, loc.subarray) != (d.bank, d.subarray):
+                    raise AddressError(
+                        f"batch operands of row {i} must share a subarray: "
+                        f"{loc} vs bank {d.bank} subarray {d.subarray} "
+                        f"(stage cross-subarray operands first)"
+                    )
+            plan = cache.get(
+                op,
+                d.address,
+                sources[0].address,
+                sources[1].address if len(sources) > 1 else None,
+                sources[2].address if len(sources) > 2 else None,
+            )
+            key = (d.bank, d.subarray)
+            group = groups.get(key)
+            if group is None:
+                group = groups[key] = _Group(d.bank, d.subarray)
+            group.indices.append(i)
+            group.plans.append(plan)
+        return list(groups.values())
+
+    # ------------------------------------------------------------------
+    # Eligibility
+    # ------------------------------------------------------------------
+    def _fused_eligible(
+        self,
+        group: _Group,
+        dst: Sequence[RowLocation],
+        src1: Sequence[RowLocation],
+        src2: Optional[Sequence[RowLocation]],
+        src3: Optional[Sequence[RowLocation]],
+    ) -> bool:
+        if self.chip.tracer is not None:
+            return False
+        subarray = self.chip.bank(group.bank).subarray(group.subarray)
+        if subarray.stuck or subarray.amps.charge_model is not None:
+            return False
+        # Hazard check: the fused kernel reads every source before any
+        # destination is written, so a row whose source is another row's
+        # destination (or duplicate destinations) must take the
+        # sequential walk.
+        dst_addrs = [dst[i].address for i in group.indices]
+        if len(set(dst_addrs)) != len(dst_addrs):
+            return False
+        src_addrs = set()
+        for i in group.indices:
+            src_addrs.add(src1[i].address)
+            if src2 is not None:
+                src_addrs.add(src2[i].address)
+            if src3 is not None:
+                src_addrs.add(src3[i].address)
+        return not (set(dst_addrs) & src_addrs)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _run_group_fused(
+        self,
+        op: BulkOp,
+        group: _Group,
+        dst: Sequence[RowLocation],
+        src1: Sequence[RowLocation],
+        src2: Optional[Sequence[RowLocation]],
+        src3: Optional[Sequence[RowLocation]],
+    ) -> None:
+        bank, sub = group.bank, group.subarray
+        if self.chip.bank(bank).open_subarray is not None:
+            raise DramProtocolError(
+                f"bank {bank} must be precharged before a bulk operation"
+            )
+        subarray = self.chip.bank(bank).subarray(sub)
+        indices = group.indices
+        start_ns = self.chip.clock_ns
+
+        # Functional effect: one numpy operation over the whole group.
+        a = subarray.peek_batch([src1[i].address for i in indices])
+        b = c = None
+        if src2 is not None:
+            b = subarray.peek_batch([src2[i].address for i in indices])
+        if src3 is not None:
+            c = subarray.peek_batch([src3[i].address for i in indices])
+        result = apply_bulk_op(op, a, b, c)
+        dst_addrs = [dst[i].address for i in indices]
+        subarray.poke_batch(dst_addrs, result, now_ns=start_ns)
+        # Source activations restore (and thereby refresh) their rows.
+        touched = list(dst_addrs)
+        for i in indices:
+            touched.append(src1[i].address)
+            if src2 is not None:
+                touched.append(src2[i].address)
+            if src3 is not None:
+                touched.append(src3[i].address)
+        subarray.touch_rows(touched, now_ns=start_ns)
+
+        # Accounting + trace: charge the exact per-row command schedule.
+        cache = self.plan_cache
+        stats = self.controller.stats
+        trace = self.chip.trace
+        total_ns = 0.0
+        for plan in group.plans:
+            trace.extend(cache.issued_commands(plan, bank, sub))
+            stats.aap_count += plan.num_aap
+            stats.ap_count += plan.num_ap
+            total_ns += plan.total_ns
+        stats.ops[op] += len(indices)
+        stats.busy_ns += total_ns
+        stats.bank_busy_ns[bank] += total_ns
+        self.chip.clock_ns += total_ns
+
+    def _run_group_per_row(self, group: _Group) -> None:
+        for plan in group.plans:
+            self.controller.run_plan(plan, group.bank, group.subarray)

@@ -1,0 +1,186 @@
+"""Microprogram plan cache: compile once, execute many.
+
+Every instance of a bulk bitwise operation with the same local row
+addresses compiles to the *same* microprogram, the same per-primitive
+latencies, and (per bank/subarray) the same DRAM command stream.  The
+driver places co-operating bitvectors at matching local addresses across
+stripes, so a vector-wide operation is thousands of executions of a
+handful of distinct plans.  :class:`PlanCache` memoises that compilation:
+
+* :class:`RowPlan` -- one compiled bulk operation: the
+  :class:`~repro.core.microprograms.Microprogram`, its per-primitive
+  latencies under the cache's timing/decoder configuration, and the
+  aggregate counts the accounting layer needs.
+* :meth:`PlanCache.issued_commands` -- the flat
+  :class:`~repro.dram.commands.IssuedCommand` schedule of a plan on one
+  ``(bank, subarray)``, byte-identical to what
+  :meth:`repro.dram.chip.DramChip.execute` would append to the command
+  trace (wordline counts and AAP-overlap flags included), so the batch
+  engine can extend the trace without re-executing the state machine.
+
+Cache keys are ``(op, dk, di, dj, dl)`` local addresses under one fixed
+``(address map, timing, split_decoder)`` configuration -- the cache is
+per-controller, and the controller's configuration is immutable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core.addressing import AmbitAddressMap
+from repro.core.microprograms import BulkOp, Microprogram, compile_op
+from repro.core.primitives import AAP, AP
+from repro.dram.commands import Command, IssuedCommand, Opcode
+from repro.dram.timing import TimingParameters
+
+#: Cache key: the operation plus its local row addresses.
+PlanKey = Tuple[BulkOp, int, int, Optional[int], Optional[int]]
+
+
+@dataclass(frozen=True)
+class RowPlan:
+    """One compiled bulk operation with pre-computed cost metadata."""
+
+    key: PlanKey
+    program: Microprogram
+    #: Accounted latency of each primitive, in program order.
+    latencies_ns: Tuple[float, ...]
+    #: Sum of ``latencies_ns`` -- the per-row latency of the operation.
+    total_ns: float
+    num_aap: int
+    num_ap: int
+    #: Bus commands the plan expands to (3 per AAP, 2 per AP).
+    num_commands: int
+
+    @property
+    def op(self) -> BulkOp:
+        return self.program.op
+
+
+class PlanCache:
+    """Memoised compilation of bulk operations to executable plans.
+
+    Parameters
+    ----------
+    amap:
+        The subarray address map (fixed per device).
+    timing:
+        Speed grade used for the cached per-primitive latencies.
+    split_decoder:
+        Decoder configuration the latencies assume (Section 5.3).
+    """
+
+    def __init__(
+        self,
+        amap: AmbitAddressMap,
+        timing: TimingParameters,
+        split_decoder: bool = True,
+    ):
+        self.amap = amap
+        self.timing = timing
+        self.split_decoder = split_decoder
+        self._plans: Dict[PlanKey, RowPlan] = {}
+        self._commands: Dict[Tuple[PlanKey, int, int], Tuple[IssuedCommand, ...]] = {}
+        self._wordline_counts: Optional[Dict[int, int]] = None
+        #: Cache statistics; reset with :meth:`reset_counters` (the
+        #: compiled plans themselves survive a stats reset).
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def get(
+        self,
+        op: BulkOp,
+        dk: int,
+        di: int,
+        dj: Optional[int] = None,
+        dl: Optional[int] = None,
+    ) -> RowPlan:
+        """The plan for ``op`` at the given local addresses (compiling on miss)."""
+        key: PlanKey = (op, dk, di, dj, dl)
+        plan = self._plans.get(key)
+        if plan is not None:
+            self.hits += 1
+            return plan
+        self.misses += 1
+        program = compile_op(self.amap, op, dk, di, dj, dl)
+        latencies = tuple(
+            p.latency_ns(self.timing, self.amap, self.split_decoder)
+            for p in program.primitives
+        )
+        plan = RowPlan(
+            key=key,
+            program=program,
+            latencies_ns=latencies,
+            total_ns=sum(latencies),
+            num_aap=program.num_aap,
+            num_ap=program.num_ap,
+            num_commands=sum(
+                3 if isinstance(p, AAP) else 2 for p in program.primitives
+            ),
+        )
+        self._plans[key] = plan
+        return plan
+
+    def reset_counters(self) -> None:
+        """Zero the hit/miss counters without dropping compiled plans."""
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # Flat command schedules
+    # ------------------------------------------------------------------
+    def issued_commands(
+        self, plan: RowPlan, bank: int, subarray: int
+    ) -> Tuple[IssuedCommand, ...]:
+        """The plan's command stream on one subarray, as the chip would trace it.
+
+        The returned tuple carries the exact ``wordlines_raised`` and
+        ``onto_open_row`` annotations the chip's execute path would
+        produce: the first ACTIVATE of an AAP (and the ACTIVATE of an AP)
+        is a fresh sense, the second ACTIVATE of an AAP lands on the open
+        row.  Entries are immutable and shared across executions; the
+        energy fold over the trace is order-independent, so repeated
+        extension with the same tuple is byte-equivalent to re-execution.
+        """
+        ckey = (plan.key, bank, subarray)
+        cached = self._commands.get(ckey)
+        if cached is not None:
+            return cached
+        issued = []
+        for primitive in plan.program.primitives:
+            if isinstance(primitive, AAP):
+                issued.append(self._activate(primitive.addr1, bank, subarray, False))
+                issued.append(self._activate(primitive.addr2, bank, subarray, True))
+            else:
+                issued.append(self._activate(primitive.addr, bank, subarray, False))
+            issued.append(
+                IssuedCommand(
+                    Command(Opcode.PRECHARGE, bank=bank, subarray=subarray)
+                )
+            )
+        commands = tuple(issued)
+        self._commands[ckey] = commands
+        return commands
+
+    def _activate(
+        self, address: int, bank: int, subarray: int, onto_open: bool
+    ) -> IssuedCommand:
+        return IssuedCommand(
+            Command(Opcode.ACTIVATE, bank=bank, subarray=subarray, row=address),
+            wordlines_raised=self._wordlines(address),
+            onto_open_row=onto_open,
+        )
+
+    def _wordlines(self, address: int) -> int:
+        """Wordlines an ACTIVATE to ``address`` raises (Table 1)."""
+        if self._wordline_counts is None:
+            self._wordline_counts = {
+                addr: len(wordlines)
+                for addr, wordlines in self.amap.b_group_wordlines().items()
+            }
+        return self._wordline_counts.get(address, 1)

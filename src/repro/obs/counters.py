@@ -75,6 +75,11 @@ class CounterSet:
     rowclone_psm: int = 0
     busy_ns: float = 0.0
     energy_pj: float = 0.0
+    #: Microprogram plan-cache hits/misses inside the profiled region
+    #: (filled from the controller's :class:`repro.engine.plan.PlanCache`
+    #: by the profiler; trace events do not carry them).
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
     #: Completed bulk operations by name (``and``, ``xor``, ...).
     ops: Dict[str, int] = field(default_factory=dict)
 
@@ -181,6 +186,11 @@ class CounterSet:
             f"busy     : {self.busy_ns:>10.1f} ns",
             f"energy   : {self.energy_pj:>10.1f} pJ",
         ]
+        if self.plan_cache_hits or self.plan_cache_misses:
+            lines.append(
+                f"plans    : {self.plan_cache_hits:>10} cache hits, "
+                f"{self.plan_cache_misses} misses"
+            )
         if self.ops:
             ops = ", ".join(f"{k}={v}" for k, v in sorted(self.ops.items()))
             lines.append(f"bulk ops : {ops}")
@@ -201,4 +211,6 @@ _NUMERIC_FIELDS = (
     "rowclone_psm",
     "busy_ns",
     "energy_pj",
+    "plan_cache_hits",
+    "plan_cache_misses",
 )

@@ -98,6 +98,13 @@ def profile(
     op_sink = _OpAggregator()
     active.add_sink(counter_sink)
     active.add_sink(op_sink)
+    # Plan-cache hits/misses are controller state, not trace events;
+    # snapshot-and-delta keeps the region counters reset_stats-safe.
+    plan_cache = getattr(
+        getattr(device, "controller", None), "plan_cache", None
+    )
+    hits_before = plan_cache.hits if plan_cache is not None else 0
+    misses_before = plan_cache.misses if plan_cache is not None else 0
     report = ProfileReport()
     try:
         yield report
@@ -106,4 +113,13 @@ def profile(
         active.remove_sink(op_sink)
         if temporary:
             device.detach_tracer()
+        if plan_cache is not None:
+            # max(0, ...): a reset_stats inside the region zeroes the
+            # cache counters; never report a negative delta.
+            counter_sink.counters.plan_cache_hits += max(
+                0, plan_cache.hits - hits_before
+            )
+            counter_sink.counters.plan_cache_misses += max(
+                0, plan_cache.misses - misses_before
+            )
         report._finalize(counter_sink.counters, op_sink.per_op)

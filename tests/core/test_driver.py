@@ -7,6 +7,7 @@ from repro.core.device import AmbitDevice
 from repro.core.driver import (
     SCRATCH_ROWS_PER_SUBARRAY,
     AmbitDriver,
+    BitVectorHandle,
     stage_row,
 )
 from repro.core.microprograms import BulkOp
@@ -153,3 +154,92 @@ class TestScratchAndStaging:
         before = device.busy_ns
         stage_row(device, RowLocation(0, 0, 1), RowLocation(1, 0, 2))
         assert device.busy_ns > before
+
+
+class TestRollbackAndColocation:
+    def _fill_stripe(self, driver, bank, sub, leave=0):
+        """Drain a stripe down to ``leave`` free rows via co-location."""
+        template = BitVectorHandle(
+            nbits=GEO.subarray.row_bits,
+            rows=[RowLocation(bank, sub, 0)],
+        )
+        handles = []
+        while len(driver._free[(bank, sub)]) > leave:
+            handles.append(
+                driver.allocate(GEO.subarray.row_bits, like=template)
+            )
+        return handles
+
+    def test_colocated_partial_failure_rolls_back(self, driver):
+        # a's chunks land in stripes (0,0) and (1,0); fill (1,0) so the
+        # co-located allocation succeeds on chunk 0 and fails on chunk 1.
+        a = driver.allocate(GEO.subarray.row_bits * 2)
+        assert [(r.bank, r.subarray) for r in a.rows] == [(0, 0), (1, 0)]
+        self._fill_stripe(driver, 1, 0)
+        before = driver.free_rows()
+        assert len(driver._free[(0, 0)]) > 0  # chunk 0 will succeed
+        with pytest.raises(AllocationError, match="full"):
+            driver.allocate(GEO.subarray.row_bits * 2, like=a)
+        assert driver.free_rows() == before
+        # The rolled-back chunk-0 row is genuinely reusable.
+        stripe_before = len(driver._free[(0, 0)])
+        driver.allocate(
+            GEO.subarray.row_bits,
+            like=BitVectorHandle(
+                nbits=GEO.subarray.row_bits, rows=[RowLocation(0, 0, 0)]
+            ),
+        )
+        assert len(driver._free[(0, 0)]) == stripe_before - 1
+
+    def test_colocated_false_across_banks(self, driver):
+        a = BitVectorHandle(
+            nbits=GEO.subarray.row_bits, rows=[RowLocation(0, 0, 0)]
+        )
+        b = BitVectorHandle(
+            nbits=GEO.subarray.row_bits, rows=[RowLocation(1, 0, 0)]
+        )
+        assert not driver.colocated(a, b)
+        assert not driver.colocated(b, a)
+
+    def test_colocated_false_across_subarrays(self, driver):
+        a = BitVectorHandle(
+            nbits=GEO.subarray.row_bits, rows=[RowLocation(0, 0, 0)]
+        )
+        b = BitVectorHandle(
+            nbits=GEO.subarray.row_bits, rows=[RowLocation(0, 1, 0)]
+        )
+        assert not driver.colocated(a, b)
+
+    def test_colocated_false_on_row_count_mismatch(self, driver):
+        a = driver.allocate(GEO.subarray.row_bits)
+        b = driver.allocate(GEO.subarray.row_bits * 2)
+        assert not driver.colocated(a, b)
+
+    def test_live_queue_recovers_after_exhaustion(self, driver):
+        # Regression for the O(1) round-robin queue: a drained stripe
+        # leaves the live queue, and freeing a row must re-queue it.
+        total = driver.free_rows()
+        handles = [
+            driver.allocate(GEO.subarray.row_bits) for _ in range(total)
+        ]
+        assert driver.free_rows() == 0
+        with pytest.raises(AllocationError):
+            driver.allocate(GEO.subarray.row_bits)
+        victim = handles.pop()
+        freed_stripe = (victim.rows[0].bank, victim.rows[0].subarray)
+        driver.free(victim)
+        again = driver.allocate(GEO.subarray.row_bits)
+        assert (again.rows[0].bank, again.rows[0].subarray) == freed_stripe
+
+    def test_round_robin_skips_drained_stripes(self, driver):
+        # Drain stripe (0,0) entirely through co-location (the live
+        # queue never observes it); round-robin must skip it lazily.
+        self._fill_stripe(driver, 0, 0)
+        remaining = driver.free_rows()
+        handles = [
+            driver.allocate(GEO.subarray.row_bits) for _ in range(remaining)
+        ]
+        assert driver.free_rows() == 0
+        assert all(
+            (h.rows[0].bank, h.rows[0].subarray) != (0, 0) for h in handles
+        )

@@ -1,0 +1,146 @@
+"""The microprogram plan cache: compile once, reuse everywhere."""
+
+import pytest
+
+from repro.core.device import AmbitDevice
+from repro.core.microprograms import BulkOp, compile_op
+from repro.dram.commands import Opcode
+from repro.dram.geometry import small_test_geometry
+from repro.engine.plan import PlanCache
+from repro.errors import AddressError
+
+GOLDEN_OPS = (
+    BulkOp.NOT,
+    BulkOp.AND,
+    BulkOp.OR,
+    BulkOp.NAND,
+    BulkOp.NOR,
+    BulkOp.XOR,
+    BulkOp.XNOR,
+)
+
+
+@pytest.fixture
+def device():
+    return AmbitDevice(geometry=small_test_geometry())
+
+
+class TestCaching:
+    def test_hit_returns_same_plan(self, device):
+        cache = device.controller.plan_cache
+        first = cache.get(BulkOp.AND, 3, 0, 1)
+        second = cache.get(BulkOp.AND, 3, 0, 1)
+        assert first is second
+        assert cache.misses == 1 and cache.hits == 1
+
+    def test_distinct_addresses_compile_separately(self, device):
+        cache = device.controller.plan_cache
+        cache.get(BulkOp.AND, 3, 0, 1)
+        cache.get(BulkOp.AND, 4, 0, 1)
+        assert cache.misses == 2 and len(cache) == 2
+
+    def test_plan_matches_direct_compilation(self, device):
+        controller = device.controller
+        plan = controller.plan_cache.get(BulkOp.XOR, 3, 0, 1)
+        program = compile_op(controller.amap, BulkOp.XOR, 3, 0, 1)
+        assert plan.program.primitives == program.primitives
+        assert plan.total_ns == pytest.approx(
+            sum(
+                p.latency_ns(
+                    controller.timing, controller.amap, controller.split_decoder
+                )
+                for p in program.primitives
+            )
+        )
+        assert plan.num_aap == program.num_aap
+        assert plan.num_ap == program.num_ap
+        assert plan.num_commands == 3 * plan.num_aap + 2 * plan.num_ap
+
+    def test_invalid_operands_still_raise(self, device):
+        cache = device.controller.plan_cache
+        with pytest.raises(AddressError):
+            cache.get(BulkOp.NOT, 3, 0, 1)  # NOT takes one source
+        with pytest.raises(AddressError):
+            cache.get(BulkOp.MAJ, 3, 0, None, None)
+
+
+class TestControllerIntegration:
+    def test_bbop_populates_and_reuses_cache(self, device):
+        cache = device.controller.plan_cache
+        device.controller.bbop(BulkOp.AND, 0, 0, dk=3, di=0, dj=1)
+        assert cache.misses == 1
+        device.controller.bbop(BulkOp.AND, 1, 1, dk=3, di=0, dj=1)
+        assert cache.hits == 1  # other bank, same addresses: cache hit
+
+    @pytest.mark.parametrize("op", GOLDEN_OPS)
+    def test_op_latency_ns_cached(self, device, op):
+        controller = device.controller
+        cache = controller.plan_cache
+        first = controller.op_latency_ns(op)
+        misses = cache.misses
+        assert controller.op_latency_ns(op) == first
+        assert cache.misses == misses  # second query is a pure hit
+
+    def test_reset_stats_keeps_plans_but_zeroes_counters(self, device):
+        controller = device.controller
+        controller.bbop(BulkOp.XOR, 0, 0, dk=3, di=0, dj=1)
+        controller.bbop(BulkOp.XOR, 0, 0, dk=3, di=0, dj=1)
+        cache = controller.plan_cache
+        assert len(cache) == 1 and cache.hits == 1
+        controller.reset_stats()
+        assert len(cache) == 1  # compiled plans survive
+        assert cache.hits == 0 and cache.misses == 0
+        controller.bbop(BulkOp.XOR, 0, 0, dk=3, di=0, dj=1)
+        assert cache.hits == 1 and cache.misses == 0  # still warm
+
+
+class TestIssuedCommands:
+    @pytest.mark.parametrize("op", GOLDEN_OPS + (BulkOp.COPY, BulkOp.MAJ))
+    def test_schedule_matches_executed_trace(self, device, op):
+        """The cached flat schedule is byte-identical to real execution."""
+        from repro.dram.chip import RowLocation
+
+        controller = device.controller
+        dst = RowLocation(0, 1, 3)
+        device.bbop_row(
+            op,
+            dst,
+            RowLocation(0, 1, 0),
+            RowLocation(0, 1, 1) if op.arity >= 2 else None,
+            RowLocation(0, 1, 2) if op.arity == 3 else None,
+        )
+        executed = list(device.chip.trace)
+        plan = controller.plan_cache.get(
+            op, 3, 0,
+            1 if op.arity >= 2 else None,
+            2 if op.arity == 3 else None,
+        )
+        synthesized = controller.plan_cache.issued_commands(plan, 0, 1)
+        assert len(synthesized) == len(executed) == plan.num_commands
+        for real, synth in zip(executed, synthesized):
+            assert synth.command == real.command
+            assert synth.wordlines_raised == real.wordlines_raised
+            assert synth.onto_open_row == real.onto_open_row
+            assert synth.write_value is None
+
+    def test_schedule_is_cached_per_subarray(self, device):
+        cache = device.controller.plan_cache
+        plan = cache.get(BulkOp.AND, 3, 0, 1)
+        a = cache.issued_commands(plan, 0, 0)
+        assert cache.issued_commands(plan, 0, 0) is a
+        b = cache.issued_commands(plan, 1, 0)
+        assert b is not a
+        assert all(ic.command.bank == 1 for ic in b)
+
+    def test_tra_wordline_counts(self, device):
+        """B12 raises three wordlines; the schedule must record it."""
+        cache = device.controller.plan_cache
+        amap = device.amap
+        plan = cache.get(BulkOp.AND, 3, 0, 1)
+        acts = [
+            ic
+            for ic in cache.issued_commands(plan, 0, 0)
+            if ic.command.opcode is Opcode.ACTIVATE
+        ]
+        tra = [ic for ic in acts if ic.command.row == amap.b(12)]
+        assert tra and all(ic.wordlines_raised == 3 for ic in tra)

@@ -1,0 +1,81 @@
+"""Bank-interleaved issue order and the parallelism report."""
+
+import pytest
+
+from repro.engine.scheduler import (
+    BatchScheduler,
+    CommandGroup,
+    ParallelismReport,
+)
+
+
+def g(bank, dur=10.0, tag=None):
+    return CommandGroup(bank=bank, duration_ns=dur, payload=tag)
+
+
+class TestOrder:
+    def test_round_robin_across_banks(self):
+        groups = [g(0, tag="a0"), g(0, tag="a1"), g(1, tag="b0"), g(1, tag="b1")]
+        order = BatchScheduler().order(groups)
+        assert [x.payload for x in order] == ["a0", "b0", "a1", "b1"]
+
+    def test_per_bank_fifo_is_preserved(self):
+        groups = [g(b, tag=f"{b}.{i}") for i in range(3) for b in (2, 0, 1)]
+        order = BatchScheduler().order(groups)
+        for bank in (0, 1, 2):
+            tags = [x.payload for x in order if x.bank == bank]
+            assert tags == [f"{bank}.{i}" for i in range(3)]
+
+    def test_banks_take_turns_in_first_appearance_order(self):
+        groups = [g(3, tag="x"), g(1, tag="y"), g(3, tag="z")]
+        order = BatchScheduler().order(groups)
+        assert [x.payload for x in order] == ["x", "y", "z"]
+
+    def test_uneven_queues_drain_completely(self):
+        groups = [g(0, tag=f"a{i}") for i in range(4)] + [g(1, tag="b0")]
+        order = BatchScheduler().order(groups)
+        assert [x.payload for x in order] == ["a0", "b0", "a1", "a2", "a3"]
+        assert sorted(x.payload for x in order) == sorted(
+            x.payload for x in groups
+        )
+
+    def test_empty_and_single(self):
+        assert BatchScheduler().order([]) == []
+        only = [g(5, tag="solo")]
+        assert BatchScheduler().order(only) == only
+
+
+class TestReport:
+    def test_perfect_overlap(self):
+        groups = [g(b, dur=100.0) for b in range(8)]
+        report = BatchScheduler().report(groups)
+        assert report.serialized_ns == pytest.approx(800.0)
+        assert report.makespan_ns == pytest.approx(100.0)
+        assert report.banks == 8
+        assert report.parallelism == pytest.approx(8.0)
+
+    def test_makespan_is_busiest_bank(self):
+        groups = [g(0, 50.0), g(0, 50.0), g(1, 30.0)]
+        report = BatchScheduler().report(groups)
+        assert report.serialized_ns == pytest.approx(130.0)
+        assert report.makespan_ns == pytest.approx(100.0)
+        assert report.bank_busy_ns == {
+            0: pytest.approx(100.0),
+            1: pytest.approx(30.0),
+        }
+        assert report.parallelism == pytest.approx(1.3)
+
+    def test_empty_batch_parallelism_is_one(self):
+        report = BatchScheduler().report([])
+        assert report.serialized_ns == 0.0
+        assert report.makespan_ns == 0.0
+        assert report.banks == 0
+        assert report.parallelism == 1.0
+
+    def test_format_mentions_banks_and_ratio(self):
+        report = ParallelismReport(
+            serialized_ns=400.0, makespan_ns=100.0,
+            bank_busy_ns={0: 100.0, 1: 100.0, 2: 100.0, 3: 100.0},
+        )
+        text = report.format()
+        assert "4 bank(s)" in text and "4.00x" in text
