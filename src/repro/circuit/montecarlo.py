@@ -93,17 +93,95 @@ def tra_failure_rate(
     return MonteCarloResult(level=level, trials=trials, failures=failures)
 
 
+#: Default chunk count for the parallel Monte Carlo.  Chunk count is
+#: part of the experiment *configuration* (it fixes the per-chunk RNG
+#: streams); job count is not -- see :func:`tra_failure_rate_parallel`.
+DEFAULT_MC_CHUNKS = 32
+
+
+def _mc_chunk(args: Tuple[float, int, np.random.SeedSequence, str]) -> int:
+    """One worker's share of trials; returns its failure count.
+
+    Module-level so it pickles; consumes a pre-spawned child
+    ``SeedSequence`` so the drawn stream depends only on the chunk
+    index, never on which process runs it.
+    """
+    level, trials, seed_seq, patterns = args
+    rng = np.random.default_rng(seed_seq)
+    return tra_failure_rate(
+        level, trials=trials, rng=rng, patterns=patterns
+    ).failures
+
+
+def tra_failure_rate_parallel(
+    level: float,
+    trials: int = 100_000,
+    chunks: Optional[int] = None,
+    seed: int = 42,
+    jobs: Optional[int] = None,
+    patterns: str = "random",
+) -> MonteCarloResult:
+    """:func:`tra_failure_rate` fanned across worker processes.
+
+    The ``trials`` are split into ``chunks`` pieces, each driven by an
+    independent child of ``SeedSequence(seed)`` (see
+    :func:`repro.parallel.pmap.spawn_seeds`), and the per-chunk failure
+    counts are summed.  The result is a pure function of
+    ``(level, trials, chunks, seed, patterns)``: running with ``jobs=1``
+    or ``jobs=64`` returns the identical count, so **chunk count is
+    experiment configuration, job count is not**.  The drawn streams
+    differ from the single-``rng`` :func:`tra_failure_rate` (one long
+    stream versus ``chunks`` independent ones) -- both are valid Monte
+    Carlo decks; pick one per experiment and keep ``chunks`` fixed.
+    """
+    from repro.parallel.pmap import parallel_map, spawn_seeds
+
+    if trials <= 0:
+        raise ConfigError(f"trials must be positive; got {trials}")
+    chunks = DEFAULT_MC_CHUNKS if chunks is None else chunks
+    if chunks <= 0:
+        raise ConfigError(f"chunks must be positive; got {chunks}")
+    chunks = min(chunks, trials)
+    base, extra = divmod(trials, chunks)
+    sizes = [base + (1 if i < extra else 0) for i in range(chunks)]
+    seeds = spawn_seeds(seed, chunks)
+    failures = parallel_map(
+        _mc_chunk,
+        [(level, size, ss, patterns) for size, ss in zip(sizes, seeds)],
+        jobs=jobs,
+    )
+    return MonteCarloResult(
+        level=level, trials=trials, failures=sum(failures)
+    )
+
+
+def _table2_level(args: Tuple[float, int, int]) -> MonteCarloResult:
+    """One variation level of Table 2 (module-level for pickling)."""
+    level, trials, level_seed = args
+    rng = np.random.default_rng(level_seed)
+    return tra_failure_rate(level, trials=trials, rng=rng)
+
+
 def table2_experiment(
     levels: Sequence[float] = TABLE2_LEVELS,
     trials: int = 100_000,
     seed: int = 42,
+    jobs: Optional[int] = None,
 ) -> Dict[float, MonteCarloResult]:
-    """Reproduce Table 2: failure rate per variation level."""
-    results: Dict[float, MonteCarloResult] = {}
-    for i, level in enumerate(levels):
-        rng = np.random.default_rng(seed + i)
-        results[level] = tra_failure_rate(level, trials=trials, rng=rng)
-    return results
+    """Reproduce Table 2: failure rate per variation level.
+
+    Each level already draws from its own ``default_rng(seed + i)``
+    stream, so fanning levels across processes (``jobs > 1``) returns
+    results bit-identical to the serial run.
+    """
+    items = [(level, trials, seed + i) for i, level in enumerate(levels)]
+    if jobs is not None and jobs > 1:
+        from repro.parallel.pmap import parallel_map
+
+        computed = parallel_map(_table2_level, items, jobs=jobs)
+    else:
+        computed = [_table2_level(item) for item in items]
+    return {result.level: result for result in computed}
 
 
 def format_table2(results: Dict[float, MonteCarloResult]) -> str:

@@ -11,6 +11,7 @@ Usage::
     python -m repro fig12 [--elements E]
     python -m repro demo                 # quick end-to-end smoke demo
     python -m repro profile [WORKLOAD] [--chrome-trace FILE] [--jsonl FILE]
+    python -m repro bench [--jobs N]     # serial vs multi-process timing
 
 Every command prints the same formatted table the corresponding
 benchmark writes to ``benchmarks/results/``.
@@ -32,7 +33,7 @@ def _cmd_table2(args: argparse.Namespace) -> None:
         table2_experiment,
     )
 
-    print(format_table2(table2_experiment(trials=args.trials)))
+    print(format_table2(table2_experiment(trials=args.trials, jobs=args.jobs)))
     print(f"\nadversarial-corner tolerance: "
           f"+/-{max_tolerable_variation() * 100:.2f}%  (paper: ~6%)")
 
@@ -168,6 +169,34 @@ def _cmd_profile(args: argparse.Namespace) -> None:
         print(f"JSON-lines event log written to {args.jsonl}")
 
 
+def _cmd_bench(args: argparse.Namespace) -> None:
+    import json
+
+    from repro.core.microprograms import BulkOp
+    from repro.parallel.bench import (
+        ParallelBenchConfig,
+        format_parallel_bench,
+        run_parallel_bench,
+    )
+    from repro.parallel.pmap import default_jobs
+
+    config = ParallelBenchConfig(
+        jobs=args.jobs if args.jobs is not None else default_jobs(),
+        banks=args.banks,
+        rows_per_bank=args.rows_per_bank,
+        op=BulkOp(args.op),
+        mc_trials=args.trials,
+        repeats=args.repeats,
+    )
+    payload = run_parallel_bench(config)
+    print(format_parallel_bench(payload))
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"\npayload written to {args.output}")
+
+
 def _cmd_report(args: argparse.Namespace) -> None:
     from repro.report import ReportConfig, generate_report
 
@@ -191,6 +220,7 @@ def _cmd_list(args: argparse.Namespace) -> None:
         ("fig12", "set operations (Section 8.3)"),
         ("demo", "end-to-end functional smoke demo"),
         ("profile", "per-op counters + optional Chrome trace"),
+        ("bench", "serial vs multi-process wall-clock benchmark"),
         ("report", "full markdown reproduction report"),
     ):
         print(f"  {name:<8} {doc}")
@@ -208,6 +238,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("table2", help="TRA reliability Monte Carlo")
     p.add_argument("--trials", type=int, default=100_000)
+    p.add_argument("--jobs", type=int, default=None,
+                   help="fan variation levels across N processes "
+                        "(bit-identical to the serial run)")
     p.set_defaults(func=_cmd_table2)
 
     sub.add_parser("table3", help="energy table").set_defaults(func=_cmd_table3)
@@ -248,6 +281,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jsonl", default=None, metavar="FILE",
                    help="write the raw event stream as JSON lines")
     p.set_defaults(func=_cmd_profile)
+
+    p = sub.add_parser(
+        "bench",
+        help="serial vs multi-process wall-clock benchmark "
+             "(Monte Carlo + sharded bulk ops)",
+    )
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes (default: schedulable CPUs)")
+    p.add_argument("--trials", type=int, default=8_000_000,
+                   help="Monte Carlo trials")
+    p.add_argument("--banks", type=int, default=8)
+    p.add_argument("--rows-per-bank", type=int, default=40)
+    p.add_argument("--op", default="and",
+                   help="bulk op for the sharded arm")
+    p.add_argument("--repeats", type=int, default=3,
+                   help="timings per arm; best is kept")
+    p.add_argument("--output", default=None, metavar="FILE",
+                   help="also write the JSON payload")
+    p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser("report", help="full reproduction report (markdown)")
     p.add_argument("--fast", action="store_true",

@@ -39,6 +39,14 @@ class AmbitDevice:
     charge_model_factory:
         Optional nullary factory of analog TRA models, one per subarray,
         to run the device with process variation (Section 6).
+    row_store:
+        Optional :class:`~repro.parallel.shm.SharedRowStore` backing all
+        cell state with a shared-memory segment (the multi-process
+        simulator's zero-copy substrate).  The device that *creates* the
+        store owns it: :meth:`close` unlinks the segment.
+    initialize_control_rows:
+        Set False when attaching to an already-initialized shared store
+        (a worker process must not re-stamp C0/C1).
     """
 
     def __init__(
@@ -47,20 +55,25 @@ class AmbitDevice:
         timing: Optional[TimingParameters] = None,
         split_decoder: bool = True,
         charge_model_factory: Optional[Callable[[], object]] = None,
+        row_store: Optional[object] = None,
+        initialize_control_rows: bool = True,
     ):
         self.geometry = geometry if geometry is not None else DramGeometry()
         self.timing = timing if timing is not None else ddr3_1600()
         self.amap = AmbitAddressMap(self.geometry.subarray)
+        self.row_store = row_store
         self.chip = DramChip(
             self.geometry,
             decoder_factory=lambda: self.amap.build_decoder(),
             charge_model_factory=charge_model_factory,
+            row_store=row_store,
         )
         self.controller = AmbitController(
             self.chip, self.timing, split_decoder=split_decoder
         )
         self._engine = None
-        self._initialize_control_rows()
+        if initialize_control_rows:
+            self._initialize_control_rows()
 
     # ------------------------------------------------------------------
     # Manufacturer initialisation
@@ -185,8 +198,37 @@ class AmbitDevice:
         return self.controller.stats.busy_ns
 
     def reset_stats(self) -> None:
-        """Clear controller statistics and the command trace."""
+        """Clear controller statistics and the command trace.
+
+        Quiesce-then-reset protocol: when this device's cells back a
+        multi-process :class:`~repro.parallel.device.ShardedDevice`,
+        resetting while shard jobs are in flight would tear counters out
+        from under the deterministic merge.  The sharded facade enforces
+        the protocol (its ``reset_stats`` raises
+        :class:`~repro.errors.ConcurrencyError` until ``quiesce()``
+        drains the pool); call reset only through it.
+        """
         self.controller.reset_stats()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release external resources (idempotent).
+
+        A device over a :class:`~repro.parallel.shm.SharedRowStore`
+        unlinks the shared-memory segment it owns; a GC finalizer on the
+        store covers devices that are dropped without closing.  Plain
+        in-process devices need no cleanup.
+        """
+        if self.row_store is not None:
+            self.row_store.release()
+
+    def __enter__(self) -> "AmbitDevice":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Observability

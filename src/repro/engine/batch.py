@@ -65,6 +65,8 @@ class BatchReport:
     fallback_rows: int
     #: Serialized-vs-interleaved makespan comparison for the batch.
     parallelism: ParallelismReport
+    #: Worker processes the batch was sharded across (1 = in-process).
+    shards: int = 1
 
 
 def apply_bulk_op(
@@ -165,7 +167,7 @@ class BatchEngine:
                 parallelism=self.scheduler.report(()),
             )
 
-        groups = self._plan_groups(op, dst, src1, src2, src3)
+        groups = self.plan_groups(op, dst, src1, src2, src3)
         command_groups = [
             CommandGroup(bank=g.bank, duration_ns=g.duration_ns, payload=g)
             for g in groups
@@ -190,14 +192,21 @@ class BatchEngine:
     # ------------------------------------------------------------------
     # Planning
     # ------------------------------------------------------------------
-    def _plan_groups(
+    def plan_groups(
         self,
         op: BulkOp,
         dst: Sequence[RowLocation],
         src1: Sequence[RowLocation],
-        src2: Optional[Sequence[RowLocation]],
-        src3: Optional[Sequence[RowLocation]],
+        src2: Optional[Sequence[RowLocation]] = None,
+        src3: Optional[Sequence[RowLocation]] = None,
     ) -> List[_Group]:
+        """Validate co-location and compile the batch into per-(bank,
+        subarray) groups of cached plans.
+
+        This is the planning front half of :meth:`run_rows`; the sharded
+        device calls it directly so its plan-cache traffic (and thus the
+        hit/miss counters) matches the single-process engine exactly.
+        """
         cache = self.plan_cache
         groups: "OrderedDict[Tuple[int, int], _Group]" = OrderedDict()
         for i in range(len(dst)):
@@ -302,7 +311,20 @@ class BatchEngine:
                 touched.append(src3[i].address)
         subarray.touch_rows(touched, now_ns=start_ns)
 
-        # Accounting + trace: charge the exact per-row command schedule.
+        self.account_group(op, group)
+
+    def account_group(self, op: BulkOp, group: _Group) -> None:
+        """Charge one group's exact per-row command schedule.
+
+        Extends the command trace from the plan cache's immutable
+        schedules and folds timing/energy statistics, byte-identical to
+        walking every row through the controller.  The fused kernel
+        calls this after its numpy work; the sharded device calls it for
+        groups whose *functional* effect ran in a worker process --
+        accounting always happens in the process that owns the stats, so
+        merged counters, energy, and golden traces stay exact.
+        """
+        bank, sub = group.bank, group.subarray
         cache = self.plan_cache
         stats = self.controller.stats
         trace = self.chip.trace
@@ -312,7 +334,7 @@ class BatchEngine:
             stats.aap_count += plan.num_aap
             stats.ap_count += plan.num_ap
             total_ns += plan.total_ns
-        stats.ops[op] += len(indices)
+        stats.ops[op] += len(group.indices)
         stats.busy_ns += total_ns
         stats.bank_busy_ns[bank] += total_ns
         self.chip.clock_ns += total_ns

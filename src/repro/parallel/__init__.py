@@ -1,0 +1,36 @@
+"""Multi-process sharded simulation (the ``repro.parallel`` package).
+
+Ambit's headline property is bank-level parallelism; this package makes
+the *simulator* parallel too:
+
+* :class:`~repro.parallel.shm.SharedRowStore` -- every subarray's cell
+  arrays in one ``multiprocessing.shared_memory`` segment (zero-copy
+  across processes);
+* :class:`~repro.parallel.device.ShardedDevice` -- an
+  ``AmbitDevice``-compatible facade that shards bulk operations by bank
+  across a persistent :class:`~repro.parallel.pool.WorkerPool` and
+  merges counters/clock/energy deterministically;
+* :func:`~repro.parallel.pmap.parallel_map` +
+  :func:`~repro.parallel.pmap.spawn_rngs` -- the deterministic
+  experiment harness (Monte Carlo trials, figure sweeps);
+* :func:`~repro.parallel.bench.run_parallel_bench` -- the wall-clock
+  benchmark behind ``repro bench`` and ``BENCH_parallel.json``.
+
+See ``docs/SCALING.md`` for the shard model, worker lifecycle, and
+determinism guarantees.
+"""
+
+from repro.parallel.device import ShardedDevice
+from repro.parallel.pmap import default_jobs, parallel_map, spawn_rngs, spawn_seeds
+from repro.parallel.pool import WorkerPool
+from repro.parallel.shm import SharedRowStore
+
+__all__ = [
+    "ShardedDevice",
+    "SharedRowStore",
+    "WorkerPool",
+    "default_jobs",
+    "parallel_map",
+    "spawn_rngs",
+    "spawn_seeds",
+]

@@ -1,0 +1,271 @@
+"""The sharded device: bank-partitioned, multi-process bulk execution.
+
+:class:`ShardedDevice` is an :class:`~repro.core.device.AmbitDevice`-
+compatible facade whose bulk operations run across a pool of worker
+processes.  The cells of the whole chip live in one
+:class:`~repro.parallel.shm.SharedRowStore` segment; a batch is
+partitioned *by bank* into at most ``max_workers`` shards, each worker
+executes its shard's rows through its own batch engine directly against
+the shared cells, and the parent merges deterministically:
+
+* **cells** -- written in place by the workers (disjoint banks, no
+  merge needed);
+* **counters / trace / energy** -- re-derived in the parent from its
+  plan cache via
+  :meth:`repro.engine.batch.BatchEngine.account_group`, in the exact
+  bank-interleaved order the single-process engine uses, so statistics
+  and golden traces are byte-identical to a serial run;
+* **clock** -- elapsed (makespan) time is the busiest bank's serial
+  time, identical to the single-process convention; per-shard busy
+  times sum into ``busy_ns``.
+
+Fallback: when a tracer is attached (per-primitive spans must be
+observed in execution order), when a target subarray carries injected
+stuck-at faults (worker processes cannot see the fault dictionaries), or
+when the batch touches fewer than two banks, the batch transparently
+runs on the in-process engine instead -- results are always correct;
+sharding is purely a wall-clock optimisation.
+
+Quiesce-then-reset protocol: ``reset_stats`` refuses (with
+:class:`~repro.errors.ConcurrencyError`) while shard jobs are in
+flight; call :meth:`quiesce` first.  See ``docs/SCALING.md``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.device import AmbitDevice
+from repro.core.microprograms import BulkOp
+from repro.dram.chip import RowLocation
+from repro.dram.geometry import DramGeometry
+from repro.dram.timing import TimingParameters
+from repro.engine.batch import BatchReport
+from repro.engine.scheduler import CommandGroup
+from repro.errors import ConcurrencyError, DramProtocolError
+from repro.parallel.pmap import default_jobs
+from repro.parallel.pool import WorkerPool
+from repro.parallel.shm import SharedRowStore
+from repro.parallel.worker import ShardJob, WorkerConfig, run_shard
+
+
+class ShardedDevice:
+    """A multi-process Ambit device over a shared-memory row store.
+
+    Parameters
+    ----------
+    geometry / timing / split_decoder:
+        As :class:`~repro.core.device.AmbitDevice`.  Analog charge
+        models are not supported here -- their cell-level state is
+        inherently sequential; use a plain device for Section 6 studies.
+    max_workers:
+        Shard parallelism; defaults to the scheduler-visible CPU count.
+        With fewer than 2 workers every batch runs in-process.
+    start_method:
+        Multiprocessing start method (default: fork where available).
+
+    Everything not overridden here (``bbop_row``, ``write_row``,
+    ``profile``, ``elapsed_ns``, ...) delegates to the inner device,
+    which shares the same cells, so mixed usage is always coherent.
+    """
+
+    def __init__(
+        self,
+        geometry: Optional[DramGeometry] = None,
+        timing: Optional[TimingParameters] = None,
+        split_decoder: bool = True,
+        max_workers: Optional[int] = None,
+        start_method: Optional[str] = None,
+    ):
+        geometry = geometry if geometry is not None else DramGeometry()
+        self.store = SharedRowStore.create(geometry)
+        self.device = AmbitDevice(
+            geometry=geometry,
+            timing=timing,
+            split_decoder=split_decoder,
+            row_store=self.store,
+        )
+        self.max_workers = (
+            max_workers if max_workers is not None else default_jobs()
+        )
+        self._start_method = start_method
+        self._pool: Optional[WorkerPool] = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Delegation
+    # ------------------------------------------------------------------
+    def __getattr__(self, name: str):
+        # Only called for attributes not found on ShardedDevice itself;
+        # forwards the full AmbitDevice API (bbop_row, write_row,
+        # profile, elapsed_ns, tracer, ...).
+        return getattr(self.device, name)
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def pool(self) -> Optional[WorkerPool]:
+        """The live worker pool (``None`` until first parallel batch)."""
+        return self._pool
+
+    def _ensure_pool(self) -> WorkerPool:
+        if self._pool is None or self._pool.broken:
+            if self._pool is not None:
+                self._pool.shutdown()
+            self._pool = WorkerPool(
+                WorkerConfig(
+                    shm_name=self.store.name,
+                    geometry=self.device.geometry,
+                    timing=self.device.timing,
+                    split_decoder=self.device.controller.split_decoder,
+                ),
+                max_workers=self.max_workers,
+                start_method=self._start_method,
+            )
+        return self._pool
+
+    def quiesce(self) -> None:
+        """Block until no shard jobs are in flight."""
+        if self._pool is not None:
+            self._pool.quiesce()
+
+    def reset_stats(self) -> None:
+        """Clear statistics -- only when the pool is quiet.
+
+        Enforces the quiesce-then-reset protocol: resetting while a
+        shard job is in flight would interleave half-merged counters
+        with fresh ones, silently corrupting every later ``profile()``.
+        """
+        if self._pool is not None and self._pool.inflight:
+            raise ConcurrencyError(
+                f"reset_stats with {self._pool.inflight} shard job(s) in "
+                f"flight; call quiesce() first (quiesce-then-reset "
+                f"protocol, see docs/SCALING.md)"
+            )
+        self.device.reset_stats()
+
+    def close(self) -> None:
+        """Shut down the pool and unlink the shared segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+        self.device.close()
+
+    def __enter__(self) -> "ShardedDevice":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Sharded bulk execution
+    # ------------------------------------------------------------------
+    def run_rows(
+        self,
+        op: BulkOp,
+        dst: Sequence[RowLocation],
+        src1: Sequence[RowLocation],
+        src2: Optional[Sequence[RowLocation]] = None,
+        src3: Optional[Sequence[RowLocation]] = None,
+    ) -> BatchReport:
+        """Execute ``dst[i] = op(...)`` for every row, sharded by bank.
+
+        Same contract and same observable outcome (cells, counters,
+        elapsed time, energy, command trace) as
+        :meth:`repro.engine.batch.BatchEngine.run_rows`; only the
+        wall-clock time and the ``shards`` field of the report differ.
+        """
+        engine = self.device.engine
+        banks = list(dict.fromkeys(loc.bank for loc in dst))
+        shards = min(self.max_workers, len(banks))
+        if (
+            len(dst) == 0
+            or shards < 2
+            or not self._parallel_eligible()
+            or self._stuck_subarrays(dst)
+        ):
+            # In-process fallback: plan-cache traffic, counters, trace,
+            # and cells are those of the plain engine by construction.
+            return engine.run_rows(op, dst, src1, src2, src3)
+
+        groups = engine.plan_groups(op, dst, src1, src2, src3)
+
+        # Fail before any worker mutates cells: the serial engine raises
+        # on an un-precharged bank, and so must we.
+        chip = self.device.chip
+        for bank in banks:
+            if chip.bank(bank).open_subarray is not None:
+                raise DramProtocolError(
+                    f"bank {bank} must be precharged before a bulk operation"
+                )
+
+        assignment = {bank: i % shards for i, bank in enumerate(banks)}
+        shard_rows: List[List] = [[] for _ in range(shards)]
+        for group in groups:
+            rows = shard_rows[assignment[group.bank]]
+            for i in group.indices:
+                rows.append(
+                    (
+                        group.bank,
+                        group.subarray,
+                        dst[i].address,
+                        src1[i].address,
+                        src2[i].address if src2 is not None else None,
+                        src3[i].address if src3 is not None else None,
+                    )
+                )
+
+        pool = self._ensure_pool()
+        start_ns = chip.clock_ns
+        futures = [
+            pool.submit(run_shard, ShardJob(op.value, tuple(rows), start_ns))
+            for rows in shard_rows
+        ]
+        results = pool.results(futures)
+
+        # Deterministic merge: accounting in the parent, in the exact
+        # bank-interleaved order of the single-process engine.
+        self._account(op, engine, groups)
+        fused = sum(result.fused_rows for result in results)
+        return self._report(engine, groups, len(dst), fused, shards)
+
+    # ------------------------------------------------------------------
+    def _parallel_eligible(self) -> bool:
+        if self.max_workers < 2 or self._closed:
+            return False
+        # A tracer observes per-primitive spans in execution order; the
+        # in-process path preserves them byte-for-byte.
+        return self.device.chip.tracer is None
+
+    def _stuck_subarrays(self, dst: Sequence[RowLocation]) -> bool:
+        # Worker processes cannot see the parent's injected fault
+        # dictionaries (they are not part of the shared segment), so any
+        # stuck row in a target subarray forces the in-process path.
+        chip = self.device.chip
+        return any(
+            chip.bank(bank).subarray(sub).stuck
+            for bank, sub in dict.fromkeys((d.bank, d.subarray) for d in dst)
+        )
+
+    def _command_groups(self, groups) -> List[CommandGroup]:
+        return [
+            CommandGroup(bank=g.bank, duration_ns=g.duration_ns, payload=g)
+            for g in groups
+        ]
+
+    def _account(self, op: BulkOp, engine, groups) -> None:
+        for issued in engine.scheduler.order(self._command_groups(groups)):
+            engine.account_group(op, issued.payload)
+
+    def _report(self, engine, groups, rows, fused, shards) -> BatchReport:
+        return BatchReport(
+            rows=rows,
+            fused_rows=fused,
+            fallback_rows=rows - fused,
+            parallelism=engine.scheduler.report(self._command_groups(groups)),
+            shards=shards,
+        )

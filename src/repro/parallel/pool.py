@@ -1,0 +1,110 @@
+"""Persistent worker pool with in-flight tracking.
+
+A thin wrapper over :class:`concurrent.futures.ProcessPoolExecutor`
+that (a) builds every worker's shared-memory device via
+:func:`repro.parallel.worker.initialize_worker`, (b) tracks in-flight
+futures so the quiesce-then-reset protocol can be enforced, and
+(c) converts a dead worker into a :class:`~repro.errors.ConcurrencyError`
+instead of the executor's opaque ``BrokenProcessPool``.
+
+Start method: ``fork`` where the platform offers it (workers attach to
+the segment by name either way, but fork skips the per-worker import
+cost), overridable with the ``REPRO_MP_START`` environment variable or
+the ``start_method`` argument.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+from concurrent.futures import Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, List, Optional, Set
+
+from repro.errors import ConcurrencyError
+from repro.parallel.worker import WorkerConfig, initialize_worker
+
+
+def default_start_method() -> str:
+    """``REPRO_MP_START`` override, else fork where available."""
+    override = os.environ.get("REPRO_MP_START")
+    if override:
+        return override
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else methods[0]
+
+
+class WorkerPool:
+    """A persistent pool of shard workers over one shared row store."""
+
+    def __init__(
+        self,
+        config: WorkerConfig,
+        max_workers: int,
+        start_method: Optional[str] = None,
+    ):
+        if max_workers < 1:
+            raise ConcurrencyError(f"max_workers must be >= 1; got {max_workers}")
+        self.max_workers = max_workers
+        self.broken = False
+        self._lock = threading.Lock()
+        self._inflight: Set[Future] = set()
+        self._executor = ProcessPoolExecutor(
+            max_workers=max_workers,
+            mp_context=multiprocessing.get_context(
+                start_method or default_start_method()
+            ),
+            initializer=initialize_worker,
+            initargs=(config,),
+        )
+
+    # ------------------------------------------------------------------
+    def submit(self, fn: Callable, *args) -> Future:
+        """Submit a job; the future is tracked until it completes."""
+        if self.broken:
+            raise ConcurrencyError(
+                "worker pool is broken (a worker process died); shut it "
+                "down and build a fresh pool"
+            )
+        future = self._executor.submit(fn, *args)
+        with self._lock:
+            self._inflight.add(future)
+        future.add_done_callback(self._discard)
+        return future
+
+    def _discard(self, future: Future) -> None:
+        with self._lock:
+            self._inflight.discard(future)
+
+    # ------------------------------------------------------------------
+    @property
+    def inflight(self) -> int:
+        """Jobs submitted but not yet completed."""
+        with self._lock:
+            return len(self._inflight)
+
+    def quiesce(self) -> None:
+        """Block until every in-flight job has completed."""
+        while True:
+            with self._lock:
+                pending = list(self._inflight)
+            if not pending:
+                return
+            wait(pending)
+
+    def results(self, futures: List[Future]) -> List[object]:
+        """Collect results, translating a dead worker into a clear error."""
+        try:
+            return [future.result() for future in futures]
+        except BrokenProcessPool as exc:
+            self.broken = True
+            raise ConcurrencyError(
+                "a worker process died mid-batch; the shared row store "
+                "may hold partial results -- reset or rebuild the device "
+                "before trusting cell contents"
+            ) from exc
+
+    def shutdown(self) -> None:
+        """Stop the workers (idempotent; tolerates a broken pool)."""
+        self._executor.shutdown(wait=True, cancel_futures=True)

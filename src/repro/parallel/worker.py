@@ -1,0 +1,137 @@
+"""Worker-process side of the sharded simulator.
+
+Each worker owns a process-global :class:`~repro.core.device.AmbitDevice`
+built over the parent's :class:`~repro.parallel.shm.SharedRowStore`
+segment, so the *functional* effect of every bulk operation it executes
+(the numpy gathers/scatters of the batch engine) lands directly in the
+parent-visible cell arrays -- nothing is pickled but the tiny
+:class:`ShardJob` description and the :class:`ShardResult` summary.
+
+The split of responsibilities is strict:
+
+* **Workers compute cells.**  A worker runs its shard's rows through its
+  own :class:`~repro.engine.batch.BatchEngine`, which applies exactly
+  the same fused-vs-per-row decision logic as the single-process path
+  (hazard groups take the sequential walk), so cell contents are
+  bit-exact by construction.
+* **The parent computes accounting.**  Worker-side statistics, traces,
+  and plan caches are private scratch state (reset per job); the parent
+  re-derives the exact command trace, timing, and energy from its own
+  plan cache (see :meth:`repro.engine.batch.BatchEngine.account_group`).
+
+Workers are handed *disjoint banks*, so no two processes ever write the
+same (bank, subarray) slice; B-group scratch rows are per-subarray and
+therefore also disjoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.dram.geometry import DramGeometry
+from repro.dram.timing import TimingParameters
+
+#: One row of a shard job: (bank, subarray, dk, di, dj, dl).
+RowSpec = Tuple[int, int, int, int, Optional[int], Optional[int]]
+
+
+@dataclass(frozen=True)
+class WorkerConfig:
+    """Everything a worker needs to rebuild the device (picklable)."""
+
+    shm_name: str
+    geometry: DramGeometry
+    timing: TimingParameters
+    split_decoder: bool = True
+
+
+@dataclass(frozen=True)
+class ShardJob:
+    """One worker's slice of a batched bulk operation."""
+
+    #: ``BulkOp.value`` -- the enum member is resolved worker-side so the
+    #: job pickles to a handful of primitives.
+    op: str
+    rows: Tuple[RowSpec, ...]
+    #: Parent clock at dispatch; retention stamps written by this shard
+    #: use bank-parallel time (all shards start together, as on real
+    #: hardware) rather than the serialized global clock.
+    start_ns: float = 0.0
+
+
+@dataclass(frozen=True)
+class ShardResult:
+    """Summary a worker returns (cells travel via shared memory)."""
+
+    rows: int
+    fused_rows: int
+    fallback_rows: int
+
+
+_STORE = None
+_DEVICE = None
+
+
+def initialize_worker(config: WorkerConfig) -> None:
+    """Pool initializer: attach the store, build the worker device.
+
+    ``initialize_control_rows=False``: C0/C1 were stamped by the parent;
+    re-poking them here would race other workers' reads for no reason.
+    """
+    global _STORE, _DEVICE
+    from repro.core.device import AmbitDevice
+    from repro.parallel.shm import SharedRowStore
+
+    _STORE = SharedRowStore.attach(config.shm_name, config.geometry)
+    _DEVICE = AmbitDevice(
+        geometry=config.geometry,
+        timing=config.timing,
+        split_decoder=config.split_decoder,
+        row_store=_STORE,
+        initialize_control_rows=False,
+    )
+
+
+def run_shard(job: ShardJob) -> ShardResult:
+    """Execute one shard job on the process-global device."""
+    from repro.core.microprograms import BulkOp
+    from repro.dram.chip import RowLocation
+
+    device = _DEVICE
+    if device is None:  # pragma: no cover - initializer contract
+        raise RuntimeError("worker used before initialize_worker ran")
+    # Worker stats/trace are scratch: reset so the persistent process
+    # does not accumulate an unbounded trace across jobs.  The plan
+    # cache survives the reset, staying warm between jobs.
+    device.reset_stats()
+    device.chip.clock_ns = job.start_ns
+
+    op = BulkOp(job.op)
+    dst, src1, src2, src3 = [], [], [], []
+    for bank, sub, dk, di, dj, dl in job.rows:
+        dst.append(RowLocation(bank, sub, dk))
+        src1.append(RowLocation(bank, sub, di))
+        if dj is not None:
+            src2.append(RowLocation(bank, sub, dj))
+        if dl is not None:
+            src3.append(RowLocation(bank, sub, dl))
+    report = device.engine.run_rows(
+        op,
+        dst,
+        src1,
+        src2 if src2 else None,
+        src3 if src3 else None,
+    )
+    return ShardResult(
+        rows=report.rows,
+        fused_rows=report.fused_rows,
+        fallback_rows=report.fallback_rows,
+    )
+
+
+def crash(exit_code: int = 1) -> None:  # pragma: no cover - runs in worker
+    """Kill the calling worker without cleanup (crash-recovery tests)."""
+    import os
+
+    os._exit(exit_code)

@@ -16,6 +16,46 @@ import numpy as np
 from repro.errors import SimulationError
 
 
+def spawn_shard_rngs(seed: int, shards: int) -> List[np.random.Generator]:
+    """Independent per-shard generator streams for parallel workloads.
+
+    Thin alias of :func:`repro.parallel.pmap.spawn_rngs` exposed where
+    workloads are built: every parallel generator in this module draws
+    from ``SeedSequence(seed).spawn(shards)`` children, so shard ``i``
+    sees the same stream whether the shards run serially or across any
+    number of worker processes.  Shard *count* is therefore part of the
+    workload configuration; job count is not.
+    """
+    from repro.parallel.pmap import spawn_rngs
+
+    return spawn_rngs(seed, shards)
+
+
+def packed_vector_shard(
+    args: Tuple[int, int, np.random.SeedSequence, float],
+) -> np.ndarray:
+    """One shard of a packed bitvector (module-level for pickling).
+
+    ``args`` is ``(shard_index, nbits, seed_seq, density)``; the shard
+    index is unused for generation (the pre-spawned ``seed_seq`` already
+    encodes it) but kept so callers can build the argument list with
+    ``enumerate``.  The canonical sharded generator::
+
+        seeds = np.random.SeedSequence(seed).spawn(shards)
+        parts = parallel_map(
+            packed_vector_shard,
+            [(i, nbits_per_shard, ss, 0.5) for i, ss in enumerate(seeds)],
+            jobs=jobs,
+        )
+        vector = np.concatenate(parts)
+
+    yields the identical vector for every ``jobs`` value.
+    """
+    _, nbits, seed_seq, density = args
+    rng = np.random.default_rng(seed_seq)
+    return random_packed_vector(nbits, rng, density=density)
+
+
 def random_packed_vector(
     nbits: int, rng: np.random.Generator, density: float = 0.5
 ) -> np.ndarray:

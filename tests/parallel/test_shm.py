@@ -1,0 +1,102 @@
+"""SharedRowStore lifecycle: create, attach, write-through, unlink.
+
+The contract the sharded device depends on: one segment holds every
+subarray's cells, attachments see writes immediately (same physical
+pages), only the owner unlinks, and no code path -- explicit close,
+double close, or plain garbage collection -- can leak a ``/dev/shm``
+entry.
+"""
+
+import gc
+
+import numpy as np
+import pytest
+
+from repro.dram.geometry import small_test_geometry
+from repro.errors import AddressError, ConfigError
+from repro.parallel.shm import (
+    SharedRowStore,
+    live_segment_names,
+    system_segments,
+)
+
+GEO = small_test_geometry(rows=32, row_bytes=64, banks=2, subarrays_per_bank=2)
+
+
+def test_create_then_attach_shares_cells():
+    owner = SharedRowStore.create(GEO)
+    try:
+        worker = SharedRowStore.attach(owner.name, GEO)
+        owner.cells(0, 1)[3, :] = np.uint64(0xDEADBEEF)
+        assert worker.cells(0, 1)[3, 0] == np.uint64(0xDEADBEEF)
+        worker.restore(1, 0)[5] = 123.5
+        assert owner.restore(1, 0)[5] == 123.5
+        worker.release()
+    finally:
+        owner.release()
+    assert owner.name not in system_segments()
+
+
+def test_cells_start_zeroed():
+    with SharedRowStore.create(GEO) as store:
+        for bank in range(GEO.banks):
+            for sub in range(GEO.subarrays_per_bank):
+                assert not store.cells(bank, sub).any()
+                assert not store.restore(bank, sub).any()
+
+
+def test_release_is_idempotent_and_unlinks():
+    store = SharedRowStore.create(GEO)
+    name = store.name
+    assert name in live_segment_names()
+    store.release()
+    store.release()
+    assert name not in live_segment_names()
+    assert name not in system_segments()
+    assert not store.live
+
+
+def test_garbage_collection_unlinks():
+    store = SharedRowStore.create(GEO)
+    name = store.name
+    del store
+    gc.collect()
+    assert name not in live_segment_names()
+    assert name not in system_segments()
+
+
+def test_attach_rejects_undersized_segment():
+    small = small_test_geometry(
+        rows=32, row_bytes=64, banks=1, subarrays_per_bank=1
+    )
+    with SharedRowStore.create(small) as store:
+        with pytest.raises(ConfigError, match="bytes"):
+            SharedRowStore.attach(store.name, GEO)
+
+
+def test_subarray_rejects_mismatched_external_buffers():
+    from repro.dram.subarray import Subarray
+
+    sub = GEO.subarray
+    with pytest.raises(AddressError, match="uint64"):
+        Subarray(sub, cells=np.zeros((2, 2), dtype=np.uint64))
+    with pytest.raises(AddressError, match="float64"):
+        Subarray(
+            sub,
+            cells=np.zeros(
+                (sub.storage_rows, sub.words_per_row), dtype=np.uint64
+            ),
+            last_restore=np.zeros(3, dtype=np.float64),
+        )
+
+
+def test_device_close_releases_store():
+    from repro.core.device import AmbitDevice
+
+    store = SharedRowStore.create(GEO)
+    device = AmbitDevice(geometry=GEO, row_store=store)
+    name = store.name
+    device.close()
+    device.close()
+    assert name not in live_segment_names()
+    assert name not in system_segments()
