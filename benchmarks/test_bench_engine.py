@@ -1,131 +1,31 @@
-"""Batch-engine speedup benchmark: wall-clock rows/s, slow vs batched.
+"""Batch-engine speedup benchmark: thresholds + committed baseline.
 
-The per-row path walks ``compile -> primitives -> commands -> subarray``
-in pure Python for every row; the batch engine compiles each distinct
-plan once, fuses the functional work of a (bank, subarray) group into
-one numpy operation, and extends the trace from cached command
-schedules.  This benchmark measures real wall-clock time for both paths
-on the Figure-9-style workload at 1/2/4/8 banks and writes
-``benchmarks/results/BENCH_engine.json``:
-
-* ``slow_rows_per_s`` / ``batched_rows_per_s`` -- best-of-3 wall-clock
-  row throughput of each path,
-* ``speedup`` -- their ratio (asserted >= 1 everywhere, >= 3 at 8
-  banks),
-* ``parallelism`` -- the engine's serialized-vs-interleaved makespan
-  ratio (the modelled bank-level overlap, distinct from wall-clock).
-
-Both paths are also pinned bit-exact and accounting-exact against each
-other here, so the speedup cannot come from skipped work.
+The measurement itself lives in :mod:`repro.perf.enginebench` (shared
+with ``repro bench --check``); this test runs it, asserts the speedup
+thresholds, prints the table, and writes
+``benchmarks/results/BENCH_engine.json`` -- the committed baseline the
+regression gate compares future runs against.
 """
 
 import json
-import time
 
-import numpy as np
 import pytest
 
-from repro.core.device import AmbitDevice
-from repro.core.microprograms import BulkOp
-from repro.dram.geometry import DramGeometry, SubarrayGeometry
-from repro.perf.throughput import throughput_rows
+from repro.perf.enginebench import format_engine_bench, run_engine_bench
 
 from .conftest import RESULTS_DIR
 
-BANK_COUNTS = (1, 2, 4, 8)
-ROWS_PER_BANK = 40
-ROW_BYTES = 1024
-OP = BulkOp.AND
-REPEATS = 3
-
-
-def _geometry(banks):
-    return DramGeometry(
-        banks=banks,
-        subarrays_per_bank=2,
-        subarray=SubarrayGeometry(rows=64, row_bytes=ROW_BYTES),
-    )
-
-
-def _run_slow(device, op, dst, src1, src2):
-    for i in range(len(dst)):
-        device.bbop_row(op, dst[i], src1[i], src2[i])
-
-
-def _best_of(repeats, fn):
-    best = float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - start)
-    return best
-
 
 def test_bench_engine_speedup():
-    results = []
-    for banks in BANK_COUNTS:
-        slow = AmbitDevice(geometry=_geometry(banks))
-        fast = AmbitDevice(geometry=_geometry(banks))
-        dst, src1, src2 = throughput_rows(slow, OP, ROWS_PER_BANK)
-        throughput_rows(fast, OP, ROWS_PER_BANK)  # same seed, same data
-        rows = len(dst)
-
-        slow.reset_stats()
-        slow_s = _best_of(
-            REPEATS, lambda: _run_slow(slow, OP, dst, src1, src2)
-        )
-        slow.reset_stats()
-        _run_slow(slow, OP, dst, src1, src2)
-
-        fast.reset_stats()
-        batched_s = _best_of(
-            REPEATS, lambda: fast.engine.run_rows(OP, dst, src1, src2)
-        )
-        fast.reset_stats()
-        report = fast.engine.run_rows(OP, dst, src1, src2)
-
-        # The speedup is wall-clock only: results and accounting match.
-        assert report.fused_rows == rows
-        for loc in dst:
-            np.testing.assert_array_equal(
-                fast.read_row(loc), slow.read_row(loc)
-            )
-        assert fast.elapsed_ns == pytest.approx(slow.elapsed_ns)
-        assert fast.busy_ns == pytest.approx(slow.busy_ns)
-
-        results.append(
-            {
-                "banks": banks,
-                "rows": rows,
-                "slow_rows_per_s": rows / slow_s,
-                "batched_rows_per_s": rows / batched_s,
-                "speedup": slow_s / batched_s,
-                "parallelism": report.parallelism.parallelism,
-            }
-        )
+    payload = run_engine_bench(rows_per_bank=40, row_bytes=1024, repeats=3)
+    results = payload["results"]
 
     RESULTS_DIR.mkdir(exist_ok=True)
-    payload = {
-        "op": OP.value,
-        "rows_per_bank": ROWS_PER_BANK,
-        "row_bytes": ROW_BYTES,
-        "results": results,
-    }
     (RESULTS_DIR / "BENCH_engine.json").write_text(
         json.dumps(payload, indent=2) + "\n"
     )
 
-    lines = [
-        f"{'banks':>6} {'rows':>6} {'slow rows/s':>14} "
-        f"{'batched rows/s':>14} {'speedup':>9} {'parallelism':>12}"
-    ]
-    for r in results:
-        lines.append(
-            f"{r['banks']:>6} {r['rows']:>6} {r['slow_rows_per_s']:>14.0f} "
-            f"{r['batched_rows_per_s']:>14.0f} {r['speedup']:>8.1f}x "
-            f"{r['parallelism']:>11.2f}x"
-        )
-    print("\n" + "\n".join(lines) + "\n")
+    print("\n" + format_engine_bench(payload) + "\n")
 
     for r in results:
         assert r["speedup"] >= 1.0, (

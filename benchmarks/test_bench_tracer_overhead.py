@@ -1,0 +1,112 @@
+"""Tracer-overhead smoke benchmark: tracing must stay affordable.
+
+An attached :class:`~repro.obs.tracer.Tracer` turns every bus command
+and primitive into a :class:`~repro.obs.events.TraceEvent` fanned out
+to the sinks -- pure Python work on the hottest path.  This benchmark
+pins the cost: a per-row bulk-op workload with a tracer attached (ring
+buffer + counter sinks, the default-attachment configuration) must
+stay under ``MAX_SLOWDOWN`` times the untraced run.  Measured slowdown
+on the reference host is ~2x; the bound is 4x so CI noise cannot trip
+it while a pathological regression (an accidental O(events^2) sink,
+say) still does.
+"""
+
+import json
+import time
+
+import numpy as np
+
+from repro.core.device import AmbitDevice
+from repro.core.microprograms import BulkOp
+from repro.dram.chip import RowLocation
+from repro.dram.geometry import DramGeometry, SubarrayGeometry
+from repro.obs.sinks import CounterSink, RingBufferSink
+from repro.obs.tracer import Tracer
+
+from .conftest import RESULTS_DIR
+
+#: Documented bound on the attached-tracer slowdown of the per-row path.
+MAX_SLOWDOWN = 4.0
+
+ROWS_PER_BANK = 10
+REPEATS = 5
+
+GEO = DramGeometry(
+    banks=2,
+    subarrays_per_bank=2,
+    subarray=SubarrayGeometry(rows=64, row_bytes=1024),
+)
+
+
+def _build():
+    device = AmbitDevice(geometry=GEO)
+    rng = np.random.default_rng(0)
+    words = GEO.subarray.words_per_row
+    rows = []
+    for bank in range(GEO.banks):
+        for j in range(ROWS_PER_BANK):
+            dst = RowLocation(bank, 0, 3 * j)
+            a = RowLocation(bank, 0, 3 * j + 1)
+            b = RowLocation(bank, 0, 3 * j + 2)
+            device.write_row(
+                a, rng.integers(0, 2**63, size=words, dtype=np.uint64)
+            )
+            device.write_row(
+                b, rng.integers(0, 2**63, size=words, dtype=np.uint64)
+            )
+            rows.append((dst, a, b))
+    return device, rows
+
+
+def _run(device, rows):
+    for dst, a, b in rows:
+        device.bbop_row(BulkOp.XOR, dst, a, b)
+
+
+def _best_of(repeats, fn):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_bench_tracer_overhead():
+    plain_device, plain_rows = _build()
+    plain_s = _best_of(REPEATS, lambda: _run(plain_device, plain_rows))
+
+    traced_device, traced_rows = _build()
+    ring, counters = RingBufferSink(capacity=4096), CounterSink()
+    traced_device.attach_tracer(Tracer(
+        sinks=(ring, counters),
+        timing=traced_device.timing,
+        row_bytes=traced_device.row_bytes,
+    ))
+    traced_s = _best_of(REPEATS, lambda: _run(traced_device, traced_rows))
+
+    # The traced run did real tracing work.
+    assert ring.events, "tracer emitted no events"
+    assert counters.counters.commands > 0
+
+    slowdown = traced_s / plain_s
+    payload = {
+        "bench": "tracer_overhead",
+        "rows": len(plain_rows) * REPEATS,
+        "plain_s": plain_s,
+        "traced_s": traced_s,
+        "slowdown": slowdown,
+        "max_slowdown": MAX_SLOWDOWN,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_tracer_overhead.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    print(f"\ntracer overhead: plain {plain_s * 1e3:.2f} ms, "
+          f"traced {traced_s * 1e3:.2f} ms -> {slowdown:.2f}x "
+          f"(bound {MAX_SLOWDOWN:.1f}x)\n")
+
+    assert slowdown < MAX_SLOWDOWN, (
+        f"attached tracer slows the per-row path {slowdown:.2f}x; "
+        f"documented bound is {MAX_SLOWDOWN:.1f}x"
+    )

@@ -11,7 +11,10 @@ Usage::
     python -m repro fig12 [--elements E]
     python -m repro demo                 # quick end-to-end smoke demo
     python -m repro profile [WORKLOAD] [--chrome-trace FILE] [--jsonl FILE]
+    python -m repro metrics [WORKLOAD]   # Prometheus/JSON metric exposition
+    python -m repro top [--jobs N]       # per-op + per-worker health view
     python -m repro bench [--jobs N]     # serial vs multi-process timing
+    python -m repro bench --check        # regression gate vs committed JSON
 
 Every command prints the same formatted table the corresponding
 benchmark writes to ``benchmarks/results/``.
@@ -169,7 +172,84 @@ def _cmd_profile(args: argparse.Namespace) -> None:
         print(f"JSON-lines event log written to {args.jsonl}")
 
 
-def _cmd_bench(args: argparse.Namespace) -> None:
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.perf.profiling import profile_geometry, run_profile_workload
+
+    report = run_profile_workload(
+        args.workload,
+        repeats=args.repeats,
+        geometry=profile_geometry(row_bytes=args.row_bytes),
+    )
+    registry = report.device.metrics
+    if args.format == "prom":
+        text = registry.render_prometheus()
+    else:
+        import json
+
+        text = json.dumps(registry.snapshot(), indent=2, sort_keys=True)
+    if args.jsonl:
+        count = registry.write_jsonl(args.jsonl)
+        print(f"{count} metric sample(s) written to {args.jsonl}",
+              file=sys.stderr)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text if text.endswith("\n") else text + "\n")
+        print(f"metrics written to {args.output}", file=sys.stderr)
+    else:
+        print(text, end="" if text.endswith("\n") else "\n")
+    if args.serve is not None:
+        from repro.obs.metrics import MetricsServer
+
+        with MetricsServer(registry, port=args.serve) as server:
+            print(f"serving {server.url} (Ctrl-C to stop)", file=sys.stderr)
+            try:
+                import threading
+
+                threading.Event().wait()
+            except KeyboardInterrupt:
+                pass
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.core.microprograms import BulkOp
+    from repro.dram.chip import RowLocation
+    from repro.dram.geometry import DramGeometry, SubarrayGeometry
+    from repro.obs.metrics import format_top
+    from repro.parallel.device import ShardedDevice
+
+    geometry = DramGeometry(
+        banks=args.banks,
+        subarrays_per_bank=2,
+        subarray=SubarrayGeometry(rows=64, row_bytes=args.row_bytes),
+    )
+    rng = np.random.default_rng(11)
+    with ShardedDevice(geometry=geometry, max_workers=args.jobs) as device:
+        words = geometry.subarray.words_per_row
+        rows_per_bank = 6
+        dst, src1, src2 = [], [], []
+        for bank in range(args.banks):
+            for i in range(rows_per_bank):
+                dst.append(RowLocation(bank, 0, 2 + i))
+                src1.append(RowLocation(bank, 0, 2 + rows_per_bank + i))
+                src2.append(RowLocation(bank, 0, 2 + 2 * rows_per_bank + i))
+        for loc in src1 + src2:
+            device.write_row(
+                loc, rng.integers(0, 2**63, size=words, dtype=np.uint64)
+            )
+        for op in (BulkOp.AND, BulkOp.XOR, BulkOp.NOT):
+            device.run_rows(
+                op, dst, src1, src2 if op.arity >= 2 else None
+            )
+        print(f"top: {args.banks}-bank sharded workload, "
+              f"jobs={device.max_workers}\n")
+        print(format_top(device.metrics))
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
     import json
 
     from repro.core.microprograms import BulkOp
@@ -179,6 +259,24 @@ def _cmd_bench(args: argparse.Namespace) -> None:
         run_parallel_bench,
     )
     from repro.parallel.pmap import default_jobs
+
+    if args.check:
+        from repro.obs.regress import run_bench_check
+
+        reports = run_bench_check(
+            args.results_dir,
+            repeats=args.repeats,
+            tolerance_scale=args.tolerance_scale,
+        )
+        for report in reports:
+            print(report.format())
+        failed = [r for r in reports if not r.ok]
+        if failed:
+            print(f"\nREGRESSION: {len(failed)} benchmark(s) out of "
+                  f"tolerance", file=sys.stderr)
+            return 1
+        print("\nall benchmarks within tolerance of the committed baselines")
+        return 0
 
     config = ParallelBenchConfig(
         jobs=args.jobs if args.jobs is not None else default_jobs(),
@@ -195,6 +293,7 @@ def _cmd_bench(args: argparse.Namespace) -> None:
             json.dump(payload, handle, indent=2)
             handle.write("\n")
         print(f"\npayload written to {args.output}")
+    return 0
 
 
 def _cmd_report(args: argparse.Namespace) -> None:
@@ -220,6 +319,8 @@ def _cmd_list(args: argparse.Namespace) -> None:
         ("fig12", "set operations (Section 8.3)"),
         ("demo", "end-to-end functional smoke demo"),
         ("profile", "per-op counters + optional Chrome trace"),
+        ("metrics", "metrics registry exposition (Prometheus text / JSON)"),
+        ("top", "per-op latency + per-worker health view"),
         ("bench", "serial vs multi-process wall-clock benchmark"),
         ("report", "full markdown reproduction report"),
     ):
@@ -283,6 +384,42 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_profile)
 
     p = sub.add_parser(
+        "metrics",
+        help="run a workload and expose its metrics registry "
+             "(Prometheus text or JSON snapshot)",
+    )
+    p.add_argument(
+        "workload",
+        nargs="?",
+        default="all",
+        help="one of: and, or, not, nand, nor, xor, xnor, maj, copy, all",
+    )
+    p.add_argument("--repeats", type=int, default=4,
+                   help="row-sized instances per op")
+    p.add_argument("--row-bytes", type=int, default=512,
+                   help="row size of the profiled device")
+    p.add_argument("--format", choices=("prom", "json"), default="prom",
+                   help="exposition format on stdout")
+    p.add_argument("--jsonl", default=None, metavar="FILE",
+                   help="also write one JSON line per metric sample")
+    p.add_argument("--output", default=None, metavar="FILE",
+                   help="write the exposition to a file instead of stdout")
+    p.add_argument("--serve", type=int, default=None, metavar="PORT",
+                   help="after the run, serve /metrics on PORT until Ctrl-C")
+    p.set_defaults(func=_cmd_metrics)
+
+    p = sub.add_parser(
+        "top",
+        help="run a sharded workload and print the per-op / per-worker "
+             "health view",
+    )
+    p.add_argument("--jobs", type=int, default=4,
+                   help="worker processes for the sharded run")
+    p.add_argument("--banks", type=int, default=4)
+    p.add_argument("--row-bytes", type=int, default=512)
+    p.set_defaults(func=_cmd_top)
+
+    p = sub.add_parser(
         "bench",
         help="serial vs multi-process wall-clock benchmark "
              "(Monte Carlo + sharded bulk ops)",
@@ -299,6 +436,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="timings per arm; best is kept")
     p.add_argument("--output", default=None, metavar="FILE",
                    help="also write the JSON payload")
+    p.add_argument("--check", action="store_true",
+                   help="regression gate: re-run the gated benchmarks and "
+                        "compare against benchmarks/results/BENCH_*.json; "
+                        "exit 1 on regression")
+    p.add_argument("--results-dir", default="benchmarks/results",
+                   help="directory holding the committed baselines")
+    p.add_argument("--tolerance-scale", type=float, default=1.0,
+                   help="scale every check tolerance (e.g. 1.5 for noisy "
+                        "CI hosts)")
     p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser("report", help="full reproduction report (markdown)")
@@ -313,8 +459,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    args.func(args)
-    return 0
+    return args.func(args) or 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -66,6 +66,12 @@ class AmbitController:
     split_decoder:
         When False, every AAP pays the serial ``2*tRAS + tRP`` latency
         (the Section 5.3 ablation).
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`; when given,
+        the controller counts completed bulk operations and feeds the
+        per-op accounted-latency histogram (the batch engine feeds the
+        same families for fused rows, so both execution paths expose one
+        coherent view).
     """
 
     def __init__(
@@ -73,6 +79,7 @@ class AmbitController:
         chip: DramChip,
         timing: TimingParameters,
         split_decoder: bool = True,
+        metrics: Optional[object] = None,
     ):
         self.chip = chip
         self.timing = timing
@@ -82,7 +89,26 @@ class AmbitController:
         #: Memoised microprogram compilation (shared with the batch
         #: engine).  Survives :meth:`reset_stats` -- only its hit/miss
         #: counters are statistics.
-        self.plan_cache = PlanCache(self.amap, timing, split_decoder)
+        self.plan_cache = PlanCache(
+            self.amap, timing, split_decoder, metrics=metrics
+        )
+        self.metrics = metrics
+        self._m_ops = self._m_latency = self._m_busy = None
+        if metrics is not None:
+            self._m_ops = metrics.counter(
+                "ambit_ops_total",
+                "Completed bulk bitwise operations",
+                labels=("op",),
+            )
+            self._m_latency = metrics.histogram(
+                "ambit_op_latency_ns",
+                "Accounted per-row latency of bulk operations (ns)",
+                labels=("op",),
+            )
+            self._m_busy = metrics.counter(
+                "ambit_busy_ns_total",
+                "Serial accounted busy time across all banks (ns)",
+            )
 
     # ------------------------------------------------------------------
     # Bulk operations
@@ -142,16 +168,22 @@ class AmbitController:
         tracer = self.chip.tracer
         if tracer is not None:
             tracer.begin_op(program.op.value, bank, subarray, self.chip.clock_ns)
+        total_ns = 0.0
         for primitive, latency in zip(program.primitives, latencies):
             start_ns = self.chip.clock_ns
             for command in primitive.commands(bank, subarray):
                 self.chip.execute(command)
             self._account(primitive, bank, latency)
+            total_ns += latency
             if tracer is not None:
                 tracer.record_primitive(
                     type(primitive).__name__, bank, subarray, start_ns, latency
                 )
         self.stats.ops[program.op] += 1
+        if self._m_ops is not None:
+            self._m_ops.labels(op=program.op.value).inc()
+            self._m_latency.labels(op=program.op.value).observe(total_ns)
+            self._m_busy.inc(total_ns)
         if tracer is not None:
             tracer.end_op(self.chip.clock_ns)
 

@@ -47,6 +47,11 @@ class AmbitDevice:
     initialize_control_rows:
         Set False when attaching to an already-initialized shared store
         (a worker process must not re-stamp C0/C1).
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry` to record
+        into; by default every device owns a fresh registry.  The
+        controller, plan cache, batch engine, driver, and (for sharded
+        devices) the worker pool all feed it.
     """
 
     def __init__(
@@ -57,11 +62,15 @@ class AmbitDevice:
         charge_model_factory: Optional[Callable[[], object]] = None,
         row_store: Optional[object] = None,
         initialize_control_rows: bool = True,
+        metrics: Optional[object] = None,
     ):
+        from repro.obs.metrics import MetricsRegistry
+
         self.geometry = geometry if geometry is not None else DramGeometry()
         self.timing = timing if timing is not None else ddr3_1600()
         self.amap = AmbitAddressMap(self.geometry.subarray)
         self.row_store = row_store
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.chip = DramChip(
             self.geometry,
             decoder_factory=lambda: self.amap.build_decoder(),
@@ -69,7 +78,10 @@ class AmbitDevice:
             row_store=row_store,
         )
         self.controller = AmbitController(
-            self.chip, self.timing, split_decoder=split_decoder
+            self.chip,
+            self.timing,
+            split_decoder=split_decoder,
+            metrics=self.metrics,
         )
         self._engine = None
         if initialize_control_rows:
@@ -207,8 +219,14 @@ class AmbitDevice:
         the protocol (its ``reset_stats`` raises
         :class:`~repro.errors.ConcurrencyError` until ``quiesce()``
         drains the pool); call reset only through it.
+
+        The metrics registry resets with the statistics: counters,
+        per-op histograms, and worker gauges all restart from zero in
+        the same call, so metrics and counters can never describe
+        different epochs.
         """
         self.controller.reset_stats()
+        self.metrics.reset()
 
     # ------------------------------------------------------------------
     # Lifecycle

@@ -110,6 +110,33 @@ class AmbitDriver:
                 f"subarray has only {data_rows} data rows; cannot reserve "
                 f"{SCRATCH_ROWS_PER_SUBARRAY} scratch rows"
             )
+        #: Pool pressure diagnostics: rows currently allocated and the
+        #: most rows ever simultaneously allocated (high-water mark).
+        #: Surfaced by the profiler and the metrics registry.
+        self.rows_in_use = 0
+        self.high_water_rows = 0
+        # Back-reference so observability layers reached through the
+        # device (profiler, metrics, CLI) can report allocator pressure.
+        device.driver = self
+        metrics = getattr(device, "metrics", None)
+        if metrics is not None:
+            in_use = metrics.gauge(
+                "ambit_allocator_rows_in_use", "D-group rows allocated now"
+            )
+            high_water = metrics.gauge(
+                "ambit_allocator_high_water_rows",
+                "Most D-group rows ever simultaneously allocated",
+            )
+            free_rows = metrics.gauge(
+                "ambit_allocator_free_rows", "Unallocated D-group rows"
+            )
+
+            def _collect() -> None:
+                in_use.set(self.rows_in_use)
+                high_water.set(self.high_water_rows)
+                free_rows.set(self.free_rows())
+
+            metrics.register_collector(_collect)
         #: Free local row addresses per stripe, lowest-first.  The top
         #: SCRATCH_ROWS_PER_SUBARRAY addresses are reserved as scratch.
         #: A deque (O(1) popleft) with a mirror set (O(1) double-free
@@ -190,6 +217,7 @@ class AmbitDriver:
         key = (loc.bank, loc.subarray)
         self._free[key].append(loc.address)
         self._free_sets[key].add(loc.address)
+        self.rows_in_use -= 1
         if key not in self._live_set:
             self._live_set.add(key)
             self._live.append(key)
@@ -238,6 +266,9 @@ class AmbitDriver:
             )
         address = free_list.popleft()
         self._free_sets[key].discard(address)
+        self.rows_in_use += 1
+        if self.rows_in_use > self.high_water_rows:
+            self.high_water_rows = self.rows_in_use
         return RowLocation(bank=key[0], subarray=key[1], address=address)
 
     def _take_round_robin(self) -> RowLocation:

@@ -133,6 +133,21 @@ class BatchEngine:
         self.controller = device.controller
         self.chip = device.chip
         self.scheduler = BatchScheduler()
+        metrics = getattr(device, "metrics", None)
+        self._m_batches = self._m_rows = self._m_makespan = None
+        if metrics is not None:
+            self._m_batches = metrics.counter(
+                "ambit_batches_total", "Batched bulk operations executed"
+            )
+            self._m_rows = metrics.counter(
+                "ambit_batch_rows_total",
+                "Rows executed through the batch engine",
+                labels=("path",),
+            )
+            self._m_makespan = metrics.histogram(
+                "ambit_batch_makespan_ns",
+                "Accounted bank-interleaved makespan per batch (ns)",
+            )
 
     # ------------------------------------------------------------------
     @property
@@ -182,6 +197,11 @@ class BatchEngine:
                 fused += len(group.indices)
             else:
                 self._run_group_per_row(group)
+        if self._m_batches is not None:
+            self._m_batches.inc()
+            self._m_rows.labels(path="fused").inc(fused)
+            self._m_rows.labels(path="fallback").inc(n - fused)
+            self._m_makespan.observe(parallelism.makespan_ns)
         return BatchReport(
             rows=n,
             fused_rows=fused,
@@ -328,15 +348,26 @@ class BatchEngine:
         cache = self.plan_cache
         stats = self.controller.stats
         trace = self.chip.trace
+        ops_metric = self.controller._m_ops
+        latency_metric = (
+            None
+            if ops_metric is None
+            else self.controller._m_latency.labels(op=op.value)
+        )
         total_ns = 0.0
         for plan in group.plans:
             trace.extend(cache.issued_commands(plan, bank, sub))
             stats.aap_count += plan.num_aap
             stats.ap_count += plan.num_ap
             total_ns += plan.total_ns
+            if latency_metric is not None:
+                latency_metric.observe(plan.total_ns)
         stats.ops[op] += len(group.indices)
         stats.busy_ns += total_ns
         stats.bank_busy_ns[bank] += total_ns
+        if ops_metric is not None:
+            ops_metric.labels(op=op.value).inc(len(group.indices))
+            self.controller._m_busy.inc(total_ns)
         self.chip.clock_ns += total_ns
 
     def _run_group_per_row(self, group: _Group) -> None:

@@ -69,6 +69,10 @@ class PlanCache:
         Speed grade used for the cached per-primitive latencies.
     split_decoder:
         Decoder configuration the latencies assume (Section 5.3).
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`; hit/miss
+        counters mirror into ``ambit_plan_cache_{hits,misses}_total``
+        and a collector samples the compiled-plan count at scrape time.
     """
 
     def __init__(
@@ -76,6 +80,7 @@ class PlanCache:
         amap: AmbitAddressMap,
         timing: TimingParameters,
         split_decoder: bool = True,
+        metrics: Optional[object] = None,
     ):
         self.amap = amap
         self.timing = timing
@@ -87,6 +92,21 @@ class PlanCache:
         #: compiled plans themselves survive a stats reset).
         self.hits = 0
         self.misses = 0
+        self._m_hits = self._m_misses = None
+        if metrics is not None:
+            self._m_hits = metrics.counter(
+                "ambit_plan_cache_hits_total", "Plan-cache hits"
+            )
+            self._m_misses = metrics.counter(
+                "ambit_plan_cache_misses_total",
+                "Plan-cache misses (microprogram compilations)",
+            )
+            plans_gauge = metrics.gauge(
+                "ambit_plan_cache_plans", "Distinct compiled plans held"
+            )
+            metrics.register_collector(
+                lambda: plans_gauge.set(len(self._plans))
+            )
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -105,8 +125,12 @@ class PlanCache:
         plan = self._plans.get(key)
         if plan is not None:
             self.hits += 1
+            if self._m_hits is not None:
+                self._m_hits.inc()
             return plan
         self.misses += 1
+        if self._m_misses is not None:
+            self._m_misses.inc()
         program = compile_op(self.amap, op, dk, di, dj, dl)
         latencies = tuple(
             p.latency_ns(self.timing, self.amap, self.split_decoder)

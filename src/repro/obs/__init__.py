@@ -20,6 +20,15 @@ artifact instead of a raw ``chip.trace`` list:
 * :func:`~repro.obs.profiler.profile` -- a context manager (exposed as
   :meth:`repro.core.device.AmbitDevice.profile`) aggregating counters
   and per-bulk-op summaries over a region of work.
+* :class:`~repro.obs.metrics.MetricsRegistry` -- live counters, gauges
+  and fixed-bucket latency histograms threaded through the controller,
+  plan cache, batch engine and worker pool, with Prometheus-text /
+  JSON / JSON-lines exposition (``repro metrics``, ``repro top``).
+* :mod:`repro.obs.remote` -- cross-process trace collection: workers
+  trace into per-(batch, shard) JSON-lines spools that the parent
+  merges back into one stream, bit-identical to a serial traced run.
+* :mod:`repro.obs.regress` -- the benchmark-regression gate behind
+  ``repro bench --check``.
 
 The same machinery backs the golden-trace regression suite: the
 ``command_log`` pytest fixture (``tests/conftest.py``) records exact
@@ -29,7 +38,24 @@ command sequences so microprogram drift is a visible diff.
 from repro.obs.capture import CommandLog
 from repro.obs.counters import CounterSet, OpStats
 from repro.obs.events import TraceEvent
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS_NS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    MetricsServer,
+    format_top,
+)
 from repro.obs.profiler import ProfileReport, profile
+from repro.obs.regress import (
+    MetricCheck,
+    MetricSpec,
+    RegressionReport,
+    run_bench_check,
+)
+from repro.obs.remote import TracerConfig
 from repro.obs.sinks import (
     ChromeTraceSink,
     CounterSink,
@@ -42,14 +68,27 @@ from repro.obs.tracer import Tracer
 __all__ = [
     "ChromeTraceSink",
     "CommandLog",
+    "Counter",
     "CounterSet",
     "CounterSink",
+    "DEFAULT_LATENCY_BUCKETS_NS",
+    "Gauge",
+    "Histogram",
     "JsonLinesSink",
+    "MetricCheck",
+    "MetricFamily",
+    "MetricSpec",
+    "MetricsRegistry",
+    "MetricsServer",
     "OpStats",
     "ProfileReport",
+    "RegressionReport",
     "RingBufferSink",
     "TraceSink",
     "TraceEvent",
     "Tracer",
+    "TracerConfig",
+    "format_top",
     "profile",
+    "run_bench_check",
 ]

@@ -1,0 +1,641 @@
+"""The metrics registry: counters, gauges, and latency histograms.
+
+The tracer (:mod:`repro.obs.tracer`) answers "what exactly happened";
+this module answers "how is the system doing *right now*" -- the
+service-style view the ROADMAP's production north star needs.  A
+:class:`MetricsRegistry` hangs off every
+:class:`~repro.core.device.AmbitDevice` and is threaded through the
+whole execution stack:
+
+* the :class:`~repro.core.controller.AmbitController` counts executed
+  bulk operations and feeds a per-op accounted-latency histogram,
+* the :class:`~repro.engine.plan.PlanCache` counts hits and misses,
+* the :class:`~repro.engine.batch.BatchEngine` counts batches and
+  fused-vs-fallback rows,
+* the :class:`~repro.parallel.pool.WorkerPool` maintains per-worker
+  health gauges (heartbeat, batches served, busy-ns, RSS) and crash
+  counters fed by shard telemetry.
+
+Exposition is pull-based and dependency-free: Prometheus text format
+(:meth:`MetricsRegistry.render_prometheus`), a JSON snapshot
+(:meth:`MetricsRegistry.snapshot`), JSON-lines sample dumps
+(:meth:`MetricsRegistry.write_jsonl`), and an optional stdlib HTTP
+server (:class:`MetricsServer`) serving ``/metrics`` and
+``/metrics.json``.  ``repro metrics`` and ``repro top`` front all of
+this on the command line.
+
+Histograms use *fixed* bucket boundaries so that merging and resetting
+are trivial and exposition is O(buckets); p50/p95/p99 are derived by
+linear interpolation inside the owning bucket, the standard
+Prometheus-side estimation, computed here so the CLI can print
+quantiles without a query engine.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import time
+from bisect import bisect_left
+from typing import (
+    IO,
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.errors import ConfigError
+
+#: Default accounted-latency buckets (nanoseconds).  Bulk operations on
+#: the modelled DDR3-1600 device run ~100 ns (NOT) to ~400 ns (XOR), and
+#: whole batches reach microseconds; a geometric ladder covers both.
+DEFAULT_LATENCY_BUCKETS_NS: Tuple[float, ...] = (
+    50.0, 100.0, 200.0, 400.0, 800.0, 1_600.0, 3_200.0,
+    6_400.0, 12_800.0, 25_600.0, 102_400.0, 409_600.0,
+)
+
+LabelValues = Tuple[str, ...]
+
+
+def _format_value(value: float) -> str:
+    """Prometheus-style number rendering (integers without ``.0``)."""
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _render_labels(names: Sequence[str], values: Sequence[str]) -> str:
+    if not names:
+        return ""
+    inner = ",".join(
+        f'{n}="{_escape_label(str(v))}"' for n, v in zip(names, values)
+    )
+    return "{" + inner + "}"
+
+
+class Counter:
+    """A monotonically increasing count (reset only via the registry)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ConfigError(f"counter increments must be >= 0; got {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down (worker RSS, heartbeat, ...)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the gauge value."""
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (may be negative) to the gauge."""
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Subtract ``amount`` from the gauge."""
+        self.value -= amount
+
+    def set_to_current_time(self) -> None:
+        """Stamp the gauge with ``time.time()`` (heartbeats)."""
+        self.value = time.time()
+
+
+class Histogram:
+    """Fixed-bucket histogram with quantile derivation.
+
+    ``bounds`` are inclusive upper bounds in ascending order; an
+    implicit ``+Inf`` bucket catches the overflow.  ``observe`` is a
+    bisect plus two adds, cheap enough for per-row accounting paths.
+    """
+
+    __slots__ = ("bounds", "bucket_counts", "count", "sum")
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_LATENCY_BUCKETS_NS):
+        bounds = tuple(float(b) for b in bounds)
+        if not bounds or any(
+            b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])
+        ):
+            raise ConfigError(
+                f"histogram bounds must be non-empty and ascending; got {bounds}"
+            )
+        self.bounds = bounds
+        self.bucket_counts: List[int] = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (0 < q <= 1) by linear interpolation.
+
+        The estimate assumes observations are uniform inside their
+        bucket (the Prometheus ``histogram_quantile`` convention); the
+        overflow bucket reports its lower bound.  Returns ``nan`` when
+        the histogram is empty.
+        """
+        if not 0.0 < q <= 1.0:
+            raise ConfigError(f"quantile must be in (0, 1]; got {q}")
+        if self.count == 0:
+            return math.nan
+        rank = q * self.count
+        cumulative = 0
+        for i, bucket_count in enumerate(self.bucket_counts):
+            if bucket_count == 0:
+                continue
+            if cumulative + bucket_count >= rank:
+                lower = 0.0 if i == 0 else self.bounds[i - 1]
+                if i == len(self.bounds):  # overflow bucket
+                    return lower
+                upper = self.bounds[i]
+                return lower + (upper - lower) * (rank - cumulative) / bucket_count
+            cumulative += bucket_count
+        return self.bounds[-1]  # pragma: no cover - rank <= count always hits
+
+    def percentiles(self) -> Dict[str, float]:
+        """The conventional p50/p95/p99 summary of the distribution."""
+        return {
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+
+MetricInstance = Union[Counter, Gauge, Histogram]
+
+
+class MetricFamily:
+    """One named metric and its per-label-value children.
+
+    An unlabeled family has exactly one child (the empty label tuple),
+    reachable through the convenience proxies ``inc``/``set``/
+    ``observe`` so call sites read like plain metric objects.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        label_names: Tuple[str, ...],
+        factory: Callable[[], MetricInstance],
+        lock: threading.Lock,
+    ):
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.label_names = label_names
+        self._factory = factory
+        self._lock = lock
+        self._children: Dict[LabelValues, MetricInstance] = {}
+        if not label_names:
+            self._children[()] = factory()
+
+    # ------------------------------------------------------------------
+    def labels(self, **labels: object) -> MetricInstance:
+        """The child for one label-value combination (created on first use)."""
+        if tuple(sorted(labels)) != tuple(sorted(self.label_names)):
+            raise ConfigError(
+                f"metric {self.name!r} takes labels {self.label_names}; "
+                f"got {tuple(sorted(labels))}"
+            )
+        key = tuple(str(labels[n]) for n in self.label_names)
+        child = self._children.get(key)
+        if child is None:
+            with self._lock:
+                child = self._children.setdefault(key, self._factory())
+        return child
+
+    def remove(self, **labels: object) -> None:
+        """Drop one child (e.g. a retired worker's gauges); no-op if absent."""
+        key = tuple(str(labels[n]) for n in self.label_names)
+        with self._lock:
+            self._children.pop(key, None)
+
+    @property
+    def children(self) -> Dict[LabelValues, MetricInstance]:
+        return dict(self._children)
+
+    def _only(self) -> MetricInstance:
+        if self.label_names:
+            raise ConfigError(
+                f"metric {self.name!r} is labeled {self.label_names}; "
+                f"use .labels(...)"
+            )
+        return self._children[()]
+
+    # Convenience proxies for unlabeled families -----------------------
+    def inc(self, amount: float = 1.0) -> None:
+        """``inc`` on the sole child of an unlabeled family."""
+        self._only().inc(amount)  # type: ignore[union-attr]
+
+    def set(self, value: float) -> None:
+        """``set`` on the sole child of an unlabeled family."""
+        self._only().set(value)  # type: ignore[union-attr]
+
+    def dec(self, amount: float = 1.0) -> None:
+        """``dec`` on the sole child of an unlabeled family."""
+        self._only().dec(amount)  # type: ignore[union-attr]
+
+    def observe(self, value: float) -> None:
+        """``observe`` on the sole child of an unlabeled family."""
+        self._only().observe(value)  # type: ignore[union-attr]
+
+    @property
+    def value(self) -> float:
+        child = self._only()
+        if isinstance(child, Histogram):
+            raise ConfigError(f"histogram {self.name!r} has no scalar value")
+        return child.value
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Zero every child in place (registrations survive)."""
+        with self._lock:
+            for key, child in self._children.items():
+                if isinstance(child, Histogram):
+                    child.bucket_counts = [0] * (len(child.bounds) + 1)
+                    child.count = 0
+                    child.sum = 0.0
+                else:
+                    child.value = 0.0
+
+
+class MetricsRegistry:
+    """A process-local collection of named metrics.
+
+    Get-or-create semantics: asking twice for the same name returns the
+    same family, so independently constructed components (controller,
+    engine, pool) can share metrics without coordination; re-registering
+    a name with a different type or label set raises
+    :class:`~repro.errors.ConfigError`.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: "Dict[str, MetricFamily]" = {}
+        self._collectors: List[Callable[[], None]] = []
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def _family(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        labels: Tuple[str, ...],
+        factory: Callable[[], MetricInstance],
+    ) -> MetricFamily:
+        family = self._families.get(name)
+        if family is not None:
+            if family.kind != kind or family.label_names != labels:
+                raise ConfigError(
+                    f"metric {name!r} already registered as {family.kind} "
+                    f"with labels {family.label_names}; cannot re-register "
+                    f"as {kind} with labels {labels}"
+                )
+            return family
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = MetricFamily(name, kind, help, labels, factory, self._lock)
+                self._families[name] = family
+        return family
+
+    def counter(
+        self, name: str, help: str = "", labels: Iterable[str] = ()
+    ) -> MetricFamily:
+        """Register (or fetch) a counter family."""
+        return self._family(name, "counter", help, tuple(labels), Counter)
+
+    def gauge(
+        self, name: str, help: str = "", labels: Iterable[str] = ()
+    ) -> MetricFamily:
+        """Register (or fetch) a gauge family."""
+        return self._family(name, "gauge", help, tuple(labels), Gauge)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Iterable[str] = (),
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS_NS,
+    ) -> MetricFamily:
+        """Register (or fetch) a fixed-bucket histogram family."""
+        bounds = tuple(float(b) for b in buckets)
+        return self._family(
+            name, "histogram", help, tuple(labels), lambda: Histogram(bounds)
+        )
+
+    def register_collector(self, collect: Callable[[], None]) -> None:
+        """Add a callback run before every exposition.
+
+        Collectors pull sampled state (plan-cache size, allocator
+        high-water marks) into gauges at scrape time, keeping hot paths
+        free of bookkeeping they already do elsewhere.
+        """
+        self._collectors.append(collect)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> Optional[MetricFamily]:
+        """The family registered under ``name`` (or ``None``)."""
+        self.collect()
+        return self._families.get(name)
+
+    def collect(self) -> None:
+        """Run every registered collector (refreshes sampled gauges)."""
+        for collector in self._collectors:
+            collector()
+
+    def reset(self) -> None:
+        """Zero every metric; registrations and collectors survive.
+
+        This is the metrics half of the device's ``reset_stats``
+        protocol -- the sharded facade additionally requires the worker
+        pool to be quiesced first so half-merged worker telemetry can
+        never survive into the fresh epoch.
+        """
+        for family in self._families.values():
+            family.reset()
+
+    # ------------------------------------------------------------------
+    # Exposition
+    # ------------------------------------------------------------------
+    def render_prometheus(self) -> str:
+        """The registry in the Prometheus text exposition format."""
+        self.collect()
+        lines: List[str] = []
+        for name in sorted(self._families):
+            family = self._families[name]
+            if family.help:
+                lines.append(f"# HELP {name} {family.help}")
+            lines.append(f"# TYPE {name} {family.kind}")
+            for values, child in sorted(family.children.items()):
+                if isinstance(child, Histogram):
+                    cumulative = 0
+                    for bound, bucket_count in zip(
+                        tuple(child.bounds) + (math.inf,), child.bucket_counts
+                    ):
+                        cumulative += bucket_count
+                        labels = _render_labels(
+                            tuple(family.label_names) + ("le",),
+                            values + (_format_value(bound),),
+                        )
+                        lines.append(f"{name}_bucket{labels} {cumulative}")
+                    base = _render_labels(family.label_names, values)
+                    lines.append(f"{name}_sum{base} {_format_value(child.sum)}")
+                    lines.append(f"{name}_count{base} {child.count}")
+                else:
+                    labels = _render_labels(family.label_names, values)
+                    lines.append(f"{name}{labels} {_format_value(child.value)}")
+        return "\n".join(lines) + "\n"
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-ready snapshot of every metric.
+
+        Histogram samples include the fixed buckets *and* the derived
+        p50/p95/p99 so downstream consumers never re-implement the
+        interpolation.
+        """
+        self.collect()
+        snapshot: Dict[str, Any] = {}
+        for name in sorted(self._families):
+            family = self._families[name]
+            samples = []
+            for values, child in sorted(family.children.items()):
+                labels = dict(zip(family.label_names, values))
+                if isinstance(child, Histogram):
+                    pct = child.percentiles()
+                    samples.append(
+                        {
+                            "labels": labels,
+                            "count": child.count,
+                            "sum": child.sum,
+                            "buckets": {
+                                _format_value(b): c
+                                for b, c in zip(
+                                    tuple(child.bounds) + (math.inf,),
+                                    child.bucket_counts,
+                                )
+                            },
+                            **{
+                                k: (None if math.isnan(v) else v)
+                                for k, v in pct.items()
+                            },
+                        }
+                    )
+                else:
+                    samples.append({"labels": labels, "value": child.value})
+            snapshot[name] = {
+                "type": family.kind,
+                "help": family.help,
+                "samples": samples,
+            }
+        return snapshot
+
+    def write_jsonl(self, target: Union[str, IO[str]]) -> int:
+        """Write one JSON line per metric sample; returns the line count.
+
+        Each line is ``{"metric": ..., "type": ..., ...sample}`` --
+        flat, appendable, and greppable, the same spirit as the trace
+        spool files of :mod:`repro.obs.remote`.
+        """
+        snapshot = self.snapshot()
+        handle: IO[str]
+        owns = isinstance(target, str)
+        handle = open(target, "w") if isinstance(target, str) else target
+        lines = 0
+        try:
+            for name, family in snapshot.items():
+                for sample in family["samples"]:
+                    record = {"metric": name, "type": family["type"], **sample}
+                    handle.write(json.dumps(record, sort_keys=True))
+                    handle.write("\n")
+                    lines += 1
+            handle.flush()
+        finally:
+            if owns:
+                handle.close()
+        return lines
+
+
+class MetricsServer:
+    """A tiny stdlib HTTP endpoint for live exposition.
+
+    Serves ``/metrics`` (Prometheus text) and ``/metrics.json`` (the
+    snapshot) from a daemon thread; every request re-collects, so the
+    numbers are live.  Intended for ``repro metrics --serve`` and for
+    scraping long benchmark runs -- not a production web server.
+    """
+
+    def __init__(self, registry: MetricsRegistry, port: int = 0,
+                 host: str = "127.0.0.1"):
+        from http.server import BaseHTTPRequestHandler, HTTPServer
+
+        server_registry = registry
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 - http.server API
+                if self.path.split("?")[0] == "/metrics":
+                    body = server_registry.render_prometheus().encode()
+                    ctype = "text/plain; version=0.0.4; charset=utf-8"
+                elif self.path.split("?")[0] == "/metrics.json":
+                    body = json.dumps(
+                        server_registry.snapshot(), sort_keys=True
+                    ).encode()
+                    ctype = "application/json"
+                else:
+                    self.send_error(404, "try /metrics or /metrics.json")
+                    return
+                self.send_response(200)
+                self.send_header("Content-Type", ctype)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args: object) -> None:
+                pass  # keep scrapes out of stderr
+
+        self.registry = registry
+        self._server = HTTPServer((host, port), Handler)
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, daemon=True
+        )
+        self._thread.start()
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (useful with ``port=0``)."""
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host, port = self._server.server_address[:2]
+        return f"http://{host}:{port}/metrics"
+
+    def close(self) -> None:
+        """Stop serving and release the socket (idempotent)."""
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout=5)
+
+    def __enter__(self) -> "MetricsServer":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# The "repro top" view
+# ----------------------------------------------------------------------
+def format_top(registry: MetricsRegistry, now: Optional[float] = None) -> str:
+    """Render a ``top``-style text view of a device registry.
+
+    Three sections: per-op accounted latency (count + p50/p95/p99 from
+    the fixed-bucket histograms, sorted by total busy time), the plan
+    cache, and per-worker health (batches served, busy-ns, RSS,
+    heartbeat age).  Sections with no data are elided.
+    """
+    registry.collect()
+    now = time.time() if now is None else now
+    lines: List[str] = []
+
+    latency = registry.get("ambit_op_latency_ns")
+    if latency is not None and any(
+        c.count for c in latency.children.values()  # type: ignore[union-attr]
+    ):
+        lines.append(
+            f"{'op':>8} {'count':>9} {'p50 ns':>9} {'p95 ns':>9} "
+            f"{'p99 ns':>9} {'total ns':>13}"
+        )
+        rows = []
+        for values, child in latency.children.items():
+            if not child.count:  # type: ignore[union-attr]
+                continue
+            pct = child.percentiles()  # type: ignore[union-attr]
+            rows.append((child.sum, values[0], child.count, pct))  # type: ignore[union-attr]
+        for total, op, count, pct in sorted(rows, reverse=True):
+            lines.append(
+                f"{op:>8} {count:>9} {pct['p50']:>9.0f} {pct['p95']:>9.0f} "
+                f"{pct['p99']:>9.0f} {total:>13.1f}"
+            )
+
+    hits = registry.get("ambit_plan_cache_hits_total")
+    misses = registry.get("ambit_plan_cache_misses_total")
+    plans = registry.get("ambit_plan_cache_plans")
+    if hits is not None and misses is not None:
+        total = hits.value + misses.value
+        rate = 100.0 * hits.value / total if total else 0.0
+        size = int(plans.value) if plans is not None else 0
+        lines.append("")
+        lines.append(
+            f"plan cache: {int(hits.value)} hits / {int(misses.value)} "
+            f"misses ({rate:.1f}% hit rate), {size} compiled plan(s)"
+        )
+
+    batches = registry.get("ambit_worker_batches_total")
+    if batches is not None and batches.children:
+        busy = registry.get("ambit_worker_busy_ns_total")
+        rss = registry.get("ambit_worker_rss_bytes")
+        beat = registry.get("ambit_worker_heartbeat_ts")
+        last = registry.get("ambit_worker_last_batch")
+        lines.append("")
+        lines.append(
+            f"{'worker':>10} {'batches':>8} {'busy ns':>13} {'rss MiB':>9} "
+            f"{'beat age s':>11} {'last batch':>11}"
+        )
+        for (pid,), child in sorted(batches.children.items()):
+            def _val(family: Optional[MetricFamily]) -> float:
+                if family is None:
+                    return 0.0
+                inner = family.children.get((pid,))
+                return inner.value if inner is not None else 0.0  # type: ignore[union-attr]
+
+            beat_ts = _val(beat)
+            age = now - beat_ts if beat_ts else math.nan
+            lines.append(
+                f"{pid:>10} {int(child.value):>8} {_val(busy):>13.1f} "  # type: ignore[union-attr]
+                f"{_val(rss) / 2**20:>9.1f} {age:>11.2f} {int(_val(last)):>11}"
+            )
+        crashes = registry.get("ambit_worker_crashes_total")
+        if crashes is not None and crashes.value:
+            lines.append(f"worker crashes: {int(crashes.value)}")
+
+    if not lines:
+        lines.append("(no metrics recorded yet)")
+    return "\n".join(lines)

@@ -38,13 +38,25 @@ class ProfileReport:
     def __init__(self):
         self.counters = CounterSet()
         self.per_op: Dict[str, OpStats] = {}
+        #: Allocator pool pressure at region exit (``None`` when no
+        #: :class:`~repro.core.driver.AmbitDriver` serves the device):
+        #: ``(rows_in_use, high_water_rows, free_rows)``.
+        self.allocator: Optional[Tuple[int, int, int]] = None
+        #: The profiled device (set by :func:`repro.perf.profiling.
+        #: run_profile_workload` so callers can read its metrics
+        #: registry after the run).
+        self.device: Optional[object] = None
         self._finalized = False
 
     def _finalize(
-        self, counters: CounterSet, per_op: Dict[str, OpStats]
+        self,
+        counters: CounterSet,
+        per_op: Dict[str, OpStats],
+        allocator: Optional[Tuple[int, int, int]] = None,
     ) -> None:
         self.counters = counters
         self.per_op = per_op
+        self.allocator = allocator
         self._finalized = True
 
     # ------------------------------------------------------------------
@@ -70,7 +82,24 @@ class ProfileReport:
             lines.append(f"{'(no bulk operations executed)':>40}")
         lines.append("")
         lines.append(self.counters.format())
+        c = self.counters
+        lookups = c.plan_cache_hits + c.plan_cache_misses
+        if lookups:
+            rate = 100.0 * c.plan_cache_hits / lookups
+            lines.append(
+                f"plan cache: {c.plan_cache_hits} hits / "
+                f"{c.plan_cache_misses} misses ({rate:.1f}% hit rate)"
+            )
+        if self.allocator is not None:
+            in_use, high_water, free = self.allocator
+            lines.append(
+                f"allocator : {in_use} row(s) in use, "
+                f"high water {high_water}, {free} free"
+            )
         return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.format_table()
 
 
 @contextmanager
@@ -122,4 +151,12 @@ def profile(
             counter_sink.counters.plan_cache_misses += max(
                 0, plan_cache.misses - misses_before
             )
-        report._finalize(counter_sink.counters, op_sink.per_op)
+        driver = getattr(device, "driver", None)
+        allocator = None
+        if driver is not None:
+            allocator = (
+                driver.rows_in_use,
+                driver.high_water_rows,
+                driver.free_rows(),
+            )
+        report._finalize(counter_sink.counters, op_sink.per_op, allocator)

@@ -1,0 +1,310 @@
+"""Benchmark-regression gate: fresh runs vs committed baselines.
+
+The repository commits benchmark payloads under ``benchmarks/results/``
+(``BENCH_engine.json``, ``BENCH_parallel.json``).  This module compares
+a *fresh* run of the same benchmark against the committed baseline,
+metric by metric, and renders a pass/fail report -- the machinery behind
+``repro bench --check`` and the ``bench-regress`` CI job.
+
+Metrics split into two families with very different tolerances:
+
+* **model-deterministic** -- accounted throughput, Monte Carlo failure
+  counts, determinism/bit-exactness flags.  These depend only on the
+  model and the seed, never on the host, so they are compared (near-)
+  exactly: any drift is a real regression (or an intentional model
+  change that must update the baseline).
+* **wall-clock** -- speedups and rows/s.  These are hostage to the host;
+  committed baselines may come from a many-core machine while CI runs
+  on one core.  Tolerances are therefore wide (a check fails only on
+  order-of-magnitude collapse) and scalable via ``tolerance_scale``.
+
+Metric addresses are dotted paths into the JSON payload, with
+``[key=value]`` selecting a dict out of a list, e.g.
+``results[banks=8].speedup``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigError
+
+#: Comparison directions.
+HIGHER = "higher"  # current must not fall below baseline * (1 - tol)
+LOWER = "lower"    # current must not rise above baseline * (1 + tol)
+EQUAL = "equal"    # current must match baseline (within tol, for floats)
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """One gated metric: where it lives and how much it may move."""
+
+    path: str
+    direction: str = HIGHER
+    #: Relative tolerance (fraction of the baseline value).
+    tolerance: float = 0.0
+    note: str = ""
+
+    def __post_init__(self) -> None:
+        if self.direction not in (HIGHER, LOWER, EQUAL):
+            raise ConfigError(
+                f"unknown direction {self.direction!r} for {self.path}"
+            )
+        if self.tolerance < 0:
+            raise ConfigError(
+                f"tolerance must be >= 0 for {self.path}; "
+                f"got {self.tolerance}"
+            )
+
+
+@dataclass(frozen=True)
+class MetricCheck:
+    """Outcome of one spec against one (baseline, current) pair."""
+
+    path: str
+    baseline: Any
+    current: Any
+    ok: bool
+    detail: str
+
+
+@dataclass
+class RegressionReport:
+    """All checks of one baseline file."""
+
+    name: str
+    checks: List[MetricCheck] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(check.ok for check in self.checks)
+
+    @property
+    def failures(self) -> List[MetricCheck]:
+        return [check for check in self.checks if not check.ok]
+
+    def format(self) -> str:
+        """Render a one-line verdict plus one ``[ok]``/``[FAIL]`` line per check."""
+        lines = [f"{self.name}: {'OK' if self.ok else 'REGRESSION'}"]
+        for check in self.checks:
+            mark = "ok  " if check.ok else "FAIL"
+            lines.append(f"  [{mark}] {check.path}: {check.detail}")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Payload addressing
+# ----------------------------------------------------------------------
+def extract(payload: Any, path: str) -> Any:
+    """Resolve a dotted metric path, with ``[key=value]`` list selection."""
+    node = payload
+    for part in path.split("."):
+        selector = None
+        if "[" in part:
+            if not part.endswith("]"):
+                raise ConfigError(f"malformed metric path segment {part!r}")
+            part, selector = part[:-1].split("[", 1)
+        if part:
+            if not isinstance(node, dict) or part not in node:
+                raise ConfigError(
+                    f"metric path {path!r}: no key {part!r} in payload"
+                )
+            node = node[part]
+        if selector is not None:
+            key, _, raw = selector.partition("=")
+            if not _:
+                raise ConfigError(
+                    f"malformed list selector {selector!r} in {path!r}"
+                )
+            value: Any = raw
+            try:
+                value = json.loads(raw)
+            except ValueError:
+                pass
+            if not isinstance(node, list):
+                raise ConfigError(
+                    f"metric path {path!r}: {part or 'payload'} is not a list"
+                )
+            matches = [
+                item
+                for item in node
+                if isinstance(item, dict) and item.get(key) == value
+            ]
+            if len(matches) != 1:
+                raise ConfigError(
+                    f"metric path {path!r}: selector [{selector}] matched "
+                    f"{len(matches)} item(s)"
+                )
+            node = matches[0]
+    return node
+
+
+# ----------------------------------------------------------------------
+# Comparison
+# ----------------------------------------------------------------------
+def check_metric(
+    spec: MetricSpec,
+    baseline: Any,
+    current: Any,
+    tolerance_scale: float = 1.0,
+) -> MetricCheck:
+    """Apply one spec; tolerances scale by ``tolerance_scale``."""
+    tol = min(spec.tolerance * tolerance_scale, 0.999999)
+    if isinstance(baseline, bool) or not isinstance(
+        baseline, (int, float)
+    ) or not isinstance(current, (int, float)) or isinstance(current, bool):
+        ok = baseline == current
+        detail = f"{current!r} (baseline {baseline!r}, exact)"
+        return MetricCheck(spec.path, baseline, current, ok, detail)
+
+    if math.isnan(baseline) or math.isnan(current):
+        return MetricCheck(
+            spec.path, baseline, current, False, "NaN is never acceptable"
+        )
+    if spec.direction == EQUAL:
+        bound = abs(baseline) * tol
+        ok = abs(current - baseline) <= bound
+        detail = (
+            f"{current:g} (baseline {baseline:g}, "
+            f"allowed +/-{bound:g})"
+        )
+    elif spec.direction == HIGHER:
+        floor = baseline * (1.0 - tol)
+        ok = current >= floor
+        detail = f"{current:g} (baseline {baseline:g}, floor {floor:g})"
+    else:
+        ceiling = baseline * (1.0 + tol)
+        ok = current <= ceiling
+        detail = f"{current:g} (baseline {baseline:g}, ceiling {ceiling:g})"
+    return MetricCheck(spec.path, baseline, current, ok, detail)
+
+
+def compare(
+    name: str,
+    baseline: Dict[str, Any],
+    current: Dict[str, Any],
+    specs: Sequence[MetricSpec],
+    tolerance_scale: float = 1.0,
+) -> RegressionReport:
+    """Check every spec of one benchmark payload pair."""
+    report = RegressionReport(name=name)
+    for spec in specs:
+        report.checks.append(
+            check_metric(
+                spec,
+                extract(baseline, spec.path),
+                extract(current, spec.path),
+                tolerance_scale,
+            )
+        )
+    return report
+
+
+def load_baseline(path: str) -> Dict[str, Any]:
+    """Read a committed ``BENCH_*.json`` payload."""
+    with open(path) as handle:
+        return json.load(handle)
+
+
+# ----------------------------------------------------------------------
+# The repository's gated benchmarks
+# ----------------------------------------------------------------------
+#: ``BENCH_parallel.json`` gate.  Failure counts and accounted gops are
+#: model-deterministic under the baseline's own config (the check
+#: re-runs with it); speedups are wall-clock and get wide tolerance.
+PARALLEL_SPECS: Tuple[MetricSpec, ...] = (
+    MetricSpec("montecarlo.deterministic", EQUAL,
+               note="parallel Monte Carlo must stay bit-deterministic"),
+    MetricSpec("bulk_ops.bit_exact", EQUAL,
+               note="sharded cells must match the serial engine"),
+    MetricSpec("montecarlo.failures", EQUAL,
+               note="seeded failure count is model-deterministic"),
+    MetricSpec("bulk_ops.accounted_gops", EQUAL, tolerance=1e-9,
+               note="accounted throughput is model-deterministic"),
+    MetricSpec("montecarlo.speedup", HIGHER, tolerance=0.9,
+               note="wall-clock; hosts differ"),
+    MetricSpec("bulk_ops.speedup", HIGHER, tolerance=0.9,
+               note="wall-clock; hosts differ"),
+)
+
+#: ``BENCH_engine.json`` gate.  Parallelism is the modelled makespan
+#: ratio (deterministic); throughput/speedup are wall-clock.
+ENGINE_SPECS: Tuple[MetricSpec, ...] = (
+    MetricSpec("results[banks=8].parallelism", EQUAL, tolerance=1e-9,
+               note="modelled bank overlap is deterministic"),
+    MetricSpec("results[banks=1].speedup", HIGHER, tolerance=0.95,
+               note="wall-clock; hosts differ"),
+    MetricSpec("results[banks=8].speedup", HIGHER, tolerance=0.9,
+               note="wall-clock; hosts differ"),
+    MetricSpec("results[banks=8].batched_rows_per_s", HIGHER, tolerance=0.9,
+               note="wall-clock; hosts differ"),
+)
+
+
+def run_bench_check(
+    results_dir: str,
+    repeats: Optional[int] = None,
+    tolerance_scale: float = 1.0,
+    skip_engine: bool = False,
+    skip_parallel: bool = False,
+) -> List[RegressionReport]:
+    """Re-run the gated benchmarks and compare against the baselines.
+
+    Each benchmark is re-run *with the committed baseline's own
+    configuration* (so the model-deterministic metrics are directly
+    comparable), optionally overriding ``repeats`` -- repeats only
+    affect timing quality, never the deterministic metrics.
+    Baseline files that are absent are skipped with a note.
+    """
+    import os
+
+    reports: List[RegressionReport] = []
+
+    engine_path = os.path.join(results_dir, "BENCH_engine.json")
+    if not skip_engine:
+        if os.path.exists(engine_path):
+            from repro.perf.enginebench import run_engine_bench
+
+            baseline = load_baseline(engine_path)
+            # Best-of-2 at minimum: the first batched run pays one-time
+            # plan compilation, and best-of-1 would gate on that warmup.
+            fresh = run_engine_bench(
+                rows_per_bank=baseline.get("rows_per_bank", 40),
+                row_bytes=baseline.get("row_bytes", 1024),
+                repeats=max(repeats if repeats is not None else 3, 2),
+            )
+            reports.append(
+                compare("BENCH_engine", baseline, fresh,
+                        ENGINE_SPECS, tolerance_scale)
+            )
+        else:
+            reports.append(RegressionReport(name="BENCH_engine (no baseline)"))
+
+    parallel_path = os.path.join(results_dir, "BENCH_parallel.json")
+    if not skip_parallel:
+        if os.path.exists(parallel_path):
+            from repro.core.microprograms import BulkOp
+            from repro.parallel.bench import (
+                ParallelBenchConfig,
+                run_parallel_bench,
+            )
+
+            baseline = load_baseline(parallel_path)
+            raw = dict(baseline.get("config", {}))
+            raw["op"] = BulkOp(raw.get("op", "and"))
+            if repeats is not None:
+                raw["repeats"] = repeats
+            fresh = run_parallel_bench(ParallelBenchConfig(**raw))
+            reports.append(
+                compare("BENCH_parallel", baseline, fresh,
+                        PARALLEL_SPECS, tolerance_scale)
+            )
+        else:
+            reports.append(
+                RegressionReport(name="BENCH_parallel (no baseline)")
+            )
+
+    return reports

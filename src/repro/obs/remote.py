@@ -1,0 +1,176 @@
+"""Cross-process trace collection for the sharded simulator.
+
+The in-process tracer observes events at the chip's command choke
+point; a :class:`~repro.parallel.device.ShardedDevice` executes bulk
+operations in *worker processes*, whose chips the parent tracer cannot
+see.  This module closes that gap without giving up the golden-trace
+guarantees:
+
+1. **Spool** -- each traced shard job runs with a real
+   :class:`~repro.obs.tracer.Tracer` (built from a shipped
+   :class:`TracerConfig`, so per-command costing matches the parent's
+   tracer exactly) writing JSON-lines events to a per-(batch, shard)
+   spool file.  Workers execute traced rows through the per-row command
+   walk, so the events are the genuine article, not a reconstruction.
+2. **Segment** -- a worker's event stream is split at each ``kind="op"``
+   boundary (:func:`segment_rows`); the k-th segment is exactly the k-th
+   row of the shard job, because the traced worker executes rows one at
+   a time in job order.
+3. **Replay** -- the parent re-emits every segment through
+   :meth:`~repro.obs.tracer.Tracer.emit_foreign` in the *canonical
+   serial order* (the scheduler's bank-interleaved group order, rows in
+   group order) while reconstructing the serial clock primitive by
+   primitive (:func:`replay_row`).  Counts, durations, energies, and
+   per-op aggregates fold into downstream sinks **bit-identically** to a
+   single-process traced run; replayed events additionally carry the
+   worker's OS pid, which the Chrome sink renders as per-worker process
+   lanes.
+
+The timestamp reconstruction deserves a note: worker clocks start at
+the batch's dispatch time and advance only through their own shard, so
+raw worker timestamps overlap across shards.  :func:`replay_row`
+ignores them and re-derives each event's issue time by folding the
+primitive latencies in serial order -- the identical sequence of float
+additions the serial controller performs -- so even timestamps are
+bit-exact, not merely close.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import IO, List, Optional, Union
+
+from repro.dram.timing import TimingParameters
+from repro.energy.power_model import (
+    DEFAULT_ENERGY,
+    REFERENCE_ROW_BYTES,
+    EnergyParameters,
+)
+from repro.errors import ConcurrencyError
+from repro.obs.events import KIND_OP, KIND_PRIMITIVE, TraceEvent
+from repro.obs.sinks import JsonLinesSink
+from repro.obs.tracer import Tracer
+
+
+@dataclass(frozen=True)
+class TracerConfig:
+    """The picklable essence of a tracer, shipped to shard workers.
+
+    Carries exactly the knobs that determine per-event costing
+    (durations from the speed grade, energies from the Table 3 model
+    scaled to the row size), so a worker-side tracer produces events
+    byte-equivalent to what the parent's tracer would have recorded.
+    """
+
+    timing: Optional[TimingParameters] = None
+    energy: EnergyParameters = DEFAULT_ENERGY
+    row_bytes: int = REFERENCE_ROW_BYTES
+
+    @classmethod
+    def from_tracer(cls, tracer: Tracer) -> "TracerConfig":
+        """Capture a live tracer's costing configuration."""
+        return cls(
+            timing=tracer.timing,
+            energy=tracer.energy,
+            row_bytes=tracer.row_bytes,
+        )
+
+    def build(self, target: Union[str, IO[str]]) -> Tracer:
+        """A worker-side tracer spooling events to ``target``."""
+        return Tracer(
+            sinks=[JsonLinesSink(target)],
+            timing=self.timing,
+            energy=self.energy,
+            row_bytes=self.row_bytes,
+        )
+
+
+# ----------------------------------------------------------------------
+# Spool reading
+# ----------------------------------------------------------------------
+def read_spool(path: str) -> List[TraceEvent]:
+    """Parse one worker spool file back into trace events."""
+    events: List[TraceEvent] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(TraceEvent.from_json(json.loads(line)))
+    return events
+
+
+def discard_spool(path: str) -> None:
+    """Best-effort removal of a consumed spool file."""
+    try:
+        os.unlink(path)
+    except OSError:
+        pass
+
+
+def segment_rows(
+    events: List[TraceEvent], expected_rows: int
+) -> List[List[TraceEvent]]:
+    """Split a worker's event stream into per-row segments.
+
+    A traced worker executes its shard's rows one at a time, and every
+    row's event group ends with exactly one ``kind="op"`` event, so the
+    stream segments unambiguously.  A count mismatch means the spool is
+    truncated or interleaved -- both are merge-corrupting, so it raises
+    :class:`~repro.errors.ConcurrencyError` rather than guessing.
+    """
+    segments: List[List[TraceEvent]] = []
+    current: List[TraceEvent] = []
+    for event in events:
+        current.append(event)
+        if event.kind == KIND_OP:
+            segments.append(current)
+            current = []
+    if current:
+        raise ConcurrencyError(
+            f"worker trace spool ends mid-row ({len(current)} event(s) "
+            f"after the last op boundary); the shard job may have died "
+            f"mid-batch"
+        )
+    if len(segments) != expected_rows:
+        raise ConcurrencyError(
+            f"worker trace spool has {len(segments)} row segment(s); "
+            f"the shard job executed {expected_rows}"
+        )
+    return segments
+
+
+# ----------------------------------------------------------------------
+# Canonical replay
+# ----------------------------------------------------------------------
+def replay_row(
+    tracer: Tracer,
+    segment: List[TraceEvent],
+    clock_ns: float,
+    pid: Optional[int],
+) -> float:
+    """Re-emit one row's events at the canonical serial clock.
+
+    ``clock_ns`` is the serial model clock at which this row would have
+    started; the function walks the segment exactly as the serial
+    controller advances its clock (commands of a primitive issue at the
+    primitive's start, the clock steps by each primitive's accounted
+    latency, the closing op event spans the whole row) and returns the
+    clock after the row.
+    """
+    row_start = clock_ns
+    for event in segment:
+        if event.kind == KIND_PRIMITIVE:
+            tracer.emit_foreign(event, ts_ns=clock_ns, pid=pid)
+            clock_ns += event.dur_ns
+        elif event.kind == KIND_OP:
+            tracer.emit_foreign(event, ts_ns=row_start, pid=pid)
+        else:
+            tracer.emit_foreign(event, ts_ns=clock_ns, pid=pid)
+    return clock_ns
+
+
+def shard_busy_ns(segments: List[List[TraceEvent]]) -> float:
+    """Accounted busy time of one shard: the sum of its rows' op spans."""
+    return sum(segment[-1].dur_ns for segment in segments if segment)

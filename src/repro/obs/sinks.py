@@ -103,20 +103,26 @@ class ChromeTraceSink(TraceSink):
     """Accumulate Chrome ``trace_event`` records; write JSON on close.
 
     The output loads directly in ``chrome://tracing`` and Perfetto.
-    Layout: one process (pid 0, "ambit-device"); per bank, a command
-    lane (tid ``2*bank``) carrying the raw ACT/PRE/RD/WR events and an
-    operation lane (tid ``2*bank + 1``) carrying primitive and bulk-op
-    spans.  Timestamps convert from model nanoseconds to the format's
-    microseconds.
+    Layout: one process per execution context -- pid 0 ("ambit-device")
+    for in-process events, and one process lane per shard-worker OS pid
+    ("worker-<pid>") for events collected by the cross-process trace
+    merge (:mod:`repro.obs.remote`).  Inside each process: per bank, a
+    command lane (tid ``2*bank``) carrying the raw ACT/PRE/RD/WR events
+    and an operation lane (tid ``2*bank + 1``) carrying primitive and
+    bulk-op spans.  Timestamps convert from model nanoseconds to the
+    format's microseconds.
     """
 
     #: tid used for events with no bank (REF, scheduler-level spans).
     GLOBAL_LANE = 10_000
+    #: Chrome pid of in-process (parent) events.
+    PARENT_PID = 0
 
     def __init__(self, target: Union[str, IO[str]]):
         self._target = target
         self._records: List[dict] = []
         self._lanes_seen: set = set()
+        self._pids_seen: set = set()
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -127,8 +133,10 @@ class ChromeTraceSink(TraceSink):
 
     def emit(self, event: TraceEvent) -> None:
         """Buffer the event as a Chrome "complete" ("X") record."""
+        pid = self.PARENT_PID if event.pid is None else event.pid
         lane = self._lane(event)
-        self._lanes_seen.add((lane, event.bank, event.kind))
+        self._pids_seen.add(pid)
+        self._lanes_seen.add((pid, lane, event.bank, event.kind))
         args = {"kind": event.kind, "seq": event.seq}
         for key in ("subarray", "row", "column"):
             value = getattr(event, key)
@@ -146,22 +154,25 @@ class ChromeTraceSink(TraceSink):
                 "ph": "X",  # complete event: ts + dur
                 "ts": event.ts_ns / 1000.0,
                 "dur": max(event.dur_ns, 0.001) / 1000.0,
-                "pid": 0,
+                "pid": pid,
                 "tid": lane,
                 "args": args,
             }
         )
 
     def _metadata(self) -> List[dict]:
-        records = [
-            {
-                "name": "process_name",
-                "ph": "M",
-                "pid": 0,
-                "args": {"name": "ambit-device"},
-            }
-        ]
-        for lane, bank, kind in sorted(self._lanes_seen):
+        records = []
+        for pid in sorted(self._pids_seen):
+            name = "ambit-device" if pid == self.PARENT_PID else f"worker-{pid}"
+            records.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "args": {"name": name},
+                }
+            )
+        for pid, lane, bank, kind in sorted(self._lanes_seen):
             if lane == self.GLOBAL_LANE:
                 label = "global"
             else:
@@ -170,7 +181,7 @@ class ChromeTraceSink(TraceSink):
                 {
                     "name": "thread_name",
                     "ph": "M",
-                    "pid": 0,
+                    "pid": pid,
                     "tid": lane,
                     "args": {"name": label},
                 }

@@ -17,6 +17,7 @@ including the +22 %/extra-wordline activation surcharge.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Any, Iterable, List, Optional
 
 from repro.dram.commands import IssuedCommand, Opcode
@@ -129,6 +130,30 @@ class Tracer:
     def _next_seq(self) -> int:
         self._seq += 1
         return self._seq
+
+    def emit_foreign(
+        self,
+        event: TraceEvent,
+        ts_ns: Optional[float] = None,
+        pid: Optional[int] = None,
+    ) -> TraceEvent:
+        """Re-emit an event recorded by *another* tracer into this one.
+
+        The cross-process trace collector (:mod:`repro.obs.remote`) uses
+        this to fold worker-side event streams into the parent's sinks:
+        the event keeps its recorded payload (kind, name, duration,
+        energy, attrs) but receives this tracer's next sequence number,
+        optionally a rebased timestamp, and the worker's pid.  The
+        in-flight op stack is untouched -- foreign events are complete.
+        """
+        replaced = dataclasses.replace(
+            event,
+            seq=self._next_seq(),
+            ts_ns=event.ts_ns if ts_ns is None else ts_ns,
+            pid=event.pid if pid is None else pid,
+        )
+        self._emit(replaced)
+        return replaced
 
     def record_command(self, issued: IssuedCommand, clock_ns: float) -> None:
         """Record one executed bus command (called by the chip)."""

@@ -17,14 +17,21 @@ the shared cells, and the parent merges deterministically:
   and golden traces are byte-identical to a serial run;
 * **clock** -- elapsed (makespan) time is the busiest bank's serial
   time, identical to the single-process convention; per-shard busy
-  times sum into ``busy_ns``.
+  times sum into ``busy_ns``;
+* **trace events** -- with a tracer attached, workers run their rows
+  under real spooling tracers and the parent replays every worker event
+  through its own tracer in canonical serial order
+  (:mod:`repro.obs.remote`), so sink aggregations
+  (:class:`~repro.obs.counters.CounterSet`, per-op profiles) are
+  bit-identical to a single-process traced run, while the Chrome sink
+  additionally gains per-worker process lanes and batch/shard linking
+  spans.
 
-Fallback: when a tracer is attached (per-primitive spans must be
-observed in execution order), when a target subarray carries injected
-stuck-at faults (worker processes cannot see the fault dictionaries), or
-when the batch touches fewer than two banks, the batch transparently
-runs on the in-process engine instead -- results are always correct;
-sharding is purely a wall-clock optimisation.
+Fallback: when a target subarray carries injected stuck-at faults
+(worker processes cannot see the fault dictionaries), or when the batch
+touches fewer than two banks, the batch transparently runs on the
+in-process engine instead -- results are always correct; sharding is
+purely a wall-clock optimisation.
 
 Quiesce-then-reset protocol: ``reset_stats`` refuses (with
 :class:`~repro.errors.ConcurrencyError`) while shard jobs are in
@@ -33,7 +40,9 @@ flight; call :meth:`quiesce` first.  See ``docs/SCALING.md``.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+import shutil
+import tempfile
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.device import AmbitDevice
 from repro.core.microprograms import BulkOp
@@ -43,6 +52,15 @@ from repro.dram.timing import TimingParameters
 from repro.engine.batch import BatchReport
 from repro.engine.scheduler import CommandGroup
 from repro.errors import ConcurrencyError, DramProtocolError
+from repro.obs.events import KIND_SPAN, TraceEvent
+from repro.obs.remote import (
+    TracerConfig,
+    discard_spool,
+    read_spool,
+    replay_row,
+    segment_rows,
+    shard_busy_ns,
+)
 from repro.parallel.pmap import default_jobs
 from repro.parallel.pool import WorkerPool
 from repro.parallel.shm import SharedRowStore
@@ -91,6 +109,10 @@ class ShardedDevice:
         self._start_method = start_method
         self._pool: Optional[WorkerPool] = None
         self._closed = False
+        #: Monotonic batch identity: stamps shard jobs, spool files,
+        #: crash context, and the linking spans of merged traces.
+        self._batch_seq = 0
+        self._spool_dir: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Delegation
@@ -122,8 +144,14 @@ class ShardedDevice:
                 ),
                 max_workers=self.max_workers,
                 start_method=self._start_method,
+                metrics=self.device.metrics,
             )
         return self._pool
+
+    def _ensure_spool_dir(self) -> str:
+        if self._spool_dir is None:
+            self._spool_dir = tempfile.mkdtemp(prefix="repro-trace-spool-")
+        return self._spool_dir
 
     def quiesce(self) -> None:
         """Block until no shard jobs are in flight."""
@@ -153,6 +181,9 @@ class ShardedDevice:
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None
+        if self._spool_dir is not None:
+            shutil.rmtree(self._spool_dir, ignore_errors=True)
+            self._spool_dir = None
         self.device.close()
 
     def __enter__(self) -> "ShardedDevice":
@@ -175,7 +206,7 @@ class ShardedDevice:
         """Execute ``dst[i] = op(...)`` for every row, sharded by bank.
 
         Same contract and same observable outcome (cells, counters,
-        elapsed time, energy, command trace) as
+        elapsed time, energy, command trace, tracer-sink aggregates) as
         :meth:`repro.engine.batch.BatchEngine.run_rows`; only the
         wall-clock time and the ``shards`` field of the report differ.
         """
@@ -203,11 +234,24 @@ class ShardedDevice:
                     f"bank {bank} must be precharged before a bulk operation"
                 )
 
+        tracer = chip.tracer
+        self._batch_seq += 1
+        batch_id = self._batch_seq
+        tracer_config = (
+            TracerConfig.from_tracer(tracer) if tracer is not None else None
+        )
+        spool_dir = self._ensure_spool_dir() if tracer is not None else None
+
         assignment = {bank: i % shards for i, bank in enumerate(banks)}
         shard_rows: List[List] = [[] for _ in range(shards)]
+        #: Row index -> (shard, position in shard job); the merge walks
+        #: this to replay worker event segments in canonical order.
+        placement: Dict[int, Tuple[int, int]] = {}
         for group in groups:
-            rows = shard_rows[assignment[group.bank]]
+            shard = assignment[group.bank]
+            rows = shard_rows[shard]
             for i in group.indices:
+                placement[i] = (shard, len(rows))
                 rows.append(
                     (
                         group.bank,
@@ -222,10 +266,29 @@ class ShardedDevice:
         pool = self._ensure_pool()
         start_ns = chip.clock_ns
         futures = [
-            pool.submit(run_shard, ShardJob(op.value, tuple(rows), start_ns))
-            for rows in shard_rows
+            pool.submit(
+                run_shard,
+                ShardJob(
+                    op.value,
+                    tuple(rows),
+                    start_ns,
+                    batch_id=batch_id,
+                    shard=shard,
+                    tracer=tracer_config,
+                    spool_dir=spool_dir,
+                ),
+                batch_id=batch_id,
+            )
+            for shard, rows in enumerate(shard_rows)
         ]
         results = pool.results(futures)
+        pool.note_results(results, batch_id)
+
+        if tracer is not None:
+            self._merge_traces(
+                op, tracer, engine, groups, placement, shard_rows,
+                results, start_ns, batch_id,
+            )
 
         # Deterministic merge: accounting in the parent, in the exact
         # bank-interleaved order of the single-process engine.
@@ -234,12 +297,77 @@ class ShardedDevice:
         return self._report(engine, groups, len(dst), fused, shards)
 
     # ------------------------------------------------------------------
+    def _merge_traces(
+        self,
+        op: BulkOp,
+        tracer,
+        engine,
+        groups,
+        placement: Dict[int, Tuple[int, int]],
+        shard_rows: List[List],
+        results,
+        start_ns: float,
+        batch_id: int,
+    ) -> None:
+        """Replay worker spools through the parent tracer, serially ordered.
+
+        Rows re-emit in the exact order the single-process engine would
+        have executed them (scheduler's bank-interleaved group order,
+        rows in group order) with serially reconstructed clocks, so sink
+        aggregations are bit-identical to a serial traced run; each
+        event carries its worker's pid for per-worker Chrome lanes.
+        Linking spans (one per shard, plus a parent batch span) share
+        the batch id so the lanes can be correlated in the viewer.
+        """
+        segments = []
+        for shard, result in enumerate(results):
+            if result.spool_path is None:
+                raise ConcurrencyError(
+                    f"shard {shard} of traced batch {batch_id} returned "
+                    f"no trace spool; worker-side tracing failed"
+                )
+            events = read_spool(result.spool_path)
+            discard_spool(result.spool_path)
+            segments.append(segment_rows(events, len(shard_rows[shard])))
+
+        clock = start_ns
+        for issued in engine.scheduler.order(self._command_groups(groups)):
+            for i in issued.payload.indices:
+                shard, pos = placement[i]
+                clock = replay_row(
+                    tracer, segments[shard][pos], clock, results[shard].pid
+                )
+
+        for shard, result in enumerate(results):
+            tracer.emit_foreign(
+                TraceEvent(
+                    kind=KIND_SPAN,
+                    name="shard",
+                    ts_ns=start_ns,
+                    dur_ns=shard_busy_ns(segments[shard]),
+                    attrs={
+                        "batch": batch_id,
+                        "shard": shard,
+                        "rows": len(shard_rows[shard]),
+                    },
+                ),
+                pid=result.pid,
+            )
+        tracer.span(
+            "batch",
+            start_ns,
+            clock - start_ns,
+            op=op.value,
+            batch=batch_id,
+            rows=sum(len(rows) for rows in shard_rows),
+            shards=len(shard_rows),
+        )
+
+    # ------------------------------------------------------------------
     def _parallel_eligible(self) -> bool:
-        if self.max_workers < 2 or self._closed:
-            return False
-        # A tracer observes per-primitive spans in execution order; the
-        # in-process path preserves them byte-for-byte.
-        return self.device.chip.tracer is None
+        # A tracer is no bar to sharding: traced jobs spool real events
+        # worker-side and the parent merges them in canonical order.
+        return self.max_workers >= 2 and not self._closed
 
     def _stuck_subarrays(self, dst: Sequence[RowLocation]) -> bool:
         # Worker processes cannot see the parent's injected fault

@@ -1,11 +1,16 @@
-"""Persistent worker pool with in-flight tracking.
+"""Persistent worker pool with in-flight tracking and health telemetry.
 
 A thin wrapper over :class:`concurrent.futures.ProcessPoolExecutor`
 that (a) builds every worker's shared-memory device via
 :func:`repro.parallel.worker.initialize_worker`, (b) tracks in-flight
-futures so the quiesce-then-reset protocol can be enforced, and
+futures (and which batch each belongs to) so the quiesce-then-reset
+protocol can be enforced and crashes can name the batch they killed,
 (c) converts a dead worker into a :class:`~repro.errors.ConcurrencyError`
-instead of the executor's opaque ``BrokenProcessPool``.
+carrying the worker's pid, exit code, and in-flight batch id instead of
+the executor's opaque ``BrokenProcessPool``, and (d) folds per-worker
+telemetry from :class:`~repro.parallel.worker.ShardResult` into the
+device's metrics registry (``ambit_worker_*`` families; see
+``repro top``).
 
 Start method: ``fork`` where the platform offers it (workers attach to
 the segment by name either way, but fork skips the per-worker import
@@ -18,12 +23,13 @@ from __future__ import annotations
 import multiprocessing
 import os
 import threading
+import time
 from concurrent.futures import Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from typing import Callable, List, Optional, Set
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ConcurrencyError
-from repro.parallel.worker import WorkerConfig, initialize_worker
+from repro.parallel.worker import ShardResult, WorkerConfig, initialize_worker
 
 
 def default_start_method() -> str:
@@ -43,13 +49,51 @@ class WorkerPool:
         config: WorkerConfig,
         max_workers: int,
         start_method: Optional[str] = None,
+        metrics: Optional[object] = None,
     ):
         if max_workers < 1:
             raise ConcurrencyError(f"max_workers must be >= 1; got {max_workers}")
         self.max_workers = max_workers
         self.broken = False
+        #: ``(pid, exit_code, batch_ids)`` context of the last crash, for
+        #: post-mortem inspection after the :class:`ConcurrencyError`.
+        self.crash_info: Optional[Tuple[List[Tuple[int, int]], List[int]]] = None
         self._lock = threading.Lock()
-        self._inflight: Set[Future] = set()
+        self._inflight: Dict[Future, Optional[int]] = {}
+        self._procs: Dict[int, object] = {}
+        self._m_batches = self._m_busy = self._m_rss = None
+        self._m_beat = self._m_last = self._m_crashes = None
+        if metrics is not None:
+            self._m_batches = metrics.counter(
+                "ambit_worker_batches_total",
+                "Shard jobs served, per worker process",
+                labels=("pid",),
+            )
+            self._m_busy = metrics.counter(
+                "ambit_worker_busy_ns_total",
+                "Wall-clock nanoseconds spent executing shard jobs, "
+                "per worker process",
+                labels=("pid",),
+            )
+            self._m_rss = metrics.gauge(
+                "ambit_worker_rss_bytes",
+                "Peak resident set size, per worker process",
+                labels=("pid",),
+            )
+            self._m_beat = metrics.gauge(
+                "ambit_worker_heartbeat_ts",
+                "Unix time of the worker's last completed shard job",
+                labels=("pid",),
+            )
+            self._m_last = metrics.gauge(
+                "ambit_worker_last_batch",
+                "Batch id of the worker's last completed shard job",
+                labels=("pid",),
+            )
+            self._m_crashes = metrics.counter(
+                "ambit_worker_crashes_total",
+                "Worker processes that died mid-batch",
+            )
         self._executor = ProcessPoolExecutor(
             max_workers=max_workers,
             mp_context=multiprocessing.get_context(
@@ -60,7 +104,9 @@ class WorkerPool:
         )
 
     # ------------------------------------------------------------------
-    def submit(self, fn: Callable, *args) -> Future:
+    def submit(
+        self, fn: Callable, *args, batch_id: Optional[int] = None
+    ) -> Future:
         """Submit a job; the future is tracked until it completes."""
         if self.broken:
             raise ConcurrencyError(
@@ -69,13 +115,20 @@ class WorkerPool:
             )
         future = self._executor.submit(fn, *args)
         with self._lock:
-            self._inflight.add(future)
+            self._inflight[future] = batch_id
+            # Keep our own references to the worker Process objects:
+            # the executor drops its dict entries while tearing down a
+            # broken pool, but a held handle still reports the cached
+            # exit code for the crash report.
+            self._procs.update(
+                getattr(self._executor, "_processes", None) or {}
+            )
         future.add_done_callback(self._discard)
         return future
 
     def _discard(self, future: Future) -> None:
         with self._lock:
-            self._inflight.discard(future)
+            self._inflight.pop(future, None)
 
     # ------------------------------------------------------------------
     @property
@@ -94,16 +147,109 @@ class WorkerPool:
             wait(pending)
 
     def results(self, futures: List[Future]) -> List[object]:
-        """Collect results, translating a dead worker into a clear error."""
+        """Collect results, translating a dead worker into a clear error.
+
+        On a crash the raised :class:`~repro.errors.ConcurrencyError`
+        names the dead worker's pid and exit code and the batch id(s)
+        that were in flight -- the context a post-mortem needs before
+        deciding whether the shared row store can still be trusted.
+        """
+        with self._lock:
+            batch_ids = sorted(
+                {
+                    self._inflight[f]
+                    for f in futures
+                    if f in self._inflight and self._inflight[f] is not None
+                }
+            )
         try:
-            return [future.result() for future in futures]
+            results = [future.result() for future in futures]
         except BrokenProcessPool as exc:
             self.broken = True
+            dead = self._dead_workers()
+            self.crash_info = (dead, batch_ids)
+            if self._m_crashes is not None:
+                self._m_crashes.inc(max(1, len(dead)))
             raise ConcurrencyError(
-                "a worker process died mid-batch; the shared row store "
-                "may hold partial results -- reset or rebuild the device "
-                "before trusting cell contents"
+                f"a worker process died mid-batch "
+                f"({self._describe_crash(dead, batch_ids)}); the shared "
+                f"row store may hold partial results -- reset or rebuild "
+                f"the device before trusting cell contents"
             ) from exc
+        for result in results:
+            if isinstance(result, ShardResult):
+                self.note_result(result)
+        return results
+
+    def _dead_workers(self, timeout_s: float = 2.0) -> List[Tuple[int, int]]:
+        """``(pid, exit_code)`` of workers that died abnormally.
+
+        Polls briefly: right after a crash the dying process may not be
+        reaped yet (``exitcode`` still ``None``), and the executor is
+        concurrently tearing its siblings down.
+        """
+        with self._lock:
+            self._procs.update(
+                getattr(self._executor, "_processes", None) or {}
+            )
+            processes = dict(self._procs)
+        deadline = time.monotonic() + timeout_s
+        while True:
+            dead = []
+            pending = False
+            for pid, process in processes.items():
+                code = process.exitcode
+                if code is None:
+                    pending = True
+                elif code != 0:
+                    dead.append((pid, code))
+            if dead or not pending or time.monotonic() >= deadline:
+                return sorted(dead)
+            time.sleep(0.01)
+
+    @staticmethod
+    def _describe_crash(
+        dead: List[Tuple[int, int]], batch_ids: List[int]
+    ) -> str:
+        if dead:
+            workers = ", ".join(
+                f"worker pid={pid} exit code={code}" for pid, code in dead
+            )
+        else:  # pragma: no cover - executor reaped the process already
+            workers = "worker pid unknown"
+        batches = (
+            ", ".join(f"batch id={b}" for b in batch_ids)
+            if batch_ids
+            else "batch id unknown"
+        )
+        return f"{workers}; in flight: {batches}"
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def note_result(
+        self, result: ShardResult, batch_id: Optional[int] = None
+    ) -> None:
+        """Fold one shard result's worker telemetry into the metrics."""
+        if self._m_batches is None or result.pid == 0:
+            return
+        pid = str(result.pid)
+        self._m_batches.labels(pid=pid).inc()
+        self._m_busy.labels(pid=pid).inc(result.busy_ns)
+        self._m_rss.labels(pid=pid).set(result.rss_bytes)
+        self._m_beat.labels(pid=pid).set(result.heartbeat_ts)
+        if batch_id is not None:
+            self._m_last.labels(pid=pid).set(batch_id)
+
+    def note_results(
+        self, results: List[object], batch_id: Optional[int] = None
+    ) -> None:
+        """Record the batch id against each result's worker gauges."""
+        if self._m_last is None or batch_id is None:
+            return
+        for result in results:
+            if isinstance(result, ShardResult) and result.pid:
+                self._m_last.labels(pid=str(result.pid)).set(batch_id)
 
     def shutdown(self) -> None:
         """Stop the workers (idempotent; tolerates a broken pool)."""

@@ -19,13 +19,28 @@ The split of responsibilities is strict:
   re-derives the exact command trace, timing, and energy from its own
   plan cache (see :meth:`repro.engine.batch.BatchEngine.account_group`).
 
+Traced jobs are the one exception to "engine runs the shard": when a
+:class:`~repro.obs.remote.TracerConfig` rides along, the worker attaches
+a real tracer and executes its rows *one at a time* through the per-row
+command walk -- the only path that emits genuine per-primitive events --
+spooling them to a JSON-lines file the parent merges in canonical serial
+order (:mod:`repro.obs.remote`).  Cells stay bit-exact (the per-row walk
+is always correct); only wall-clock changes.
+
 Workers are handed *disjoint banks*, so no two processes ever write the
 same (bank, subarray) slice; B-group scratch rows are per-subarray and
 therefore also disjoint.
+
+Every :class:`ShardResult` carries worker health telemetry (pid,
+batches served, busy-ns, peak RSS, a heartbeat timestamp) that the
+parent's :class:`~repro.parallel.pool.WorkerPool` folds into per-worker
+metrics gauges.
 """
 
 from __future__ import annotations
 
+import os
+import time
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
@@ -58,6 +73,16 @@ class ShardJob:
     #: use bank-parallel time (all shards start together, as on real
     #: hardware) rather than the serialized global clock.
     start_ns: float = 0.0
+    #: Parent-assigned batch identity, threaded through spool file names
+    #: and crash context.
+    batch_id: int = 0
+    #: This job's shard index within the batch.
+    shard: int = 0
+    #: When set (a :class:`~repro.obs.remote.TracerConfig`), execute the
+    #: rows per-row under a spooling tracer instead of the batch engine.
+    tracer: Optional[object] = None
+    #: Directory for the trace spool file (required when tracing).
+    spool_dir: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -67,10 +92,23 @@ class ShardResult:
     rows: int
     fused_rows: int
     fallback_rows: int
+    #: Worker health telemetry.
+    pid: int = 0
+    #: Wall-clock nanoseconds this job spent executing.
+    busy_ns: int = 0
+    #: Peak resident set size of the worker process, bytes.
+    rss_bytes: int = 0
+    #: ``time.time()`` at job completion (the worker's heartbeat).
+    heartbeat_ts: float = 0.0
+    #: Shard jobs this worker process has served so far (including this).
+    batches_served: int = 0
+    #: Spool file holding this job's trace events (traced jobs only).
+    spool_path: Optional[str] = None
 
 
 _STORE = None
 _DEVICE = None
+_BATCHES_SERVED = 0
 
 
 def initialize_worker(config: WorkerConfig) -> None:
@@ -93,14 +131,28 @@ def initialize_worker(config: WorkerConfig) -> None:
     )
 
 
+def _rss_bytes() -> int:
+    """Peak RSS of this process in bytes (0 where unavailable)."""
+    try:
+        import resource
+
+        peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        # Linux reports kilobytes; macOS reports bytes.
+        return peak * 1024 if peak < 1 << 40 else peak
+    except Exception:  # pragma: no cover - platform fallback
+        return 0
+
+
 def run_shard(job: ShardJob) -> ShardResult:
     """Execute one shard job on the process-global device."""
     from repro.core.microprograms import BulkOp
     from repro.dram.chip import RowLocation
 
+    global _BATCHES_SERVED
     device = _DEVICE
     if device is None:  # pragma: no cover - initializer contract
         raise RuntimeError("worker used before initialize_worker ran")
+    started = time.perf_counter_ns()
     # Worker stats/trace are scratch: reset so the persistent process
     # does not accumulate an unbounded trace across jobs.  The plan
     # cache survives the reset, staying warm between jobs.
@@ -116,18 +168,64 @@ def run_shard(job: ShardJob) -> ShardResult:
             src2.append(RowLocation(bank, sub, dj))
         if dl is not None:
             src3.append(RowLocation(bank, sub, dl))
-    report = device.engine.run_rows(
-        op,
-        dst,
-        src1,
-        src2 if src2 else None,
-        src3 if src3 else None,
-    )
+
+    spool_path = None
+    if job.tracer is not None:
+        spool_path = _run_traced(device, job, op, dst, src1, src2, src3)
+        fused = 0
+    else:
+        report = device.engine.run_rows(
+            op,
+            dst,
+            src1,
+            src2 if src2 else None,
+            src3 if src3 else None,
+        )
+        fused = report.fused_rows
+
+    _BATCHES_SERVED += 1
     return ShardResult(
-        rows=report.rows,
-        fused_rows=report.fused_rows,
-        fallback_rows=report.fallback_rows,
+        rows=len(dst),
+        fused_rows=fused,
+        fallback_rows=len(dst) - fused,
+        pid=os.getpid(),
+        busy_ns=time.perf_counter_ns() - started,
+        rss_bytes=_rss_bytes(),
+        heartbeat_ts=time.time(),
+        batches_served=_BATCHES_SERVED,
+        spool_path=spool_path,
     )
+
+
+def _run_traced(device, job: ShardJob, op, dst, src1, src2, src3) -> str:
+    """Execute a traced shard per-row, spooling events; returns the path.
+
+    Per-row execution in job order is what makes the parent-side merge
+    exact: every row contributes one contiguous event segment ending in
+    its ``kind="op"`` event, and rows of one bank retain the serial
+    engine's FIFO order (cross-bank order is functionally irrelevant --
+    shards own disjoint banks).
+    """
+    if job.spool_dir is None:  # pragma: no cover - dispatch contract
+        raise RuntimeError("traced shard job without a spool directory")
+    spool_path = os.path.join(
+        job.spool_dir, f"batch{job.batch_id}-shard{job.shard}.jsonl"
+    )
+    tracer = job.tracer.build(spool_path)
+    device.chip.tracer = tracer
+    try:
+        for i in range(len(dst)):
+            device.bbop_row(
+                op,
+                dst[i],
+                src1[i],
+                src2[i] if src2 else None,
+                src3[i] if src3 else None,
+            )
+    finally:
+        device.chip.tracer = None
+        tracer.close()
+    return spool_path
 
 
 def crash(exit_code: int = 1) -> None:  # pragma: no cover - runs in worker

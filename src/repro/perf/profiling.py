@@ -14,8 +14,8 @@ from typing import Dict, Iterable, Optional, Tuple
 import numpy as np
 
 from repro.core.device import AmbitDevice
+from repro.core.driver import AmbitDriver
 from repro.core.microprograms import BulkOp
-from repro.dram.chip import RowLocation
 from repro.dram.geometry import DramGeometry, SubarrayGeometry
 from repro.errors import ConfigError, SimulationError
 from repro.obs.profiler import ProfileReport, profile
@@ -96,36 +96,49 @@ def run_profile_workload(
         raise ConfigError(f"repeats must be positive; got {repeats}")
 
     device = AmbitDevice(geometry=geometry or profile_geometry())
+    # Rows are placed through the subarray-aware driver, so the report
+    # also reflects real allocator-pool pressure (high-water mark).
+    driver = AmbitDriver(device)
     tracer = device.attach_tracer(
         Tracer(sinks=sinks, timing=device.timing, row_bytes=device.row_bytes)
     )
     geo = device.geometry
     words = geo.subarray.words_per_row
+    row_bits = device.row_bits
     rng = np.random.default_rng(seed)
     with profile(device, tracer=tracer) as report:
         for op in ops:
             for i in range(repeats):
-                bank = i % geo.banks
-                sub = (i // geo.banks) % geo.subarrays_per_bank
-                loc = lambda addr: RowLocation(bank, sub, addr)
+                # Four co-located row-sized operands per instance; the
+                # driver round-robins instances across (bank, subarray)
+                # stripes, so bank-level parallelism shows in the trace.
+                handles = [driver.allocate(row_bits)]
+                for _ in range(3):
+                    handles.append(
+                        driver.allocate(row_bits, like=handles[0])
+                    )
+                ra, rb, rc, rd = (h.rows[0] for h in handles)
                 a = rng.integers(0, 2**63, size=words, dtype=np.uint64)
                 b = rng.integers(0, 2**63, size=words, dtype=np.uint64)
                 c = rng.integers(0, 2**63, size=words, dtype=np.uint64)
-                device.write_row(loc(0), a)
-                device.write_row(loc(1), b)
-                device.write_row(loc(2), c)
+                device.write_row(ra, a)
+                device.write_row(rb, b)
+                device.write_row(rc, c)
                 device.bbop_row(
                     op,
-                    loc(3),
-                    loc(0),
-                    loc(1) if op.arity >= 2 else None,
-                    loc(2) if op.arity == 3 else None,
+                    rd,
+                    ra,
+                    rb if op.arity >= 2 else None,
+                    rc if op.arity == 3 else None,
                 )
                 expected = _NUMPY_REFERENCE[op](a, b, c)
-                if not np.array_equal(device.read_row(loc(3)), expected):
+                if not np.array_equal(device.read_row(rd), expected):
                     raise SimulationError(
                         f"profile workload {op.value} produced a wrong "
                         f"result (instance {i})"
                     )
+                for handle in handles:
+                    driver.free(handle)
     device.detach_tracer()
+    report.device = device
     return report

@@ -1,0 +1,136 @@
+"""The benchmark-regression gate: path extraction, tolerances, reports."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs.regress import (
+    EQUAL,
+    HIGHER,
+    LOWER,
+    ENGINE_SPECS,
+    PARALLEL_SPECS,
+    MetricSpec,
+    RegressionReport,
+    check_metric,
+    compare,
+    extract,
+    load_baseline,
+)
+
+PAYLOAD = {
+    "op": "and",
+    "results": [
+        {"banks": 1, "speedup": 10.0},
+        {"banks": 8, "speedup": 15.0, "parallelism": 8.0},
+    ],
+    "montecarlo": {"failures": 412816, "deterministic": True},
+}
+
+
+# ----------------------------------------------------------------------
+# Path extraction
+# ----------------------------------------------------------------------
+def test_extract_dotted_paths_and_selectors():
+    assert extract(PAYLOAD, "op") == "and"
+    assert extract(PAYLOAD, "montecarlo.failures") == 412816
+    assert extract(PAYLOAD, "results[banks=8].speedup") == 15.0
+    assert extract(PAYLOAD, "results[banks=1].speedup") == 10.0
+
+
+def test_extract_errors():
+    with pytest.raises(ConfigError, match="no key"):
+        extract(PAYLOAD, "missing")
+    with pytest.raises(ConfigError, match="matched 0"):
+        extract(PAYLOAD, "results[banks=4].speedup")
+    with pytest.raises(ConfigError, match="not a list"):
+        extract(PAYLOAD, "montecarlo[x=1].y")
+    with pytest.raises(ConfigError, match="malformed"):
+        extract(PAYLOAD, "results[banks.speedup")
+
+
+# ----------------------------------------------------------------------
+# Comparison semantics
+# ----------------------------------------------------------------------
+def test_higher_direction_floors():
+    spec = MetricSpec("s", HIGHER, tolerance=0.5)
+    assert check_metric(spec, 10.0, 6.0).ok       # floor is 5.0
+    assert not check_metric(spec, 10.0, 4.0).ok
+    # tolerance_scale widens the floor.
+    assert check_metric(spec, 10.0, 4.0, tolerance_scale=1.5).ok
+
+
+def test_lower_direction_ceilings():
+    spec = MetricSpec("s", LOWER, tolerance=0.1)
+    assert check_metric(spec, 100.0, 105.0).ok
+    assert not check_metric(spec, 100.0, 120.0).ok
+
+
+def test_equal_direction_and_non_numeric():
+    exact = MetricSpec("s", EQUAL)
+    assert check_metric(exact, 412816, 412816).ok
+    assert not check_metric(exact, 412816, 412817).ok
+    near = MetricSpec("s", EQUAL, tolerance=1e-9)
+    assert check_metric(near, 334.3673, 334.3673 * (1 + 1e-12)).ok
+    # Booleans and strings compare exactly, never numerically.
+    assert check_metric(exact, True, True).ok
+    assert not check_metric(exact, True, 1.5).ok
+    assert not check_metric(exact, "and", "or").ok
+    # NaN always fails.
+    assert not check_metric(MetricSpec("s", HIGHER), float("nan"), 1.0).ok
+
+
+def test_spec_validation():
+    with pytest.raises(ConfigError):
+        MetricSpec("s", "sideways")
+    with pytest.raises(ConfigError):
+        MetricSpec("s", HIGHER, tolerance=-0.1)
+
+
+# ----------------------------------------------------------------------
+# Reports
+# ----------------------------------------------------------------------
+def test_compare_builds_report_with_failures():
+    baseline = {"a": 10.0, "flag": True}
+    current = {"a": 2.0, "flag": True}
+    specs = (
+        MetricSpec("a", HIGHER, tolerance=0.5),
+        MetricSpec("flag", EQUAL),
+    )
+    report = compare("demo", baseline, current, specs)
+    assert not report.ok
+    assert [c.path for c in report.failures] == ["a"]
+    text = report.format()
+    assert "demo: REGRESSION" in text
+    assert "[FAIL] a:" in text
+    assert "[ok  ] flag:" in text
+
+    good = compare("demo", baseline, dict(baseline), specs)
+    assert good.ok and "demo: OK" in good.format()
+
+
+def test_empty_report_is_ok():
+    assert RegressionReport(name="absent").ok
+
+
+def test_load_baseline_round_trip(tmp_path):
+    path = tmp_path / "BENCH_x.json"
+    path.write_text(json.dumps(PAYLOAD))
+    assert load_baseline(str(path)) == PAYLOAD
+
+
+def test_default_specs_cover_committed_baselines():
+    """The shipped spec sets address fields the benchmarks actually emit."""
+    engine_fields = {s.path.split(".")[-1] for s in ENGINE_SPECS}
+    assert {"parallelism", "speedup", "batched_rows_per_s"} <= engine_fields
+    parallel_paths = {s.path for s in PARALLEL_SPECS}
+    assert "montecarlo.failures" in parallel_paths
+    assert "bulk_ops.bit_exact" in parallel_paths
+    # Wall-clock metrics must carry loose tolerance; deterministic ones
+    # tight.
+    for spec in ENGINE_SPECS + PARALLEL_SPECS:
+        if "speedup" in spec.path or "rows_per_s" in spec.path:
+            assert spec.tolerance >= 0.5, spec
+        else:
+            assert spec.tolerance <= 1e-6, spec

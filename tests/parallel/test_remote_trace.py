@@ -1,0 +1,278 @@
+"""Cross-process trace collection is bit-identical to a serial trace.
+
+The tentpole property of the distributed-telemetry PR: with a tracer
+attached, a :class:`~repro.parallel.device.ShardedDevice` batch still
+executes on the workers (no serial fallback); each worker traces its
+rows into a per-(batch, shard) JSON-lines spool, and the parent merges
+the spools back into one stream in canonical serial order.  The merged
+stream must be *bit-identical* to what a serial traced run emits --
+same events, same timestamps, same sequence numbers, same per-op
+:class:`~repro.obs.counters.CounterSet` fold -- plus worker-lane
+decoration: per-shard ``span`` events carrying the worker's pid and a
+parent ``batch`` span linking them by batch id.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.device import AmbitDevice
+from repro.core.microprograms import BulkOp
+from repro.dram.chip import RowLocation
+from repro.dram.geometry import small_test_geometry
+from repro.obs.events import KIND_OP, KIND_SPAN, TraceEvent
+from repro.obs.remote import (
+    TracerConfig,
+    read_spool,
+    segment_rows,
+    shard_busy_ns,
+)
+from repro.obs.sinks import ChromeTraceSink, CounterSink, RingBufferSink
+from repro.obs.tracer import Tracer
+from repro.parallel import ShardedDevice
+
+ALL_OPS = tuple(BulkOp)
+
+GEO = small_test_geometry(rows=32, row_bytes=64, banks=4, subarrays_per_bank=2)
+DATA_ROWS = GEO.subarray.data_rows
+WORDS = GEO.subarray.words_per_row
+
+UNEVEN_SPREAD = {(0, 0): 3, (0, 1): 2, (1, 0): 1, (3, 1): 4}
+
+
+def _fill(device, seed):
+    rng = np.random.default_rng(seed)
+    for bank in range(GEO.banks):
+        for sub in range(GEO.subarrays_per_bank):
+            for addr in range(DATA_ROWS):
+                device.write_row(
+                    RowLocation(bank, sub, addr),
+                    rng.integers(0, 2**63, size=WORDS, dtype=np.uint64),
+                )
+
+
+def _spread_rows(spread, arity):
+    dst, src1, src2, src3 = [], [], [], []
+    for (bank, sub), count in spread.items():
+        for j in range(count):
+            dst.append(RowLocation(bank, sub, 3 * j))
+            src1.append(RowLocation(bank, sub, 3 * j + 1))
+            src2.append(RowLocation(bank, sub, 3 * j + 2))
+            src3.append(RowLocation(bank, sub, max(0, 3 * (j - 1))))
+    return (
+        dst,
+        src1,
+        src2 if arity >= 2 else None,
+        src3 if arity >= 3 else None,
+    )
+
+
+def _traced_serial(op, seed, spread):
+    device = AmbitDevice(geometry=GEO)
+    _fill(device, seed)
+    ring, counters = RingBufferSink(), CounterSink()
+    device.attach_tracer(Tracer(
+        sinks=(ring, counters), timing=device.timing,
+        row_bytes=device.row_bytes,
+    ))
+    dst, src1, src2, src3 = _spread_rows(spread, op.arity)
+    device.engine.run_rows(op, dst, src1, src2, src3)
+    return device, ring, counters
+
+
+def _core_events(events):
+    """Everything except the sharded run's decorative batch/shard spans."""
+    return [
+        e for e in events
+        if not (e.kind == KIND_SPAN and e.name in ("batch", "shard"))
+    ]
+
+
+def _assert_streams_identical(serial_events, sharded_events):
+    import dataclasses
+
+    core = _core_events(sharded_events)
+    assert len(serial_events) == len(core)
+    for a, b in zip(serial_events, core):
+        # pid is the one sanctioned difference: serial events have none,
+        # replayed events carry their worker's pid (the Chrome lane).
+        assert a == dataclasses.replace(b, pid=a.pid), (a, b)
+
+
+@pytest.mark.parametrize("op", ALL_OPS, ids=lambda op: op.value)
+def test_traced_sharded_run_bit_identical_to_serial(op):
+    serial, ring_s, counters_s = _traced_serial(op, 21, UNEVEN_SPREAD)
+
+    with ShardedDevice(geometry=GEO, max_workers=3) as sharded:
+        _fill(sharded, 21)
+        ring_p, counters_p = RingBufferSink(), CounterSink()
+        sharded.attach_tracer(Tracer(
+            sinks=(ring_p, counters_p), timing=sharded.timing,
+            row_bytes=sharded.row_bytes,
+        ))
+        dst, src1, src2, src3 = _spread_rows(UNEVEN_SPREAD, op.arity)
+        report = sharded.run_rows(op, dst, src1, src2, src3)
+
+        # No serial fallback: the batch really ran on the workers.
+        assert report.shards == 3
+        assert sharded.pool is not None
+
+        # Cells, accounting, and the tracer's CounterSet fold match
+        # bit-for-bit.
+        for loc in dst:
+            assert np.array_equal(serial.read_row(loc), sharded.read_row(loc))
+        assert serial.elapsed_ns == sharded.elapsed_ns
+        assert serial.busy_ns == sharded.busy_ns
+        assert counters_s.counters.as_dict() == counters_p.counters.as_dict()
+
+        # The merged event stream is the serial stream, bit-identical.
+        _assert_streams_identical(ring_s.events, ring_p.events)
+
+        # Worker-lane decoration: one shard span per shard, pid-tagged,
+        # plus a parent batch span linking them by batch id.
+        shard_spans = [
+            e for e in ring_p.events
+            if e.kind == KIND_SPAN and e.name == "shard"
+        ]
+        batch_spans = [
+            e for e in ring_p.events
+            if e.kind == KIND_SPAN and e.name == "batch"
+        ]
+        assert len(shard_spans) == report.shards
+        assert len(batch_spans) == 1
+        batch_id = batch_spans[0].attrs["batch"]
+        assert {e.attrs["batch"] for e in shard_spans} == {batch_id}
+        assert all(e.pid not in (None, 0) for e in shard_spans)
+        assert sum(e.attrs["rows"] for e in shard_spans) == report.rows
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    op=st.sampled_from(ALL_OPS),
+    seed=st.integers(0, 2**31),
+    counts=st.lists(st.integers(0, 4), min_size=4, max_size=4),
+    workers=st.integers(2, 4),
+    data=st.data(),
+)
+def test_random_spreads_traced_parity(op, seed, counts, workers, data):
+    spread = {}
+    for bank, count in enumerate(counts):
+        if count:
+            sub = data.draw(st.integers(0, GEO.subarrays_per_bank - 1))
+            spread[(bank, sub)] = count
+    serial, ring_s, counters_s = _traced_serial(op, seed, spread)
+
+    with ShardedDevice(geometry=GEO, max_workers=workers) as sharded:
+        _fill(sharded, seed)
+        ring_p, counters_p = RingBufferSink(), CounterSink()
+        sharded.attach_tracer(Tracer(
+            sinks=(ring_p, counters_p), timing=sharded.timing,
+            row_bytes=sharded.row_bytes,
+        ))
+        dst, src1, src2, src3 = _spread_rows(spread, op.arity)
+        sharded.run_rows(op, dst, src1, src2, src3)
+        assert counters_s.counters.as_dict() == counters_p.counters.as_dict()
+        _assert_streams_identical(ring_s.events, ring_p.events)
+
+
+def test_consecutive_traced_batches_continue_the_clock():
+    op = BulkOp.XOR
+    serial, ring_s, _ = _traced_serial(op, 33, UNEVEN_SPREAD)
+    dst, src1, src2, src3 = _spread_rows(UNEVEN_SPREAD, op.arity)
+    serial.engine.run_rows(op, dst, src1, src2, src3)
+
+    with ShardedDevice(geometry=GEO, max_workers=3) as sharded:
+        _fill(sharded, 33)
+        ring_p = RingBufferSink()
+        sharded.attach_tracer(Tracer(
+            sinks=(ring_p,), timing=sharded.timing,
+            row_bytes=sharded.row_bytes,
+        ))
+        sharded.run_rows(op, dst, src1, src2, src3)
+        sharded.run_rows(op, dst, src1, src2, src3)
+        batch_spans = [
+            e for e in ring_p.events
+            if e.kind == KIND_SPAN and e.name == "batch"
+        ]
+        assert len(batch_spans) == 2
+        assert (batch_spans[0].attrs["batch"]
+                != batch_spans[1].attrs["batch"])
+        # From the second batch on, seq drifts by the decoration spans
+        # of earlier batches (they consume emission indices); timestamps
+        # and every other field still reconstruct exactly.
+        import dataclasses
+
+        core = _core_events(ring_p.events)
+        assert len(ring_s.events) == len(core)
+        for a, b in zip(ring_s.events, core):
+            assert a == dataclasses.replace(b, pid=a.pid, seq=a.seq), (a, b)
+        assert serial.elapsed_ns == sharded.elapsed_ns
+
+
+def test_chrome_trace_gets_per_worker_process_lanes(tmp_path):
+    path = tmp_path / "sharded.trace.json"
+    with ShardedDevice(geometry=GEO, max_workers=3) as sharded:
+        _fill(sharded, 44)
+        sink = ChromeTraceSink(str(path))
+        sharded.attach_tracer(Tracer(
+            sinks=(sink,), timing=sharded.timing,
+            row_bytes=sharded.row_bytes,
+        ))
+        dst, src1, src2, src3 = _spread_rows(UNEVEN_SPREAD, 2)
+        report = sharded.run_rows(BulkOp.AND, dst, src1, src2)
+        sink.close()
+
+    events = json.loads(path.read_text())["traceEvents"]
+    names = {
+        (e["pid"], e["args"]["name"])
+        for e in events
+        if e.get("ph") == "M" and e.get("name") == "process_name"
+    }
+    assert (0, "ambit-device") in names
+    worker_lanes = {n for pid, n in names if pid != 0}
+    # Shards may share a worker process, so lanes <= shards (but >= 1).
+    assert 1 <= len(worker_lanes) <= report.shards
+    assert all(n.startswith("worker-") for n in worker_lanes)
+
+
+def test_spool_segmentation_and_replay_helpers():
+    cfg = TracerConfig(timing={}, energy=None, row_bytes=64)
+    assert cfg.row_bytes == 64
+
+    events = [
+        TraceEvent(kind="cmd", name="ACT", ts_ns=0.0, dur_ns=35.0),
+        TraceEvent(kind=KIND_OP, name="and", ts_ns=0.0, dur_ns=196.0),
+        TraceEvent(kind="cmd", name="ACT", ts_ns=5.0, dur_ns=35.0),
+        TraceEvent(kind=KIND_OP, name="and", ts_ns=5.0, dur_ns=196.0),
+    ]
+    segments = segment_rows(events, 2)
+    assert [len(s) for s in segments] == [2, 2]
+    assert shard_busy_ns(segments) == pytest.approx(392.0)
+
+    from repro.errors import ConcurrencyError
+
+    with pytest.raises(ConcurrencyError):
+        segment_rows(events, 3)
+    with pytest.raises(ConcurrencyError):
+        segment_rows(events[:3], 1)
+
+
+def test_spool_round_trips_events(tmp_path):
+    path = tmp_path / "spool.jsonl"
+    event = TraceEvent(
+        kind="primitive", name="AAP", ts_ns=1.5, dur_ns=84.0,
+        bank=2, subarray=1, seq=7, attrs={"rows": 3},
+    )
+    with open(path, "w") as handle:
+        handle.write(json.dumps(event.to_json()) + "\n")
+    (back,) = read_spool(str(path))
+    assert back.kind == event.kind and back.name == event.name
+    assert back.ts_ns == event.ts_ns and back.dur_ns == event.dur_ns
+    assert back.bank == event.bank and back.attrs == event.attrs

@@ -5,8 +5,9 @@ random inputs and uneven bank spreads, a batch through
 :meth:`repro.parallel.device.ShardedDevice.run_rows` leaves cells,
 counters, ``elapsed_ns``, per-bank busy time, and the full command trace
 (energy is a pure fold over it) identical to the serial engine -- plus
-the protocol edges: tracer-attached and stuck-row fallbacks, the
-quiesce-then-reset rule, and worker-crash containment.
+the protocol edges: the stuck-row fallback, the quiesce-then-reset
+rule, and worker-crash containment.  (Tracer-attached batches shard
+too, with spool-merge parity -- see ``test_remote_trace.py``.)
 """
 
 import time
@@ -143,7 +144,9 @@ def test_random_spreads_bit_exact(op, seed, counts, workers, data):
         _assert_same_state(serial, sharded)
 
 
-def test_tracer_attached_falls_back_to_serial():
+def test_tracer_attached_still_shards():
+    """A tracer no longer forces the serial fallback: the batch runs on
+    the workers, and the merged state matches the serial traced run."""
     dst, src1, src2, _ = _spread_rows(UNEVEN_SPREAD, 2)
     serial = AmbitDevice(geometry=GEO)
     _fill(serial, seed=5)
@@ -154,9 +157,8 @@ def test_tracer_attached_falls_back_to_serial():
         _fill(sharded, seed=5)
         sharded.attach_tracer()
         report = sharded.run_rows(BulkOp.AND, dst, src1, src2)
-        # In-process path: no shards, and no pool was ever built.
-        assert report.shards == 1
-        assert sharded.pool is None
+        assert report.shards == 3
+        assert sharded.pool is not None
         _assert_same_state(serial, sharded)
 
 
