@@ -173,13 +173,18 @@ def _cmd_profile(args: argparse.Namespace) -> None:
 
 
 def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigError
     from repro.perf.profiling import profile_geometry, run_profile_workload
 
-    report = run_profile_workload(
-        args.workload,
-        repeats=args.repeats,
-        geometry=profile_geometry(row_bytes=args.row_bytes),
-    )
+    try:
+        report = run_profile_workload(
+            args.workload,
+            repeats=args.repeats,
+            geometry=profile_geometry(row_bytes=args.row_bytes),
+        )
+    except ConfigError as exc:
+        print(f"metrics: {exc}", file=sys.stderr)
+        return 2
     registry = report.device.metrics
     if args.format == "prom":
         text = registry.render_prometheus()
@@ -296,6 +301,32 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigError
+    from repro.faults import ChaosConfig, format_chaos, run_chaos
+
+    try:
+        report = run_chaos(
+            ChaosConfig(
+                ops=args.ops,
+                seed=args.seed,
+                fault_rate=args.fault_rate,
+                jobs=args.jobs,
+                banks=args.banks,
+                row_bytes=args.row_bytes,
+                recovery=not args.no_recovery,
+            )
+        )
+    except ConfigError as exc:
+        print(f"chaos: {exc}", file=sys.stderr)
+        return 2
+    print(format_chaos(report))
+    if args.scrape:
+        print()
+        print(report.scrape)
+    return report.exit_code
+
+
 def _cmd_report(args: argparse.Namespace) -> None:
     from repro.report import ReportConfig, generate_report
 
@@ -322,6 +353,7 @@ def _cmd_list(args: argparse.Namespace) -> None:
         ("metrics", "metrics registry exposition (Prometheus text / JSON)"),
         ("top", "per-op latency + per-worker health view"),
         ("bench", "serial vs multi-process wall-clock benchmark"),
+        ("chaos", "fault-injection soak with detection and recovery"),
         ("report", "full markdown reproduction report"),
     ):
         print(f"  {name:<8} {doc}")
@@ -446,6 +478,29 @@ def build_parser() -> argparse.ArgumentParser:
                    help="scale every check tolerance (e.g. 1.5 for noisy "
                         "CI hosts)")
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser(
+        "chaos",
+        help="fault-injection soak: run bulk ops under a deterministic "
+             "fault plan; exit 1 on any unrecovered fault or bit mismatch",
+    )
+    p.add_argument("--ops", type=int, default=500,
+                   help="bulk operations to execute")
+    p.add_argument("--seed", type=int, default=0,
+                   help="seeds the workload and the fault plan")
+    p.add_argument("--fault-rate", type=float, default=1e-3,
+                   help="expected faults per op per subarray")
+    p.add_argument("--jobs", type=int, default=1,
+                   help=">= 2 runs sharded and adds worker crash/stall "
+                        "fault kinds")
+    p.add_argument("--banks", type=int, default=2)
+    p.add_argument("--row-bytes", type=int, default=64)
+    p.add_argument("--no-recovery", action="store_true",
+                   help="detect only: every perturbed result counts as "
+                        "unrecovered (proves detection is live)")
+    p.add_argument("--scrape", action="store_true",
+                   help="also print the ambit_faults_* Prometheus families")
+    p.set_defaults(func=_cmd_chaos)
 
     p = sub.add_parser("report", help="full reproduction report (markdown)")
     p.add_argument("--fast", action="store_true",

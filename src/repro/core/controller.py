@@ -22,6 +22,7 @@ from typing import Dict, Optional, Tuple
 from repro.core.addressing import AmbitAddressMap
 from repro.core.microprograms import BulkOp, Microprogram
 from repro.core.primitives import AAP, AP
+from repro.core.repair import RowRepairMap
 from repro.dram.chip import DramChip
 from repro.dram.timing import TimingParameters
 from repro.engine.plan import PlanCache, RowPlan
@@ -92,6 +93,14 @@ class AmbitController:
         self.plan_cache = PlanCache(
             self.amap, timing, split_decoder, metrics=metrics
         )
+        #: Runtime spare-row remapping (Section 5.5.3), consulted on the
+        #: address path of every bulk operation and backdoor row access.
+        #: Empty by default; the fault-recovery layer populates it.
+        self.repair = RowRepairMap()
+        #: Per-(bank, subarray) DCC route for single-negation programs:
+        #: 0 (DCC0, the default) or 1 (DCC1).  The fault-recovery layer
+        #: flips a subarray's route when its DCC0 n-wordline breaks.
+        self.dcc_route: Dict[Tuple[int, int], int] = {}
         self.metrics = metrics
         self._m_ops = self._m_latency = self._m_busy = None
         if metrics is not None:
@@ -132,8 +141,20 @@ class AmbitController:
         The compiled plan is memoised in :attr:`plan_cache`: repeated
         operations at the same local addresses (every row of a striped
         bitvector) reuse the microprogram and its latencies.
+
+        Addresses first pass through :attr:`repair` (runtime spare-row
+        remapping) and the program through :attr:`dcc_route`, so callers
+        never see repaired rows or rerouted negations.
         """
-        plan = self.plan_cache.get(op, dk, di, dj, dl)
+        if self.repair:
+            dk = self.repair.translate(bank, subarray, dk)
+            di = self.repair.translate(bank, subarray, di)
+            if dj is not None:
+                dj = self.repair.translate(bank, subarray, dj)
+            if dl is not None:
+                dl = self.repair.translate(bank, subarray, dl)
+        dcc = self.dcc_route.get((bank, subarray), 0)
+        plan = self.plan_cache.get(op, dk, di, dj, dl, dcc)
         self.run_plan(plan, bank, subarray)
         return plan.program
 

@@ -180,13 +180,26 @@ class AmbitDevice:
     # ------------------------------------------------------------------
     # Host (functional) access
     # ------------------------------------------------------------------
+    def _repaired(self, loc: RowLocation) -> RowLocation:
+        """Resolve a location through the runtime spare-row map, so the
+        host's functional view follows the same remapping the command
+        path applies (identity while no repairs are assigned)."""
+        repair = self.controller.repair
+        if not repair:
+            return loc
+        return RowLocation(
+            loc.bank,
+            loc.subarray,
+            repair.translate(loc.bank, loc.subarray, loc.address),
+        )
+
     def write_row(self, loc: RowLocation, data: np.ndarray) -> None:
         """Functionally store a packed uint64 row image at ``loc``."""
-        self.chip.poke_row(loc, data)
+        self.chip.poke_row(self._repaired(loc), data)
 
     def read_row(self, loc: RowLocation) -> np.ndarray:
         """Functionally read the packed uint64 row image at ``loc``."""
-        return self.chip.peek_row(loc)
+        return self.chip.peek_row(self._repaired(loc))
 
     # ------------------------------------------------------------------
     # Introspection

@@ -85,17 +85,40 @@ def _two_source(
         raise AddressError(f"{op.value}: destination {dk} is not a D-group row")
 
 
-def compile_not(amap: AmbitAddressMap, di: int, dk: int) -> Microprogram:
-    """``Dk = not Di`` (Section 5.2): capture !Di in DCC0, copy it out."""
+def _dcc_addresses(amap: AmbitAddressMap, dcc: int) -> Tuple[int, int]:
+    """(n-wordline, d-wordline) addresses of the chosen DCC row.
+
+    DCC0 is addressed through B4 (d) / B5 (n); DCC1 through B6 (d) /
+    B7 (n) (Table 1).  Both rows are functionally interchangeable for
+    single-negation programs, which is what makes runtime rerouting
+    around a broken n-wordline possible (see :mod:`repro.faults`).
+    """
+    if dcc == 0:
+        return amap.b(5), amap.b(4)
+    if dcc == 1:
+        return amap.b(7), amap.b(6)
+    raise AddressError(f"dcc route must be 0 or 1; got {dcc}")
+
+
+def compile_not(
+    amap: AmbitAddressMap, di: int, dk: int, dcc: int = 0
+) -> Microprogram:
+    """``Dk = not Di`` (Section 5.2): capture !Di in a DCC, copy it out.
+
+    ``dcc`` selects which dual-contact row carries the negation (0 =
+    DCC0, the paper's Figure 8 choice; 1 = DCC1, the spare route used
+    when DCC0's n-wordline is faulty).
+    """
     if not (amap.is_d_group(di) or amap.is_c_group(di)):
         raise AddressError(f"not: source address {di} is not a data row")
     if not amap.is_d_group(dk):
         raise AddressError(f"not: destination {dk} is not a D-group row")
+    n_addr, d_addr = _dcc_addresses(amap, dcc)
     return Microprogram(
         BulkOp.NOT,
         (
-            AAP(di, amap.b(5)),   # DCC0 = !Di (via the n-wordline)
-            AAP(amap.b(4), dk),   # Dk = DCC0
+            AAP(di, n_addr),   # DCC = !Di (via the n-wordline)
+            AAP(d_addr, dk),   # Dk = DCC
         ),
     )
 
@@ -134,30 +157,35 @@ def compile_or(amap: AmbitAddressMap, di: int, dj: int, dk: int) -> Microprogram
 
 
 def _nand_nor(
-    amap: AmbitAddressMap, di: int, dj: int, dk: int, op: BulkOp
+    amap: AmbitAddressMap, di: int, dj: int, dk: int, op: BulkOp, dcc: int = 0
 ) -> Microprogram:
     control = amap.c(0) if op is BulkOp.NAND else amap.c(1)
     _two_source(amap, di, dj, dk, op)
+    n_addr, d_addr = _dcc_addresses(amap, dcc)
     return Microprogram(
         op,
         (
             AAP(di, amap.b(0)),            # T0 = Di
             AAP(dj, amap.b(1)),            # T1 = Dj
             AAP(control, amap.b(2)),       # T2 = 0 / 1
-            AAP(amap.b(12), amap.b(5)),    # DCC0 = !TRA(T0, T1, T2)
-            AAP(amap.b(4), dk),            # Dk = DCC0
+            AAP(amap.b(12), n_addr),       # DCC = !TRA(T0, T1, T2)
+            AAP(d_addr, dk),               # Dk = DCC
         ),
     )
 
 
-def compile_nand(amap: AmbitAddressMap, di: int, dj: int, dk: int) -> Microprogram:
+def compile_nand(
+    amap: AmbitAddressMap, di: int, dj: int, dk: int, dcc: int = 0
+) -> Microprogram:
     """``Dk = Di nand Dj`` (Figure 8b)."""
-    return _nand_nor(amap, di, dj, dk, BulkOp.NAND)
+    return _nand_nor(amap, di, dj, dk, BulkOp.NAND, dcc)
 
 
-def compile_nor(amap: AmbitAddressMap, di: int, dj: int, dk: int) -> Microprogram:
+def compile_nor(
+    amap: AmbitAddressMap, di: int, dj: int, dk: int, dcc: int = 0
+) -> Microprogram:
     """``Dk = Di nor Dj``: the NAND program with the C1 control row."""
-    return _nand_nor(amap, di, dj, dk, BulkOp.NOR)
+    return _nand_nor(amap, di, dj, dk, BulkOp.NOR, dcc)
 
 
 def _xor_xnor(
@@ -238,14 +266,20 @@ def compile_op(
     di: int,
     dj: Optional[int] = None,
     dl: Optional[int] = None,
+    dcc: int = 0,
 ) -> Microprogram:
     """Compile any bulk operation to its microprogram.
 
     Argument order follows the ISA (Section 5.4.1): destination first.
+    ``dcc`` routes single-negation programs (not/nand/nor) through the
+    chosen dual-contact row; operations that use no DCC, or both
+    (xor/xnor), ignore it.
     """
     if op.arity == 1:
         if dj is not None or dl is not None:
             raise AddressError(f"{op.value} takes one source operand")
+        if op is BulkOp.NOT:
+            return compile_not(amap, di, dk, dcc)
         return COMPILERS[op](amap, di, dk)
     if op.arity == 3:
         if dj is None or dl is None:
@@ -253,6 +287,8 @@ def compile_op(
         return compile_maj(amap, di, dj, dl, dk)
     if dj is None or dl is not None:
         raise AddressError(f"{op.value} takes two source operands")
+    if op in (BulkOp.NAND, BulkOp.NOR):
+        return _nand_nor(amap, di, dj, dk, op, dcc)
     return COMPILERS[op](amap, di, dj, dk)
 
 
@@ -302,7 +338,13 @@ def compile_reduction(
 
 
 def compile_xor_minimal(
-    amap: AmbitAddressMap, di: int, dj: int, dk: int, scratch: Tuple[int, int] = None
+    amap: AmbitAddressMap,
+    di: int,
+    dj: int,
+    dk: int,
+    scratch: Tuple[int, int] = None,
+    dcc: int = 0,
+    op: BulkOp = None,
 ) -> Tuple[Microprogram, ...]:
     """XOR on a *minimal* Ambit B-group (the ablation of Section 5.1).
 
@@ -314,16 +356,27 @@ def compile_xor_minimal(
     operations through two scratch data rows.  Returns the program
     sequence; the ablation benchmark compares its cost against
     :func:`compile_xor`.
+
+    ``dcc`` routes the NOT steps through the chosen dual-contact row --
+    the fault layer uses this as the degraded xor/xnor path when one of
+    the two DCC n-wordlines is broken (the paper's 8-AAP xor needs both).
+    ``op=BulkOp.XNOR`` composes xnor instead (an extra trailing NOT
+    through a scratch row): ``Dk = !(Di ^ Dj)``.
     """
     if scratch is None:
         scratch = (amap.d(amap.data_rows - 1), amap.d(amap.data_rows - 2))
     s0, s1 = scratch
     if len({di, dj, dk, s0, s1}) != 5:
         raise AddressError("xor_minimal needs five distinct rows")
-    return (
-        compile_not(amap, dj, s0),        # s0 = !Dj
-        compile_and(amap, di, s0, s0),    # s0 = Di & !Dj
-        compile_not(amap, di, s1),        # s1 = !Di
-        compile_and(amap, dj, s1, s1),    # s1 = !Di & Dj
-        compile_or(amap, s0, s1, dk),     # Dk = s0 | s1
-    )
+    programs = [
+        compile_not(amap, dj, s0, dcc),        # s0 = !Dj
+        compile_and(amap, di, s0, s0),         # s0 = Di & !Dj
+        compile_not(amap, di, s1, dcc),        # s1 = !Di
+        compile_and(amap, dj, s1, s1),         # s1 = !Di & Dj
+    ]
+    if op is BulkOp.XNOR:
+        programs.append(compile_or(amap, s0, s1, s0))   # s0 = Di ^ Dj
+        programs.append(compile_not(amap, s0, dk, dcc))  # Dk = !(Di ^ Dj)
+    else:
+        programs.append(compile_or(amap, s0, s1, dk))   # Dk = s0 | s1
+    return tuple(programs)

@@ -107,6 +107,17 @@ class Subarray:
         #: modelling the hard faults the manufacturing test hunts for
         #: (Section 5.5.3).
         self.stuck: Dict[int, np.ndarray] = {}
+        #: Storage rows whose n-wordline contact has failed: the cell
+        #: behaves like a regular cell (no negation) on both charge
+        #: sharing and restore.  Only meaningful for DCC rows; modelled
+        #: per storage row so the injector stays decoder-agnostic.
+        self.dcc_faults: Set[int] = set()
+        #: Optional variation-fault hook, called once per *fresh* triple
+        #: row activation with the sensed row; returning a uint64 flip
+        #: mask XORs it into the sensed value before restore (a
+        #: process-variation TRA failure, Section 5.5.2 / Figure 5).
+        #: Returning ``None`` leaves the activation ideal.
+        self.tra_fault_hook = None
 
     # ------------------------------------------------------------------
     # Protocol operations
@@ -126,9 +137,15 @@ class Subarray:
         self._check_rows(wordlines)
         if not self.amps.enabled:
             contributions = [
-                (self.cells[wl.row], wl.negated) for wl in wordlines
+                (self.cells[wl.row], self._negates(wl)) for wl in wordlines
             ]
             sensed = self.amps.sense(contributions)
+            if self.tra_fault_hook is not None and len(wordlines) == 3:
+                mask = self.tra_fault_hook(sensed)
+                if mask is not None:
+                    sensed = sensed ^ np.asarray(mask, dtype=np.uint64)
+                    self.amps.overwrite(sensed)
+                    sensed = self.amps.latch
             self.raised = list(wordlines)
             self._restore(sensed, wordlines, now_ns)
             return len(wordlines), False
@@ -282,8 +299,36 @@ class Subarray:
         self.cells[storage_row] = pinned
 
     def clear_stuck_row(self, storage_row: int) -> None:
-        """Remove an injected fault (the row becomes writable again)."""
+        """Remove an injected fault (the row becomes writable again).
+
+        The row keeps its pinned contents until the next write/restore;
+        clearing never resurrects the pre-fault data.
+        """
+        self._check_storage_row(storage_row)
         self.stuck.pop(storage_row, None)
+
+    def inject_dcc_fault(self, storage_row: int) -> None:
+        """Break the n-wordline contact of a dual-contact-cell row.
+
+        The row stops negating: charge sharing and restores through its
+        n-wordline behave as if through the d-wordline (Section 4 / the
+        'bitline-bar' contact failing open is read as the true value).
+        """
+        self._check_storage_row(storage_row)
+        self.dcc_faults.add(storage_row)
+
+    def clear_dcc_fault(self, storage_row: int) -> None:
+        """Repair an injected n-wordline fault."""
+        self._check_storage_row(storage_row)
+        self.dcc_faults.discard(storage_row)
+
+    @property
+    def has_faults(self) -> bool:
+        """True when any injected fault state could perturb operations."""
+        return bool(self.stuck or self.dcc_faults or self.tra_fault_hook)
+
+    def _negates(self, wl: Wordline) -> bool:
+        return wl.negated and wl.row not in self.dcc_faults
 
     # ------------------------------------------------------------------
     def _restore(
@@ -293,7 +338,7 @@ class Subarray:
             if wl.row in self.stuck:
                 self.cells[wl.row] = self.stuck[wl.row]
             else:
-                self.cells[wl.row] = ~latch if wl.negated else latch
+                self.cells[wl.row] = ~latch if self._negates(wl) else latch
             self.last_restore_ns[wl.row] = now_ns
 
     def _check_rows(self, wordlines: Tuple[Wordline, ...]) -> None:

@@ -182,6 +182,12 @@ class BatchEngine:
                 parallelism=self.scheduler.report(()),
             )
 
+        # Runtime spare-row remapping happens here, at batch entry, so
+        # planning, fusion, and accounting all see the repaired rows.
+        dst = self.translate_rows(dst)
+        src1 = self.translate_rows(src1)
+        src2 = self.translate_rows(src2)
+        src3 = self.translate_rows(src3)
         groups = self.plan_groups(op, dst, src1, src2, src3)
         command_groups = [
             CommandGroup(bank=g.bank, duration_ns=g.duration_ns, payload=g)
@@ -212,6 +218,26 @@ class BatchEngine:
     # ------------------------------------------------------------------
     # Planning
     # ------------------------------------------------------------------
+    def translate_rows(
+        self, rows: Optional[Sequence[RowLocation]]
+    ) -> Optional[Sequence[RowLocation]]:
+        """Resolve a row list through the controller's runtime repair map.
+
+        Identity (and allocation-free) while no spare rows have been
+        assigned, which is the common case.
+        """
+        repair = self.controller.repair
+        if rows is None or not repair:
+            return rows
+        return [
+            RowLocation(
+                loc.bank,
+                loc.subarray,
+                repair.translate(loc.bank, loc.subarray, loc.address),
+            )
+            for loc in rows
+        ]
+
     def plan_groups(
         self,
         op: BulkOp,
@@ -249,6 +275,7 @@ class BatchEngine:
                 sources[0].address,
                 sources[1].address if len(sources) > 1 else None,
                 sources[2].address if len(sources) > 2 else None,
+                dcc=self.controller.dcc_route.get((d.bank, d.subarray), 0),
             )
             key = (d.bank, d.subarray)
             group = groups.get(key)
@@ -272,7 +299,7 @@ class BatchEngine:
         if self.chip.tracer is not None:
             return False
         subarray = self.chip.bank(group.bank).subarray(group.subarray)
-        if subarray.stuck or subarray.amps.charge_model is not None:
+        if subarray.has_faults or subarray.amps.charge_model is not None:
             return False
         # Hazard check: the fused kernel reads every source before any
         # destination is written, so a row whose source is another row's

@@ -34,8 +34,8 @@ from repro.core.primitives import AAP, AP
 from repro.dram.commands import Command, IssuedCommand, Opcode
 from repro.dram.timing import TimingParameters
 
-#: Cache key: the operation plus its local row addresses.
-PlanKey = Tuple[BulkOp, int, int, Optional[int], Optional[int]]
+#: Cache key: the operation, its local row addresses, and the DCC route.
+PlanKey = Tuple[BulkOp, int, int, Optional[int], Optional[int], int]
 
 
 @dataclass(frozen=True)
@@ -119,9 +119,15 @@ class PlanCache:
         di: int,
         dj: Optional[int] = None,
         dl: Optional[int] = None,
+        dcc: int = 0,
     ) -> RowPlan:
-        """The plan for ``op`` at the given local addresses (compiling on miss)."""
-        key: PlanKey = (op, dk, di, dj, dl)
+        """The plan for ``op`` at the given local addresses (compiling on miss).
+
+        ``dcc`` selects the dual-contact row carrying single negations
+        (not/nand/nor); it is part of the cache key, so rerouting a
+        subarray around a broken DCC never aliases the healthy plans.
+        """
+        key: PlanKey = (op, dk, di, dj, dl, dcc)
         plan = self._plans.get(key)
         if plan is not None:
             self.hits += 1
@@ -131,7 +137,7 @@ class PlanCache:
         self.misses += 1
         if self._m_misses is not None:
             self._m_misses.inc()
-        program = compile_op(self.amap, op, dk, di, dj, dl)
+        program = compile_op(self.amap, op, dk, di, dj, dl, dcc)
         latencies = tuple(
             p.latency_ns(self.timing, self.amap, self.split_decoder)
             for p in program.primitives

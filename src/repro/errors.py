@@ -58,3 +58,13 @@ class ConcurrencyError(ReproError):
     (quiesce first -- see ``docs/SCALING.md``), or when a worker process
     dies mid-batch and the shared row store may hold partial results.
     """
+
+
+class FaultError(ReproError):
+    """The fault-recovery layer could not restore correct operation.
+
+    Raised by :mod:`repro.faults` when a detected fault survives the
+    full recovery ladder (retry, spare-row remap, DCC reroute) -- e.g.
+    a subarray is out of spare rows, or a row stays wrong after repair.
+    See ``docs/RELIABILITY.md``.
+    """

@@ -1,0 +1,133 @@
+"""Fault detection: command-path probes and paper-style verify rows.
+
+All detection here drives the *command* path (ACTIVATE / WRITE / READ /
+PRECHARGE through :class:`~repro.dram.chip.DramChip`), never the
+functional backdoor: a stuck cell, a dead n-wordline, or a marginal TRA
+only misbehave on the command path, and probing the way the hardware
+would is what makes the probe command streams pinnable as golden traces.
+
+The manufacturing-time analogue of these checks lives in
+:mod:`repro.core.testing` (Section 5.5.2's test flow); this module is
+the *runtime* half the recovery ladder calls after a result mismatch.
+
+Probes are destructive: a probed row leaves holding the last probe
+pattern.  Callers own restoring contents afterwards (the recovery
+session rewrites from its shadow copy).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.microprograms import BulkOp, Microprogram, compile_not
+from repro.core.primitives import AAP
+
+
+def probe_patterns(words: int) -> Tuple[np.ndarray, ...]:
+    """The four classic march patterns: zeros, ones, 0x55.., 0xAA.. ."""
+    return (
+        np.zeros(words, dtype=np.uint64),
+        np.full(words, np.uint64(0xFFFFFFFFFFFFFFFF)),
+        np.full(words, np.uint64(0x5555555555555555)),
+        np.full(words, np.uint64(0xAAAAAAAAAAAAAAAA)),
+    )
+
+
+def write_row_commands(device, bank: int, subarray: int, address: int,
+                       value: np.ndarray) -> None:
+    """Store a full row through ACTIVATE + WRITE burst + PRECHARGE."""
+    chip = device.chip
+    chip.activate(bank, subarray, address)
+    for column, word in enumerate(value):
+        chip.write_word(bank, column, int(word))
+    chip.precharge(bank)
+
+
+def read_row_commands(device, bank: int, subarray: int, address: int) -> np.ndarray:
+    """Fetch a full row through ACTIVATE + READ burst + PRECHARGE."""
+    chip = device.chip
+    chip.activate(bank, subarray, address)
+    value = np.array(
+        [chip.read_word(bank, column)
+         for column in range(device.geometry.subarray.words_per_row)],
+        dtype=np.uint64,
+    )
+    chip.precharge(bank)
+    return value
+
+
+def probe_row(device, bank: int, subarray: int, address: int) -> bool:
+    """True when the row faithfully holds every probe pattern.
+
+    Write-then-read through the command path, with a precharge between
+    (so the read is a fresh sense of the cells, not the open latch).  A
+    stuck row fails because its restore is pinned; destructive.
+    """
+    for pattern in probe_patterns(device.geometry.subarray.words_per_row):
+        write_row_commands(device, bank, subarray, address, pattern)
+        got = read_row_commands(device, bank, subarray, address)
+        if not np.array_equal(got, pattern):
+            return False
+    return True
+
+
+def probe_rows(
+    device, bank: int, subarray: int, addresses: Sequence[int]
+) -> List[int]:
+    """The subset of ``addresses`` that fail :func:`probe_row`."""
+    return [
+        address
+        for address in addresses
+        if not probe_row(device, bank, subarray, address)
+    ]
+
+
+def probe_dcc(
+    device, bank: int, subarray: int, dcc: int, scratch: Tuple[int, int]
+) -> bool:
+    """True when the chosen dual-contact row still negates.
+
+    Runs a NOT microprogram routed through DCC ``dcc`` over two scratch
+    data rows and checks the complement came out.  A broken n-wordline
+    fails: the capture AAP stores the *true* value, so the round trip
+    returns the input uninverted.  Destroys both scratch rows.
+    """
+    s_in, s_out = scratch
+    words = device.geometry.subarray.words_per_row
+    pattern = np.full(words, np.uint64(0x5A5A5A5A5A5A5A5A))
+    write_row_commands(device, bank, subarray, s_in, pattern)
+    program = compile_not(device.amap, s_in, s_out, dcc=dcc)
+    device.controller.run_program(program, bank, subarray)
+    got = read_row_commands(device, bank, subarray, s_out)
+    return np.array_equal(got, ~pattern)
+
+
+def verify_designated_rows(
+    device, bank: int, subarray: int, verify_address: int
+) -> List[int]:
+    """Paper-style verify-row check of the four designated rows.
+
+    Copies a known pattern from a reserved verify row into each of
+    T0..T3 (the AAP every bulk operation opens with), activates the
+    designated row alone, and reads the pattern back.  Returns the
+    indices of designated rows that failed -- a non-empty result means
+    the subarray cannot host TRAs and its operations must be steered
+    elsewhere.  Destroys the verify row's neighbours in the B-group
+    only (T0..T3 are scratch by contract).
+    """
+    amap = device.amap
+    words = device.geometry.subarray.words_per_row
+    pattern = np.full(words, np.uint64(0xC3C3C3C3C3C3C3C3))
+    write_row_commands(device, bank, subarray, verify_address, pattern)
+    failed = []
+    for i in range(4):
+        program = Microprogram(
+            BulkOp.COPY, (AAP(verify_address, amap.b(i)),)
+        )
+        device.controller.run_program(program, bank, subarray)
+        got = read_row_commands(device, bank, subarray, amap.b(i))
+        if not np.array_equal(got, pattern):
+            failed.append(i)
+    return failed

@@ -1,0 +1,534 @@
+"""Verified execution with a recovery ladder (Sections 5.5.3 / 6).
+
+:class:`FaultTolerantSession` wraps a device (plain or sharded) and
+maintains a host-side *shadow*: a numpy image of every row the workload
+owns, advanced by :func:`~repro.engine.batch.apply_bulk_op` -- the same
+single source of functional truth the fused kernels and property tests
+use.  Every bulk operation is verified against the shadow by reading
+the destination back; a mismatch walks the recovery ladder:
+
+1. **retry** -- restore the source rows from the shadow and re-execute.
+   A transient variation-induced TRA failure (Section 6) does not
+   recur, so a clean retry both recovers and diagnoses it.  Sources are
+   restored *first* because a failed in-place op has already clobbered
+   its destination-aliased operand.
+2. **probe + remap** -- command-path march probes
+   (:mod:`repro.faults.detect`) over the operand rows; rows that fail
+   are remapped to spare rows in the same subarray through the
+   controller's :class:`~repro.core.repair.RowRepairMap`
+   (Section 5.5.3), their contents rewritten from the shadow, and the
+   operation re-executed.
+3. **DCC reroute** -- probe the dual-contact row the program used; if
+   its n-wordline is dead, flip the subarray's
+   :attr:`~repro.core.controller.AmbitController.dcc_route` to the
+   healthy DCC (not/nand/nor) or degrade to the minimal-B-group xor
+   composition of :func:`~repro.core.microprograms.compile_xor_minimal`
+   (xor/xnor need both DCCs; one broken leaves no 8-AAP path).  The
+   broken route is memoised so later xor/xnor on that subarray skip the
+   ladder and take the degraded path directly.
+4. **unrecovered** -- counted, recorded, and (in strict mode) raised as
+   :class:`~repro.errors.FaultError`.
+
+Every step feeds the ``ambit_faults_{detected,recovered,unrecovered}``
+counters with the *diagnosed* kind, so a scrape distinguishes "rode out
+a TRA glitch" from "burned a spare row".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.microprograms import BulkOp, compile_xor_minimal
+from repro.dram.chip import RowLocation
+from repro.engine.batch import apply_bulk_op
+from repro.errors import AddressError, FaultError
+from repro.faults.detect import probe_dcc, probe_row
+from repro.obs.metrics import fault_counters
+
+#: Operations whose microprogram routes through a single DCC.
+SINGLE_DCC_OPS = (BulkOp.NOT, BulkOp.NAND, BulkOp.NOR)
+
+#: Operations whose 8-AAP program needs *both* DCC rows.
+DUAL_DCC_OPS = (BulkOp.XOR, BulkOp.XNOR)
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """Knobs of the recovery ladder.
+
+    ``enabled=False`` turns the session into a detector only: every
+    mismatch is counted as an unrecovered ``op_mismatch`` (the mode the
+    ``repro chaos --no-recovery`` acceptance run uses to prove faults
+    are actually being caught).  ``strict`` raises
+    :class:`~repro.errors.FaultError` on the first unrecovered fault
+    instead of recording it and continuing.
+    """
+
+    enabled: bool = True
+    max_retries: int = 1
+    strict: bool = False
+
+
+@dataclass(frozen=True)
+class RecoveryRecord:
+    """One ladder outcome, for reports and tests."""
+
+    op: str
+    bank: int
+    subarray: int
+    address: int
+    kind: str
+    action: str  # "retried" | "remapped" | "rerouted" | "unrecovered"
+
+
+class FaultTolerantSession:
+    """Shadow-verified bulk execution over a (possibly faulty) device.
+
+    Usage::
+
+        session = FaultTolerantSession(device)
+        session.set_scratch(bank, sub, (8, 9))
+        session.add_spares(bank, sub, range(10, 16))
+        session.write_row(loc, data)          # verified store
+        session.run_rows(BulkOp.AND, dsts, srcs1, srcs2)
+        assert session.unrecovered_count == 0
+
+    Works identically over :class:`~repro.core.device.AmbitDevice` and
+    :class:`~repro.parallel.device.ShardedDevice` (recovery itself runs
+    in the parent process either way; only the healthy fast path
+    shards).
+    """
+
+    def __init__(self, device, policy: Optional[RecoveryPolicy] = None):
+        self.device = device
+        self.policy = policy if policy is not None else RecoveryPolicy()
+        self.controller = device.controller
+        self.amap = device.amap
+        #: (bank, subarray, logical address) -> pristine numpy row image.
+        self.shadow: Dict[Tuple[int, int, int], np.ndarray] = {}
+        #: (bank, subarray) -> two reserved scratch D-group rows the
+        #: ladder may destroy (DCC probes, degraded xor).
+        self.scratch: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        #: (bank, subarray) -> DCC route diagnosed dead; xor/xnor on
+        #: these subarrays take the degraded path without a mismatch.
+        self.bad_dcc: Dict[Tuple[int, int], int] = {}
+        self.log: List[RecoveryRecord] = []
+        self._counters = fault_counters(device.metrics)
+
+    # ------------------------------------------------------------------
+    # Provisioning
+    # ------------------------------------------------------------------
+    def set_scratch(self, bank: int, subarray: int, rows: Sequence[int]) -> None:
+        """Reserve two D-group rows the recovery ladder may clobber."""
+        if len(rows) < 2:
+            raise AddressError("recovery scratch needs two rows")
+        self.scratch[(bank, subarray)] = (int(rows[0]), int(rows[1]))
+
+    def add_spares(self, bank: int, subarray: int, rows: Sequence[int]) -> None:
+        """Donate D-group rows to the subarray's spare pool."""
+        self.controller.repair.add_spares(bank, subarray, rows)
+
+    # ------------------------------------------------------------------
+    # Verified row I/O
+    # ------------------------------------------------------------------
+    def write_row(self, loc: RowLocation, data: np.ndarray) -> None:
+        """Store a row, verify the store, remap on a stuck cell.
+
+        The shadow keeps the intended image; a row whose readback
+        differs (a hard stuck-at fault swallows writes) is remapped to
+        spares until a healthy one takes the data.
+        """
+        data = np.array(data, dtype=np.uint64)
+        self.shadow[self._key(loc)] = data.copy()
+        self.device.write_row(loc, data)
+        if np.array_equal(self.device.read_row(loc), data):
+            return
+        self._counters["detected"].labels(kind="stuck_row").inc()
+        if not self.policy.enabled:
+            self._unrecovered("write", loc, "stuck_row")
+            return
+        if not self._rewrite_with_remap(loc, data):
+            self._unrecovered("write", loc, "stuck_row")
+
+    def read_row(self, loc: RowLocation) -> np.ndarray:
+        """Read one row through the device's (repair-aware) address path."""
+        return self.device.read_row(loc)
+
+    def scrub(self) -> List[Tuple[int, int, int]]:
+        """Patrol scrub: re-read every shadowed row, repair mismatches.
+
+        A stuck-at fault in a row the workload has not touched since
+        injection only shows up on a read; the scrub remaps such rows to
+        spares and rewrites them from the shadow, so a soak's final
+        verification exercises recovery instead of merely reporting
+        corruption.  Returns the keys that could not be repaired.
+        """
+        bad = []
+        for key in self.verify_all():
+            loc = RowLocation(*key)
+            self._counters["detected"].labels(kind="stuck_row").inc()
+            if not self.policy.enabled:
+                self._unrecovered("scrub", loc, "stuck_row")
+                bad.append(key)
+            elif not self._rewrite_with_remap(loc, self.shadow[key]):
+                self._unrecovered("scrub", loc, "stuck_row")
+                bad.append(key)
+        return bad
+
+    def _rewrite_with_remap(self, loc: RowLocation, data: np.ndarray) -> bool:
+        """Remap ``loc`` to spares until one verifiably holds ``data``."""
+        repair = self.controller.repair
+        subarray = self.device.chip.bank(loc.bank).subarray(loc.subarray)
+        while repair.spares_free(loc.bank, loc.subarray):
+            retired = repair.translate(loc.bank, loc.subarray, loc.address)
+            repair.assign(loc.bank, loc.subarray, loc.address)
+            # The retired physical row is unreachable from here on, so
+            # lifting its fault flag is observationally safe -- and
+            # ``has_faults`` stops gating fused/sharded execution.
+            subarray.clear_stuck_row(retired)
+            self.device.write_row(loc, data)
+            if np.array_equal(self.device.read_row(loc), data):
+                self._counters["recovered"].labels(kind="stuck_row").inc()
+                self._record("write", loc, "stuck_row", "remapped")
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Verified bulk execution
+    # ------------------------------------------------------------------
+    def run_rows(
+        self,
+        op: BulkOp,
+        dst: Sequence[RowLocation],
+        src1: Sequence[RowLocation],
+        src2: Optional[Sequence[RowLocation]] = None,
+        src3: Optional[Sequence[RowLocation]] = None,
+    ) -> None:
+        """Execute, verify each destination, recover on mismatch."""
+        n = len(dst)
+        sources = [
+            self._row_sources(src1, src2, src3, i) for i in range(n)
+        ]
+        expected = [
+            apply_bulk_op(op, *[self._shadow_value(s) for s in srcs])
+            for srcs in sources
+        ]
+
+        # Rows on subarrays with a known-dead DCC cannot take the
+        # standard xor/xnor program; send them down the degraded path
+        # up front instead of rediscovering the fault every op.
+        degraded = [
+            i
+            for i in range(n)
+            if op in DUAL_DCC_OPS
+            and (dst[i].bank, dst[i].subarray) in self.bad_dcc
+        ]
+        normal = [i for i in range(n) if i not in set(degraded)]
+        if normal:
+            self._execute(
+                op,
+                [dst[i] for i in normal],
+                [src1[i] for i in normal],
+                None if src2 is None else [src2[i] for i in normal],
+                None if src3 is None else [src3[i] for i in normal],
+            )
+        for i in degraded:
+            self._run_xor_minimal(op, dst[i], sources[i])
+
+        for i in range(n):
+            got = self.device.read_row(dst[i])
+            if np.array_equal(got, expected[i]):
+                self.shadow[self._key(dst[i])] = expected[i].copy()
+            else:
+                self._recover(op, dst[i], sources[i], expected[i])
+
+    def bbop_row(
+        self,
+        op: BulkOp,
+        dst: RowLocation,
+        src1: RowLocation,
+        src2: Optional[RowLocation] = None,
+        src3: Optional[RowLocation] = None,
+    ) -> None:
+        """Single-row convenience wrapper over :meth:`run_rows`."""
+        self.run_rows(
+            op,
+            [dst],
+            [src1],
+            None if src2 is None else [src2],
+            None if src3 is None else [src3],
+        )
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    @property
+    def unrecovered_count(self) -> int:
+        return sum(1 for r in self.log if r.action == "unrecovered")
+
+    @property
+    def recovered_count(self) -> int:
+        return sum(1 for r in self.log if r.action != "unrecovered")
+
+    def verify_all(self) -> List[Tuple[int, int, int]]:
+        """Re-read every shadowed row; returns keys that mismatch."""
+        return [
+            key
+            for key, value in sorted(self.shadow.items())
+            if not np.array_equal(
+                self.device.read_row(RowLocation(*key)), value
+            )
+        ]
+
+    # ------------------------------------------------------------------
+    # The recovery ladder
+    # ------------------------------------------------------------------
+    def _recover(
+        self,
+        op: BulkOp,
+        dst: RowLocation,
+        sources: List[RowLocation],
+        expected: np.ndarray,
+    ) -> None:
+        if not self.policy.enabled:
+            self._counters["detected"].labels(kind="op_mismatch").inc()
+            self._unrecovered(op.value, dst, "op_mismatch")
+            return
+
+        # Rung 1: restore sources and retry -- a transient TRA glitch
+        # (the armed one-shot variation fault) does not recur.
+        for _ in range(max(0, self.policy.max_retries)):
+            if self._reexecute(op, dst, sources, expected):
+                self._counters["detected"].labels(kind="tra_flip").inc()
+                self._counters["recovered"].labels(kind="tra_flip").inc()
+                self._record(op.value, dst, "tra_flip", "retried")
+                return
+
+        # Rung 2: march-probe the operand rows; remap the dead ones to
+        # spares and rewrite their contents from the shadow.
+        if self._remap_stuck_rows(op, dst, sources):
+            if self._reexecute(op, dst, sources, expected):
+                return
+
+        # Rung 3: probe the DCC route the program used; reroute or
+        # degrade around a dead n-wordline.
+        if self._reroute_dcc(op, dst, sources, expected):
+            return
+
+        self._unrecovered(op.value, dst, "op_mismatch")
+
+    def _reexecute(
+        self,
+        op: BulkOp,
+        dst: RowLocation,
+        sources: List[RowLocation],
+        expected: np.ndarray,
+    ) -> bool:
+        """Restore sources from the shadow, re-run, verify.
+
+        Restoring first matters for in-place operations: after a failed
+        attempt the destination holds garbage, and the destination may
+        alias a source.
+        """
+        self._restore_sources(sources)
+        if (
+            op in DUAL_DCC_OPS
+            and (dst.bank, dst.subarray) in self.bad_dcc
+        ):
+            self._run_xor_minimal(op, dst, sources)
+        else:
+            self._execute_one(op, dst, sources)
+        if np.array_equal(self.device.read_row(dst), expected):
+            self.shadow[self._key(dst)] = expected.copy()
+            return True
+        return False
+
+    def _remap_stuck_rows(
+        self, op: BulkOp, dst: RowLocation, sources: List[RowLocation]
+    ) -> bool:
+        """Probe operands; remap+rewrite failures.  True if any remapped."""
+        repair = self.controller.repair
+        remapped = False
+        seen = set()
+        for loc in [dst] + list(sources):
+            key = self._key(loc)
+            if key in seen or not self.amap.is_d_group(loc.address):
+                continue  # control rows cannot be remapped
+            seen.add(key)
+            physical = repair.translate(loc.bank, loc.subarray, loc.address)
+            if probe_row(self.device, loc.bank, loc.subarray, physical):
+                # Probe destroyed the row's contents; put them back.
+                self._restore_sources([loc])
+                continue
+            self._counters["detected"].labels(kind="stuck_row").inc()
+            subarray = self.device.chip.bank(loc.bank).subarray(loc.subarray)
+            healthy = False
+            while True:
+                retired = repair.translate(loc.bank, loc.subarray, loc.address)
+                try:
+                    repair.assign(loc.bank, loc.subarray, loc.address)
+                except AddressError:
+                    break  # out of spares; let the ladder continue
+                # The retired physical row is unreachable from here on,
+                # so lifting its fault flag is observationally safe --
+                # and ``has_faults`` stops gating fused/sharded
+                # execution for the whole subarray.
+                subarray.clear_stuck_row(retired)
+                fresh = repair.translate(loc.bank, loc.subarray, loc.address)
+                if probe_row(self.device, loc.bank, loc.subarray, fresh):
+                    healthy = True  # a spare can be stuck too: keep going
+                    break
+            if not healthy:
+                return remapped
+            value = self.shadow.get(key)
+            if value is not None:
+                self.device.write_row(loc, value)
+            self._counters["recovered"].labels(kind="stuck_row").inc()
+            self._record(op.value, loc, "stuck_row", "remapped")
+            remapped = True
+        return remapped
+
+    def _reroute_dcc(
+        self,
+        op: BulkOp,
+        dst: RowLocation,
+        sources: List[RowLocation],
+        expected: np.ndarray,
+    ) -> bool:
+        bank, sub = dst.bank, dst.subarray
+        scratch = self.scratch.get((bank, sub))
+        if scratch is None:
+            return False
+        if op in SINGLE_DCC_OPS:
+            route = self.controller.dcc_route.get((bank, sub), 0)
+            if probe_dcc(self.device, bank, sub, route, scratch):
+                return False
+            self._counters["detected"].labels(kind="dcc").inc()
+            other = 1 - route
+            if not probe_dcc(self.device, bank, sub, other, scratch):
+                return False  # both routes dead; unrecoverable here
+            self.controller.dcc_route[(bank, sub)] = other
+            if self._reexecute(op, dst, sources, expected):
+                self._counters["recovered"].labels(kind="dcc").inc()
+                self._record(op.value, dst, "dcc", "rerouted")
+                return True
+            return False
+        if op in DUAL_DCC_OPS:
+            broken = [
+                r
+                for r in (0, 1)
+                if not probe_dcc(self.device, bank, sub, r, scratch)
+            ]
+            if not broken:
+                return False
+            self._counters["detected"].labels(kind="dcc").inc(len(broken))
+            if len(broken) == 2:
+                return False
+            self.bad_dcc[(bank, sub)] = broken[0]
+            if self._reexecute(op, dst, sources, expected):
+                self._counters["recovered"].labels(kind="dcc").inc()
+                self._record(op.value, dst, "dcc", "rerouted")
+                return True
+            return False
+        return False
+
+    # ------------------------------------------------------------------
+    # Execution plumbing
+    # ------------------------------------------------------------------
+    def _execute(self, op, dst, src1, src2, src3) -> None:
+        # ShardedDevice exposes run_rows directly; a plain AmbitDevice
+        # goes through its batch engine.  Identical contracts.
+        runner = getattr(self.device, "run_rows", None)
+        if runner is None:
+            runner = self.device.engine.run_rows
+        runner(op, dst, src1, src2, src3)
+
+    def _execute_one(
+        self, op: BulkOp, dst: RowLocation, sources: List[RowLocation]
+    ) -> None:
+        self._execute(
+            op,
+            [dst],
+            [sources[0]],
+            [sources[1]] if len(sources) > 1 else None,
+            [sources[2]] if len(sources) > 2 else None,
+        )
+
+    def _run_xor_minimal(
+        self, op: BulkOp, dst: RowLocation, sources: List[RowLocation]
+    ) -> None:
+        """Degraded xor/xnor through one healthy DCC (Section 5.1 path).
+
+        ``run_program`` does not consult the repair map, so addresses
+        are translated here first.
+        """
+        bank, sub = dst.bank, dst.subarray
+        scratch = self.scratch.get((bank, sub))
+        if scratch is None:
+            raise FaultError(
+                f"degraded {op.value} on bank {bank} subarray {sub} needs "
+                f"session scratch rows; call set_scratch first"
+            )
+        bad = self.bad_dcc.get((bank, sub), 1)
+        repair = self.controller.repair
+        t = lambda a: repair.translate(bank, sub, a)  # noqa: E731
+        programs = compile_xor_minimal(
+            self.amap,
+            t(sources[0].address),
+            t(sources[1].address),
+            t(dst.address),
+            scratch=(t(scratch[0]), t(scratch[1])),
+            dcc=1 - bad,
+            op=op,
+        )
+        for program in programs:
+            self.controller.run_program(program, bank, sub)
+
+    def _restore_sources(self, sources: Sequence[RowLocation]) -> None:
+        for loc in sources:
+            value = self.shadow.get(self._key(loc))
+            if value is not None:
+                self.device.write_row(loc, value)
+
+    def _row_sources(self, src1, src2, src3, i) -> List[RowLocation]:
+        sources = [src1[i]]
+        if src2 is not None:
+            sources.append(src2[i])
+        if src3 is not None:
+            sources.append(src3[i])
+        return sources
+
+    def _shadow_value(self, loc: RowLocation) -> np.ndarray:
+        key = self._key(loc)
+        value = self.shadow.get(key)
+        if value is None:
+            # First sight of this row: trust the device's current cells.
+            value = self.device.read_row(loc)
+            self.shadow[key] = value.copy()
+        return value
+
+    @staticmethod
+    def _key(loc: RowLocation) -> Tuple[int, int, int]:
+        return (loc.bank, loc.subarray, loc.address)
+
+    def _record(self, op: str, loc: RowLocation, kind: str, action: str) -> None:
+        self.log.append(
+            RecoveryRecord(op, loc.bank, loc.subarray, loc.address, kind, action)
+        )
+
+    def _unrecovered(self, op: str, loc: RowLocation, kind: str) -> None:
+        self._counters["unrecovered"].labels(kind=kind).inc()
+        self._record(op, loc, kind, "unrecovered")
+        # Re-sync the shadow with reality so one unrecovered fault does
+        # not cascade into a mismatch storm on every downstream op; the
+        # unrecovered count (not the shadow) is the failure signal.
+        self.shadow[self._key(loc)] = self.device.read_row(loc).copy()
+        if self.policy.strict:
+            raise FaultError(
+                f"unrecovered {kind} fault: {op} at bank {loc.bank} "
+                f"subarray {loc.subarray} row {loc.address} (see "
+                f"docs/RELIABILITY.md for the recovery ladder)"
+            )

@@ -639,3 +639,50 @@ def format_top(registry: MetricsRegistry, now: Optional[float] = None) -> str:
     if not lines:
         lines.append("(no metrics recorded yet)")
     return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Fault-lifecycle metric families (see docs/RELIABILITY.md)
+# ----------------------------------------------------------------------
+
+#: Fault kinds the injection/recovery layer labels events with.
+FAULT_KINDS = (
+    "stuck_row",
+    "tra_flip",
+    "dcc",
+    "worker_crash",
+    "worker_stall",
+)
+
+
+def fault_counters(registry: MetricsRegistry) -> Dict[str, MetricFamily]:
+    """The four ``ambit_faults_*`` counter families, keyed by stage.
+
+    Every layer that observes a fault event (the injector, the
+    fault-tolerant session, the sharded device's crash-retry loop)
+    registers through this helper so the families always carry the same
+    ``kind`` label schema -- the registry rejects mismatched re-
+    registration, so a single definition point keeps them coherent.
+    """
+    return {
+        "injected": registry.counter(
+            "ambit_faults_injected_total",
+            "Faults injected into the device, by kind",
+            labels=("kind",),
+        ),
+        "detected": registry.counter(
+            "ambit_faults_detected_total",
+            "Faults detected at runtime, by kind",
+            labels=("kind",),
+        ),
+        "recovered": registry.counter(
+            "ambit_faults_recovered_total",
+            "Detected faults recovered (verified bit-exact), by kind",
+            labels=("kind",),
+        ),
+        "unrecovered": registry.counter(
+            "ambit_faults_unrecovered_total",
+            "Detected faults that recovery could not repair, by kind",
+            labels=("kind",),
+        ),
+    }

@@ -42,6 +42,7 @@ from __future__ import annotations
 
 import shutil
 import tempfile
+import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.device import AmbitDevice
@@ -81,6 +82,21 @@ class ShardedDevice:
         With fewer than 2 workers every batch runs in-process.
     start_method:
         Multiprocessing start method (default: fork where available).
+    crash_retries:
+        Bounded retry-with-backoff on a worker crash: a batch whose pool
+        dies is resubmitted (against a fresh pool) up to this many times
+        before the :class:`~repro.errors.ConcurrencyError` propagates.
+        Resubmission is safe: cells are only read back after a batch
+        fully succeeds, microprograms re-copy their operands into the
+        B-group, and accounting/trace merging happen strictly after the
+        results arrive -- so a half-executed crashed batch leaves no
+        observable state behind.  Set 0 to fail fast.
+    crash_backoff_s:
+        Base backoff before the first resubmission; doubles per attempt.
+    stall_timeout_s:
+        When set, a batch whose shards have not all answered within this
+        many seconds counts a ``worker_stall`` detection (and, once the
+        stragglers answer, a recovery) in the fault metrics.
 
     Everything not overridden here (``bbop_row``, ``write_row``,
     ``profile``, ``elapsed_ns``, ...) delegates to the inner device,
@@ -94,7 +110,12 @@ class ShardedDevice:
         split_decoder: bool = True,
         max_workers: Optional[int] = None,
         start_method: Optional[str] = None,
+        crash_retries: int = 2,
+        crash_backoff_s: float = 0.05,
+        stall_timeout_s: Optional[float] = None,
     ):
+        from repro.obs.metrics import fault_counters
+
         geometry = geometry if geometry is not None else DramGeometry()
         self.store = SharedRowStore.create(geometry)
         self.device = AmbitDevice(
@@ -106,6 +127,11 @@ class ShardedDevice:
         self.max_workers = (
             max_workers if max_workers is not None else default_jobs()
         )
+        self.crash_retries = crash_retries
+        self.crash_backoff_s = crash_backoff_s
+        self.stall_timeout_s = stall_timeout_s
+        self._faults = fault_counters(self.device.metrics)
+        self._stalled_jobs = 0
         self._start_method = start_method
         self._pool: Optional[WorkerPool] = None
         self._closed = False
@@ -211,13 +237,20 @@ class ShardedDevice:
         wall-clock time and the ``shards`` field of the report differ.
         """
         engine = self.device.engine
+        # Runtime spare-row remapping resolves here, before sharding, so
+        # worker processes only ever see healthy (post-repair) rows and
+        # need no view of the parent's repair table.
+        dst = engine.translate_rows(dst)
+        src1 = engine.translate_rows(src1)
+        src2 = engine.translate_rows(src2)
+        src3 = engine.translate_rows(src3)
         banks = list(dict.fromkeys(loc.bank for loc in dst))
         shards = min(self.max_workers, len(banks))
         if (
             len(dst) == 0
             or shards < 2
             or not self._parallel_eligible()
-            or self._stuck_subarrays(dst)
+            or self._faulty_subarrays(dst)
         ):
             # In-process fallback: plan-cache traffic, counters, trace,
             # and cells are those of the plain engine by construction.
@@ -263,25 +296,57 @@ class ShardedDevice:
                     )
                 )
 
-        pool = self._ensure_pool()
         start_ns = chip.clock_ns
-        futures = [
-            pool.submit(
-                run_shard,
-                ShardJob(
-                    op.value,
-                    tuple(rows),
-                    start_ns,
-                    batch_id=batch_id,
-                    shard=shard,
-                    tracer=tracer_config,
-                    spool_dir=spool_dir,
-                ),
-                batch_id=batch_id,
+        attempt = 0
+        self._stalled_jobs = 0
+        while True:
+            try:
+                pool = self._ensure_pool()
+                futures = [
+                    pool.submit(
+                        run_shard,
+                        ShardJob(
+                            op.value,
+                            tuple(rows),
+                            start_ns,
+                            batch_id=batch_id,
+                            shard=shard,
+                            tracer=tracer_config,
+                            spool_dir=spool_dir,
+                        ),
+                        batch_id=batch_id,
+                    )
+                    for shard, rows in enumerate(shard_rows)
+                ]
+                results = pool.results(
+                    futures,
+                    stall_timeout_s=self.stall_timeout_s,
+                    on_stall=self._note_stall,
+                )
+                break
+            except ConcurrencyError:
+                # Bounded retry-with-backoff: a crashed batch left no
+                # observable state (accounting, traces, and readbacks
+                # all happen after success), so resubmitting the whole
+                # batch -- under a fresh batch id, against a rebuilt
+                # pool -- is deterministic and safe.
+                self._faults["detected"].labels(kind="worker_crash").inc()
+                if attempt >= self.crash_retries:
+                    self._faults["unrecovered"].labels(
+                        kind="worker_crash"
+                    ).inc()
+                    raise
+                attempt += 1
+                time.sleep(self.crash_backoff_s * (2 ** (attempt - 1)))
+                self._batch_seq += 1
+                batch_id = self._batch_seq
+        if attempt:
+            self._faults["recovered"].labels(kind="worker_crash").inc()
+        if self._stalled_jobs:
+            self._faults["recovered"].labels(kind="worker_stall").inc(
+                self._stalled_jobs
             )
-            for shard, rows in enumerate(shard_rows)
-        ]
-        results = pool.results(futures)
+            self._stalled_jobs = 0
         pool.note_results(results, batch_id)
 
         if tracer is not None:
@@ -369,15 +434,25 @@ class ShardedDevice:
         # worker-side and the parent merges them in canonical order.
         return self.max_workers >= 2 and not self._closed
 
-    def _stuck_subarrays(self, dst: Sequence[RowLocation]) -> bool:
-        # Worker processes cannot see the parent's injected fault
-        # dictionaries (they are not part of the shared segment), so any
-        # stuck row in a target subarray forces the in-process path.
+    def _faulty_subarrays(self, dst: Sequence[RowLocation]) -> bool:
+        # Worker processes cannot see the parent's injected fault state
+        # (stuck dictionaries, DCC faults, armed TRA hooks, or rerouted
+        # negations -- none live in the shared segment), so any of it in
+        # a target subarray forces the in-process path.
         chip = self.device.chip
+        dcc_route = self.device.controller.dcc_route
         return any(
-            chip.bank(bank).subarray(sub).stuck
+            chip.bank(bank).subarray(sub).has_faults
+            or dcc_route.get((bank, sub), 0)
             for bank, sub in dict.fromkeys((d.bank, d.subarray) for d in dst)
         )
+
+    def _note_stall(self, pending: int) -> None:
+        # Called by WorkerPool.results when shards exceed the stall
+        # timeout; results keeps blocking afterwards, and the batch loop
+        # counts the recovery once the stragglers actually answer.
+        self._stalled_jobs += pending
+        self._faults["detected"].labels(kind="worker_stall").inc(pending)
 
     def _command_groups(self, groups) -> List[CommandGroup]:
         return [

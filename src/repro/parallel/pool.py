@@ -113,7 +113,21 @@ class WorkerPool:
                 "worker pool is broken (a worker process died); shut it "
                 "down and build a fresh pool"
             )
-        future = self._executor.submit(fn, *args)
+        try:
+            future = self._executor.submit(fn, *args)
+        except BrokenProcessPool as exc:
+            # A worker died between batches (e.g. an injected crash job);
+            # flag the pool so callers rebuild it, under the same error
+            # type the results path uses.
+            self.broken = True
+            dead = self._dead_workers()
+            self.crash_info = (dead, [])
+            if self._m_crashes is not None:
+                self._m_crashes.inc(max(1, len(dead)))
+            raise ConcurrencyError(
+                f"worker pool broke before submission "
+                f"({self._describe_crash(dead, [])})"
+            ) from exc
         with self._lock:
             self._inflight[future] = batch_id
             # Keep our own references to the worker Process objects:
@@ -146,14 +160,29 @@ class WorkerPool:
                 return
             wait(pending)
 
-    def results(self, futures: List[Future]) -> List[object]:
+    def results(
+        self,
+        futures: List[Future],
+        stall_timeout_s: Optional[float] = None,
+        on_stall: Optional[Callable[[int], None]] = None,
+    ) -> List[object]:
         """Collect results, translating a dead worker into a clear error.
 
         On a crash the raised :class:`~repro.errors.ConcurrencyError`
         names the dead worker's pid and exit code and the batch id(s)
         that were in flight -- the context a post-mortem needs before
         deciding whether the shared row store can still be trusted.
+
+        ``stall_timeout_s`` arms slow-worker detection: if any future is
+        still pending after that many seconds, ``on_stall`` is called
+        once with the number of stalled jobs, then collection continues
+        to block (a stalled worker that eventually answers is recovered,
+        not failed).
         """
+        if stall_timeout_s is not None:
+            done, pending = wait(futures, timeout=stall_timeout_s)
+            if pending and on_stall is not None:
+                on_stall(len(pending))
         with self._lock:
             batch_ids = sorted(
                 {

@@ -233,3 +233,16 @@ def crash(exit_code: int = 1) -> None:  # pragma: no cover - runs in worker
     import os
 
     os._exit(exit_code)
+
+
+def stall(seconds: float) -> float:  # pragma: no cover - runs in worker
+    """Occupy the calling worker for ``seconds`` (stall-fault injection).
+
+    The worker stays alive and eventually returns, so a stalled shard is
+    *detected* (results exceed the stall timeout) and then *recovered*
+    (the extended wait drains it) rather than treated as a crash.
+    """
+    import time
+
+    time.sleep(seconds)
+    return seconds

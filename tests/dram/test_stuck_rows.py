@@ -1,0 +1,158 @@
+"""Stuck-row and DCC fault injection on :class:`Subarray`.
+
+Direct coverage of the fault ports the chaos/recovery layers build on:
+``inject_stuck_row`` / ``clear_stuck_row`` validation, the pin-through
+behaviour of writes and restores while a row is stuck, and the
+no-rollback contract when the fault is cleared.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.device import AmbitDevice
+from repro.core.microprograms import BulkOp
+from repro.dram.chip import RowLocation
+from repro.dram.geometry import small_test_geometry
+from repro.errors import AddressError
+
+BANK, SUB = 0, 0
+
+
+@pytest.fixture
+def dev():
+    return AmbitDevice(
+        geometry=small_test_geometry(
+            rows=32, row_bytes=32, banks=1, subarrays_per_bank=1
+        )
+    )
+
+
+@pytest.fixture
+def sub(dev):
+    return dev.chip.bank(BANK).subarray(SUB)
+
+
+def pinned_value(sub):
+    return np.full(
+        sub.geometry.words_per_row, np.uint64(0xDEADBEEFDEADBEEF)
+    )
+
+
+class TestValidation:
+    def test_inject_out_of_range_raises(self, sub):
+        value = pinned_value(sub)
+        with pytest.raises(AddressError):
+            sub.inject_stuck_row(sub.geometry.storage_rows, value)
+        with pytest.raises(AddressError):
+            sub.inject_stuck_row(-1, value)
+        assert not sub.stuck  # nothing was half-applied
+
+    def test_inject_wrong_shape_raises(self, sub):
+        with pytest.raises(AddressError):
+            sub.inject_stuck_row(0, np.zeros(1, dtype=np.uint64))
+        assert not sub.stuck
+
+    def test_clear_out_of_range_raises(self, sub):
+        with pytest.raises(AddressError):
+            sub.clear_stuck_row(sub.geometry.storage_rows)
+        with pytest.raises(AddressError):
+            sub.clear_stuck_row(-1)
+
+    def test_clear_unstuck_row_is_harmless(self, sub):
+        sub.clear_stuck_row(0)  # no fault present: a no-op, not an error
+        assert not sub.stuck
+
+    def test_dcc_fault_out_of_range_raises(self, sub):
+        with pytest.raises(AddressError):
+            sub.inject_dcc_fault(sub.geometry.storage_rows)
+        with pytest.raises(AddressError):
+            sub.clear_dcc_fault(-1)
+
+
+class TestPinning:
+    def test_inject_pins_current_contents(self, dev, sub):
+        value = pinned_value(sub)
+        sub.inject_stuck_row(2, value)
+        np.testing.assert_array_equal(sub.peek(2), value)
+        assert sub.has_faults
+
+    def test_command_path_write_cannot_change_stuck_row(self, dev, sub):
+        value = pinned_value(sub)
+        sub.inject_stuck_row(2, value)
+        loc = RowLocation(BANK, SUB, 2)
+        dev.write_row(loc, ~value)
+        np.testing.assert_array_equal(dev.read_row(loc), value)
+
+    def test_backdoor_poke_cannot_change_stuck_row(self, sub):
+        value = pinned_value(sub)
+        sub.inject_stuck_row(2, value)
+        sub.poke(2, ~value)
+        np.testing.assert_array_equal(sub.peek(2), value)
+        sub.poke_batch([2], (~value)[None, :])
+        np.testing.assert_array_equal(sub.peek(2), value)
+
+    def test_copy_into_stuck_row_does_not_take(self, dev, sub):
+        value = pinned_value(sub)
+        src = RowLocation(BANK, SUB, 0)
+        dst = RowLocation(BANK, SUB, 2)
+        dev.write_row(src, ~value)
+        sub.inject_stuck_row(2, value)
+        dev.bbop_row(BulkOp.COPY, dst, src)
+        np.testing.assert_array_equal(dev.read_row(dst), value)
+
+
+class TestClearRollback:
+    def test_clear_makes_row_writable_again(self, dev, sub):
+        value = pinned_value(sub)
+        sub.inject_stuck_row(2, value)
+        sub.clear_stuck_row(2)
+        assert not sub.has_faults
+        loc = RowLocation(BANK, SUB, 2)
+        dev.write_row(loc, ~value)
+        np.testing.assert_array_equal(dev.read_row(loc), ~value)
+
+    def test_clear_never_resurrects_pre_fault_data(self, dev, sub):
+        """No rollback: the pinned image stays until the next write."""
+        loc = RowLocation(BANK, SUB, 2)
+        before = np.full(
+            sub.geometry.words_per_row, np.uint64(0x1111111111111111)
+        )
+        dev.write_row(loc, before)
+        value = pinned_value(sub)
+        sub.inject_stuck_row(2, value)
+        sub.clear_stuck_row(2)
+        # Clearing lifts the fault but the cells keep the pinned image;
+        # the pre-fault contents are gone for good.
+        np.testing.assert_array_equal(dev.read_row(loc), value)
+
+    def test_reinject_after_clear(self, dev, sub):
+        value = pinned_value(sub)
+        sub.inject_stuck_row(2, value)
+        sub.clear_stuck_row(2)
+        sub.inject_stuck_row(2, ~value)
+        np.testing.assert_array_equal(sub.peek(2), ~value)
+        assert sub.has_faults
+
+
+class TestDccFaults:
+    def test_inject_and_clear_dcc_fault(self, dev, sub):
+        dcc_row = dev.amap.row_dcc(0)
+        sub.inject_dcc_fault(dcc_row)
+        assert sub.has_faults
+        sub.clear_dcc_fault(dcc_row)
+        assert not sub.has_faults
+
+    def test_dcc_fault_breaks_negation(self, dev, sub):
+        """With DCC0's n-wordline dead, NOT returns the input unflipped."""
+        src = RowLocation(BANK, SUB, 0)
+        dst = RowLocation(BANK, SUB, 2)
+        pattern = np.full(
+            sub.geometry.words_per_row, np.uint64(0x5A5A5A5A5A5A5A5A)
+        )
+        dev.write_row(src, pattern)
+        dev.bbop_row(BulkOp.NOT, dst, src)
+        np.testing.assert_array_equal(dev.read_row(dst), ~pattern)
+        sub.inject_dcc_fault(dev.amap.row_dcc(0))
+        dev.write_row(src, pattern)
+        dev.bbop_row(BulkOp.NOT, dst, src)
+        np.testing.assert_array_equal(dev.read_row(dst), pattern)

@@ -1,0 +1,59 @@
+"""Golden command-sequence tests for the recovery ladder.
+
+Like the Figure-8 traces, each recovery scenario's exact DRAM command
+stream -- the faulty attempt, the detection probes, the recovered
+re-execution -- is pinned to a checked-in file under ``tests/golden/``.
+A reordered probe, an extra retry, or a changed remap sequence fails
+here with a diff instead of drifting silently.
+"""
+
+import pytest
+
+from tests.golden.regen import (
+    RECOVERY_SCENARIOS,
+    recovery_path,
+    recovery_trace_text,
+)
+
+REGEN_HINT = (
+    "recovery command sequence drifted from tests/golden/; if this "
+    "change is intentional, regenerate with `PYTHONPATH=src python -m "
+    "tests.golden.regen` and commit the diff"
+)
+
+
+@pytest.mark.parametrize("scenario", RECOVERY_SCENARIOS)
+def test_golden_recovery_sequence(scenario):
+    """Byte-for-byte equality against the checked-in recovery trace.
+
+    ``recovery_trace_text`` itself asserts the episode recovered via
+    the expected ladder rung (retried / remapped / rerouted), so this
+    test pins both the outcome and the exact command stream.
+    """
+    golden = recovery_path(scenario).read_text()
+    assert recovery_trace_text(scenario) == golden, (
+        f"{scenario}: {REGEN_HINT}"
+    )
+
+
+def test_recovery_traces_are_distinct():
+    """The three ladder rungs produce genuinely different streams."""
+    texts = {
+        scenario: recovery_path(scenario).read_text()
+        for scenario in RECOVERY_SCENARIOS
+    }
+    assert len(set(texts.values())) == len(texts)
+
+
+def test_recovery_traces_are_longer_than_clean_runs():
+    """A recovered op costs extra commands (probes + re-execution): the
+    remap and dcc traces must strictly contain more commands than the
+    clean golden run of the same operation."""
+    from repro.core.microprograms import BulkOp
+    from tests.golden.regen import golden_path
+
+    clean_and = golden_path(BulkOp.AND).read_text().count("\n")
+    clean_not = golden_path(BulkOp.NOT).read_text().count("\n")
+    assert recovery_path("remap").read_text().count("\n") > clean_and
+    assert recovery_path("dcc").read_text().count("\n") > clean_not
+    assert recovery_path("retry").read_text().count("\n") > clean_and

@@ -18,6 +18,8 @@ from __future__ import annotations
 
 import pathlib
 
+import numpy as np
+
 from repro.core.device import AmbitDevice
 from repro.core.microprograms import BulkOp
 from repro.dram.chip import RowLocation
@@ -68,10 +70,98 @@ def golden_path(op: BulkOp) -> pathlib.Path:
     return GOLDEN_DIR / f"{op.value}.trace"
 
 
+# ----------------------------------------------------------------------
+# Recovery-ladder traces (repro.faults)
+# ----------------------------------------------------------------------
+#: One scenario per recovery rung: transient-TRA retry, stuck-row
+#: spare remap, and dead-DCC reroute.  Each trace pins the *entire*
+#: command stream of one faulty operation -- the failed attempt, the
+#: detection probes, and the recovered re-execution.
+RECOVERY_SCENARIOS = ("retry", "remap", "dcc")
+
+#: Recovery working set inside the golden device's 14 data rows.
+RECOVERY_SCRATCH = (8, 9)
+RECOVERY_SPARES = (10, 11, 12, 13)
+
+
+def recovery_trace_text(scenario: str) -> str:
+    """The command stream of one canonical fault-recovery episode.
+
+    Setup (row images, scratch, spares, fault arming) happens before
+    the log attaches, so the trace starts at the faulty operation and
+    ends at its verified recovery.  The expected ladder rung is
+    asserted, so a regen that silently drifts to a different recovery
+    action fails here instead of pinning the wrong stream.
+    """
+    from repro.faults.recover import FaultTolerantSession
+
+    device = golden_device()
+    session = FaultTolerantSession(device)
+    session.set_scratch(0, 0, RECOVERY_SCRATCH)
+    session.add_spares(0, 0, RECOVERY_SPARES)
+    words = device.geometry.subarray.words_per_row
+    src1 = np.full(words, np.uint64(0x0F0F0F0F0F0F0F0F))
+    src2 = np.full(words, np.uint64(0x00FF00FF00FF00FF))
+    session.write_row(SRC1, src1)
+    session.write_row(SRC2, src2)
+    session.write_row(DST, np.zeros(words, dtype=np.uint64))
+    subarray = device.chip.bank(0).subarray(0)
+
+    if scenario == "retry":
+        # A one-shot variation glitch: the next TRA senses all-flipped.
+        mask = np.full(words, np.uint64(0xFFFFFFFFFFFFFFFF))
+
+        def hook(sensed, _sub=subarray, _mask=mask):
+            _sub.tra_fault_hook = None
+            return _mask
+
+        subarray.tra_fault_hook = hook
+        expected_action = "retried"
+    elif scenario == "remap":
+        # Source row 0 pinned to the complement of its intended image.
+        subarray.inject_stuck_row(SRC1.address, ~src1)
+        expected_action = "remapped"
+    elif scenario == "dcc":
+        # DCC0's n-wordline fails open; the route must flip to DCC1.
+        subarray.inject_dcc_fault(device.amap.row_dcc(0))
+        expected_action = "rerouted"
+    else:
+        raise ValueError(f"unknown recovery scenario {scenario!r}")
+
+    log = CommandLog(device)
+    try:
+        if scenario == "dcc":
+            session.bbop_row(BulkOp.NOT, DST, SRC1)
+            reference = ~src1
+        else:
+            session.bbop_row(BulkOp.AND, DST, SRC1, SRC2)
+            reference = src1 & src2
+        assert np.array_equal(device.read_row(DST), reference), (
+            f"recovery scenario {scenario!r} did not restore the result"
+        )
+        actions = {record.action for record in session.log}
+        assert expected_action in actions, (
+            f"scenario {scenario!r} expected a {expected_action!r} "
+            f"recovery, saw {sorted(actions)}"
+        )
+        assert session.unrecovered_count == 0
+        return log.text() + "\n"
+    finally:
+        log.detach()
+
+
+def recovery_path(scenario: str) -> pathlib.Path:
+    return GOLDEN_DIR / f"recovery_{scenario}.trace"
+
+
 def main() -> None:
     for op in GOLDEN_OPS:
         path = golden_path(op)
         path.write_text(golden_trace_text(op))
+        print(f"wrote {path}")
+    for scenario in RECOVERY_SCENARIOS:
+        path = recovery_path(scenario)
+        path.write_text(recovery_trace_text(scenario))
         print(f"wrote {path}")
 
 

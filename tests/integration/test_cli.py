@@ -14,6 +14,7 @@ class TestParser:
         assert set(subparsers.choices) == {
             "list", "table2", "table3", "fig9", "fig10", "fig11", "fig12",
             "demo", "report", "profile", "bench", "metrics", "top",
+            "chaos",
         }
 
     def test_missing_command_errors(self):
@@ -61,3 +62,59 @@ class TestCommands:
         assert main(["fig12", "--elements", "16"]) == 0
         out = capsys.readouterr().out
         assert "rbtree" in out and "ambit" in out
+
+
+#: One small deterministic soak: dense enough to guarantee at least one
+#: injected fault, small enough to finish in well under a second.
+CHAOS_ARGS = ["--ops", "40", "--seed", "0", "--fault-rate", "2e-2",
+              "--banks", "1"]
+
+
+class TestChaosExitCodes:
+    def test_recovered_soak_exits_zero(self, capsys):
+        assert main(["chaos"] + CHAOS_ARGS) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+        assert "recovered:" in out
+
+    def test_no_recovery_exits_nonzero(self, capsys):
+        """The same plan without recovery must fail the soak."""
+        assert main(["chaos"] + CHAOS_ARGS + ["--no-recovery"]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+        assert "unrecovered:" in out
+
+    def test_scrape_prints_fault_families(self, capsys):
+        assert main(["chaos"] + CHAOS_ARGS + ["--scrape"]) == 0
+        out = capsys.readouterr().out
+        assert "ambit_faults_injected_total" in out
+        assert "ambit_faults_recovered_total" in out
+
+    def test_bad_config_exits_two(self, capsys):
+        assert main(["chaos", "--ops", "0"]) == 2
+        assert "chaos:" in capsys.readouterr().err
+
+    def test_bad_fault_rate_exits_two(self, capsys):
+        assert main(["chaos", "--fault-rate", "2.0"]) == 2
+        assert "fault rate" in capsys.readouterr().err
+
+    def test_unknown_flag_is_argparse_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["chaos", "--bogus"])
+        assert excinfo.value.code == 2
+
+
+class TestMetricsExitCodes:
+    def test_success_exits_zero(self, capsys):
+        assert main(["metrics", "and", "--repeats", "1",
+                     "--row-bytes", "64"]) == 0
+        assert "ambit_ops_total" in capsys.readouterr().out
+
+    def test_unknown_workload_exits_two(self, capsys):
+        assert main(["metrics", "bogus", "--repeats", "1"]) == 2
+        assert "metrics:" in capsys.readouterr().err
+
+    def test_bad_format_is_argparse_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["metrics", "--format", "bogus"])
+        assert excinfo.value.code == 2
