@@ -288,6 +288,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         banks=args.banks,
         rows_per_bank=args.rows_per_bank,
         op=BulkOp(args.op),
+        dispatch=args.dispatch,
         mc_trials=args.trials,
         repeats=args.repeats,
     )
@@ -461,9 +462,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trials", type=int, default=8_000_000,
                    help="Monte Carlo trials")
     p.add_argument("--banks", type=int, default=8)
-    p.add_argument("--rows-per-bank", type=int, default=40)
+    p.add_argument("--rows-per-bank", type=int, default=8)
     p.add_argument("--op", default="and",
                    help="bulk op for the sharded arm")
+    p.add_argument("--dispatch", default="sharded",
+                   choices=("sharded", "auto", "fused", "serial"),
+                   help="dispatch tier of the sharded arm (auto = "
+                        "cost-model tuner)")
     p.add_argument("--repeats", type=int, default=3,
                    help="timings per arm; best is kept")
     p.add_argument("--output", default=None, metavar="FILE",

@@ -161,6 +161,7 @@ class BatchEngine:
         src1: Sequence[RowLocation],
         src2: Optional[Sequence[RowLocation]] = None,
         src3: Optional[Sequence[RowLocation]] = None,
+        fuse: bool = True,
     ) -> BatchReport:
         """Execute ``dst[i] = op(src1[i], src2[i], src3[i])`` for every row.
 
@@ -168,6 +169,11 @@ class BatchEngine:
         subarray); stage strays first (:meth:`repro.core.driver.AmbitDriver.stage_for`).
         Timing, energy, statistics, and the command trace are charged
         exactly as the per-row path would.
+
+        ``fuse=False`` forces every group down the per-row command walk
+        -- the dispatch auto-tuner's "serial" tier.  The observable
+        outcome is identical either way (that is the engine's core
+        parity property); only wall-clock changes.
         """
         n = len(dst)
         for name, rows in (("src1", src1), ("src2", src2), ("src3", src3)):
@@ -198,7 +204,7 @@ class BatchEngine:
         fused = 0
         for issued in self.scheduler.order(command_groups):
             group: _Group = issued.payload
-            if self._fused_eligible(group, dst, src1, src2, src3):
+            if fuse and self._fused_eligible(group, dst, src1, src2, src3):
                 self._run_group_fused(op, group, dst, src1, src2, src3)
                 fused += len(group.indices)
             else:

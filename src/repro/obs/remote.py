@@ -101,6 +101,21 @@ def read_spool(path: str) -> List[TraceEvent]:
     return events
 
 
+def events_from_bytes(data: bytes) -> List[TraceEvent]:
+    """Parse a zero-copy (shared-memory) spool back into trace events.
+
+    Same JSON-lines wire format as :func:`read_spool`, but sourced from
+    a worker's spool slot in the shared accounting block instead of a
+    fallback file.
+    """
+    events: List[TraceEvent] = []
+    for line in data.decode("utf-8").splitlines():
+        line = line.strip()
+        if line:
+            events.append(TraceEvent.from_json(json.loads(line)))
+    return events
+
+
 def discard_spool(path: str) -> None:
     """Best-effort removal of a consumed spool file."""
     try:

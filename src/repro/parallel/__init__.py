@@ -20,13 +20,20 @@ See ``docs/SCALING.md`` for the shard model, worker lifecycle, and
 determinism guarantees.
 """
 
+from repro.parallel.accounting import SharedAccountingBlock
 from repro.parallel.device import ShardedDevice
 from repro.parallel.pmap import default_jobs, parallel_map, spawn_rngs, spawn_seeds
-from repro.parallel.pool import WorkerPool
+from repro.parallel.pool import PoolIOStats, WorkerPool
 from repro.parallel.shm import SharedRowStore
+from repro.parallel.tuner import AutoTuner, CostModel, DispatchTier
 
 __all__ = [
+    "AutoTuner",
+    "CostModel",
+    "DispatchTier",
+    "PoolIOStats",
     "ShardedDevice",
+    "SharedAccountingBlock",
     "SharedRowStore",
     "WorkerPool",
     "default_jobs",

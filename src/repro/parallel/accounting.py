@@ -1,0 +1,342 @@
+"""Zero-copy accounting: the shared control block of the sharded device.
+
+:class:`SharedAccountingBlock` is the *control-plane* sibling of
+:class:`~repro.parallel.shm.SharedRowStore` (which carries the cells,
+the data plane).  One ``multiprocessing.shared_memory`` segment holds
+three fixed-layout regions::
+
+    header     : int64[8]   magic, version, slots, spool capacity,
+                            board slots, board capacity, board count,
+                            board cursor
+    telemetry  : per shard slot --
+                 int64[8]   pid, rows, fused, fallback, rss,
+                            batches served, spool length, spool flags
+                 float64[4] busy ns, heartbeat ts, (reserved x2)
+    spools     : per shard slot, ``spool_capacity`` raw bytes of
+                 JSON-lines trace events (traced jobs only)
+    plan board : directory int64[2 x board_slots] of (offset, length)
+                 plus ``board_capacity`` bytes of parent-published
+                 payloads (pickled shard row-lists / tracer configs)
+
+Why this exists: before it, every shard job round-trip pickled an
+O(rows) row list out to the worker and a :class:`ShardResult` object
+back, per batch.  With the block in place the parent *publishes* a
+batch's row description once (:meth:`publish`), workers fetch and
+memoise it by entry id, write their result counters and trace spools
+straight into their slot, and the per-batch message shrinks to a
+handful of integers -- the dispatch-budget property the test suite
+pins (``tests/parallel/test_dispatch_budget.py``).
+
+Concurrency contract (no locks needed):
+
+* Only the **parent** publishes board entries, and only *before*
+  submitting a job that names the new entry id -- the executor's job
+  pipe provides the happens-before edge, so a worker never reads a
+  half-written entry.
+* Telemetry/spool slots are indexed by **shard index**, shards of one
+  batch are distinct, and the parent runs one batch at a time, so no
+  two writers ever share a slot.
+* The parent reads slots only after the batch's futures resolved.
+
+Lifecycle mirrors :class:`~repro.parallel.shm.SharedRowStore`: the
+creating process owns (and unlinks) the segment, workers only attach,
+and the test suite's leak-check fixture sees these segments through the
+same registry.
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+import weakref
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConcurrencyError, ConfigError
+from repro.parallel.shm import NAME_PREFIX, _LIVE, _cleanup
+
+_MAGIC = 0x414D4249_54414343  # "AMBITACC"
+_VERSION = 1
+
+#: int64 telemetry fields per slot, in order.
+F_PID, F_ROWS, F_FUSED, F_FALLBACK, F_RSS, F_BATCHES, F_SPOOL_LEN, F_SPOOL_FLAGS = range(8)
+#: float64 telemetry fields per slot, in order.
+F_BUSY_NS, F_HEARTBEAT = 0, 1
+
+_TELEM_INTS = 8
+_TELEM_FLOATS = 4
+
+#: ``spool flags`` bit: the spool overflowed the shared region and went
+#: to a file instead (the parent reconstructs the path).
+SPOOL_IN_FILE = 1
+
+#: Defaults, overridable per device and via environment.
+DEFAULT_SPOOL_CAPACITY = 512 * 1024
+DEFAULT_BOARD_SLOTS = 512
+DEFAULT_BOARD_CAPACITY = 4 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class ShardTelemetry:
+    """Parent-side view of one shard slot after a batch completed."""
+
+    shard: int
+    pid: int
+    rows: int
+    fused_rows: int
+    fallback_rows: int
+    rss_bytes: int
+    batches_served: int
+    busy_ns: int
+    heartbeat_ts: float
+    #: Bytes of trace spool in the shared region (0 = none).
+    spool_len: int
+    #: ``SPOOL_IN_FILE`` when the spool overflowed to a file.
+    spool_flags: int
+
+
+def _region_sizes(
+    slots: int, spool_capacity: int, board_slots: int, board_capacity: int
+):
+    header = 8 * 8
+    telem = slots * (_TELEM_INTS * 8 + _TELEM_FLOATS * 8)
+    spools = slots * spool_capacity
+    directory = board_slots * 2 * 8
+    return header, telem, spools, directory, board_capacity
+
+
+class SharedAccountingBlock:
+    """Fixed-layout shared accounting for one :class:`ShardedDevice`."""
+
+    def __init__(self, segment: shared_memory.SharedMemory, owner: bool):
+        self._segment = segment
+        self.owner = owner
+        header = np.ndarray(8, dtype=np.int64, buffer=segment.buf)
+        if int(header[0]) != _MAGIC:
+            raise ConfigError(
+                f"segment {segment.name!r} is not an accounting block"
+            )
+        self.slots = int(header[2])
+        self.spool_capacity = int(header[3])
+        self.board_slots = int(header[4])
+        self.board_capacity = int(header[5])
+        h, t, s, d, b = _region_sizes(
+            self.slots, self.spool_capacity,
+            self.board_slots, self.board_capacity,
+        )
+        if segment.size < h + t + s + d + b:
+            raise ConfigError(
+                f"segment {segment.name!r} holds {segment.size} bytes; "
+                f"its own header implies {h + t + s + d + b}"
+            )
+        self._header = header
+        self._telem_i = np.ndarray(
+            (self.slots, _TELEM_INTS), dtype=np.int64,
+            buffer=segment.buf, offset=h,
+        )
+        self._telem_f = np.ndarray(
+            (self.slots, _TELEM_FLOATS), dtype=np.float64,
+            buffer=segment.buf, offset=h + self.slots * _TELEM_INTS * 8,
+        )
+        self._spool_base = h + t
+        self._spools = np.ndarray(
+            (self.slots, self.spool_capacity), dtype=np.uint8,
+            buffer=segment.buf, offset=self._spool_base,
+        )
+        self._directory = np.ndarray(
+            (self.board_slots, 2), dtype=np.int64,
+            buffer=segment.buf, offset=h + t + s,
+        )
+        self._board = np.ndarray(
+            b, dtype=np.uint8, buffer=segment.buf, offset=h + t + s + d
+        )
+        self._finalizer = weakref.finalize(
+            self, _cleanup, segment, segment.name, owner, os.getpid()
+        )
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        slots: int,
+        spool_capacity: int = DEFAULT_SPOOL_CAPACITY,
+        board_slots: int = DEFAULT_BOARD_SLOTS,
+        board_capacity: int = DEFAULT_BOARD_CAPACITY,
+    ) -> "SharedAccountingBlock":
+        """Allocate and initialise a block for ``slots`` shard workers."""
+        if slots < 1:
+            raise ConfigError(f"accounting block needs >= 1 slot; got {slots}")
+        sizes = _region_sizes(slots, spool_capacity, board_slots, board_capacity)
+        name = f"{NAME_PREFIX}-acct-{secrets.token_hex(4)}"
+        segment = shared_memory.SharedMemory(
+            name=name, create=True, size=sum(sizes)
+        )
+        header = np.ndarray(8, dtype=np.int64, buffer=segment.buf)
+        header[:] = (
+            _MAGIC, _VERSION, slots, spool_capacity,
+            board_slots, board_capacity, 0, 0,
+        )
+        _LIVE.add(name)
+        return cls(segment, owner=True)
+
+    @classmethod
+    def attach(cls, name: str) -> "SharedAccountingBlock":
+        """Map an existing block by name (worker side; never unlinks)."""
+        return cls(shared_memory.SharedMemory(name=name), owner=False)
+
+    @property
+    def name(self) -> str:
+        return self._segment.name
+
+    @property
+    def nbytes(self) -> int:
+        return self._segment.size
+
+    # ------------------------------------------------------------------
+    # Telemetry slots
+    # ------------------------------------------------------------------
+    def clear_slots(self, shards: int) -> None:
+        """Zero the first ``shards`` slots before a batch dispatch."""
+        self._telem_i[:shards] = 0
+        self._telem_f[:shards] = 0.0
+
+    def write_telemetry(
+        self,
+        shard: int,
+        *,
+        pid: int,
+        rows: int,
+        fused_rows: int,
+        rss_bytes: int,
+        batches_served: int,
+        busy_ns: int,
+        heartbeat_ts: float,
+    ) -> None:
+        """Worker side: record one completed shard job in its slot."""
+        ints = self._telem_i[shard]
+        ints[F_PID] = pid
+        ints[F_ROWS] = rows
+        ints[F_FUSED] = fused_rows
+        ints[F_FALLBACK] = rows - fused_rows
+        ints[F_RSS] = rss_bytes
+        ints[F_BATCHES] = batches_served
+        floats = self._telem_f[shard]
+        floats[F_BUSY_NS] = busy_ns
+        floats[F_HEARTBEAT] = heartbeat_ts
+
+    def read_telemetry(self, shard: int) -> ShardTelemetry:
+        """Parent side: one slot's record, after the batch resolved."""
+        ints = self._telem_i[shard]
+        floats = self._telem_f[shard]
+        return ShardTelemetry(
+            shard=shard,
+            pid=int(ints[F_PID]),
+            rows=int(ints[F_ROWS]),
+            fused_rows=int(ints[F_FUSED]),
+            fallback_rows=int(ints[F_FALLBACK]),
+            rss_bytes=int(ints[F_RSS]),
+            batches_served=int(ints[F_BATCHES]),
+            busy_ns=int(floats[F_BUSY_NS]),
+            heartbeat_ts=float(floats[F_HEARTBEAT]),
+            spool_len=int(ints[F_SPOOL_LEN]),
+            spool_flags=int(ints[F_SPOOL_FLAGS]),
+        )
+
+    # ------------------------------------------------------------------
+    # Trace spools
+    # ------------------------------------------------------------------
+    def write_spool(self, shard: int, data: bytes) -> bool:
+        """Worker side: place a trace spool in the shared region.
+
+        Returns False (leaving the slot marked ``SPOOL_IN_FILE``) when
+        ``data`` exceeds the per-slot capacity; the caller then falls
+        back to a spool file.
+        """
+        if len(data) > self.spool_capacity:
+            self._telem_i[shard, F_SPOOL_LEN] = 0
+            self._telem_i[shard, F_SPOOL_FLAGS] = SPOOL_IN_FILE
+            return False
+        self._spools[shard, : len(data)] = np.frombuffer(data, dtype=np.uint8)
+        self._telem_i[shard, F_SPOOL_LEN] = len(data)
+        self._telem_i[shard, F_SPOOL_FLAGS] = 0
+        return True
+
+    def read_spool(self, shard: int) -> bytes:
+        """Parent side: the spool bytes a worker left in its slot."""
+        length = int(self._telem_i[shard, F_SPOOL_LEN])
+        return bytes(self._spools[shard, :length])
+
+    # ------------------------------------------------------------------
+    # Plan board
+    # ------------------------------------------------------------------
+    @property
+    def board_entries(self) -> int:
+        """Entries published so far (also the next entry id)."""
+        return int(self._header[6])
+
+    @property
+    def board_used(self) -> int:
+        """Bytes of the board data region consumed."""
+        return int(self._header[7])
+
+    def publish(self, payload: bytes) -> Optional[int]:
+        """Parent side: append a payload; returns its entry id.
+
+        Returns ``None`` when the directory or data region is full --
+        the caller must then fall back to inline shipment (correct,
+        just slower).  Entries are immutable and never evicted: an id,
+        once handed to a worker, stays valid for the device's lifetime.
+        """
+        count = int(self._header[6])
+        cursor = int(self._header[7])
+        if count >= self.board_slots:
+            return None
+        if cursor + len(payload) > self.board_capacity:
+            return None
+        self._board[cursor : cursor + len(payload)] = np.frombuffer(
+            payload, dtype=np.uint8
+        )
+        self._directory[count] = (cursor, len(payload))
+        # Publish order matters: the entry becomes addressable only once
+        # the counters advance, and jobs naming the id are submitted
+        # strictly after this method returns.
+        self._header[7] = cursor + len(payload)
+        self._header[6] = count + 1
+        return count
+
+    def fetch(self, entry_id: int) -> bytes:
+        """Worker side: the payload bytes of one published entry."""
+        if not 0 <= entry_id < int(self._header[6]):
+            raise ConcurrencyError(
+                f"plan-board entry {entry_id} is not published "
+                f"({self.board_entries} entries exist); the dispatch "
+                f"protocol shipped an id before its payload"
+            )
+        offset, length = (int(v) for v in self._directory[entry_id])
+        return bytes(self._board[offset : offset + length])
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def release(self) -> None:
+        """Detach; the owning process also unlinks.  Idempotent."""
+        self._header = None  # type: ignore[assignment]
+        self._telem_i = None  # type: ignore[assignment]
+        self._telem_f = None  # type: ignore[assignment]
+        self._spools = None  # type: ignore[assignment]
+        self._directory = None  # type: ignore[assignment]
+        self._board = None  # type: ignore[assignment]
+        self._finalizer()
+
+    close = release
+
+    def __enter__(self) -> "SharedAccountingBlock":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()

@@ -21,11 +21,28 @@ the shared cells, and the parent merges deterministically:
 * **trace events** -- with a tracer attached, workers run their rows
   under real spooling tracers and the parent replays every worker event
   through its own tracer in canonical serial order
-  (:mod:`repro.obs.remote`), so sink aggregations
-  (:class:`~repro.obs.counters.CounterSet`, per-op profiles) are
-  bit-identical to a single-process traced run, while the Chrome sink
-  additionally gains per-worker process lanes and batch/shard linking
-  spans.
+  (:mod:`repro.obs.remote`), bit-identical to a single-process traced
+  run.
+
+The dispatch path is engineered for throughput (see
+``docs/SCALING.md``):
+
+* **Resident plans** -- a batch's shard row-lists are *published once*
+  to the plan board of the shared
+  :class:`~repro.parallel.accounting.SharedAccountingBlock`; repeat
+  batches of the same shape reuse the entry, so the per-batch message
+  to each worker is a fingerprint id plus a few integers, never a row
+  list or a plan object.
+* **Zero-copy results** -- workers write counters, health telemetry,
+  and trace spools into fixed-layout slots of the same block and
+  return a bare shard index; the parent pickles nothing per batch, and
+  the worker-health metric folding happens at *quiesce time* (or when
+  statistics are observed), not per batch.
+* **Auto-tuned tiers** -- ``dispatch="auto"`` consults
+  :class:`~repro.parallel.tuner.AutoTuner` per request to pick the
+  serial per-row walk, the in-process fused engine, or the sharded
+  pool from per-tier cost models; ``dispatch`` can also force any
+  tier.  Every tier is bit-exact; the choice moves wall-clock only.
 
 Fallback: when a target subarray carries injected stuck-at faults
 (worker processes cannot see the fault dictionaries), or when the batch
@@ -40,6 +57,7 @@ flight; call :meth:`quiesce` first.  See ``docs/SCALING.md``.
 
 from __future__ import annotations
 
+import pickle
 import shutil
 import tempfile
 import time
@@ -52,20 +70,38 @@ from repro.dram.geometry import DramGeometry
 from repro.dram.timing import TimingParameters
 from repro.engine.batch import BatchReport
 from repro.engine.scheduler import CommandGroup
-from repro.errors import ConcurrencyError, DramProtocolError
+from repro.errors import ConcurrencyError, ConfigError, DramProtocolError
 from repro.obs.events import KIND_SPAN, TraceEvent
 from repro.obs.remote import (
     TracerConfig,
     discard_spool,
+    events_from_bytes,
     read_spool,
     replay_row,
     segment_rows,
     shard_busy_ns,
 )
+from repro.parallel.accounting import (
+    DEFAULT_BOARD_CAPACITY,
+    DEFAULT_BOARD_SLOTS,
+    DEFAULT_SPOOL_CAPACITY,
+    SPOOL_IN_FILE,
+    SharedAccountingBlock,
+)
 from repro.parallel.pmap import default_jobs
 from repro.parallel.pool import WorkerPool
 from repro.parallel.shm import SharedRowStore
-from repro.parallel.worker import ShardJob, WorkerConfig, run_shard
+from repro.parallel.tuner import AutoTuner, DispatchTier
+from repro.parallel.worker import (
+    ShardJob,
+    ShardResult,
+    WorkerConfig,
+    run_shard,
+    spool_file_path,
+)
+
+#: Valid ``dispatch`` modes: the three forced tiers plus the tuner.
+DISPATCH_MODES = ("sharded", "fused", "serial", "auto")
 
 
 class ShardedDevice:
@@ -80,6 +116,14 @@ class ShardedDevice:
     max_workers:
         Shard parallelism; defaults to the scheduler-visible CPU count.
         With fewer than 2 workers every batch runs in-process.
+    dispatch:
+        ``"sharded"`` (default) fans every eligible batch across the
+        pool; ``"fused"`` / ``"serial"`` force the in-process engine
+        (fused kernels / per-row walk); ``"auto"`` asks the
+        :class:`~repro.parallel.tuner.AutoTuner` per request.
+    tuner:
+        The cost-model tuner ``dispatch="auto"`` consults (a default
+        one is built otherwise); see :meth:`AutoTuner.calibrate`.
     start_method:
         Multiprocessing start method (default: fork where available).
     crash_retries:
@@ -97,10 +141,17 @@ class ShardedDevice:
         When set, a batch whose shards have not all answered within this
         many seconds counts a ``worker_stall`` detection (and, once the
         stragglers answer, a recovery) in the fault metrics.
+    spool_capacity / board_slots / board_capacity:
+        Sizing knobs of the shared accounting block (per-shard trace
+        spool bytes; plan-board entries and data bytes).  Overflow is
+        always safe: spools fall back to files, plans to inline
+        shipment.
 
     Everything not overridden here (``bbop_row``, ``write_row``,
     ``profile``, ``elapsed_ns``, ...) delegates to the inner device,
     which shares the same cells, so mixed usage is always coherent.
+    Observing the device through that delegation also folds any staged
+    worker telemetry first, so metrics reads are never stale.
     """
 
     def __init__(
@@ -109,13 +160,22 @@ class ShardedDevice:
         timing: Optional[TimingParameters] = None,
         split_decoder: bool = True,
         max_workers: Optional[int] = None,
+        dispatch: str = "sharded",
+        tuner: Optional[AutoTuner] = None,
         start_method: Optional[str] = None,
         crash_retries: int = 2,
         crash_backoff_s: float = 0.05,
         stall_timeout_s: Optional[float] = None,
+        spool_capacity: int = DEFAULT_SPOOL_CAPACITY,
+        board_slots: int = DEFAULT_BOARD_SLOTS,
+        board_capacity: int = DEFAULT_BOARD_CAPACITY,
     ):
         from repro.obs.metrics import fault_counters
 
+        if dispatch not in DISPATCH_MODES:
+            raise ConfigError(
+                f"dispatch must be one of {DISPATCH_MODES}; got {dispatch!r}"
+            )
         geometry = geometry if geometry is not None else DramGeometry()
         self.store = SharedRowStore.create(geometry)
         self.device = AmbitDevice(
@@ -127,10 +187,28 @@ class ShardedDevice:
         self.max_workers = (
             max_workers if max_workers is not None else default_jobs()
         )
+        self.dispatch = dispatch
+        self.tuner = tuner if tuner is not None else AutoTuner()
         self.crash_retries = crash_retries
         self.crash_backoff_s = crash_backoff_s
         self.stall_timeout_s = stall_timeout_s
+        self.block = SharedAccountingBlock.create(
+            slots=max(1, self.max_workers),
+            spool_capacity=spool_capacity,
+            board_slots=board_slots,
+            board_capacity=board_capacity,
+        )
         self._faults = fault_counters(self.device.metrics)
+        self._m_dispatch = self.device.metrics.counter(
+            "ambit_dispatch_total",
+            "Bulk batches executed, by dispatch tier",
+            labels=("tier",),
+        )
+        self._m_resident = self.device.metrics.counter(
+            "ambit_resident_plans_total",
+            "Resident-plan protocol traffic",
+            labels=("event",),
+        )
         self._stalled_jobs = 0
         self._start_method = start_method
         self._pool: Optional[WorkerPool] = None
@@ -139,6 +217,11 @@ class ShardedDevice:
         #: crash context, and the linking spans of merged traces.
         self._batch_seq = 0
         self._spool_dir: Optional[str] = None
+        #: Published shard row-lists: nested rows tuple -> board entry
+        #: id (``None`` = board full, ship inline forever).
+        self._resident: Dict[Tuple, Optional[int]] = {}
+        #: Published (TracerConfig, spool_dir) pairs: payload -> id.
+        self._tracer_resident: Dict[bytes, Optional[int]] = {}
 
     # ------------------------------------------------------------------
     # Delegation
@@ -146,8 +229,16 @@ class ShardedDevice:
     def __getattr__(self, name: str):
         # Only called for attributes not found on ShardedDevice itself;
         # forwards the full AmbitDevice API (bbop_row, write_row,
-        # profile, elapsed_ns, tracer, ...).
-        return getattr(self.device, name)
+        # profile, elapsed_ns, tracer, ...).  Any such observation first
+        # folds staged worker telemetry, so delegated statistics are
+        # consistent without per-batch metric traffic.
+        device = self.__dict__.get("device")
+        if device is None:
+            raise AttributeError(name)
+        pool = self.__dict__.get("_pool")
+        if pool is not None:
+            pool.fold_telemetry()
+        return getattr(device, name)
 
     # ------------------------------------------------------------------
     # Pool lifecycle
@@ -156,6 +247,11 @@ class ShardedDevice:
     def pool(self) -> Optional[WorkerPool]:
         """The live worker pool (``None`` until first parallel batch)."""
         return self._pool
+
+    @property
+    def resident_plans(self) -> int:
+        """Batch shapes published to (or pinned inline by) the plan board."""
+        return len(self._resident)
 
     def _ensure_pool(self) -> WorkerPool:
         if self._pool is None or self._pool.broken:
@@ -167,6 +263,7 @@ class ShardedDevice:
                     geometry=self.device.geometry,
                     timing=self.device.timing,
                     split_decoder=self.device.controller.split_decoder,
+                    block_name=self.block.name,
                 ),
                 max_workers=self.max_workers,
                 start_method=self._start_method,
@@ -180,7 +277,7 @@ class ShardedDevice:
         return self._spool_dir
 
     def quiesce(self) -> None:
-        """Block until no shard jobs are in flight."""
+        """Block until no shard jobs are in flight, then fold telemetry."""
         if self._pool is not None:
             self._pool.quiesce()
 
@@ -190,6 +287,8 @@ class ShardedDevice:
         Enforces the quiesce-then-reset protocol: resetting while a
         shard job is in flight would interleave half-merged counters
         with fresh ones, silently corrupting every later ``profile()``.
+        Telemetry staged but not yet folded belongs to the epoch being
+        zeroed, so it is dropped, not folded into the fresh one.
         """
         if self._pool is not None and self._pool.inflight:
             raise ConcurrencyError(
@@ -197,10 +296,12 @@ class ShardedDevice:
                 f"flight; call quiesce() first (quiesce-then-reset "
                 f"protocol, see docs/SCALING.md)"
             )
+        if self._pool is not None:
+            self._pool.drop_staged_telemetry()
         self.device.reset_stats()
 
     def close(self) -> None:
-        """Shut down the pool and unlink the shared segment (idempotent)."""
+        """Shut down the pool and unlink the shared segments (idempotent)."""
         if self._closed:
             return
         self._closed = True
@@ -210,6 +311,7 @@ class ShardedDevice:
         if self._spool_dir is not None:
             shutil.rmtree(self._spool_dir, ignore_errors=True)
             self._spool_dir = None
+        self.block.release()
         self.device.close()
 
     def __enter__(self) -> "ShardedDevice":
@@ -217,6 +319,29 @@ class ShardedDevice:
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+    # ------------------------------------------------------------------
+    # Dispatch tier selection
+    # ------------------------------------------------------------------
+    def _select_tier(
+        self, rows: int, row_bytes: int, sharded_ok: bool, shards: int
+    ) -> DispatchTier:
+        mode = self.dispatch
+        if mode == "serial":
+            return DispatchTier.SERIAL
+        if mode == "fused":
+            return DispatchTier.FUSED
+        if mode == "sharded":
+            return DispatchTier.SHARDED if sharded_ok else DispatchTier.FUSED
+        tier = self.tuner.choose(
+            rows=rows,
+            row_bytes=row_bytes,
+            shards=shards if sharded_ok else 1,
+            jobs=self.max_workers,
+        )
+        if tier is DispatchTier.SHARDED and not sharded_ok:
+            tier = DispatchTier.FUSED  # pragma: no cover - tuner prices it out
+        return tier
 
     # ------------------------------------------------------------------
     # Sharded bulk execution
@@ -229,7 +354,7 @@ class ShardedDevice:
         src2: Optional[Sequence[RowLocation]] = None,
         src3: Optional[Sequence[RowLocation]] = None,
     ) -> BatchReport:
-        """Execute ``dst[i] = op(...)`` for every row, sharded by bank.
+        """Execute ``dst[i] = op(...)`` for every row on the chosen tier.
 
         Same contract and same observable outcome (cells, counters,
         elapsed time, energy, command trace, tracer-sink aggregates) as
@@ -246,12 +371,19 @@ class ShardedDevice:
         src3 = engine.translate_rows(src3)
         banks = list(dict.fromkeys(loc.bank for loc in dst))
         shards = min(self.max_workers, len(banks))
-        if (
-            len(dst) == 0
-            or shards < 2
-            or not self._parallel_eligible()
-            or self._faulty_subarrays(dst)
-        ):
+        sharded_ok = (
+            len(dst) > 0
+            and shards >= 2
+            and self._parallel_eligible()
+            and not self._faulty_subarrays(dst)
+        )
+        tier = self._select_tier(
+            len(dst), self.device.row_bytes, sharded_ok, shards
+        )
+        self._m_dispatch.labels(tier=tier.value).inc()
+        if tier is DispatchTier.SERIAL:
+            return engine.run_rows(op, dst, src1, src2, src3, fuse=False)
+        if tier is DispatchTier.FUSED or not sharded_ok:
             # In-process fallback: plan-cache traffic, counters, trace,
             # and cells are those of the plain engine by construction.
             return engine.run_rows(op, dst, src1, src2, src3)
@@ -270,10 +402,6 @@ class ShardedDevice:
         tracer = chip.tracer
         self._batch_seq += 1
         batch_id = self._batch_seq
-        tracer_config = (
-            TracerConfig.from_tracer(tracer) if tracer is not None else None
-        )
-        spool_dir = self._ensure_spool_dir() if tracer is not None else None
 
         assignment = {bank: i % shards for i, bank in enumerate(banks)}
         shard_rows: List[List] = [[] for _ in range(shards)]
@@ -296,29 +424,40 @@ class ShardedDevice:
                     )
                 )
 
+        resident = self._publish_rows(shard_rows)
+        tracer_ref, tracer_inline, spool_dir_inline = (
+            self._publish_tracer(tracer) if tracer is not None
+            else (None, None, None)
+        )
+
         start_ns = chip.clock_ns
         attempt = 0
         self._stalled_jobs = 0
         while True:
             try:
                 pool = self._ensure_pool()
+                self.block.clear_slots(shards)
                 futures = [
                     pool.submit(
                         run_shard,
                         ShardJob(
                             op.value,
-                            tuple(rows),
-                            start_ns,
+                            resident=resident,
+                            rows=(
+                                tuple(rows) if resident is None else None
+                            ),
+                            start_ns=start_ns,
                             batch_id=batch_id,
                             shard=shard,
-                            tracer=tracer_config,
-                            spool_dir=spool_dir,
+                            tracer_resident=tracer_ref,
+                            tracer=tracer_inline,
+                            spool_dir=spool_dir_inline,
                         ),
                         batch_id=batch_id,
                     )
                     for shard, rows in enumerate(shard_rows)
                 ]
-                results = pool.results(
+                pool.results(
                     futures,
                     stall_timeout_s=self.stall_timeout_s,
                     on_stall=self._note_stall,
@@ -347,6 +486,10 @@ class ShardedDevice:
                 self._stalled_jobs
             )
             self._stalled_jobs = 0
+        # Zero-copy result read-back: every shard's counters, health
+        # telemetry, and trace spool live in the accounting block; the
+        # result pipe carried only shard indices.
+        results = self._shard_results(shards, batch_id)
         pool.note_results(results, batch_id)
 
         if tracer is not None:
@@ -362,6 +505,75 @@ class ShardedDevice:
         return self._report(engine, groups, len(dst), fused, shards)
 
     # ------------------------------------------------------------------
+    # Resident-plan publication
+    # ------------------------------------------------------------------
+    def _publish_rows(self, shard_rows: List[List]) -> Optional[int]:
+        """Publish (or reuse) this batch shape's plan-board entry.
+
+        The fingerprint is the nested row tuple itself -- independent of
+        the operation, so e.g. an AND and an XOR over the same operand
+        layout share one entry.  Returns ``None`` when the board is
+        full; the batch then ships rows inline (correct, just slower),
+        and the ``inline`` counter records the downgrade instead of
+        failing silently.
+        """
+        key = tuple(tuple(rows) for rows in shard_rows)
+        if key in self._resident:
+            rid = self._resident[key]
+            self._m_resident.labels(
+                event="reused" if rid is not None else "inline"
+            ).inc()
+            return rid
+        payload = pickle.dumps(key, protocol=pickle.HIGHEST_PROTOCOL)
+        rid = self.block.publish(payload)
+        self._resident[key] = rid
+        self._m_resident.labels(
+            event="published" if rid is not None else "inline"
+        ).inc()
+        return rid
+
+    def _publish_tracer(self, tracer):
+        """Publish the tracer config + spool dir; inline on a full board."""
+        config = TracerConfig.from_tracer(tracer)
+        spool_dir = self._ensure_spool_dir()
+        payload = pickle.dumps(
+            (config, spool_dir), protocol=pickle.HIGHEST_PROTOCOL
+        )
+        if payload in self._tracer_resident:
+            return self._tracer_resident[payload], None, None
+        rid = self.block.publish(payload)
+        self._tracer_resident[payload] = rid
+        if rid is None:
+            return None, config, spool_dir
+        return rid, None, None
+
+    def _shard_results(self, shards: int, batch_id: int) -> List[ShardResult]:
+        """Rebuild the batch's :class:`ShardResult` views from the block."""
+        results = []
+        for shard in range(shards):
+            t = self.block.read_telemetry(shard)
+            spool_path = (
+                spool_file_path(self._ensure_spool_dir(), batch_id, shard)
+                if t.spool_flags & SPOOL_IN_FILE
+                else None
+            )
+            results.append(
+                ShardResult(
+                    rows=t.rows,
+                    fused_rows=t.fused_rows,
+                    fallback_rows=t.fallback_rows,
+                    pid=t.pid,
+                    busy_ns=t.busy_ns,
+                    rss_bytes=t.rss_bytes,
+                    heartbeat_ts=t.heartbeat_ts,
+                    batches_served=t.batches_served,
+                    spool_path=spool_path,
+                    spool_len=t.spool_len,
+                )
+            )
+        return results
+
+    # ------------------------------------------------------------------
     def _merge_traces(
         self,
         op: BulkOp,
@@ -370,7 +582,7 @@ class ShardedDevice:
         groups,
         placement: Dict[int, Tuple[int, int]],
         shard_rows: List[List],
-        results,
+        results: List[ShardResult],
         start_ns: float,
         batch_id: int,
     ) -> None:
@@ -383,16 +595,23 @@ class ShardedDevice:
         event carries its worker's pid for per-worker Chrome lanes.
         Linking spans (one per shard, plus a parent batch span) share
         the batch id so the lanes can be correlated in the viewer.
+
+        Spools normally arrive zero-copy through the accounting block;
+        a spool that overflowed its slot is read from the fallback file
+        instead (and the file discarded).
         """
         segments = []
         for shard, result in enumerate(results):
-            if result.spool_path is None:
+            if result.spool_len:
+                events = events_from_bytes(self.block.read_spool(shard))
+            elif result.spool_path is not None:
+                events = read_spool(result.spool_path)
+                discard_spool(result.spool_path)
+            else:
                 raise ConcurrencyError(
                     f"shard {shard} of traced batch {batch_id} returned "
                     f"no trace spool; worker-side tracing failed"
                 )
-            events = read_spool(result.spool_path)
-            discard_spool(result.spool_path)
             segments.append(segment_rows(events, len(shard_rows[shard])))
 
         clock = start_ns

@@ -7,10 +7,16 @@ futures (and which batch each belongs to) so the quiesce-then-reset
 protocol can be enforced and crashes can name the batch they killed,
 (c) converts a dead worker into a :class:`~repro.errors.ConcurrencyError`
 carrying the worker's pid, exit code, and in-flight batch id instead of
-the executor's opaque ``BrokenProcessPool``, and (d) folds per-worker
-telemetry from :class:`~repro.parallel.worker.ShardResult` into the
-device's metrics registry (``ambit_worker_*`` families; see
-``repro top``).
+the executor's opaque ``BrokenProcessPool``, and (d) **stages**
+per-worker telemetry (read zero-copy from the shared accounting block)
+for folding into the device's metrics registry at *quiesce time* --
+``ambit_worker_*`` families update when :meth:`fold_telemetry` runs,
+not per batch, keeping the batch hot path free of metric traffic.
+
+Dispatch accounting: every submission and result is measured
+(:class:`PoolIOStats` -- call counts plus pickled byte sizes), which is
+what the dispatch-budget test suite asserts against: per-batch worker
+messages must stay O(1) and must not regrow row or plan payloads.
 
 Start method: ``fork`` where the platform offers it (workers attach to
 the segment by name either way, but fork skips the per-worker import
@@ -22,10 +28,12 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import pickle
 import threading
 import time
 from concurrent.futures import Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ConcurrencyError
@@ -39,6 +47,44 @@ def default_start_method() -> str:
         return override
     methods = multiprocessing.get_all_start_methods()
     return "fork" if "fork" in methods else methods[0]
+
+
+@dataclass
+class PoolIOStats:
+    """Bytes and calls crossing the pool's process boundary.
+
+    ``submitted_bytes`` / ``received_bytes`` measure the pickled size of
+    each job's arguments and each result -- the same serialisation the
+    executor performs -- so a regression that starts shipping row lists
+    or plan objects again is directly visible as a byte-count jump.
+    """
+
+    submitted_jobs: int = 0
+    submitted_bytes: int = 0
+    received_results: int = 0
+    received_bytes: int = 0
+    #: Running description of the largest single submission.
+    max_submission_bytes: int = 0
+
+    def snapshot(self) -> "PoolIOStats":
+        """An immutable copy of the counters as of this call."""
+        return PoolIOStats(
+            self.submitted_jobs,
+            self.submitted_bytes,
+            self.received_results,
+            self.received_bytes,
+            self.max_submission_bytes,
+        )
+
+    def delta(self, since: "PoolIOStats") -> "PoolIOStats":
+        """The traffic between ``since`` (an earlier snapshot) and now."""
+        return PoolIOStats(
+            self.submitted_jobs - since.submitted_jobs,
+            self.submitted_bytes - since.submitted_bytes,
+            self.received_results - since.received_results,
+            self.received_bytes - since.received_bytes,
+            max(self.max_submission_bytes, since.max_submission_bytes),
+        )
 
 
 class WorkerPool:
@@ -58,9 +104,13 @@ class WorkerPool:
         #: ``(pid, exit_code, batch_ids)`` context of the last crash, for
         #: post-mortem inspection after the :class:`ConcurrencyError`.
         self.crash_info: Optional[Tuple[List[Tuple[int, int]], List[int]]] = None
+        #: Dispatch traffic accounting (see :class:`PoolIOStats`).
+        self.io = PoolIOStats()
         self._lock = threading.Lock()
         self._inflight: Dict[Future, Optional[int]] = {}
         self._procs: Dict[int, object] = {}
+        #: Telemetry staged for quiesce-time folding: (result, batch_id).
+        self._staged: List[Tuple[ShardResult, Optional[int]]] = []
         self._m_batches = self._m_busy = self._m_rss = None
         self._m_beat = self._m_last = self._m_crashes = None
         if metrics is not None:
@@ -113,6 +163,9 @@ class WorkerPool:
                 "worker pool is broken (a worker process died); shut it "
                 "down and build a fresh pool"
             )
+        # Measure what the executor is about to serialise: the dispatch
+        # budget the perf-invariant tests gate on.
+        payload = len(pickle.dumps(args, protocol=pickle.HIGHEST_PROTOCOL))
         try:
             future = self._executor.submit(fn, *args)
         except BrokenProcessPool as exc:
@@ -129,6 +182,10 @@ class WorkerPool:
                 f"({self._describe_crash(dead, [])})"
             ) from exc
         with self._lock:
+            self.io.submitted_jobs += 1
+            self.io.submitted_bytes += payload
+            if payload > self.io.max_submission_bytes:
+                self.io.max_submission_bytes = payload
             self._inflight[future] = batch_id
             # Keep our own references to the worker Process objects:
             # the executor drops its dict entries while tearing down a
@@ -152,13 +209,14 @@ class WorkerPool:
             return len(self._inflight)
 
     def quiesce(self) -> None:
-        """Block until every in-flight job has completed."""
+        """Block until every in-flight job completed, then fold telemetry."""
         while True:
             with self._lock:
                 pending = list(self._inflight)
             if not pending:
-                return
+                break
             wait(pending)
+        self.fold_telemetry()
 
     def results(
         self,
@@ -205,9 +263,12 @@ class WorkerPool:
                 f"row store may hold partial results -- reset or rebuild "
                 f"the device before trusting cell contents"
             ) from exc
-        for result in results:
-            if isinstance(result, ShardResult):
-                self.note_result(result)
+        with self._lock:
+            self.io.received_results += len(results)
+            self.io.received_bytes += sum(
+                len(pickle.dumps(r, protocol=pickle.HIGHEST_PROTOCOL))
+                for r in results
+            )
         return results
 
     def _dead_workers(self, timeout_s: float = 2.0) -> List[Tuple[int, int]]:
@@ -254,31 +315,62 @@ class WorkerPool:
         return f"{workers}; in flight: {batches}"
 
     # ------------------------------------------------------------------
-    # Telemetry
+    # Telemetry (staged per batch, folded at quiesce time)
     # ------------------------------------------------------------------
     def note_result(
         self, result: ShardResult, batch_id: Optional[int] = None
     ) -> None:
-        """Fold one shard result's worker telemetry into the metrics."""
-        if self._m_batches is None or result.pid == 0:
+        """Stage one shard's telemetry for the next fold."""
+        if result.pid == 0:
             return
-        pid = str(result.pid)
-        self._m_batches.labels(pid=pid).inc()
-        self._m_busy.labels(pid=pid).inc(result.busy_ns)
-        self._m_rss.labels(pid=pid).set(result.rss_bytes)
-        self._m_beat.labels(pid=pid).set(result.heartbeat_ts)
-        if batch_id is not None:
-            self._m_last.labels(pid=pid).set(batch_id)
+        with self._lock:
+            self._staged.append((result, batch_id))
 
     def note_results(
-        self, results: List[object], batch_id: Optional[int] = None
+        self, results: List[ShardResult], batch_id: Optional[int] = None
     ) -> None:
-        """Record the batch id against each result's worker gauges."""
-        if self._m_last is None or batch_id is None:
-            return
+        """Stage a whole batch's telemetry for the next fold."""
         for result in results:
-            if isinstance(result, ShardResult) and result.pid:
-                self._m_last.labels(pid=str(result.pid)).set(batch_id)
+            if isinstance(result, ShardResult):
+                self.note_result(result, batch_id)
+
+    def fold_telemetry(self) -> int:
+        """Fold all staged telemetry into the worker metric families.
+
+        Runs at quiesce time (and whenever the device's statistics are
+        observed), never per batch -- the accounting the shared block
+        made zero-copy stays off the dispatch hot path.  Returns the
+        number of shard records folded.
+        """
+        with self._lock:
+            staged, self._staged = self._staged, []
+        if self._m_batches is None:
+            return len(staged)
+        for result, batch_id in staged:
+            pid = str(result.pid)
+            self._m_batches.labels(pid=pid).inc()
+            self._m_busy.labels(pid=pid).inc(result.busy_ns)
+            self._m_rss.labels(pid=pid).set(result.rss_bytes)
+            self._m_beat.labels(pid=pid).set(result.heartbeat_ts)
+            if batch_id is not None:
+                self._m_last.labels(pid=pid).set(batch_id)
+        return len(staged)
+
+    def drop_staged_telemetry(self) -> None:
+        """Discard staged telemetry (reset-epoch semantics).
+
+        ``reset_stats`` zeroes the registry; telemetry staged before the
+        reset belongs to the zeroed epoch, so folding it afterwards
+        would leak pre-reset counts into the fresh one.
+        """
+        with self._lock:
+            self._staged = []
+
+    @property
+    def staged_telemetry(self) -> int:
+        """Shard records staged and not yet folded."""
+        with self._lock:
+            return len(self._staged)
 
     def shutdown(self) -> None:
         """Stop the workers (idempotent; tolerates a broken pool)."""

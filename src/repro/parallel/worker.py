@@ -4,8 +4,29 @@ Each worker owns a process-global :class:`~repro.core.device.AmbitDevice`
 built over the parent's :class:`~repro.parallel.shm.SharedRowStore`
 segment, so the *functional* effect of every bulk operation it executes
 (the numpy gathers/scatters of the batch engine) lands directly in the
-parent-visible cell arrays -- nothing is pickled but the tiny
-:class:`ShardJob` description and the :class:`ShardResult` summary.
+parent-visible cell arrays.
+
+The dispatch protocol is **resident-plan, zero-copy**:
+
+* **Plans ship once.**  A batch's shard row-lists (and, for traced
+  batches, the tracer configuration) are *published* by the parent to
+  the plan board of the shared
+  :class:`~repro.parallel.accounting.SharedAccountingBlock`; the
+  per-batch :class:`ShardJob` carries only the board entry id plus a
+  few integers.  Workers fetch an entry the first time they see its id
+  and memoise the decoded rows (:data:`_RESIDENT`), so a warm batch
+  costs one dict lookup -- and the worker's persistent
+  :class:`~repro.engine.plan.PlanCache` keeps the compiled
+  microprograms hot across batches on top of that.
+* **Results travel through shared memory.**  A worker writes its
+  counters (rows, fused/fallback split, busy-ns, RSS, heartbeat) into
+  its shard's fixed-layout telemetry slot and returns only its shard
+  index; the parent reconstructs :class:`ShardResult` views from the
+  block and pickles nothing.
+* **Trace spools are zero-copy too.**  A traced job serialises its
+  JSON-lines events into the slot's spool region when they fit
+  (falling back to a spool file on overflow, flagged in the slot), so
+  the common traced batch never touches the filesystem.
 
 The split of responsibilities is strict:
 
@@ -20,29 +41,27 @@ The split of responsibilities is strict:
   plan cache (see :meth:`repro.engine.batch.BatchEngine.account_group`).
 
 Traced jobs are the one exception to "engine runs the shard": when a
-:class:`~repro.obs.remote.TracerConfig` rides along, the worker attaches
-a real tracer and executes its rows *one at a time* through the per-row
-command walk -- the only path that emits genuine per-primitive events --
-spooling them to a JSON-lines file the parent merges in canonical serial
-order (:mod:`repro.obs.remote`).  Cells stay bit-exact (the per-row walk
-is always correct); only wall-clock changes.
+tracer config rides along, the worker attaches a real tracer and
+executes its rows *one at a time* through the per-row command walk --
+the only path that emits genuine per-primitive events -- spooling them
+for the parent to merge in canonical serial order
+(:mod:`repro.obs.remote`).  Cells stay bit-exact (the per-row walk is
+always correct); only wall-clock changes.
 
 Workers are handed *disjoint banks*, so no two processes ever write the
 same (bank, subarray) slice; B-group scratch rows are per-subarray and
-therefore also disjoint.
-
-Every :class:`ShardResult` carries worker health telemetry (pid,
-batches served, busy-ns, peak RSS, a heartbeat timestamp) that the
-parent's :class:`~repro.parallel.pool.WorkerPool` folds into per-worker
-metrics gauges.
+therefore also disjoint, and telemetry slots are per-shard within one
+batch at a time.
 """
 
 from __future__ import annotations
 
+import io
 import os
+import pickle
 import time
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.dram.geometry import DramGeometry
 from repro.dram.timing import TimingParameters
@@ -59,16 +78,29 @@ class WorkerConfig:
     geometry: DramGeometry
     timing: TimingParameters
     split_decoder: bool = True
+    #: Name of the device's :class:`SharedAccountingBlock` segment.
+    block_name: Optional[str] = None
 
 
 @dataclass(frozen=True)
 class ShardJob:
-    """One worker's slice of a batched bulk operation."""
+    """One worker's slice of a batched bulk operation.
+
+    The resident-plan protocol keeps this O(1): after the parent has
+    published a batch shape once, a job is ``(op, entry id, shard,
+    batch id, clock)`` -- no row lists, no plan descriptions, no tracer
+    objects.  ``rows``/``tracer``/``spool_dir`` exist only as the
+    inline fallback for a full plan board, and the dispatch-budget
+    tests assert they stay ``None`` in the steady state.
+    """
 
     #: ``BulkOp.value`` -- the enum member is resolved worker-side so the
     #: job pickles to a handful of primitives.
     op: str
-    rows: Tuple[RowSpec, ...]
+    #: Plan-board entry id of the published shard row-lists.
+    resident: Optional[int] = None
+    #: Inline fallback when the plan board was full.
+    rows: Optional[Tuple[RowSpec, ...]] = None
     #: Parent clock at dispatch; retention stamps written by this shard
     #: use bank-parallel time (all shards start together, as on real
     #: hardware) rather than the serialized global clock.
@@ -76,18 +108,25 @@ class ShardJob:
     #: Parent-assigned batch identity, threaded through spool file names
     #: and crash context.
     batch_id: int = 0
-    #: This job's shard index within the batch.
+    #: This job's shard index within the batch (and telemetry slot).
     shard: int = 0
-    #: When set (a :class:`~repro.obs.remote.TracerConfig`), execute the
-    #: rows per-row under a spooling tracer instead of the batch engine.
+    #: Plan-board entry id of the published ``(TracerConfig,
+    #: spool_dir)`` pair; set on traced jobs.
+    tracer_resident: Optional[int] = None
+    #: Inline fallbacks for a full plan board (traced jobs only).
     tracer: Optional[object] = None
-    #: Directory for the trace spool file (required when tracing).
     spool_dir: Optional[str] = None
 
 
 @dataclass(frozen=True)
 class ShardResult:
-    """Summary a worker returns (cells travel via shared memory)."""
+    """Parent-side view of one shard's telemetry slot.
+
+    Workers no longer return this over the result pipe -- they return a
+    bare shard index and the parent rebuilds the view from the shared
+    accounting block (zero-copy).  The dataclass survives as the stable
+    API the pool's telemetry folding consumes.
+    """
 
     rows: int
     fused_rows: int
@@ -102,23 +141,31 @@ class ShardResult:
     heartbeat_ts: float = 0.0
     #: Shard jobs this worker process has served so far (including this).
     batches_served: int = 0
-    #: Spool file holding this job's trace events (traced jobs only).
+    #: Spool file holding this job's trace events (overflow fallback
+    #: only; ``None`` when the spool lives in the shared block).
     spool_path: Optional[str] = None
+    #: Bytes of trace spool in the shared block (0 = none).
+    spool_len: int = 0
 
 
 _STORE = None
 _DEVICE = None
+_BLOCK = None
 _BATCHES_SERVED = 0
+#: Memoised plan-board entries: id -> decoded payload.  Ids are
+#: immutable for a device's lifetime, so this never invalidates.
+_RESIDENT: Dict[int, object] = {}
 
 
 def initialize_worker(config: WorkerConfig) -> None:
-    """Pool initializer: attach the store, build the worker device.
+    """Pool initializer: attach the store and block, build the device.
 
     ``initialize_control_rows=False``: C0/C1 were stamped by the parent;
     re-poking them here would race other workers' reads for no reason.
     """
-    global _STORE, _DEVICE
+    global _STORE, _DEVICE, _BLOCK
     from repro.core.device import AmbitDevice
+    from repro.parallel.accounting import SharedAccountingBlock
     from repro.parallel.shm import SharedRowStore
 
     _STORE = SharedRowStore.attach(config.shm_name, config.geometry)
@@ -129,6 +176,12 @@ def initialize_worker(config: WorkerConfig) -> None:
         row_store=_STORE,
         initialize_control_rows=False,
     )
+    _BLOCK = (
+        SharedAccountingBlock.attach(config.block_name)
+        if config.block_name is not None
+        else None
+    )
+    _RESIDENT.clear()
 
 
 def _rss_bytes() -> int:
@@ -143,8 +196,37 @@ def _rss_bytes() -> int:
         return 0
 
 
-def run_shard(job: ShardJob) -> ShardResult:
-    """Execute one shard job on the process-global device."""
+def _fetch_resident(entry_id: int):
+    """Decode (and memoise) one plan-board entry."""
+    cached = _RESIDENT.get(entry_id)
+    if cached is None:
+        cached = _RESIDENT[entry_id] = pickle.loads(_BLOCK.fetch(entry_id))
+    return cached
+
+
+def _job_rows(job: ShardJob) -> Tuple[RowSpec, ...]:
+    """This job's row list: resident entry, or the inline fallback."""
+    if job.resident is not None:
+        return _fetch_resident(job.resident)[job.shard]
+    if job.rows is None:  # pragma: no cover - dispatch contract
+        raise RuntimeError("shard job carries neither resident id nor rows")
+    return job.rows
+
+
+def _job_tracer(job: ShardJob):
+    """(TracerConfig, spool_dir) of a traced job, or (None, None)."""
+    if job.tracer_resident is not None:
+        return _fetch_resident(job.tracer_resident)
+    return job.tracer, job.spool_dir
+
+
+def run_shard(job: ShardJob) -> int:
+    """Execute one shard job; results land in the accounting block.
+
+    Returns the shard index -- the only payload that crosses the result
+    pipe.  Everything else (counters, spool, health telemetry) is
+    written into the job's telemetry slot of the shared block.
+    """
     from repro.core.microprograms import BulkOp
     from repro.dram.chip import RowLocation
 
@@ -161,7 +243,7 @@ def run_shard(job: ShardJob) -> ShardResult:
 
     op = BulkOp(job.op)
     dst, src1, src2, src3 = [], [], [], []
-    for bank, sub, dk, di, dj, dl in job.rows:
+    for bank, sub, dk, di, dj, dl in _job_rows(job):
         dst.append(RowLocation(bank, sub, dk))
         src1.append(RowLocation(bank, sub, di))
         if dj is not None:
@@ -169,9 +251,11 @@ def run_shard(job: ShardJob) -> ShardResult:
         if dl is not None:
             src3.append(RowLocation(bank, sub, dl))
 
-    spool_path = None
-    if job.tracer is not None:
-        spool_path = _run_traced(device, job, op, dst, src1, src2, src3)
+    tracer_config, spool_dir = _job_tracer(job)
+    if tracer_config is not None:
+        _run_traced(
+            device, job, op, dst, src1, src2, src3, tracer_config, spool_dir
+        )
         fused = 0
     else:
         report = device.engine.run_rows(
@@ -184,34 +268,37 @@ def run_shard(job: ShardJob) -> ShardResult:
         fused = report.fused_rows
 
     _BATCHES_SERVED += 1
-    return ShardResult(
+    _BLOCK.write_telemetry(
+        job.shard,
+        pid=os.getpid(),
         rows=len(dst),
         fused_rows=fused,
-        fallback_rows=len(dst) - fused,
-        pid=os.getpid(),
-        busy_ns=time.perf_counter_ns() - started,
         rss_bytes=_rss_bytes(),
-        heartbeat_ts=time.time(),
         batches_served=_BATCHES_SERVED,
-        spool_path=spool_path,
+        busy_ns=time.perf_counter_ns() - started,
+        heartbeat_ts=time.time(),
     )
+    return job.shard
 
 
-def _run_traced(device, job: ShardJob, op, dst, src1, src2, src3) -> str:
-    """Execute a traced shard per-row, spooling events; returns the path.
+def _run_traced(
+    device, job: ShardJob, op, dst, src1, src2, src3, tracer_config, spool_dir
+) -> None:
+    """Execute a traced shard per-row, spooling events zero-copy.
 
     Per-row execution in job order is what makes the parent-side merge
     exact: every row contributes one contiguous event segment ending in
     its ``kind="op"`` event, and rows of one bank retain the serial
     engine's FIFO order (cross-bank order is functionally irrelevant --
     shards own disjoint banks).
+
+    Events serialise into an in-memory buffer first; if they fit the
+    block's per-slot spool region they are published there (zero-copy),
+    otherwise they spill to the traditional per-(batch, shard) spool
+    file, with the slot flagged so the parent knows where to look.
     """
-    if job.spool_dir is None:  # pragma: no cover - dispatch contract
-        raise RuntimeError("traced shard job without a spool directory")
-    spool_path = os.path.join(
-        job.spool_dir, f"batch{job.batch_id}-shard{job.shard}.jsonl"
-    )
-    tracer = job.tracer.build(spool_path)
+    buffer = io.StringIO()
+    tracer = tracer_config.build(buffer)
     device.chip.tracer = tracer
     try:
         for i in range(len(dst)):
@@ -225,7 +312,20 @@ def _run_traced(device, job: ShardJob, op, dst, src1, src2, src3) -> str:
     finally:
         device.chip.tracer = None
         tracer.close()
-    return spool_path
+    data = buffer.getvalue().encode("utf-8")
+    if not _BLOCK.write_spool(job.shard, data):
+        if spool_dir is None:  # pragma: no cover - dispatch contract
+            raise RuntimeError(
+                "trace spool overflowed the shared block and no spool "
+                "directory was provided"
+            )
+        with open(spool_file_path(spool_dir, job.batch_id, job.shard), "w") as f:
+            f.write(buffer.getvalue())
+
+
+def spool_file_path(spool_dir: str, batch_id: int, shard: int) -> str:
+    """The overflow spool file of one (batch, shard) -- both sides agree."""
+    return os.path.join(spool_dir, f"batch{batch_id}-shard{shard}.jsonl")
 
 
 def crash(exit_code: int = 1) -> None:  # pragma: no cover - runs in worker

@@ -276,3 +276,149 @@ def test_spool_round_trips_events(tmp_path):
     assert back.kind == event.kind and back.name == event.name
     assert back.ts_ns == event.ts_ns and back.dur_ns == event.dur_ns
     assert back.bank == event.bank and back.attrs == event.attrs
+
+
+def test_events_from_bytes_matches_file_parsing(tmp_path):
+    from repro.obs.remote import events_from_bytes
+
+    events = [
+        TraceEvent(kind="cmd", name="ACT", ts_ns=float(i), dur_ns=35.0,
+                   bank=i % 2, seq=i)
+        for i in range(4)
+    ]
+    blob = "".join(
+        json.dumps(e.to_json()) + "\n" for e in events
+    ).encode("utf-8")
+    path = tmp_path / "spool.jsonl"
+    path.write_bytes(blob)
+    assert events_from_bytes(blob) == read_spool(str(path))
+
+
+# ----------------------------------------------------------------------
+# Zero-copy spools through the shared accounting block
+# ----------------------------------------------------------------------
+def _spool_dir_files(sharded):
+    import os
+
+    if sharded._spool_dir is None:
+        return []
+    return os.listdir(sharded._spool_dir)
+
+
+def test_traced_spools_travel_zero_copy_not_as_files():
+    """In the steady state the spool never touches the filesystem: the
+    workers write it into their accounting-block slot and the parent
+    merges straight from shared memory."""
+    from repro.parallel.accounting import SPOOL_IN_FILE
+
+    serial, ring_s, _ = _traced_serial(BulkOp.AND, 55, UNEVEN_SPREAD)
+
+    with ShardedDevice(geometry=GEO, max_workers=3) as sharded:
+        _fill(sharded, 55)
+        ring_p = RingBufferSink()
+        sharded.attach_tracer(Tracer(
+            sinks=(ring_p,), timing=sharded.timing,
+            row_bytes=sharded.row_bytes,
+        ))
+        dst, src1, src2, _ = _spread_rows(UNEVEN_SPREAD, 2)
+        report = sharded.run_rows(BulkOp.AND, dst, src1, src2)
+
+        _assert_streams_identical(ring_s.events, ring_p.events)
+        # Every shard's spool stayed in the block...
+        for shard in range(report.shards):
+            telemetry = sharded.block.read_telemetry(shard)
+            assert telemetry.spool_len > 0
+            assert not telemetry.spool_flags & SPOOL_IN_FILE
+        # ...and the fallback directory holds no files.
+        assert _spool_dir_files(sharded) == []
+
+
+def test_spool_overflow_falls_back_to_files_bit_identically():
+    """A spool slot too small for the batch flips the SPOOL_IN_FILE flag
+    and routes through the legacy file path -- the merged stream must
+    not change, and the consumed files are discarded."""
+    from repro.parallel.accounting import SPOOL_IN_FILE
+
+    serial, ring_s, _ = _traced_serial(BulkOp.XOR, 66, UNEVEN_SPREAD)
+
+    with ShardedDevice(
+        geometry=GEO, max_workers=3, spool_capacity=64
+    ) as sharded:
+        _fill(sharded, 66)
+        ring_p = RingBufferSink()
+        sharded.attach_tracer(Tracer(
+            sinks=(ring_p,), timing=sharded.timing,
+            row_bytes=sharded.row_bytes,
+        ))
+        dst, src1, src2, _ = _spread_rows(UNEVEN_SPREAD, 2)
+        report = sharded.run_rows(BulkOp.XOR, dst, src1, src2)
+
+        _assert_streams_identical(ring_s.events, ring_p.events)
+        for shard in range(report.shards):
+            telemetry = sharded.block.read_telemetry(shard)
+            assert telemetry.spool_flags & SPOOL_IN_FILE
+            assert telemetry.spool_len == 0
+        # The merge consumed and discarded every fallback file.
+        assert _spool_dir_files(sharded) == []
+
+
+def test_mid_run_quiesce_preserves_trace_identity():
+    """Quiescing between traced batches (folding worker telemetry and
+    draining the pool) must not disturb the merged stream or the
+    accounting of later batches."""
+    op = BulkOp.OR
+    serial, ring_s, _ = _traced_serial(op, 77, UNEVEN_SPREAD)
+    dst, src1, src2, src3 = _spread_rows(UNEVEN_SPREAD, op.arity)
+    serial.engine.run_rows(op, dst, src1, src2, src3)
+
+    with ShardedDevice(geometry=GEO, max_workers=3) as sharded:
+        _fill(sharded, 77)
+        ring_p = RingBufferSink()
+        sharded.attach_tracer(Tracer(
+            sinks=(ring_p,), timing=sharded.timing,
+            row_bytes=sharded.row_bytes,
+        ))
+        sharded.run_rows(op, dst, src1, src2, src3)
+        sharded.quiesce()
+        batches = sharded.metrics.get("ambit_worker_batches_total")
+        folded = sum(c.value for c in batches.children.values())
+        assert folded == 3  # one shard job per worker slot folded
+        sharded.run_rows(op, dst, src1, src2, src3)
+
+        import dataclasses
+
+        core = _core_events(ring_p.events)
+        assert len(ring_s.events) == len(core)
+        for a, b in zip(ring_s.events, core):
+            assert a == dataclasses.replace(b, pid=a.pid, seq=a.seq), (a, b)
+        assert serial.elapsed_ns == sharded.elapsed_ns
+
+
+def test_worker_crash_and_rebuild_keeps_traced_batches_exact():
+    """A traced batch after a worker crash runs on the rebuilt pool and
+    still merges bit-identically -- the crashed pool left no partial
+    spool or telemetry behind."""
+    from repro.errors import ConcurrencyError
+    from repro.parallel.worker import crash
+
+    serial, ring_s, counters_s = _traced_serial(BulkOp.AND, 88, UNEVEN_SPREAD)
+
+    with ShardedDevice(geometry=GEO, max_workers=3) as sharded:
+        _fill(sharded, 88)
+        ring_p, counters_p = RingBufferSink(), CounterSink()
+        sharded.attach_tracer(Tracer(
+            sinks=(ring_p, counters_p), timing=sharded.timing,
+            row_bytes=sharded.row_bytes,
+        ))
+        pool = sharded._ensure_pool()
+        future = pool.submit(crash, 5)
+        with pytest.raises(ConcurrencyError, match="died"):
+            pool.results([future])
+
+        dst, src1, src2, _ = _spread_rows(UNEVEN_SPREAD, 2)
+        report = sharded.run_rows(BulkOp.AND, dst, src1, src2)
+        assert report.shards == 3
+        assert sharded.pool is not pool
+
+        assert counters_s.counters.as_dict() == counters_p.counters.as_dict()
+        _assert_streams_identical(ring_s.events, ring_p.events)

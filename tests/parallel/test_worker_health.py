@@ -136,7 +136,9 @@ def test_reset_stats_zeroes_metrics_and_counters_atomically():
         assert all(c.sum == 0.0 for c in latency.children.values())
 
         # The next batch lands in the fresh epoch, consistent again.
+        # (Worker telemetry folds at quiesce time, not per batch.)
         sharded.run_rows(BulkOp.OR, dst, src1, src2)
+        sharded.quiesce()
         assert sum(
             _gauge_values(registry, "ambit_ops_total").values()
         ) == len(dst)
