@@ -77,6 +77,25 @@ def test_bench_parallel():
     assert io["submitted_jobs"] > 0
     assert io["max_submission_bytes"] < 1024
 
+    # The Monte Carlo arm either wins or says why not: the tuner's
+    # worker-count decision lands in the payload as a tier, and a
+    # declined fan-out (single core, dispatch-bound) must carry its
+    # reason -- never a silent sub-1x "speedup".
+    mc = payload["montecarlo"]
+    assert mc["speedup_tier"] in (
+        "tuned", "waived-single-core", "waived-dispatch-bound"
+    )
+    if mc["speedup_tier"] == "tuned":
+        assert mc["jobs_effective"] >= 2
+        assert mc["speedup"] > 1.0, (
+            f"tuned Monte Carlo fan-out at {mc['jobs_effective']} workers "
+            f"lost to the in-process run ({mc['speedup']:.2f}x); the "
+            f"cost model mispredicted"
+        )
+    else:
+        assert mc["jobs_effective"] == 1
+        assert mc["waiver_reason"]
+
     cores = default_jobs()
     tier, required, bulk_required = speedup_tier(cores)
     payload["required_speedup"] = required

@@ -13,8 +13,11 @@ Usage::
     python -m repro profile [WORKLOAD] [--chrome-trace FILE] [--jsonl FILE]
     python -m repro metrics [WORKLOAD]   # Prometheus/JSON metric exposition
     python -m repro top [--jobs N]       # per-op + per-worker health view
+    python -m repro top --url URL        # same view for a remote server
     python -m repro bench [--jobs N]     # serial vs multi-process timing
     python -m repro bench --check        # regression gate vs committed JSON
+    python -m repro serve [--port P]     # async bulk-bitwise NDJSON service
+    python -m repro loadgen [--clients N]  # deterministic SLO load soak
 
 Every command prints the same formatted table the corresponding
 benchmark writes to ``benchmarks/results/``.
@@ -219,6 +222,33 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
 def _cmd_top(args: argparse.Namespace) -> int:
     import numpy as np
 
+    if args.url:
+        import json
+        import urllib.error
+        import urllib.request
+
+        from repro.obs.metrics import format_top, registry_from_snapshot
+
+        url = args.url.rstrip("/")
+        if not url.startswith("http"):
+            url = f"http://{url}"
+        # Accept the exposition paths too: HOST:P, HOST:P/metrics and
+        # HOST:P/metrics.json all address the same server.
+        for suffix in ("/metrics.json", "/metrics"):
+            if url.endswith(suffix):
+                url = url[: -len(suffix)]
+                break
+        try:
+            with urllib.request.urlopen(f"{url}/metrics.json", timeout=10) as r:
+                snapshot = json.loads(r.read())
+        except (urllib.error.URLError, OSError, ValueError) as exc:
+            print(f"top: cannot scrape {url}/metrics.json: {exc}",
+                  file=sys.stderr)
+            return 2
+        print(f"top: remote registry at {url}\n")
+        print(format_top(registry_from_snapshot(snapshot)))
+        return 0
+
     from repro.core.microprograms import BulkOp
     from repro.dram.chip import RowLocation
     from repro.dram.geometry import DramGeometry, SubarrayGeometry
@@ -328,6 +358,90 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return report.exit_code
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.errors import ConfigError
+    from repro.serve import BulkBitwiseServer, ServeConfig
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        banks=args.banks,
+        rows=args.rows,
+        row_bytes=args.row_bytes,
+        jobs=args.jobs,
+        coalesce=not args.no_coalesce,
+        max_queue=args.max_queue,
+        max_batch_ops=args.max_batch_ops,
+        max_vectors=args.max_vectors,
+        max_rows=args.max_rows,
+        max_inflight=args.max_inflight,
+        fault_rate=args.fault_rate,
+        seed=args.seed,
+        metrics_port=args.metrics_port,
+    )
+
+    async def _serve() -> None:
+        server = BulkBitwiseServer(config)
+        await server.start()
+        print(f"serving bulk-bitwise NDJSON on "
+              f"{config.host}:{server.port}", file=sys.stderr)
+        if server.metrics_server is not None:
+            base = server.metrics_server.url.rsplit("/metrics", 1)[0]
+            print(f"metrics at {server.metrics_server.url} "
+                  f"(watch with: repro top --url {base})",
+                  file=sys.stderr)
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.close()
+
+    try:
+        asyncio.run(_serve())
+    except ConfigError as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        print("serve: stopped", file=sys.stderr)
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigError
+    from repro.serve.loadgen import (
+        LoadGenConfig,
+        format_loadgen,
+        run_loadgen,
+    )
+
+    try:
+        report = run_loadgen(LoadGenConfig(
+            clients=args.clients,
+            ops=args.ops,
+            bits=args.bits,
+            seed=args.seed,
+            concurrency=args.concurrency,
+            p99_slo_ms=args.p99_slo_ms,
+            connect=args.connect,
+            jobs=args.jobs,
+            fault_rate=args.fault_rate,
+            quota_probe=not args.no_quota_probe,
+            burst=args.burst,
+            expect_coalescing=args.expect_coalescing,
+            expect_backpressure=args.expect_backpressure,
+            expect_quota=args.expect_quota,
+            expect_faults=args.expect_faults,
+        ))
+    except ConfigError as exc:
+        print(f"loadgen: {exc}", file=sys.stderr)
+        return 2
+    print(format_loadgen(report))
+    return report.exit_code
+
+
 def _cmd_report(args: argparse.Namespace) -> None:
     from repro.report import ReportConfig, generate_report
 
@@ -355,6 +469,8 @@ def _cmd_list(args: argparse.Namespace) -> None:
         ("top", "per-op latency + per-worker health view"),
         ("bench", "serial vs multi-process wall-clock benchmark"),
         ("chaos", "fault-injection soak with detection and recovery"),
+        ("serve", "NDJSON/TCP bulk-bitwise service (coalescing front door)"),
+        ("loadgen", "deterministic client swarm + SLO soak against serve"),
         ("report", "full markdown reproduction report"),
     ):
         print(f"  {name:<8} {doc}")
@@ -450,6 +566,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker processes for the sharded run")
     p.add_argument("--banks", type=int, default=4)
     p.add_argument("--row-bytes", type=int, default=512)
+    p.add_argument("--url", default=None, metavar="URL",
+                   help="scrape a remote MetricsServer (/metrics.json) "
+                        "instead of running a local workload")
     p.set_defaults(func=_cmd_top)
 
     p = sub.add_parser(
@@ -506,6 +625,87 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scrape", action="store_true",
                    help="also print the ambit_faults_* Prometheus families")
     p.set_defaults(func=_cmd_chaos)
+
+    p = sub.add_parser(
+        "serve",
+        help="NDJSON/TCP bulk-bitwise service with a coalescing front "
+             "door (Ctrl-C to stop)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="TCP port (0 = ephemeral; the bound port is "
+                        "printed)")
+    p.add_argument("--banks", type=int, default=4)
+    p.add_argument("--rows", type=int, default=512,
+                   help="rows per subarray (capacity)")
+    p.add_argument("--row-bytes", type=int, default=512)
+    p.add_argument("--jobs", type=int, default=1,
+                   help=">= 2 serves from a sharded multi-process device")
+    p.add_argument("--no-coalesce", action="store_true",
+                   help="dispatch one request per engine batch "
+                        "(benchmark control arm)")
+    p.add_argument("--max-queue", type=int, default=4096,
+                   help="admission queue bound; overflow is rejected "
+                        "with a backpressure error")
+    p.add_argument("--max-batch-ops", type=int, default=512,
+                   help="max requests fused into one drain cycle")
+    p.add_argument("--max-vectors", type=int, default=16,
+                   help="per-tenant vector quota (0 = unlimited)")
+    p.add_argument("--max-rows", type=int, default=512,
+                   help="per-tenant row quota (0 = unlimited)")
+    p.add_argument("--max-inflight", type=int, default=64,
+                   help="per-tenant in-flight op quota (0 = unlimited)")
+    p.add_argument("--fault-rate", type=float, default=0.0,
+                   help="> 0 injects a deterministic fault plan under "
+                        "the live service")
+    p.add_argument("--seed", type=int, default=0,
+                   help="seeds the fault plan")
+    p.add_argument("--metrics-port", type=int, default=None, metavar="PORT",
+                   help="also serve /metrics and /metrics.json (watch "
+                        "remotely with: repro top --url HOST:PORT)")
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "loadgen",
+        help="deterministic client swarm + SLO soak against the serve "
+             "front door; exit 1 on bit mismatch, SLO miss or a failed "
+             "expectation",
+    )
+    p.add_argument("--clients", type=int, default=64,
+                   help="concurrent tenants")
+    p.add_argument("--ops", type=int, default=16,
+                   help="awaited bulk ops per client")
+    p.add_argument("--bits", type=int, default=4096,
+                   help="vector width in bits")
+    p.add_argument("--seed", type=int, default=0,
+                   help="seeds every client schedule and payload")
+    p.add_argument("--concurrency", type=int, default=128,
+                   help="max simultaneous client connections")
+    p.add_argument("--p99-slo-ms", type=float, default=500.0,
+                   help="p99 request-latency SLO")
+    p.add_argument("--connect", default=None, metavar="HOST:PORT",
+                   help="target an already-running server instead of "
+                        "self-hosting one")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="self-hosted server worker processes")
+    p.add_argument("--fault-rate", type=float, default=0.0,
+                   help="self-hosted server fault-injection rate")
+    p.add_argument("--no-quota-probe", action="store_true",
+                   help="skip the deliberate vector-quota probe")
+    p.add_argument("--burst", type=int, default=96,
+                   help="pipelined burst size used to provoke "
+                        "backpressure (0 = skip)")
+    p.add_argument("--expect-coalescing", action="store_true",
+                   help="fail unless the server fused >= 1 batch")
+    p.add_argument("--expect-backpressure", action="store_true",
+                   help="fail unless the burst drew >= 1 backpressure "
+                        "rejection")
+    p.add_argument("--expect-quota", action="store_true",
+                   help="fail unless the probe drew >= 1 quota rejection")
+    p.add_argument("--expect-faults", action="store_true",
+                   help="fail unless >= 1 fault was injected and every "
+                        "one was recovered")
+    p.set_defaults(func=_cmd_loadgen)
 
     p = sub.add_parser("report", help="full reproduction report (markdown)")
     p.add_argument("--fast", action="store_true",

@@ -25,6 +25,7 @@ per-controller, and the controller's configuration is immutable.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
@@ -81,18 +82,21 @@ class PlanCache:
         timing: TimingParameters,
         split_decoder: bool = True,
         metrics: Optional[object] = None,
+        max_plans: Optional[int] = None,
     ):
         self.amap = amap
         self.timing = timing
         self.split_decoder = split_decoder
-        self._plans: Dict[PlanKey, RowPlan] = {}
+        self._plans: "OrderedDict[PlanKey, RowPlan]" = OrderedDict()
         self._commands: Dict[Tuple[PlanKey, int, int], Tuple[IssuedCommand, ...]] = {}
         self._wordline_counts: Optional[Dict[int, int]] = None
         #: Cache statistics; reset with :meth:`reset_counters` (the
         #: compiled plans themselves survive a stats reset).
         self.hits = 0
         self.misses = 0
-        self._m_hits = self._m_misses = None
+        self.evictions = 0
+        self._max_plans: Optional[int] = None
+        self._m_hits = self._m_misses = self._m_evictions = None
         if metrics is not None:
             self._m_hits = metrics.counter(
                 "ambit_plan_cache_hits_total", "Plan-cache hits"
@@ -101,16 +105,53 @@ class PlanCache:
                 "ambit_plan_cache_misses_total",
                 "Plan-cache misses (microprogram compilations)",
             )
+            self._m_evictions = metrics.counter(
+                "ambit_plan_cache_evictions_total",
+                "Plans evicted by the LRU bound (multi-tenant churn)",
+            )
             plans_gauge = metrics.gauge(
                 "ambit_plan_cache_plans", "Distinct compiled plans held"
             )
             metrics.register_collector(
                 lambda: plans_gauge.set(len(self._plans))
             )
+        if max_plans is not None:
+            self.max_plans = max_plans
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
         return len(self._plans)
+
+    @property
+    def max_plans(self) -> Optional[int]:
+        """LRU bound on compiled plans (``None`` = unbounded).
+
+        A single workload compiles a handful of plans and never needs a
+        bound; a multi-tenant service allocating and freeing vectors at
+        churn compiles an unbounded stream of address combinations, so
+        the serving layer installs a bound here.  Setting it trims the
+        cache immediately (least recently used first) and counts each
+        drop in ``ambit_plan_cache_evictions_total``.
+        """
+        return self._max_plans
+
+    @max_plans.setter
+    def max_plans(self, bound: Optional[int]) -> None:
+        if bound is not None and bound < 1:
+            raise ValueError(f"max_plans must be >= 1 or None; got {bound}")
+        self._max_plans = bound
+        self._trim()
+
+    def _trim(self) -> None:
+        while self._max_plans is not None and len(self._plans) > self._max_plans:
+            key, _ = self._plans.popitem(last=False)
+            # The flat command schedules are keyed by plan; drop them
+            # with it or the cache bound would not bound memory.
+            for ckey in [c for c in self._commands if c[0] == key]:
+                del self._commands[ckey]
+            self.evictions += 1
+            if self._m_evictions is not None:
+                self._m_evictions.inc()
 
     def get(
         self,
@@ -133,6 +174,8 @@ class PlanCache:
             self.hits += 1
             if self._m_hits is not None:
                 self._m_hits.inc()
+            if self._max_plans is not None:
+                self._plans.move_to_end(key)
             return plan
         self.misses += 1
         if self._m_misses is not None:
@@ -154,6 +197,7 @@ class PlanCache:
             ),
         )
         self._plans[key] = plan
+        self._trim()
         return plan
 
     def reset_counters(self) -> None:

@@ -561,15 +561,71 @@ class MetricsServer:
 
 
 # ----------------------------------------------------------------------
+# Snapshot round-trip (remote "repro top --url")
+# ----------------------------------------------------------------------
+def registry_from_snapshot(snapshot: Dict[str, Any]) -> MetricsRegistry:
+    """Rebuild a registry from a :meth:`MetricsRegistry.snapshot` payload.
+
+    The inverse of exposition, used by ``repro top --url`` to render
+    the health view of a *remote* process from its ``/metrics.json``
+    endpoint.  Histogram bucket bounds are recovered from the
+    snapshot's own keys and re-sorted numerically -- JSON transports
+    (and ``sort_keys`` serializers in particular) are free to reorder
+    object keys, and "1024" sorts before "16" as a string -- so
+    families with non-default buckets, e.g. the serving layer's wide
+    request-latency histogram, round-trip exactly.  Families
+    snapshotted with no samples carry no label schema to rebuild and
+    are skipped; they would render as empty sections anyway.
+    """
+    registry = MetricsRegistry()
+    for name, data in snapshot.items():
+        samples = data.get("samples", [])
+        if not samples:
+            continue
+        kind = data.get("type", "gauge")
+        help_text = data.get("help", "")
+        label_names = tuple(samples[0].get("labels", {}).keys())
+        if kind == "histogram":
+            bounds = sorted(
+                float(key)
+                for key in samples[0]["buckets"]
+                if key not in ("+Inf", "-Inf")
+            )
+            family = registry.histogram(
+                name, help_text, labels=label_names, buckets=bounds
+            )
+            for sample in samples:
+                child = family.labels(**sample.get("labels", {}))
+                by_bound = {
+                    (math.inf if key == "+Inf" else float(key)): int(count)
+                    for key, count in sample["buckets"].items()
+                }
+                counts = [by_bound[b] for b in bounds]
+                counts.append(by_bound.get(math.inf, 0))
+                child.bucket_counts = counts  # type: ignore[union-attr]
+                child.count = int(sample.get("count", sum(counts)))  # type: ignore[union-attr]
+                child.sum = float(sample.get("sum", 0.0))  # type: ignore[union-attr]
+        else:
+            ctor = registry.counter if kind == "counter" else registry.gauge
+            family = ctor(name, help_text, labels=label_names)
+            for sample in samples:
+                child = family.labels(**sample.get("labels", {}))
+                child.value = float(sample.get("value", 0.0))  # type: ignore[union-attr]
+    return registry
+
+
+# ----------------------------------------------------------------------
 # The "repro top" view
 # ----------------------------------------------------------------------
 def format_top(registry: MetricsRegistry, now: Optional[float] = None) -> str:
     """Render a ``top``-style text view of a device registry.
 
-    Three sections: per-op accounted latency (count + p50/p95/p99 from
+    Four sections: per-op accounted latency (count + p50/p95/p99 from
     the fixed-bucket histograms, sorted by total busy time), the plan
-    cache, and per-worker health (batches served, busy-ns, RSS,
-    heartbeat age).  Sections with no data are elided.
+    cache, the serving layer (per-command request counts and latency
+    quantiles, coalescing and flow-control totals), and per-worker
+    health (batches served, busy-ns, RSS, heartbeat age).  Sections
+    with no data are elided.
     """
     registry.collect()
     now = time.time() if now is None else now
@@ -606,6 +662,55 @@ def format_top(registry: MetricsRegistry, now: Optional[float] = None) -> str:
         lines.append(
             f"plan cache: {int(hits.value)} hits / {int(misses.value)} "
             f"misses ({rate:.1f}% hit rate), {size} compiled plan(s)"
+        )
+
+    serve_requests = registry.get("ambit_serve_requests_total")
+    if serve_requests is not None and serve_requests.children:
+        latency = registry.get("ambit_serve_request_latency_ns")
+        by_cmd: Dict[str, List[int]] = {}
+        for (cmd, status), child in serve_requests.children.items():
+            bucket = by_cmd.setdefault(cmd, [0, 0])
+            bucket[0 if status == "ok" else 1] += int(child.value)  # type: ignore[union-attr]
+        lines.append("")
+        lines.append(
+            f"{'serve cmd':>10} {'ok':>9} {'errors':>8} {'p50 ms':>9} "
+            f"{'p95 ms':>9} {'p99 ms':>9}"
+        )
+        for cmd in sorted(by_cmd):
+            ok_count, err_count = by_cmd[cmd]
+            pct = {"p50": math.nan, "p95": math.nan, "p99": math.nan}
+            if latency is not None:
+                child = latency.children.get((cmd,))
+                if child is not None and child.count:  # type: ignore[union-attr]
+                    pct = child.percentiles()  # type: ignore[union-attr]
+            lines.append(
+                f"{cmd:>10} {ok_count:>9} {err_count:>8} "
+                f"{pct['p50'] / 1e6:>9.2f} {pct['p95'] / 1e6:>9.2f} "
+                f"{pct['p99'] / 1e6:>9.2f}"
+            )
+
+        def _sum(name: str) -> int:
+            family = registry.get(name)
+            if family is None:
+                return 0
+            return int(sum(
+                child.value  # type: ignore[union-attr]
+                for child in family.children.values()
+                if hasattr(child, "value")
+            ))
+
+        fused = _sum("ambit_serve_coalesced_batches_total")
+        dispatched = _sum("ambit_serve_batches_total")
+        lines.append(
+            f"serve: {fused}/{dispatched} batches coalesced, "
+            f"backpressure {_sum('ambit_serve_backpressure_total')}, "
+            f"quota rejections {_sum('ambit_serve_quota_rejections_total')}, "
+            f"queue depth {_sum('ambit_serve_queue_depth')}"
+        )
+        lines.append(
+            f"serve: {_sum('ambit_serve_tenants')} tenant(s), "
+            f"{_sum('ambit_serve_vectors')} vector(s), "
+            f"{_sum('ambit_serve_slots_free')} free slot(s)"
         )
 
     batches = registry.get("ambit_worker_batches_total")

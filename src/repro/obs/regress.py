@@ -209,6 +209,46 @@ def load_baseline(path: str) -> Dict[str, Any]:
         return json.load(handle)
 
 
+def waiver_checks(payload: Any, prefix: str = "") -> List[MetricCheck]:
+    """Passing checks for every ``speedup_tier: waived-*`` in a payload.
+
+    A waived floor is a *decision* (single-core host, dispatch-bound
+    fan-out, ...), and decisions that pass silently rot: nobody notices
+    when a benchmark stops gating.  This walks the fresh payload and
+    emits one passing :class:`MetricCheck` per waiver so the
+    ``repro bench --check`` report prints the reason next to the real
+    gates.  The sibling ``waiver_reason`` key, when present, supplies
+    the stated reason; otherwise the tier string stands alone.
+    """
+    checks: List[MetricCheck] = []
+    if not isinstance(payload, dict):
+        return checks
+    for key in sorted(payload):
+        value = payload[key]
+        path = f"{prefix}{key}"
+        if (
+            key == "speedup_tier"
+            and isinstance(value, str)
+            and value.startswith("waived")
+        ):
+            reason = payload.get("waiver_reason")
+            detail = f"waiver: {value}"
+            if isinstance(reason, str) and reason:
+                detail += f" -- {reason}"
+            checks.append(
+                MetricCheck(
+                    path=path,
+                    baseline=value,
+                    current=value,
+                    ok=True,
+                    detail=detail,
+                )
+            )
+        elif isinstance(value, dict):
+            checks.extend(waiver_checks(value, prefix=f"{path}."))
+    return checks
+
+
 # ----------------------------------------------------------------------
 # The repository's gated benchmarks
 # ----------------------------------------------------------------------
@@ -244,12 +284,31 @@ ENGINE_SPECS: Tuple[MetricSpec, ...] = (
 )
 
 
+#: ``BENCH_serve.json`` gate.  Op counts and the single-arm batch shape
+#: are seed-deterministic; throughputs and the coalescing ratio are
+#: wall-clock (but also carry an absolute floor, added in
+#: :func:`run_bench_check`).
+SERVE_SPECS: Tuple[MetricSpec, ...] = (
+    MetricSpec("bit_exact", EQUAL,
+               note="both arms must verify bit-exact read-back"),
+    MetricSpec("coalesced.ops_ok", EQUAL,
+               note="every client op must land (quotas are open)"),
+    MetricSpec("single.mean_batch_requests", EQUAL, tolerance=1e-9,
+               note="the control arm must stay one request per batch"),
+    MetricSpec("coalesced.mean_batch_requests", HIGHER, tolerance=0.8,
+               note="batch shaping; scheduler-dependent"),
+    MetricSpec("speedup", HIGHER, tolerance=0.9,
+               note="wall-clock; hosts differ"),
+)
+
+
 def run_bench_check(
     results_dir: str,
     repeats: Optional[int] = None,
     tolerance_scale: float = 1.0,
     skip_engine: bool = False,
     skip_parallel: bool = False,
+    skip_serve: bool = False,
 ) -> List[RegressionReport]:
     """Re-run the gated benchmarks and compare against the baselines.
 
@@ -327,10 +386,49 @@ def run_bench_check(
                     ok=True,
                     detail=f"waived: single-core host ({speedup:g}x recorded)",
                 ))
+            # Surface every recorded waiver next to the real gates so a
+            # benchmark that stopped gating says so out loud.
+            report.checks.extend(waiver_checks(fresh))
             reports.append(report)
         else:
             reports.append(
                 RegressionReport(name="BENCH_parallel (no baseline)")
             )
+
+    serve_path = os.path.join(results_dir, "BENCH_serve.json")
+    if not skip_serve:
+        if os.path.exists(serve_path):
+            from repro.serve.bench import ServeBenchConfig, run_serve_bench
+
+            baseline = load_baseline(serve_path)
+            raw = dict(baseline.get("config", {}))
+            if repeats is not None:
+                raw["repeats"] = repeats
+            fresh = run_serve_bench(ServeBenchConfig(**raw))
+            report = compare("BENCH_serve", baseline, fresh,
+                             SERVE_SPECS, tolerance_scale)
+            # Absolute coalescing floor, independent of the baseline
+            # host: 2x on multi-core runners (the acceptance bar), a
+            # reduced 1.3x on one core -- coalescing amortizes batch
+            # overhead, not core count, so it must win everywhere.
+            cores = fresh.get("cpu_count", 1)
+            speedup = fresh["speedup"]
+            floor = 2.0 if cores >= 2 else 1.3
+            report.checks.append(MetricCheck(
+                path="speedup (coalescing floor)",
+                baseline=floor,
+                current=speedup,
+                ok=speedup >= floor,
+                detail=(
+                    f"{speedup:g}x vs the one-op-per-batch server on a "
+                    f"{cores}-core host (floor {floor}x"
+                    + ("" if cores >= 2
+                       else ", reduced single-core floor") + ")"
+                ),
+            ))
+            report.checks.extend(waiver_checks(fresh))
+            reports.append(report)
+        else:
+            reports.append(RegressionReport(name="BENCH_serve (no baseline)"))
 
     return reports

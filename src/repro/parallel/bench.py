@@ -100,10 +100,21 @@ def _best_of(repeats: int, fn: Callable[[], Any]) -> tuple[float, Any]:
 
 
 def _bench_montecarlo(config: ParallelBenchConfig) -> Dict[str, Any]:
+    from repro.parallel.tuner import plan_mc_dispatch
+
     kwargs = dict(
         trials=config.mc_trials,
         chunks=config.mc_chunks,
         seed=config.mc_seed,
+    )
+    # Chunk count is experiment configuration (it pins the RNG streams
+    # and therefore the failure count); the tuner only decides how many
+    # workers share those chunks -- and whether fanning out is worth the
+    # pool spin-up at all.  A declined fan-out runs the "parallel" arm
+    # in-process and records an explicit waiver instead of publishing a
+    # sub-1x speedup that is really a dispatch tax.
+    decision = plan_mc_dispatch(
+        trials=config.mc_trials, chunks=config.mc_chunks, jobs=config.jobs
     )
     serial_s, serial = _best_of(
         config.repeats,
@@ -112,25 +123,35 @@ def _bench_montecarlo(config: ParallelBenchConfig) -> Dict[str, Any]:
     parallel_s, parallel = _best_of(
         config.repeats,
         lambda: tra_failure_rate_parallel(
-            config.mc_level, jobs=config.jobs, **kwargs
+            config.mc_level, jobs=decision.jobs, **kwargs
         ),
     )
     if serial.failures != parallel.failures:
         raise ConfigError(
             f"parallel Monte Carlo diverged: {serial.failures} failures "
-            f"serial vs {parallel.failures} with jobs={config.jobs} "
+            f"serial vs {parallel.failures} with jobs={decision.jobs} "
             f"(chunks={config.mc_chunks}, seed={config.mc_seed})"
         )
-    return {
+    result = {
         "trials": config.mc_trials,
         "chunks": config.mc_chunks,
         "level": config.mc_level,
         "failures": serial.failures,
+        "jobs_requested": config.jobs,
+        "jobs_effective": decision.jobs,
         "serial_s": serial_s,
         "parallel_s": parallel_s,
         "speedup": serial_s / parallel_s if parallel_s > 0 else float("inf"),
         "deterministic": True,
+        "speedup_tier": "tuned" if decision.worthwhile else (
+            "waived-single-core"
+            if min(config.jobs, decision.cores) < 2
+            else "waived-dispatch-bound"
+        ),
     }
+    if decision.reason:
+        result["waiver_reason"] = decision.reason
+    return result
 
 
 def _dispatch_stats(device: ShardedDevice) -> Dict[str, Any]:
@@ -281,6 +302,12 @@ def format_parallel_bench(payload: Dict[str, Any]) -> str:
         f"bulk ops bit-exact: {bulk['bit_exact']} "
         f"({bulk['shards']} shard(s))",
     ]
+    mc_tier = mc.get("speedup_tier", "")
+    if mc_tier.startswith("waived"):
+        lines.append(
+            f"montecarlo fan-out waived ({mc_tier}): "
+            f"{mc.get('waiver_reason', 'no reason recorded')}"
+        )
     dispatch = bulk.get("dispatch", {})
     if dispatch:
         line = (

@@ -1,0 +1,27 @@
+"""The high-throughput async bulk-bitwise service (PR 7).
+
+A network front door over the whole stack: named per-tenant bitvectors,
+the nine bulk operations over NDJSON/TCP, and a request coalescer that
+fuses concurrent client ops into single engine batches.  See
+``docs/SERVICE.md``.
+"""
+
+from repro.serve.alloc import StripedAllocator
+from repro.serve.coalescer import Coalescer, OpRequest, Wave, plan_waves
+from repro.serve.protocol import ServeError
+from repro.serve.server import BulkBitwiseServer, ServeConfig
+from repro.serve.tenants import TenantQuota, TenantRegistry, VectorHandle
+
+__all__ = [
+    "BulkBitwiseServer",
+    "Coalescer",
+    "OpRequest",
+    "ServeConfig",
+    "ServeError",
+    "StripedAllocator",
+    "TenantQuota",
+    "TenantRegistry",
+    "VectorHandle",
+    "Wave",
+    "plan_waves",
+]

@@ -1,0 +1,176 @@
+"""Serving-layer benchmark: coalesced versus one-op-per-batch dispatch.
+
+The service's entire reason to exist is the claim that a *coalescing*
+front door turns thousands of small concurrent client ops into the
+bulk shape the engine is fast at.  This bench measures exactly that
+claim and nothing else: the same seeded client swarm (every client
+synchronously awaiting each op -- the worst case for batching, since
+nothing arrives pre-grouped) runs twice against self-hosted servers
+that differ in a single bit, ``ServeConfig.coalesce``:
+
+* **coalesced** -- the drain loop fuses whatever is queued into
+  hazard-safe waves (one engine batch per wave);
+* **single** -- the drain loop dispatches one request per batch, i.e.
+  the front door without its tentpole.
+
+Both arms verify bit-exactness through the load generator's read-back
+(a throughput number from a server that corrupted state would be
+worthless), quotas and backpressure are opened wide so admission noise
+cannot pollute the comparison, and each arm keeps its best of
+``repeats`` runs to damp scheduler jitter.  The paper-shaped claim --
+amortizing fixed per-batch cost over many rows is where in-DRAM
+throughput comes from (Ambit Section 7.1 at memory scale, the batched
+engine at per-dispatch scale) -- becomes a single recorded ratio:
+``speedup = coalesced.throughput / single.throughput``, gated in
+``benchmarks/results/BENCH_serve.json`` by ``repro bench --check``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, Optional
+
+from repro.errors import ConfigError
+from repro.serve.loadgen import (
+    VECTOR_NAMES,
+    LoadGenConfig,
+    run_loadgen,
+)
+from repro.serve.server import ServeConfig
+
+
+@dataclass(frozen=True)
+class ServeBenchConfig:
+    """One A/B run; deterministic given ``seed``."""
+
+    clients: int = 64
+    ops: int = 8          # awaited ops per client, per arm
+    bits: int = 2048
+    seed: int = 7
+    repeats: int = 3      # best-of, per arm
+
+    def validate(self) -> None:
+        """Raise :class:`~repro.errors.ConfigError` on bad sizes."""
+        if self.clients < 1 or self.ops < 1 or self.bits < 1:
+            raise ConfigError("clients, ops and bits must all be >= 1")
+        if self.repeats < 1:
+            raise ConfigError(f"repeats must be >= 1; got {self.repeats}")
+
+
+def _serve_config(config: ServeBenchConfig, coalesce: bool) -> ServeConfig:
+    """A server sized so *only* the coalesce bit differs between arms.
+
+    Quotas unlimited and the queue far above the client count: any
+    rejection would add client retries and measure flow control, not
+    batching.
+    """
+    row_bytes = 512
+    row_bits = row_bytes * 8
+    rows_per_vector = max(1, -(-config.bits // row_bits))
+    slots_per_vector = max(1, -(-rows_per_vector // 4))
+    slots = (config.clients * len(VECTOR_NAMES) + 8) * slots_per_vector
+    return ServeConfig(
+        banks=4,
+        rows=slots + 24,
+        row_bytes=row_bytes,
+        coalesce=coalesce,
+        max_queue=max(4096, config.clients * 4),
+        max_batch_ops=1024,
+        max_vectors=0,
+        max_rows=0,
+        max_inflight=0,
+        seed=config.seed,
+    )
+
+
+def _run_arm(config: ServeBenchConfig, coalesce: bool) -> Dict[str, Any]:
+    best: Optional[Dict[str, Any]] = None
+    for repeat in range(config.repeats):
+        report = run_loadgen(LoadGenConfig(
+            clients=config.clients,
+            ops=config.ops,
+            bits=config.bits,
+            seed=config.seed,          # same swarm every repeat and arm
+            concurrency=config.clients,
+            quota_probe=False,
+            burst=0,
+            serve=_serve_config(config, coalesce),
+        ))
+        if not report.bit_exact:
+            raise AssertionError(
+                f"{'coalesced' if coalesce else 'single'} arm lost "
+                f"{report.mismatches} bit(s) on repeat {repeat}; a "
+                f"throughput number from a corrupting server is void"
+            )
+        totals = report.server_totals
+        batches = totals.get("batches", 0.0)
+        arm = {
+            "throughput_ops_s": report.throughput_ops_s,
+            "wall_s": report.wall_s,
+            "p50_ms": report.p50_ms,
+            "p99_ms": report.p99_ms,
+            "ops_ok": report.ops_ok,
+            "batches": batches,
+            "coalesced_batches": totals.get("coalesced_batches", 0.0),
+            "mean_batch_requests": (
+                report.ops_ok / batches if batches else 0.0
+            ),
+            "bit_exact": report.bit_exact,
+        }
+        if best is None or arm["throughput_ops_s"] > best["throughput_ops_s"]:
+            best = arm
+    assert best is not None
+    return best
+
+
+def run_serve_bench(
+    config: Optional[ServeBenchConfig] = None,
+) -> Dict[str, Any]:
+    """Both arms; raises on any bit-exactness violation."""
+    config = config if config is not None else ServeBenchConfig()
+    config.validate()
+    coalesced = _run_arm(config, coalesce=True)
+    single = _run_arm(config, coalesce=False)
+    return {
+        "bench": "serve",
+        "cpu_count": os.cpu_count() or 1,
+        "config": asdict(config),
+        "coalesced": coalesced,
+        "single": single,
+        "speedup": (
+            coalesced["throughput_ops_s"] / single["throughput_ops_s"]
+            if single["throughput_ops_s"]
+            else 0.0
+        ),
+        "bit_exact": coalesced["bit_exact"] and single["bit_exact"],
+    }
+
+
+def format_serve_bench(payload: Dict[str, Any]) -> str:
+    """Human-readable A/B summary."""
+    config = payload["config"]
+    lines = [
+        "ambit serve bench: coalesced vs one-op-per-batch",
+        f"  {config['clients']} clients x {config['ops']} ops x "
+        f"{config['bits']} bits  seed {config['seed']}  "
+        f"best of {config['repeats']}",
+    ]
+    for name in ("coalesced", "single"):
+        arm = payload[name]
+        lines.append(
+            f"  {name:>9}: {arm['throughput_ops_s']:8.0f} ops/s  "
+            f"p99 {arm['p99_ms']:6.2f} ms  "
+            f"{arm['batches']:.0f} batches "
+            f"({arm['mean_batch_requests']:.1f} req/batch)"
+        )
+    lines.append(
+        f"  speedup {payload['speedup']:.2f}x  "
+        f"bit-exact {'yes' if payload['bit_exact'] else 'NO'}"
+    )
+    if "speedup_tier" in payload:
+        lines.append(
+            f"  floor {payload.get('required_speedup', 0)}x "
+            f"(tier {payload['speedup_tier']})"
+        )
+    return "\n".join(lines)

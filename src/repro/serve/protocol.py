@@ -1,0 +1,167 @@
+"""Wire protocol of the bulk-bitwise service: NDJSON over TCP.
+
+One request per line, one JSON object per request; one response line
+per request, echoing the request's ``id`` so clients may pipeline.
+Commands (all requests carry ``cmd``, ``tenant`` and optionally ``id``):
+
+``ping``
+    Liveness probe; responds ``{"ok": true, "pong": true}``.
+``create``
+    ``{name, bits}`` -- allocate a named bitvector of ``bits`` bits,
+    striped across the device's (bank, subarray) pairs and zero-filled.
+``write``
+    ``{name, data}`` -- store packed little-endian bits (hex string of
+    ``ceil(bits / 8)`` bytes) into the vector.
+``read``
+    ``{name}`` -- read the vector back; responds ``{data: <hex>}``.
+``op``
+    ``{op, dst, src1[, src2[, src3]]}`` -- one of the nine bulk
+    bitwise operations over same-shaped named vectors.  The server is
+    free to *coalesce* concurrent ``op`` requests into one fused
+    engine batch; the response arrives when the operation's batch has
+    executed and verified.
+``delete``
+    ``{name}`` -- free the vector's rows.
+``stats``
+    Server-side totals (coalesced batches, backpressure, quota
+    rejections, fault counters) plus the ``ambit_serve_*`` metric
+    snapshot -- the programmatic face of ``repro top --url``.
+
+Errors respond ``{"ok": false, "error": <code>, "message": ...}``;
+codes are the ``E_*`` constants below.  Two of them drive client-side
+flow control: ``backpressure`` (the admission queue is full -- retry
+later) and ``quota`` (a per-tenant limit was hit).
+
+Bit packing is fixed little-endian: bit *i* of the vector is bit
+``i % 8`` of byte ``i // 8`` (``numpy.packbits(bitorder="little")``),
+and row images are the same byte stream chunked into rows -- so the
+packed client payload and the device's uint64 row words agree without
+any per-word swizzling on little-endian hosts.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+#: Upper bound on one NDJSON line (and so on one write payload).
+MAX_LINE_BYTES = 8 * 1024 * 1024
+
+# Error codes -----------------------------------------------------------
+E_PROTOCOL = "protocol"          # unparseable line / malformed request
+E_UNKNOWN = "unknown_command"
+E_NO_VECTOR = "no_such_vector"
+E_EXISTS = "vector_exists"
+E_SHAPE = "shape_mismatch"       # operand bit widths differ / bad arity
+E_QUOTA = "quota"                # per-tenant limit (vectors/rows/inflight)
+E_CAPACITY = "capacity"          # device out of rows (global, not tenant)
+E_BACKPRESSURE = "backpressure"  # admission queue full; retry
+E_FAULT = "fault"                # unrecovered fault hit the destination
+E_INTERNAL = "internal"
+
+#: Commands the server accepts.
+COMMANDS = ("ping", "create", "write", "read", "op", "delete", "stats")
+
+
+class ServeError(Exception):
+    """A protocol-level failure with a wire error code."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(message)
+        self.code = code
+        self.message = message
+
+
+def encode_frame(obj: Dict[str, Any]) -> bytes:
+    """One NDJSON line, compact separators, newline-terminated."""
+    return json.dumps(obj, separators=(",", ":")).encode() + b"\n"
+
+
+def decode_frame(line: bytes) -> Dict[str, Any]:
+    """Parse one request line; raises :class:`ServeError` on junk."""
+    if len(line) > MAX_LINE_BYTES:
+        raise ServeError(E_PROTOCOL, f"line exceeds {MAX_LINE_BYTES} bytes")
+    try:
+        obj = json.loads(line)
+    except ValueError as exc:
+        raise ServeError(E_PROTOCOL, f"bad JSON: {exc}") from None
+    if not isinstance(obj, dict):
+        raise ServeError(E_PROTOCOL, "request must be a JSON object")
+    return obj
+
+
+def ok_response(request_id: Any = None, **fields: Any) -> Dict[str, Any]:
+    """A success frame echoing the request id."""
+    frame: Dict[str, Any] = {"ok": True}
+    if request_id is not None:
+        frame["id"] = request_id
+    frame.update(fields)
+    return frame
+
+
+def error_response(
+    request_id: Any, code: str, message: str
+) -> Dict[str, Any]:
+    """A failure frame echoing the request id."""
+    frame: Dict[str, Any] = {"ok": False, "error": code, "message": message}
+    if request_id is not None:
+        frame["id"] = request_id
+    return frame
+
+
+# ----------------------------------------------------------------------
+# Bit packing
+# ----------------------------------------------------------------------
+def pack_bits(bits: np.ndarray) -> str:
+    """Bool/0-1 array -> hex string of little-endian packed bytes."""
+    packed = np.packbits(np.asarray(bits, dtype=np.uint8), bitorder="little")
+    return packed.tobytes().hex()
+
+def unpack_bits(data_hex: str, bits: int) -> np.ndarray:
+    """Hex payload -> bool array of exactly ``bits`` bits."""
+    raw = payload_bytes(data_hex, bits)
+    unpacked = np.unpackbits(
+        np.frombuffer(raw, dtype=np.uint8), bitorder="little"
+    )
+    return unpacked[:bits].astype(bool)
+
+
+def payload_bytes(data_hex: str, bits: int) -> bytes:
+    """Validate and decode a ``write`` payload for a ``bits``-wide vector."""
+    if not isinstance(data_hex, str):
+        raise ServeError(E_PROTOCOL, "data must be a hex string")
+    try:
+        raw = bytes.fromhex(data_hex)
+    except ValueError:
+        raise ServeError(E_PROTOCOL, "data is not valid hex") from None
+    expected = (bits + 7) // 8
+    if len(raw) != expected:
+        raise ServeError(
+            E_SHAPE,
+            f"payload is {len(raw)} byte(s); a {bits}-bit vector "
+            f"needs exactly {expected}",
+        )
+    return raw
+
+
+def bytes_to_rows(
+    raw: bytes, nrows: int, row_bytes: int
+) -> List[np.ndarray]:
+    """Chunk a packed payload into ``nrows`` uint64 row images (zero-padded)."""
+    padded = raw.ljust(nrows * row_bytes, b"\x00")
+    return [
+        np.frombuffer(
+            padded[i * row_bytes:(i + 1) * row_bytes], dtype="<u8"
+        ).copy()
+        for i in range(nrows)
+    ]
+
+
+def rows_to_hex(images: List[np.ndarray], bits: int) -> str:
+    """Concatenate row images and trim to the vector's payload size."""
+    raw = b"".join(np.ascontiguousarray(img, dtype="<u8").tobytes()
+                   for img in images)
+    nbytes = (bits + 7) // 8
+    return raw[:nbytes].hex()

@@ -1,0 +1,182 @@
+"""Per-tenant vector namespaces, quotas, and admission control.
+
+Tenants are named namespaces created on first use; each owns its
+vectors and is bounded by a :class:`TenantQuota`: how many vectors, how
+many device rows, and how many operations in flight at once.  Quota
+rejections are cheap, synchronous, and *counted* -- the
+``ambit_serve_quota_rejections_total{tenant, kind}`` family is how an
+operator sees a noisy neighbour being clipped rather than silently
+starving everyone else (the shared-accelerator framing of the In-DRAM
+Bulk Bitwise Execution Engine survey).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.dram.chip import RowLocation
+from repro.serve.alloc import StripedAllocator
+from repro.serve.protocol import (
+    E_EXISTS,
+    E_NO_VECTOR,
+    E_QUOTA,
+    ServeError,
+)
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Per-tenant limits; a zero/negative value means unlimited."""
+
+    max_vectors: int = 16
+    max_rows: int = 512
+    max_inflight: int = 64
+
+
+@dataclass(frozen=True)
+class VectorHandle:
+    """One named, placed bitvector."""
+
+    tenant: str
+    name: str
+    bits: int
+    rows: Tuple[RowLocation, ...]
+
+
+@dataclass
+class Tenant:
+    """One namespace and its live accounting."""
+
+    name: str
+    vectors: Dict[str, VectorHandle] = field(default_factory=dict)
+    inflight: int = 0
+
+    @property
+    def rows_used(self) -> int:
+        return sum(len(v.rows) for v in self.vectors.values())
+
+
+class TenantRegistry:
+    """All tenants of one server, backed by one allocator."""
+
+    def __init__(
+        self,
+        allocator: StripedAllocator,
+        quota: Optional[TenantQuota] = None,
+        metrics=None,
+    ):
+        self.allocator = allocator
+        self.quota = quota if quota is not None else TenantQuota()
+        self.tenants: Dict[str, Tenant] = {}
+        self._m_quota = None
+        if metrics is not None:
+            self._m_quota = metrics.counter(
+                "ambit_serve_quota_rejections_total",
+                "Requests rejected by a per-tenant quota, by kind",
+                labels=("tenant", "kind"),
+            )
+            tenants_g = metrics.gauge(
+                "ambit_serve_tenants", "Live tenant namespaces"
+            )
+            vectors_g = metrics.gauge(
+                "ambit_serve_vectors", "Live named bitvectors across tenants"
+            )
+            slots_g = metrics.gauge(
+                "ambit_serve_slots_free",
+                "Unallocated row slots on the device",
+            )
+
+            def _collect() -> None:
+                tenants_g.set(len(self.tenants))
+                vectors_g.set(
+                    sum(len(t.vectors) for t in self.tenants.values())
+                )
+                slots_g.set(self.allocator.slots_free)
+
+            metrics.register_collector(_collect)
+
+    # ------------------------------------------------------------------
+    def tenant(self, name: str) -> Tenant:
+        """The tenant named ``name`` (created on first use)."""
+        entry = self.tenants.get(name)
+        if entry is None:
+            entry = self.tenants[name] = Tenant(name=name)
+        return entry
+
+    def _reject(self, tenant: str, kind: str, message: str) -> ServeError:
+        if self._m_quota is not None:
+            self._m_quota.labels(tenant=tenant, kind=kind).inc()
+        return ServeError(E_QUOTA, message)
+
+    # ------------------------------------------------------------------
+    def create_vector(
+        self, tenant_name: str, name: str, bits: int
+    ) -> VectorHandle:
+        """Allocate a vector; raises quota/capacity/exists errors."""
+        entry = self.tenant(tenant_name)
+        if name in entry.vectors:
+            raise ServeError(
+                E_EXISTS, f"vector {name!r} already exists for this tenant"
+            )
+        quota = self.quota
+        if 0 < quota.max_vectors <= len(entry.vectors):
+            raise self._reject(
+                tenant_name,
+                "vectors",
+                f"tenant {tenant_name!r} is at its vector quota "
+                f"({quota.max_vectors})",
+            )
+        nrows = self.allocator.rows_for(bits)
+        if 0 < quota.max_rows < entry.rows_used + nrows:
+            raise self._reject(
+                tenant_name,
+                "rows",
+                f"tenant {tenant_name!r} would exceed its row quota "
+                f"({entry.rows_used} + {nrows} > {quota.max_rows})",
+            )
+        rows = self.allocator.allocate(nrows)
+        handle = VectorHandle(
+            tenant=tenant_name, name=name, bits=bits, rows=rows
+        )
+        entry.vectors[name] = handle
+        return handle
+
+    def delete_vector(self, tenant_name: str, name: str) -> VectorHandle:
+        """Free a vector's rows; returns the dropped handle."""
+        handle = self.lookup(tenant_name, name)
+        del self.tenant(tenant_name).vectors[name]
+        self.allocator.free(handle.rows)
+        return handle
+
+    def lookup(self, tenant_name: str, name: str) -> VectorHandle:
+        """The handle for ``name``; raises ``no_such_vector``."""
+        entry = self.tenants.get(tenant_name)
+        handle = entry.vectors.get(name) if entry is not None else None
+        if handle is None:
+            raise ServeError(
+                E_NO_VECTOR,
+                f"tenant {tenant_name!r} has no vector {name!r}",
+            )
+        return handle
+
+    # ------------------------------------------------------------------
+    # Admission (in-flight operation bound)
+    # ------------------------------------------------------------------
+    def admit(self, tenant_name: str) -> None:
+        """Count one op in flight; raises the inflight quota."""
+        entry = self.tenant(tenant_name)
+        if 0 < self.quota.max_inflight <= entry.inflight:
+            raise self._reject(
+                tenant_name,
+                "inflight",
+                f"tenant {tenant_name!r} has {entry.inflight} operation(s) "
+                f"in flight (limit {self.quota.max_inflight})",
+            )
+        entry.inflight += 1
+
+    def release(self, tenant_name: str) -> None:
+        """Return one in-flight credit."""
+        entry = self.tenants.get(tenant_name)
+        if entry is not None and entry.inflight > 0:
+            entry.inflight -= 1

@@ -144,3 +144,58 @@ class TestIssuedCommands:
         ]
         tra = [ic for ic in acts if ic.command.row == amap.b(12)]
         assert tra and all(ic.wordlines_raised == 3 for ic in tra)
+
+
+class TestLruBound:
+    def test_unbounded_by_default(self, device):
+        cache = device.controller.plan_cache
+        assert cache.max_plans is None
+        for dk in range(3, 14):
+            cache.get(BulkOp.AND, dk, 0, 1)
+        assert len(cache) == 11 and cache.evictions == 0
+
+    def test_bound_evicts_least_recently_used(self, device):
+        cache = device.controller.plan_cache
+        cache.max_plans = 2
+        a = cache.get(BulkOp.AND, 3, 0, 1)
+        cache.get(BulkOp.AND, 4, 0, 1)
+        cache.get(BulkOp.AND, 3, 0, 1)      # touch a: now 4 is LRU
+        cache.get(BulkOp.AND, 5, 0, 1)      # evicts 4
+        assert len(cache) == 2 and cache.evictions == 1
+        assert cache.get(BulkOp.AND, 3, 0, 1) is a          # still a hit
+        misses = cache.misses
+        cache.get(BulkOp.AND, 4, 0, 1)      # recompiles
+        assert cache.misses == misses + 1
+
+    def test_setting_bound_trims_immediately(self, device):
+        cache = device.controller.plan_cache
+        for dk in range(3, 11):
+            cache.get(BulkOp.AND, dk, 0, 1)
+        cache.max_plans = 3
+        assert len(cache) == 3 and cache.evictions == 5
+        # The survivors are the most recently used addresses.
+        hits = cache.hits
+        for dk in (8, 9, 10):
+            cache.get(BulkOp.AND, dk, 0, 1)
+        assert cache.hits == hits + 3
+
+    def test_eviction_drops_command_schedules(self, device):
+        cache = device.controller.plan_cache
+        plan = cache.get(BulkOp.AND, 3, 0, 1)
+        cache.issued_commands(plan, 0, 0)
+        assert any(k[0] == plan.key for k in cache._commands)
+        cache.max_plans = 1
+        cache.get(BulkOp.AND, 4, 0, 1)      # evicts plan for dk=3
+        assert not any(k[0] == plan.key for k in cache._commands)
+
+    def test_eviction_metric_counts(self, device):
+        cache = device.controller.plan_cache
+        cache.max_plans = 1
+        cache.get(BulkOp.AND, 3, 0, 1)
+        cache.get(BulkOp.AND, 4, 0, 1)
+        family = device.metrics.get("ambit_plan_cache_evictions_total")
+        assert family is not None and family.value == 1
+
+    def test_invalid_bound_rejected(self, device):
+        with pytest.raises(ValueError):
+            device.controller.plan_cache.max_plans = 0

@@ -1,0 +1,173 @@
+"""Property tests for histogram quantile tails.
+
+The serving layer's SLO gate (``repro loadgen``) and the ``repro top``
+views both trust ``Histogram.quantile`` to summarize latency tails
+from fixed buckets.  These tests fuzz that trust over adversarial
+streams -- values landing exactly on bucket boundaries, all mass in
+one bucket, overflow-only mass, single observations -- and over
+arbitrary bucket layouts:
+
+1. **Tail monotonicity** -- p50 <= p95 <= p99 (and more generally the
+   quantile function is non-decreasing in ``q``), never NaN once one
+   observation exists.
+2. **Bucket consistency** -- ``count``/``sum``/``bucket_counts`` agree
+   with a from-scratch recount of the raw stream, and every quantile
+   estimate lies inside the bucket that actually contains its rank:
+   the same bucket a nearest-rank quantile over the raw samples hits.
+3. **Snapshot round trip** -- percentiles survive
+   ``snapshot -> JSON (adversarially key-sorted) -> registry`` intact,
+   which is exactly the path ``repro top --url`` renders from.  A
+   ``sort_keys`` serializer reorders "1024" before "16"; the rebuild
+   must not inherit that string ordering.
+"""
+
+import json
+import math
+from bisect import bisect_left
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import (
+    Histogram,
+    MetricsRegistry,
+    registry_from_snapshot,
+)
+
+# Wide magnitude range, including sub-one values and the nanosecond
+# scale the latency histograms actually see.
+_VALUES = st.floats(
+    min_value=0.0,
+    max_value=1e12,
+    allow_nan=False,
+    allow_infinity=False,
+)
+
+
+@st.composite
+def bounds_and_stream(draw):
+    """Arbitrary ascending bounds plus a stream biased to be nasty.
+
+    Roughly half the observations are drawn *from the bounds
+    themselves* (inclusive upper edges are the classic off-by-one
+    site); the rest are arbitrary, including values above the last
+    bound so the overflow bucket is exercised.
+    """
+    bounds = sorted(
+        draw(
+            st.sets(
+                st.floats(
+                    min_value=1e-3,
+                    max_value=1e9,
+                    allow_nan=False,
+                    allow_infinity=False,
+                ),
+                min_size=1,
+                max_size=12,
+            )
+        )
+    )
+    edge = st.sampled_from(bounds)
+    stream = draw(
+        st.lists(st.one_of(edge, _VALUES), min_size=1, max_size=200)
+    )
+    return bounds, stream
+
+
+def _nearest_rank(samples, q):
+    """Ground-truth quantile: the q-th nearest-rank raw sample."""
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1]
+
+
+def _bucket_index(bounds, value):
+    return bisect_left(bounds, value)
+
+
+@given(bounds_and_stream())
+@settings(max_examples=200, deadline=None)
+def test_tails_monotone(case):
+    bounds, stream = case
+    hist = Histogram(bounds)
+    for value in stream:
+        hist.observe(value)
+
+    p = hist.percentiles()
+    assert not math.isnan(p["p50"])
+    assert p["p50"] <= p["p95"] <= p["p99"]
+
+    quantiles = [hist.quantile(q) for q in (0.01, 0.1, 0.25, 0.5,
+                                            0.75, 0.9, 0.95, 0.99, 1.0)]
+    assert quantiles == sorted(quantiles)
+
+
+@given(bounds_and_stream())
+@settings(max_examples=200, deadline=None)
+def test_buckets_consistent_with_raw_stream(case):
+    bounds, stream = case
+    hist = Histogram(bounds)
+    for value in stream:
+        hist.observe(value)
+
+    recount = [0] * (len(bounds) + 1)
+    for value in stream:
+        recount[_bucket_index(bounds, value)] += 1
+    assert hist.bucket_counts == recount
+    assert hist.count == len(stream)
+    assert math.isclose(
+        hist.sum, math.fsum(stream), rel_tol=1e-9, abs_tol=1e-9
+    )
+
+
+@given(bounds_and_stream(), st.sampled_from((0.5, 0.95, 0.99)))
+@settings(max_examples=200, deadline=None)
+def test_quantile_lands_in_true_rank_bucket(case, q):
+    """The estimate and the raw nearest-rank sample share a bucket.
+
+    The interpolation may smear *within* a bucket but must never
+    report a value from the wrong one -- that is the whole contract
+    of a fixed-bucket tail summary.
+    """
+    bounds, stream = case
+    hist = Histogram(bounds)
+    for value in stream:
+        hist.observe(value)
+
+    truth = _nearest_rank(stream, q)
+    true_bucket = _bucket_index(bounds, truth)
+    estimate = hist.quantile(q)
+
+    lower = 0.0 if true_bucket == 0 else bounds[true_bucket - 1]
+    if true_bucket == len(bounds):
+        # Overflow bucket: the estimate collapses to its lower bound.
+        assert estimate == bounds[-1]
+    else:
+        assert lower <= estimate <= bounds[true_bucket]
+
+
+@given(bounds_and_stream())
+@settings(max_examples=100, deadline=None)
+def test_percentiles_survive_snapshot_round_trip(case):
+    bounds, stream = case
+    registry = MetricsRegistry()
+    family = registry.histogram(
+        "trip_latency_ns", "round-trip fuzz", labels=("cmd",),
+        buckets=bounds,
+    )
+    child = family.labels(cmd="op")
+    for value in stream:
+        child.observe(value)
+
+    # An adversarial transport: sort_keys reorders bucket keys
+    # lexicographically ("1024" < "16"), like some JSON emitters do.
+    wire = json.loads(json.dumps(registry.snapshot(), sort_keys=True))
+    rebuilt = registry_from_snapshot(wire)
+    twin = rebuilt.get("trip_latency_ns").labels(cmd="op")
+
+    assert twin.bucket_counts == child.bucket_counts
+    assert twin.count == child.count
+    assert math.isclose(twin.sum, child.sum, rel_tol=1e-9, abs_tol=1e-9)
+    for q in (0.5, 0.95, 0.99):
+        a, b = child.quantile(q), twin.quantile(q)
+        assert math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-12)

@@ -134,3 +134,48 @@ def test_default_specs_cover_committed_baselines():
             assert spec.tolerance >= 0.5, spec
         else:
             assert spec.tolerance <= 1e-6, spec
+
+
+def test_waiver_checks_surface_waived_tiers():
+    from repro.obs.regress import waiver_checks
+
+    payload = {
+        "speedup_tier": "waived-single-core",
+        "montecarlo": {
+            "speedup": 0.99,
+            "speedup_tier": "waived-dispatch-bound",
+            "waiver_reason": "pool spin-up dominates 1,000 trials",
+        },
+        "bulk_ops": {"speedup_tier": "8-core"},  # cleared, not waived
+    }
+    checks = waiver_checks(payload)
+    assert [c.path for c in checks] == [
+        "montecarlo.speedup_tier",
+        "speedup_tier",
+    ]
+    assert all(c.ok for c in checks)
+    mc = checks[0]
+    assert "waiver: waived-dispatch-bound" in mc.detail
+    assert "pool spin-up dominates" in mc.detail
+    top = checks[1]
+    assert "waived-single-core" in top.detail
+
+
+def test_waiver_checks_ignore_clean_payloads():
+    from repro.obs.regress import waiver_checks
+
+    assert waiver_checks({"speedup_tier": "forced:1.5"}) == []
+    assert waiver_checks({"a": {"b": 1}, "c": [1, 2]}) == []
+    assert waiver_checks("not-a-dict") == []
+
+
+def test_waiver_checks_render_in_report_format():
+    from repro.obs.regress import RegressionReport, waiver_checks
+
+    report = RegressionReport(name="BENCH_x")
+    report.checks.extend(
+        waiver_checks({"speedup_tier": "waived-single-core"})
+    )
+    text = report.format()
+    assert "BENCH_x: OK" in text
+    assert "[ok  ] speedup_tier: waiver: waived-single-core" in text

@@ -237,3 +237,65 @@ def test_calibrate_rebuilds_the_model_from_probes():
         assert value > 0, name
     # Statistics were reset after the probe batches.
     assert device.elapsed_ns == 0.0
+
+
+# ----------------------------------------------------------------------
+# Monte Carlo fan-out decisions
+# ----------------------------------------------------------------------
+def test_mc_dispatch_declines_on_single_core():
+    from repro.parallel.tuner import plan_mc_dispatch
+
+    decision = plan_mc_dispatch(trials=8_000_000, chunks=32, jobs=8, cores=1)
+    assert decision.jobs == 1
+    assert not decision.worthwhile
+    assert "single-core" in decision.reason
+
+
+def test_mc_dispatch_declines_when_dispatch_bound():
+    from repro.parallel.tuner import McCostModel, plan_mc_dispatch
+
+    # Tiny trial count: pool spin-up dwarfs the divided work.
+    decision = plan_mc_dispatch(trials=1_000, chunks=32, jobs=8, cores=8)
+    assert decision.jobs == 1
+    assert not decision.worthwhile
+    assert "dispatch-bound" in decision.reason
+    # ...and the decision is a pure function of the model constants: a
+    # free pool flips it.
+    free = McCostModel(trial_s=2.4e-7, chunk_s=0.0, pool_spinup_s=0.0)
+    flipped = plan_mc_dispatch(
+        trials=1_000, chunks=32, jobs=8, cores=8, model=free
+    )
+    assert flipped.worthwhile and flipped.jobs == 8
+
+
+def test_mc_dispatch_fans_out_when_work_dominates():
+    from repro.parallel.tuner import plan_mc_dispatch
+
+    decision = plan_mc_dispatch(trials=8_000_000, chunks=32, jobs=8, cores=8)
+    assert decision.worthwhile
+    assert decision.jobs == 8
+    assert decision.reason == ""
+    assert decision.parallel_est_s < decision.serial_est_s
+
+
+def test_mc_dispatch_caps_workers_by_cores_and_chunks():
+    from repro.parallel.tuner import plan_mc_dispatch
+
+    by_cores = plan_mc_dispatch(
+        trials=80_000_000, chunks=32, jobs=16, cores=4
+    )
+    assert by_cores.jobs == 4
+    by_chunks = plan_mc_dispatch(
+        trials=80_000_000, chunks=2, jobs=16, cores=16
+    )
+    assert by_chunks.jobs == 2
+
+
+def test_mc_dispatch_never_touches_chunks():
+    from repro.parallel.tuner import plan_mc_dispatch
+
+    # The chunk count fixes the RNG streams (= the failure count); the
+    # decision must echo it untouched whatever it decides about jobs.
+    for trials in (1_000, 8_000_000):
+        decision = plan_mc_dispatch(trials=trials, chunks=32, jobs=8, cores=8)
+        assert decision.chunks == 32

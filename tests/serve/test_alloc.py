@@ -1,0 +1,109 @@
+"""StripedAllocator: the slot model the whole serving layer leans on.
+
+The load-bearing invariant is *triple alignment*: row ``i`` of ANY
+vector lives on the same (bank, subarray) stripe, because the engine
+pairs operands row-by-row and every (dst, src1, ...) triple must share
+a (bank, subarray).  A per-vector stripe offset -- the obvious
+"balance the banks" tweak -- would break every two-vector ``op``.
+"""
+
+import pytest
+
+from repro.dram.geometry import small_test_geometry
+from repro.errors import ConfigError
+from repro.serve.alloc import StripedAllocator
+from repro.serve.protocol import E_CAPACITY, ServeError
+
+
+def make_allocator(banks=2, subs=2, scratch=2, spares=0):
+    return StripedAllocator(
+        small_test_geometry(
+            rows=32, row_bytes=64, banks=banks, subarrays_per_bank=subs
+        ),
+        scratch_rows=scratch,
+        spare_rows=spares,
+    )
+
+
+def test_slot_accounting():
+    alloc = make_allocator()  # 14 data rows - 2 scratch = 12 slots
+    assert alloc.rows_per_slot == 4  # 2 banks x 2 subarrays
+    assert alloc.slots_total == 12
+    assert alloc.slots_free == 12
+    assert alloc.rows_for(1) == 1
+    assert alloc.rows_for(alloc.row_bits) == 1
+    assert alloc.rows_for(alloc.row_bits + 1) == 2
+
+
+def test_reserved_tail_rows():
+    alloc = make_allocator(scratch=2, spares=3)
+    assert alloc.slots_total == 14 - 5
+    assert alloc.scratch_rows == (9, 10)
+    assert alloc.spare_rows == (11, 12, 13)
+
+
+def test_reservation_can_exhaust_geometry():
+    with pytest.raises(ConfigError):
+        make_allocator(scratch=7, spares=7)  # 14 data rows, 0 left
+
+
+def test_triple_alignment_across_vectors():
+    """Row i of every vector shares one (bank, subarray) stripe."""
+    alloc = make_allocator()
+    a = alloc.allocate(6)
+    b = alloc.allocate(6)
+    c = alloc.allocate(6)
+    for ra, rb, rc in zip(a, b, c):
+        assert (ra.bank, ra.subarray) == (rb.bank, rb.subarray)
+        assert (ra.bank, ra.subarray) == (rc.bank, rc.subarray)
+    # The walk starts at stripe 0 regardless of what was allocated
+    # before -- including after an odd-length vector.
+    odd = alloc.allocate(3)
+    late = alloc.allocate(2)
+    assert (odd[0].bank, odd[0].subarray) == alloc.stripes[0]
+    assert (late[0].bank, late[0].subarray) == alloc.stripes[0]
+
+
+def test_multi_row_vectors_fan_across_banks():
+    alloc = make_allocator()
+    rows = alloc.allocate(4)
+    assert [(r.bank, r.subarray) for r in rows] == list(alloc.stripes)
+    # One slot: a single local address reserved on every stripe.
+    assert len({r.address for r in rows}) == 1
+
+
+def test_vectors_never_alias():
+    alloc = make_allocator()
+    seen = set()
+    for _ in range(alloc.slots_total):
+        for loc in alloc.allocate(4):
+            key = (loc.bank, loc.subarray, loc.address)
+            assert key not in seen
+            seen.add(key)
+    assert alloc.slots_free == 0
+
+
+def test_capacity_error_and_free_reuse():
+    alloc = make_allocator()
+    vectors = [alloc.allocate(4) for _ in range(alloc.slots_total)]
+    with pytest.raises(ServeError) as excinfo:
+        alloc.allocate(1)
+    assert excinfo.value.code == E_CAPACITY
+
+    # Freeing returns the slots, and re-allocation is deterministic:
+    # lowest local address first.
+    alloc.free(vectors[3])
+    alloc.free(vectors[0])
+    assert alloc.slots_free == 2
+    again = alloc.allocate(4)
+    assert again[0].address == vectors[0][0].address
+
+
+def test_single_row_vectors_stack_on_stripe_zero():
+    """Width <= row_bits allocates one row -- always stripe 0, fresh slot."""
+    alloc = make_allocator()
+    a = alloc.allocate(1)
+    b = alloc.allocate(1)
+    assert (a[0].bank, a[0].subarray) == alloc.stripes[0]
+    assert (b[0].bank, b[0].subarray) == alloc.stripes[0]
+    assert a[0].address != b[0].address

@@ -1,0 +1,56 @@
+"""Load generator: a small deterministic soak must pass end to end.
+
+This is the same scenario CI's serve-smoke job runs at larger scale:
+a seeded client swarm against a self-hosted server, with the three
+adversarial probes (coalescing burst, quota probe, pipelined
+backpressure burst) armed as hard expectations.
+"""
+
+from repro.serve.loadgen import (
+    LoadGenConfig,
+    format_loadgen,
+    run_loadgen,
+)
+
+
+def test_small_soak_passes_with_probes_armed():
+    report = run_loadgen(LoadGenConfig(
+        clients=8,
+        ops=2,
+        bits=1024,
+        seed=1,
+        burst=32,
+        expect_coalescing=True,
+        expect_backpressure=True,
+        expect_quota=True,
+    ))
+    assert report.mismatches == 0
+    # Scheduled ops plus whatever survived the backpressure burst.
+    assert report.ops_ok >= 8 * 2
+    assert report.backpressure_hits >= 1
+    assert report.quota_hits >= 1
+    assert report.server_totals["coalesced_batches"] >= 1
+    assert report.slo_ok
+    assert report.ok and report.exit_code == 0
+
+    text = format_loadgen(report)
+    assert "verdict: PASS" in text
+    assert "[ok  ]" in text and "[FAIL]" not in text
+
+
+def test_failed_expectation_fails_the_run():
+    # No fault plan is armed, so expecting faults must fail the soak
+    # (proving the gate cannot silently pass vacuously).
+    report = run_loadgen(LoadGenConfig(
+        clients=2,
+        ops=1,
+        bits=256,
+        seed=0,
+        burst=0,
+        quota_probe=False,
+        expect_faults=True,
+    ))
+    assert report.mismatches == 0
+    assert not report.ok
+    assert report.exit_code == 1
+    assert "[FAIL]" in format_loadgen(report)

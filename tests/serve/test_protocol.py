@@ -1,0 +1,75 @@
+"""Wire protocol: framing, bit packing, payload validation."""
+
+import numpy as np
+import pytest
+
+from repro.serve.protocol import (
+    E_PROTOCOL,
+    E_SHAPE,
+    ServeError,
+    bytes_to_rows,
+    decode_frame,
+    encode_frame,
+    error_response,
+    ok_response,
+    pack_bits,
+    payload_bytes,
+    rows_to_hex,
+    unpack_bits,
+)
+
+
+def test_frame_round_trip():
+    frame = {"cmd": "op", "id": 17, "op": "xor", "dst": "a"}
+    line = encode_frame(frame)
+    assert line.endswith(b"\n")
+    assert decode_frame(line) == frame
+
+
+@pytest.mark.parametrize("junk", [b"not json\n", b"[1, 2]\n", b"42\n"])
+def test_decode_rejects_junk(junk):
+    with pytest.raises(ServeError) as excinfo:
+        decode_frame(junk)
+    assert excinfo.value.code == E_PROTOCOL
+
+
+def test_response_shapes():
+    ok = ok_response(7, pong=True)
+    assert ok == {"ok": True, "id": 7, "pong": True}
+    err = error_response(None, "quota", "clipped")
+    assert err == {"ok": False, "error": "quota", "message": "clipped"}
+    assert "id" not in err
+
+
+@pytest.mark.parametrize("bits", [1, 7, 8, 9, 63, 64, 65, 1000])
+def test_pack_unpack_round_trip(bits):
+    rng = np.random.default_rng(bits)
+    vector = rng.integers(0, 2, size=bits).astype(bool)
+    data = pack_bits(vector)
+    assert len(data) == 2 * ((bits + 7) // 8)  # hex of ceil(bits/8) bytes
+    assert np.array_equal(unpack_bits(data, bits), vector)
+
+
+def test_payload_bytes_validation():
+    with pytest.raises(ServeError) as excinfo:
+        payload_bytes(12345, 16)
+    assert excinfo.value.code == E_PROTOCOL
+    with pytest.raises(ServeError) as excinfo:
+        payload_bytes("zz", 8)
+    assert excinfo.value.code == E_PROTOCOL
+    with pytest.raises(ServeError) as excinfo:
+        payload_bytes("aabb", 8)  # 2 bytes for an 8-bit vector
+    assert excinfo.value.code == E_SHAPE
+    assert payload_bytes("ab", 8) == b"\xab"
+
+
+def test_rows_round_trip_with_padding():
+    """Payload -> row images -> payload survives partial last rows."""
+    bits = 900  # 113 bytes over two 64-byte rows: last row half-used
+    rng = np.random.default_rng(0)
+    vector = rng.integers(0, 2, size=bits).astype(bool)
+    raw = bytes.fromhex(pack_bits(vector))
+    images = bytes_to_rows(raw, nrows=2, row_bytes=64)
+    assert all(img.dtype == np.uint64 and img.size == 8 for img in images)
+    assert rows_to_hex(images, bits) == raw.hex()
+    assert np.array_equal(unpack_bits(rows_to_hex(images, bits), bits), vector)

@@ -1,0 +1,118 @@
+"""Tenant registry: quotas, admission, and their metric trail."""
+
+import pytest
+
+from repro.dram.geometry import small_test_geometry
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.alloc import StripedAllocator
+from repro.serve.protocol import (
+    E_EXISTS,
+    E_NO_VECTOR,
+    E_QUOTA,
+    ServeError,
+)
+from repro.serve.tenants import TenantQuota, TenantRegistry
+
+
+def make_registry(quota=None, metrics=None):
+    allocator = StripedAllocator(
+        small_test_geometry(
+            rows=32, row_bytes=64, banks=2, subarrays_per_bank=2
+        ),
+        scratch_rows=2,
+    )
+    return TenantRegistry(allocator, quota, metrics), allocator
+
+
+def quota_count(metrics, tenant, kind):
+    family = metrics.get("ambit_serve_quota_rejections_total")
+    return family.labels(tenant=tenant, kind=kind).value
+
+
+def test_create_lookup_delete_cycle():
+    registry, allocator = make_registry()
+    before = allocator.slots_free
+    handle = registry.create_vector("t0", "a", bits=1000)
+    assert handle.bits == 1000 and len(handle.rows) == 2
+    assert registry.lookup("t0", "a") is handle
+    assert allocator.slots_free < before
+
+    dropped = registry.delete_vector("t0", "a")
+    assert dropped is handle
+    assert allocator.slots_free == before
+    with pytest.raises(ServeError) as excinfo:
+        registry.lookup("t0", "a")
+    assert excinfo.value.code == E_NO_VECTOR
+
+
+def test_duplicate_name_rejected():
+    registry, _ = make_registry()
+    registry.create_vector("t0", "a", bits=8)
+    with pytest.raises(ServeError) as excinfo:
+        registry.create_vector("t0", "a", bits=8)
+    assert excinfo.value.code == E_EXISTS
+    # Same name under another tenant is a different namespace.
+    registry.create_vector("t1", "a", bits=8)
+
+
+def test_vector_quota_counts_rejections():
+    metrics = MetricsRegistry()
+    registry, _ = make_registry(TenantQuota(max_vectors=2), metrics)
+    registry.create_vector("noisy", "a", bits=8)
+    registry.create_vector("noisy", "b", bits=8)
+    for _ in range(3):
+        with pytest.raises(ServeError) as excinfo:
+            registry.create_vector("noisy", "c", bits=8)
+        assert excinfo.value.code == E_QUOTA
+    assert quota_count(metrics, "noisy", "vectors") == 3
+    # The neighbour is not clipped.
+    registry.create_vector("quiet", "a", bits=8)
+
+
+def test_row_quota():
+    metrics = MetricsRegistry()
+    registry, allocator = make_registry(TenantQuota(max_rows=3), metrics)
+    registry.create_vector("t0", "a", bits=2 * allocator.row_bits)  # 2 rows
+    with pytest.raises(ServeError) as excinfo:
+        registry.create_vector("t0", "b", bits=2 * allocator.row_bits)
+    assert excinfo.value.code == E_QUOTA
+    assert quota_count(metrics, "t0", "rows") == 1
+    registry.create_vector("t0", "b", bits=1)  # 1 row still fits
+
+
+def test_inflight_admission():
+    metrics = MetricsRegistry()
+    registry, _ = make_registry(TenantQuota(max_inflight=2), metrics)
+    registry.admit("t0")
+    registry.admit("t0")
+    with pytest.raises(ServeError) as excinfo:
+        registry.admit("t0")
+    assert excinfo.value.code == E_QUOTA
+    assert quota_count(metrics, "t0", "inflight") == 1
+    registry.release("t0")
+    registry.admit("t0")  # credit returned
+    # Releasing an unknown tenant (or below zero) is a no-op.
+    registry.release("ghost")
+
+
+def test_zero_means_unlimited():
+    registry, allocator = make_registry(
+        TenantQuota(max_vectors=0, max_rows=0, max_inflight=0)
+    )
+    for i in range(allocator.slots_total):
+        registry.create_vector("t0", f"v{i}", bits=1)
+    for _ in range(1000):
+        registry.admit("t0")
+
+
+def test_gauges_track_live_state():
+    metrics = MetricsRegistry()
+    registry, allocator = make_registry(metrics=metrics)
+    registry.create_vector("t0", "a", bits=8)
+    registry.create_vector("t1", "b", bits=8)
+    metrics.collect()
+    assert metrics.get("ambit_serve_tenants").value == 2
+    assert metrics.get("ambit_serve_vectors").value == 2
+    assert (
+        metrics.get("ambit_serve_slots_free").value == allocator.slots_free
+    )
