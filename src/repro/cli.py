@@ -335,7 +335,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.errors import ConfigError
     from repro.faults import ChaosConfig, format_chaos, run_chaos
+    from repro.log import configure_logging
 
+    configure_logging(args.log_level, json_format=args.log_json)
     try:
         report = run_chaos(
             ChaosConfig(
@@ -362,8 +364,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
     from repro.errors import ConfigError
+    from repro.log import configure_logging
     from repro.serve import BulkBitwiseServer, ServeConfig
 
+    configure_logging(args.log_level, json_format=args.log_json)
     config = ServeConfig(
         host=args.host,
         port=args.port,
@@ -380,6 +384,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         fault_rate=args.fault_rate,
         seed=args.seed,
         metrics_port=args.metrics_port,
+        trace=not args.no_trace,
+        max_spans=args.max_spans,
+        slo_ms=args.slo_ms,
+        flight_path=args.flight_recorder,
     )
 
     async def _serve() -> None:
@@ -391,6 +399,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             base = server.metrics_server.url.rsplit("/metrics", 1)[0]
             print(f"metrics at {server.metrics_server.url} "
                   f"(watch with: repro top --url {base})",
+                  file=sys.stderr)
+        if config.trace:
+            print(f"request spans on (query with: repro spans --connect "
+                  f"{config.host}:{server.port} --slowest 10)",
                   file=sys.stderr)
         try:
             await server.serve_forever()
@@ -442,6 +454,96 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     return report.exit_code
 
 
+def _cmd_spans(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from repro.obs.spans import (
+        chrome_trace,
+        format_spans_table,
+        format_trace_tree,
+        validate_trace,
+    )
+
+    host, _, port_raw = args.connect.rpartition(":")
+    host = host or "127.0.0.1"
+    try:
+        port = int(port_raw)
+    except ValueError:
+        print(f"spans: bad --connect {args.connect!r}; expected HOST:PORT",
+              file=sys.stderr)
+        return 2
+
+    request = {"cmd": "spans"}
+    if args.trace:
+        request["trace"] = args.trace
+    else:
+        request["slowest"] = args.slowest
+        if args.tenant:
+            request["tenant"] = args.tenant
+        if args.op:
+            request["op"] = args.op
+
+    async def _rpc():
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            writer.write(json.dumps(request).encode() + b"\n")
+            await writer.drain()
+            line = await reader.readline()
+            if not line:
+                raise ConnectionError("server closed the connection")
+            return json.loads(line)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    try:
+        response = asyncio.run(_rpc())
+    except (ConnectionError, OSError, ValueError) as exc:
+        print(f"spans: cannot query {host}:{port}: {exc}", file=sys.stderr)
+        return 2
+    if not response.get("ok"):
+        print(f"spans: {response.get('error')}: {response.get('message')}",
+              file=sys.stderr)
+        return 1
+
+    traces = response.get("spans", [])
+    if args.json:
+        print(json.dumps(traces, indent=2, sort_keys=True))
+    elif args.trace:
+        for trace in traces:
+            print(format_trace_tree(trace))
+    else:
+        print(format_spans_table(traces))
+        if "recorded" in response:
+            print(f"\n{len(traces)} of {response['recorded']} recorded "
+                  f"trace(s) shown")
+    if args.chrome:
+        with open(args.chrome, "w") as handle:
+            json.dump(chrome_trace(traces), handle)
+            handle.write("\n")
+        print(f"chrome trace written to {args.chrome} "
+              f"(open in chrome://tracing or https://ui.perfetto.dev)")
+    if args.check:
+        problems = []
+        for trace in traces:
+            problems.extend(
+                f"{trace.get('trace', '?')}: {problem}"
+                for problem in validate_trace(trace)
+            )
+        if problems:
+            print("\nspan check FAILED:", file=sys.stderr)
+            for problem in problems:
+                print(f"  {problem}", file=sys.stderr)
+            return 1
+        print(f"span check OK: {len(traces)} trace(s) well-formed, "
+              f"stage breakdowns sum to the wall clock")
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> None:
     from repro.report import ReportConfig, generate_report
 
@@ -471,9 +573,20 @@ def _cmd_list(args: argparse.Namespace) -> None:
         ("chaos", "fault-injection soak with detection and recovery"),
         ("serve", "NDJSON/TCP bulk-bitwise service (coalescing front door)"),
         ("loadgen", "deterministic client swarm + SLO soak against serve"),
+        ("spans", "query a serve instance's request traces (socket to "
+                  "silicon)"),
         ("report", "full markdown reproduction report"),
     ):
         print(f"  {name:<8} {doc}")
+
+
+def _add_logging_flags(p: argparse.ArgumentParser) -> None:
+    """`--log-level` / `--log-json` for the long-running surfaces."""
+    p.add_argument("--log-level", default="warning",
+                   choices=("debug", "info", "warning", "error", "critical"),
+                   help="stderr log level for the repro.* loggers")
+    p.add_argument("--log-json", action="store_true",
+                   help="one JSON object per log line instead of text")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -624,6 +737,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "unrecovered (proves detection is live)")
     p.add_argument("--scrape", action="store_true",
                    help="also print the ambit_faults_* Prometheus families")
+    _add_logging_flags(p)
     p.set_defaults(func=_cmd_chaos)
 
     p = sub.add_parser(
@@ -663,6 +777,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics-port", type=int, default=None, metavar="PORT",
                    help="also serve /metrics and /metrics.json (watch "
                         "remotely with: repro top --url HOST:PORT)")
+    p.add_argument("--no-trace", action="store_true",
+                   help="disable request spans (they are on by default; "
+                        "see repro spans)")
+    p.add_argument("--max-spans", type=int, default=512,
+                   help="completed request traces kept in the span ring")
+    p.add_argument("--slo-ms", type=float, default=0.0,
+                   help="> 0 arms the flight recorder's latency trigger "
+                        "(any request slower than this dumps the ring)")
+    p.add_argument("--flight-recorder", default=None, metavar="FILE",
+                   help="append the span ring to this JSONL file on an "
+                        "unrecovered fault, backpressure rejection or "
+                        "SLO breach")
+    _add_logging_flags(p)
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
@@ -706,6 +833,32 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fail unless >= 1 fault was injected and every "
                         "one was recovered")
     p.set_defaults(func=_cmd_loadgen)
+
+    p = sub.add_parser(
+        "spans",
+        help="query a serve instance's request traces: slowest-N stage "
+             "table, one-trace span tree, Chrome export",
+    )
+    p.add_argument("trace", nargs="?", default=None,
+                   help="a trace id to print as a span tree "
+                        "(default: list recent traces)")
+    p.add_argument("--connect", required=True, metavar="HOST:PORT",
+                   help="the serve instance to query")
+    p.add_argument("--slowest", type=int, default=10,
+                   help="list the N slowest recorded requests")
+    p.add_argument("--tenant", default=None,
+                   help="only this tenant's requests")
+    p.add_argument("--op", default=None,
+                   help="only this bulk op (e.g. and, xor)")
+    p.add_argument("--chrome", default=None, metavar="FILE",
+                   help="also write a Chrome trace_event JSON of the "
+                        "listed traces, one lane per request")
+    p.add_argument("--check", action="store_true",
+                   help="validate every listed trace (stage sums, span "
+                        "tree shape); exit 1 on any problem")
+    p.add_argument("--json", action="store_true",
+                   help="print raw trace JSON instead of tables")
+    p.set_defaults(func=_cmd_spans)
 
     p = sub.add_parser("report", help="full reproduction report (markdown)")
     p.add_argument("--fast", action="store_true",

@@ -35,6 +35,9 @@ from repro.errors import ConcurrencyError, ConfigError
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import DEVICE_KINDS, POOL_KINDS, FaultPlan
 from repro.faults.recover import FaultTolerantSession, RecoveryPolicy
+from repro.log import get_logger
+
+log = get_logger("chaos")
 
 #: The full operation mix the soak draws from.
 ALL_OPS: Tuple[BulkOp, ...] = (
@@ -236,14 +239,24 @@ def run_chaos(config: Optional[ChaosConfig] = None) -> ChaosReport:
                     src2 if op.arity >= 2 else None,
                     src3 if op.arity >= 3 else None,
                 )
-            except ConcurrencyError:
+            except ConcurrencyError as exc:
                 # Crash retries exhausted; the sharded device already
                 # counted the unrecovered worker_crash.  The next batch
                 # rebuilds the pool, so the soak can keep going.
                 failed_ops += 1
+                log.warning(
+                    "op %d (%s) lost to exhausted crash retries: %s",
+                    i, op.value, exc,
+                    extra={"ctx_op_index": i, "ctx_op": op.value},
+                )
 
         unreached = len(injector.drain())
         mismatches = session.scrub()
+        log.info(
+            "soak done: %d ops, %d applied fault(s), %d failed op(s), "
+            "%d scrub mismatch(es)",
+            config.ops, len(injector.applied), failed_ops, len(mismatches),
+        )
 
         registry = device.metrics
         scrape = "\n".join(

@@ -36,6 +36,7 @@ a TRA glitch" from "burned a spare row".
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -84,6 +85,40 @@ class RecoveryRecord:
     action: str  # "retried" | "remapped" | "rerouted" | "unrecovered"
 
 
+@dataclass(frozen=True)
+class RecoveryAttempt:
+    """One *timed* rung of the ladder, for request-span attribution.
+
+    Distinct from :class:`RecoveryRecord`: the log records diagnosed
+    *outcomes* (and golden tests compare it), while attempts record
+    every rung the ladder climbed -- including failed ones -- with
+    wall-clock timestamps (``perf_counter_ns``) so the serving layer
+    can carve recovery time out of device time per request.
+    """
+
+    op: str
+    bank: int
+    subarray: int
+    address: int
+    action: str  # "retry" | "remap" | "dcc_reroute"
+    ok: bool
+    start_ns: int
+    dur_ns: int
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form, as embedded in request-span timing dicts."""
+        return {
+            "op": self.op,
+            "bank": self.bank,
+            "subarray": self.subarray,
+            "address": self.address,
+            "action": self.action,
+            "ok": self.ok,
+            "start_ns": self.start_ns,
+            "dur_ns": self.dur_ns,
+        }
+
+
 class FaultTolerantSession:
     """Shadow-verified bulk execution over a (possibly faulty) device.
 
@@ -116,6 +151,10 @@ class FaultTolerantSession:
         #: these subarrays take the degraded path without a mismatch.
         self.bad_dcc: Dict[Tuple[int, int], int] = {}
         self.log: List[RecoveryRecord] = []
+        #: Timed ladder rungs (see :class:`RecoveryAttempt`); the
+        #: serving layer slices this by index around each wave to
+        #: attribute recovery time to the requests it delayed.
+        self.attempts: List[RecoveryAttempt] = []
         self._counters = fault_counters(device.metrics)
 
     # ------------------------------------------------------------------
@@ -150,7 +189,10 @@ class FaultTolerantSession:
         if not self.policy.enabled:
             self._unrecovered("write", loc, "stuck_row")
             return
-        if not self._rewrite_with_remap(loc, data):
+        started = time.perf_counter_ns()
+        rewritten = self._rewrite_with_remap(loc, data)
+        self._attempt("write", loc, "remap", rewritten, started)
+        if not rewritten:
             self._unrecovered("write", loc, "stuck_row")
 
     def read_row(self, loc: RowLocation) -> np.ndarray:
@@ -173,7 +215,11 @@ class FaultTolerantSession:
             if not self.policy.enabled:
                 self._unrecovered("scrub", loc, "stuck_row")
                 bad.append(key)
-            elif not self._rewrite_with_remap(loc, self.shadow[key]):
+                continue
+            started = time.perf_counter_ns()
+            rewritten = self._rewrite_with_remap(loc, self.shadow[key])
+            self._attempt("scrub", loc, "remap", rewritten, started)
+            if not rewritten:
                 self._unrecovered("scrub", loc, "stuck_row")
                 bad.append(key)
         return bad
@@ -301,7 +347,10 @@ class FaultTolerantSession:
         # Rung 1: restore sources and retry -- a transient TRA glitch
         # (the armed one-shot variation fault) does not recur.
         for _ in range(max(0, self.policy.max_retries)):
-            if self._reexecute(op, dst, sources, expected):
+            started = time.perf_counter_ns()
+            recovered = self._reexecute(op, dst, sources, expected)
+            self._attempt(op.value, dst, "retry", recovered, started)
+            if recovered:
                 self._counters["detected"].labels(kind="tra_flip").inc()
                 self._counters["recovered"].labels(kind="tra_flip").inc()
                 self._record(op.value, dst, "tra_flip", "retried")
@@ -309,13 +358,20 @@ class FaultTolerantSession:
 
         # Rung 2: march-probe the operand rows; remap the dead ones to
         # spares and rewrite their contents from the shadow.
-        if self._remap_stuck_rows(op, dst, sources):
-            if self._reexecute(op, dst, sources, expected):
-                return
+        started = time.perf_counter_ns()
+        recovered = self._remap_stuck_rows(
+            op, dst, sources
+        ) and self._reexecute(op, dst, sources, expected)
+        self._attempt(op.value, dst, "remap", recovered, started)
+        if recovered:
+            return
 
         # Rung 3: probe the DCC route the program used; reroute or
         # degrade around a dead n-wordline.
-        if self._reroute_dcc(op, dst, sources, expected):
+        started = time.perf_counter_ns()
+        recovered = self._reroute_dcc(op, dst, sources, expected)
+        self._attempt(op.value, dst, "dcc_reroute", recovered, started)
+        if recovered:
             return
 
         self._unrecovered(op.value, dst, "op_mismatch")
@@ -513,6 +569,14 @@ class FaultTolerantSession:
     @staticmethod
     def _key(loc: RowLocation) -> Tuple[int, int, int]:
         return (loc.bank, loc.subarray, loc.address)
+
+    def _attempt(
+        self, op: str, loc: RowLocation, action: str, ok: bool, start_ns: int
+    ) -> None:
+        self.attempts.append(RecoveryAttempt(
+            op, loc.bank, loc.subarray, loc.address, action, ok,
+            start_ns, time.perf_counter_ns() - start_ns,
+        ))
 
     def _record(self, op: str, loc: RowLocation, kind: str, action: str) -> None:
         self.log.append(

@@ -1,0 +1,92 @@
+"""Structured logging for the long-running surfaces (serve, chaos).
+
+The batch/engine layers stay silent by design (they are libraries), but
+the *services* -- ``repro serve`` and the chaos soak -- previously had
+no logger at all: server-side errors beyond the typed NDJSON response
+simply vanished.  This module is the one place logging is configured:
+
+* :func:`get_logger` -- namespaced child loggers under ``repro.*``;
+  safe to call at import time (no handlers are installed until
+  :func:`configure_logging` runs, and stdlib propagation means library
+  users can route ``repro`` logs however they like).
+* :func:`configure_logging` -- installs exactly one stderr handler on
+  the ``repro`` root logger, plain text by default or one JSON object
+  per line with ``json_format=True`` (greppable, ships into any log
+  pipeline without a parser).  Called by the CLI's ``--log-level`` /
+  ``--log-json`` flags; idempotent, so tests can call it repeatedly.
+
+No third-party dependency: stdlib :mod:`logging` only.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import Any, Dict, Optional
+
+ROOT_LOGGER = "repro"
+
+#: Accepted ``--log-level`` values (case-insensitive).
+LOG_LEVELS = ("debug", "info", "warning", "error", "critical")
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per log line: ts, level, logger, msg, extras."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        """Render the record as one compact JSON object."""
+        payload: Dict[str, Any] = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exc"] = self.formatException(record.exc_info)
+        for key, value in record.__dict__.items():
+            if key.startswith("ctx_"):
+                payload[key[4:]] = value
+        return json.dumps(payload, sort_keys=True, default=str)
+
+
+def get_logger(name: str = ROOT_LOGGER) -> logging.Logger:
+    """A logger under the ``repro`` namespace (prefix added if absent)."""
+    if name != ROOT_LOGGER and not name.startswith(ROOT_LOGGER + "."):
+        name = f"{ROOT_LOGGER}.{name}"
+    return logging.getLogger(name)
+
+
+def configure_logging(
+    level: str = "warning",
+    json_format: bool = False,
+    stream: Optional[Any] = None,
+) -> logging.Logger:
+    """Install (or replace) the single ``repro`` stderr handler.
+
+    Returns the configured root ``repro`` logger.  Raises
+    :class:`ValueError` on an unknown level name so the CLI can report
+    a usage error instead of silently logging nothing.
+    """
+    if level.lower() not in LOG_LEVELS:
+        raise ValueError(
+            f"unknown log level {level!r}; expected one of "
+            f"{', '.join(LOG_LEVELS)}"
+        )
+    logger = logging.getLogger(ROOT_LOGGER)
+    logger.setLevel(getattr(logging, level.upper()))
+    handler = logging.StreamHandler(
+        stream if stream is not None else sys.stderr
+    )
+    if json_format:
+        handler.setFormatter(JsonFormatter())
+    else:
+        handler.setFormatter(logging.Formatter(
+            "%(asctime)s %(levelname)-8s %(name)s: %(message)s"
+        ))
+    # Replace, never stack: calling twice must not double every line.
+    for existing in list(logger.handlers):
+        logger.removeHandler(existing)
+    logger.addHandler(handler)
+    logger.propagate = False
+    return logger

@@ -27,6 +27,10 @@ artifact instead of a raw ``chip.trace`` list:
 * :mod:`repro.obs.remote` -- cross-process trace collection: workers
   trace into per-(batch, shard) JSON-lines spools that the parent
   merges back into one stream, bit-identical to a serial traced run.
+* :mod:`repro.obs.spans` -- end-to-end *request* spans for the serving
+  layer: per-request critical-path breakdowns that tile the wall clock,
+  a bounded ring of recent traces (``repro spans``), and a flight
+  recorder that dumps the ring to JSONL when a request ends badly.
 * :mod:`repro.obs.regress` -- the benchmark-regression gate behind
   ``repro bench --check``.
 
@@ -56,6 +60,18 @@ from repro.obs.regress import (
     run_bench_check,
 )
 from repro.obs.remote import TracerConfig
+from repro.obs.spans import (
+    STAGES,
+    FlightRecorder,
+    RequestSpanCtx,
+    RequestTrace,
+    Span,
+    SpanStore,
+    chrome_trace,
+    format_spans_table,
+    format_trace_tree,
+    validate_trace,
+)
 from repro.obs.sinks import (
     ChromeTraceSink,
     CounterSink,
@@ -72,6 +88,7 @@ __all__ = [
     "CounterSet",
     "CounterSink",
     "DEFAULT_LATENCY_BUCKETS_NS",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "JsonLinesSink",
@@ -83,12 +100,21 @@ __all__ = [
     "OpStats",
     "ProfileReport",
     "RegressionReport",
+    "RequestSpanCtx",
+    "RequestTrace",
     "RingBufferSink",
+    "STAGES",
+    "Span",
+    "SpanStore",
     "TraceSink",
     "TraceEvent",
     "Tracer",
     "TracerConfig",
+    "chrome_trace",
+    "format_spans_table",
     "format_top",
+    "format_trace_tree",
     "profile",
     "run_bench_check",
+    "validate_trace",
 ]

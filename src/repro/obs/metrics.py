@@ -136,7 +136,7 @@ class Histogram:
     bisect plus two adds, cheap enough for per-row accounting paths.
     """
 
-    __slots__ = ("bounds", "bucket_counts", "count", "sum")
+    __slots__ = ("bounds", "bucket_counts", "count", "sum", "exemplars")
 
     def __init__(self, bounds: Sequence[float] = DEFAULT_LATENCY_BUCKETS_NS):
         bounds = tuple(float(b) for b in bounds)
@@ -150,12 +150,37 @@ class Histogram:
         self.bucket_counts: List[int] = [0] * (len(bounds) + 1)
         self.count = 0
         self.sum = 0.0
+        #: Per-bucket ``(value, trace_id)`` of the *largest* observation
+        #: that carried an exemplar (``None`` until one does).  Kept per
+        #: bucket, OpenMetrics style, so a single outlier in the +Inf
+        #: bucket does not mask exemplars of the healthy buckets.
+        self.exemplars: List[Optional[Tuple[float, str]]] = (
+            [None] * (len(bounds) + 1)
+        )
 
-    def observe(self, value: float) -> None:
-        """Record one observation."""
-        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+    def observe(self, value: float, exemplar: Optional[str] = None) -> None:
+        """Record one observation, optionally tagged with a trace id.
+
+        The exemplar -- a request trace id -- is retained only if it is
+        the largest exemplar-carrying observation its bucket has seen,
+        turning "p99 is high" into "p99 is high, *look at this trace*".
+        """
+        index = bisect_left(self.bounds, value)
+        self.bucket_counts[index] += 1
         self.count += 1
         self.sum += value
+        if exemplar is not None:
+            current = self.exemplars[index]
+            if current is None or value >= current[0]:
+                self.exemplars[index] = (value, exemplar)
+
+    def max_exemplar(self) -> Optional[Tuple[float, str]]:
+        """The ``(value, trace_id)`` of the largest retained exemplar."""
+        best: Optional[Tuple[float, str]] = None
+        for entry in self.exemplars:
+            if entry is not None and (best is None or entry[0] > best[0]):
+                best = entry
+        return best
 
     def quantile(self, q: float) -> float:
         """Estimated ``q``-quantile (0 < q <= 1) by linear interpolation.
@@ -179,7 +204,15 @@ class Histogram:
                 if i == len(self.bounds):  # overflow bucket
                     return lower
                 upper = self.bounds[i]
-                return lower + (upper - lower) * (rank - cumulative) / bucket_count
+                # Clamp: `lower + (upper - lower)` can exceed `upper` by
+                # a float ulp when the whole bucket is consumed, which
+                # would break quantile monotonicity against a higher
+                # quantile that lands in the overflow bucket.
+                return min(
+                    upper,
+                    lower
+                    + (upper - lower) * (rank - cumulative) / bucket_count,
+                )
             cumulative += bucket_count
         return self.bounds[-1]  # pragma: no cover - rank <= count always hits
 
@@ -268,9 +301,9 @@ class MetricFamily:
         """``dec`` on the sole child of an unlabeled family."""
         self._only().dec(amount)  # type: ignore[union-attr]
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: Optional[str] = None) -> None:
         """``observe`` on the sole child of an unlabeled family."""
-        self._only().observe(value)  # type: ignore[union-attr]
+        self._only().observe(value, exemplar)  # type: ignore[union-attr, call-arg]
 
     @property
     def value(self) -> float:
@@ -288,6 +321,7 @@ class MetricFamily:
                     child.bucket_counts = [0] * (len(child.bounds) + 1)
                     child.count = 0
                     child.sum = 0.0
+                    child.exemplars = [None] * (len(child.bounds) + 1)
                 else:
                     child.value = 0.0
 
@@ -407,15 +441,25 @@ class MetricsRegistry:
             for values, child in sorted(family.children.items()):
                 if isinstance(child, Histogram):
                     cumulative = 0
-                    for bound, bucket_count in zip(
+                    for index, (bound, bucket_count) in enumerate(zip(
                         tuple(child.bounds) + (math.inf,), child.bucket_counts
-                    ):
+                    )):
                         cumulative += bucket_count
                         labels = _render_labels(
                             tuple(family.label_names) + ("le",),
                             values + (_format_value(bound),),
                         )
-                        lines.append(f"{name}_bucket{labels} {cumulative}")
+                        line = f"{name}_bucket{labels} {cumulative}"
+                        exemplar = child.exemplars[index]
+                        if exemplar is not None:
+                            # OpenMetrics exemplar syntax: the trace id
+                            # of the bucket's largest tagged observation.
+                            value, trace_id = exemplar
+                            line += (
+                                f' # {{trace_id="{_escape_label(trace_id)}"}}'
+                                f" {_format_value(value)}"
+                            )
+                        lines.append(line)
                     base = _render_labels(family.label_names, values)
                     lines.append(f"{name}_sum{base} {_format_value(child.sum)}")
                     lines.append(f"{name}_count{base} {child.count}")
@@ -440,24 +484,33 @@ class MetricsRegistry:
                 labels = dict(zip(family.label_names, values))
                 if isinstance(child, Histogram):
                     pct = child.percentiles()
-                    samples.append(
-                        {
-                            "labels": labels,
-                            "count": child.count,
-                            "sum": child.sum,
-                            "buckets": {
-                                _format_value(b): c
-                                for b, c in zip(
-                                    tuple(child.bounds) + (math.inf,),
-                                    child.bucket_counts,
-                                )
-                            },
-                            **{
-                                k: (None if math.isnan(v) else v)
-                                for k, v in pct.items()
-                            },
-                        }
-                    )
+                    sample = {
+                        "labels": labels,
+                        "count": child.count,
+                        "sum": child.sum,
+                        "buckets": {
+                            _format_value(b): c
+                            for b, c in zip(
+                                tuple(child.bounds) + (math.inf,),
+                                child.bucket_counts,
+                            )
+                        },
+                        **{
+                            k: (None if math.isnan(v) else v)
+                            for k, v in pct.items()
+                        },
+                    }
+                    exemplars = {
+                        _format_value(b): {"value": e[0], "trace": e[1]}
+                        for b, e in zip(
+                            tuple(child.bounds) + (math.inf,),
+                            child.exemplars,
+                        )
+                        if e is not None
+                    }
+                    if exemplars:
+                        sample["exemplars"] = exemplars
+                    samples.append(sample)
                 else:
                     samples.append({"labels": labels, "value": child.value})
             snapshot[name] = {
@@ -605,6 +658,16 @@ def registry_from_snapshot(snapshot: Dict[str, Any]) -> MetricsRegistry:
                 child.bucket_counts = counts  # type: ignore[union-attr]
                 child.count = int(sample.get("count", sum(counts)))  # type: ignore[union-attr]
                 child.sum = float(sample.get("sum", 0.0))  # type: ignore[union-attr]
+                exemplars = sample.get("exemplars", {})
+                if exemplars:
+                    by_key = {
+                        (math.inf if key == "+Inf" else float(key)):
+                            (float(entry["value"]), str(entry["trace"]))
+                        for key, entry in exemplars.items()
+                    }
+                    restored = [by_key.get(b) for b in bounds]
+                    restored.append(by_key.get(math.inf))
+                    child.exemplars = restored  # type: ignore[union-attr]
         else:
             ctor = registry.counter if kind == "counter" else registry.gauge
             family = ctor(name, help_text, labels=label_names)
@@ -712,6 +775,32 @@ def format_top(registry: MetricsRegistry, now: Optional[float] = None) -> str:
             f"{_sum('ambit_serve_vectors')} vector(s), "
             f"{_sum('ambit_serve_slots_free')} free slot(s)"
         )
+        errors = registry.get("ambit_serve_errors_total")
+        if errors is not None and errors.children:
+            by_code = sorted(
+                ((code, int(child.value))  # type: ignore[union-attr]
+                 for (code,), child in errors.children.items()
+                 if child.value),  # type: ignore[union-attr]
+                key=lambda item: (-item[1], item[0]),
+            )
+            if by_code:
+                lines.append("serve errors: " + "  ".join(
+                    f"{code}={count}" for code, count in by_code
+                ))
+        if latency is not None:
+            best = None
+            for (cmd,), child in latency.children.items():
+                exemplar = child.max_exemplar()  # type: ignore[union-attr]
+                if exemplar is not None and (
+                    best is None or exemplar[0] > best[0]
+                ):
+                    best = (exemplar[0], exemplar[1], cmd)
+            if best is not None:
+                lines.append(
+                    f"slowest traced request: {best[0] / 1e6:.2f} ms "
+                    f"({best[2]}) trace {best[1]} -- inspect with: "
+                    f"repro spans {best[1]} --connect HOST:PORT"
+                )
 
     batches = registry.get("ambit_worker_batches_total")
     if batches is not None and batches.children:

@@ -302,6 +302,24 @@ SERVE_SPECS: Tuple[MetricSpec, ...] = (
 )
 
 
+#: ``BENCH_spans_overhead.json`` gate.  Bit-exactness and op counts are
+#: seed-deterministic; the overhead itself is gated by an *absolute*
+#: ceiling added in :func:`run_bench_check` (the claim is "tracing is
+#: cheap", not "tracing costs what the baseline host paid").
+SPANS_OVERHEAD_SPECS: Tuple[MetricSpec, ...] = (
+    MetricSpec("bit_exact", EQUAL,
+               note="both arms must verify bit-exact read-back"),
+    MetricSpec("traced.ops_ok", EQUAL,
+               note="every client op must land with tracing on"),
+    MetricSpec("untraced.ops_ok", EQUAL,
+               note="every client op must land with tracing off"),
+)
+
+#: Absolute ceiling on the traced arm's throughput loss (scaled by
+#: ``tolerance_scale`` in :func:`run_bench_check`).
+SPANS_MAX_OVERHEAD = 0.10
+
+
 def run_bench_check(
     results_dir: str,
     repeats: Optional[int] = None,
@@ -309,6 +327,7 @@ def run_bench_check(
     skip_engine: bool = False,
     skip_parallel: bool = False,
     skip_serve: bool = False,
+    skip_spans: bool = False,
 ) -> List[RegressionReport]:
     """Re-run the gated benchmarks and compare against the baselines.
 
@@ -430,5 +449,39 @@ def run_bench_check(
             reports.append(report)
         else:
             reports.append(RegressionReport(name="BENCH_serve (no baseline)"))
+
+    spans_path = os.path.join(results_dir, "BENCH_spans_overhead.json")
+    if not skip_spans:
+        if os.path.exists(spans_path):
+            from repro.serve.bench import (
+                ServeBenchConfig,
+                run_spans_overhead_bench,
+            )
+
+            baseline = load_baseline(spans_path)
+            raw = dict(baseline.get("config", {}))
+            if repeats is not None:
+                raw["repeats"] = repeats
+            fresh = run_spans_overhead_bench(ServeBenchConfig(**raw))
+            report = compare("BENCH_spans_overhead", baseline, fresh,
+                             SPANS_OVERHEAD_SPECS, tolerance_scale)
+            overhead = fresh["overhead"]
+            ceiling = SPANS_MAX_OVERHEAD * tolerance_scale
+            report.checks.append(MetricCheck(
+                path="overhead (absolute ceiling)",
+                baseline=ceiling,
+                current=overhead,
+                ok=overhead <= ceiling,
+                detail=(
+                    f"{overhead * 100:+.1f}% throughput loss with tracing "
+                    f"on (ceiling {ceiling * 100:.0f}%)"
+                ),
+            ))
+            report.checks.extend(waiver_checks(fresh))
+            reports.append(report)
+        else:
+            reports.append(
+                RegressionReport(name="BENCH_spans_overhead (no baseline)")
+            )
 
     return reports

@@ -1,0 +1,724 @@
+"""End-to-end request spans: socket to silicon, one trace per request.
+
+The metrics registry says *that* p99 is high; the hardware tracer says
+what the DRAM did.  Neither says *why request 4182 took 90 ms*.  This
+module closes that gap with request-scoped causality:
+
+* :class:`RequestSpanCtx` -- a per-request builder the serving layer
+  carries through its pipeline.  Each stage stamps a monotonic
+  checkpoint (``perf_counter_ns`` is comparable across threads within
+  one process): admission (``submitted``), drain (``drained``), device
+  occupancy (``device_start``/``device_end``), handler completion
+  (``result``).  The fault-tolerant session contributes timed recovery
+  attempts; the wave runner contributes batch shape.
+* :class:`RequestTrace` -- the materialized result: a root ``request``
+  span plus child spans (queue / coalesce / device / recovery attempts /
+  serialize) and a **stage breakdown that tiles the wall clock
+  exactly**.  Stages are differences of ordered checkpoints and the
+  remainder is an explicit ``other`` stage, so
+  ``sum(stages) == wall_ns`` holds by construction -- the CI sum-check
+  verifies instrumentation coverage, not floating-point luck.
+* :class:`SpanStore` -- a bounded, thread-safe ring of recent completed
+  traces, queryable by trace id, slowest-N, tenant and op (the data
+  behind the ``spans`` protocol command and ``repro spans``).
+* :class:`FlightRecorder` -- watches completed traces and appends every
+  not-yet-dumped trace to a JSONL file when one ends in an unrecovered
+  fault, a backpressure rejection, or an SLO breach -- so a chaos soak
+  leaves an artifact, not just a counter.
+
+Span ids are ``<trace>`` for the root and ``<trace>.<n>`` for children.
+The same ids are stamped onto the hardware tracer's op frames
+(:attr:`repro.obs.tracer.Tracer.span_context`), joining the request
+tree to the AAP-level command stream.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Stage names of the critical-path breakdown, in pipeline order.
+STAGE_QUEUE = "queue"          # admission queue wait (submit -> drain)
+STAGE_COALESCE = "coalesce"    # drain -> this request's wave starts
+STAGE_DEVICE = "device"        # wave on the device thread, minus recovery
+STAGE_RECOVERY = "recovery"    # recovery-ladder attempts inside the wave
+STAGE_SERIALIZE = "serialize"  # handler done -> response bytes written
+STAGE_OTHER = "other"          # event-loop scheduling, decode, dispatch
+
+STAGES = (
+    STAGE_QUEUE,
+    STAGE_COALESCE,
+    STAGE_DEVICE,
+    STAGE_RECOVERY,
+    STAGE_SERIALIZE,
+    STAGE_OTHER,
+)
+
+_trace_counter = itertools.count(1)
+_BOOT_TAG = f"{time.time_ns() & 0xFFFFFFFF:08x}"
+
+
+def new_trace_id() -> str:
+    """A process-unique trace id (boot tag + sequence)."""
+    return f"{_BOOT_TAG}-{next(_trace_counter):06x}"
+
+
+# ----------------------------------------------------------------------
+# Spans and traces
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Span:
+    """One timed node of a request tree.
+
+    ``start_ns`` is a raw ``perf_counter_ns`` value -- meaningful only
+    relative to other spans of the same process; exporters rebase.
+    """
+
+    trace: str
+    span: str
+    parent: Optional[str]
+    name: str
+    start_ns: int
+    dur_ns: int
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (``attrs`` omitted when empty)."""
+        data: Dict[str, Any] = {
+            "trace": self.trace,
+            "span": self.span,
+            "name": self.name,
+            "start_ns": self.start_ns,
+            "dur_ns": self.dur_ns,
+        }
+        if self.parent is not None:
+            data["parent"] = self.parent
+        if self.attrs:
+            data["attrs"] = self.attrs
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Span":
+        return cls(
+            trace=data["trace"],
+            span=data["span"],
+            parent=data.get("parent"),
+            name=data["name"],
+            start_ns=int(data["start_ns"]),
+            dur_ns=int(data["dur_ns"]),
+            attrs=dict(data.get("attrs", {})),
+        )
+
+
+class RequestTrace:
+    """One completed request: root span, children, stage breakdown.
+
+    The span tree is **lazy**: the serving hot path finishes thousands
+    of traces that are never looked at, so :meth:`RequestSpanCtx.finish`
+    stores only the raw checkpoints (marks, recovery attempts, wave
+    shape) and the pre-computed stage breakdown; :class:`Span` objects
+    materialize on first access to :attr:`spans` -- queries pay, the
+    hot path does not (see ``BENCH_spans_overhead.json``).
+    """
+
+    __slots__ = (
+        "trace", "cmd", "tenant", "op", "status", "start_ns", "wall_ns",
+        "stages", "finished_at", "seq", "marks", "attempts", "wave",
+        "_spans",
+    )
+
+    def __init__(
+        self,
+        trace: str,
+        cmd: str,
+        tenant: Optional[str],
+        op: Optional[str],
+        status: str,            # "ok" or the wire error code
+        start_ns: int,
+        wall_ns: int,
+        stages: Dict[str, int],
+        finished_at: float,     # epoch seconds, for humans and dumps
+        seq: int = 0,           # assigned by the SpanStore on add
+        marks: Optional[Dict[str, int]] = None,
+        attempts: Optional[List[Dict[str, Any]]] = None,
+        wave: Optional[Dict[str, Any]] = None,
+        spans: Optional[List[Span]] = None,
+    ):
+        self.trace = trace
+        self.cmd = cmd
+        self.tenant = tenant
+        self.op = op
+        self.status = status
+        self.start_ns = start_ns
+        self.wall_ns = wall_ns
+        self.stages = stages
+        self.finished_at = finished_at
+        self.seq = seq
+        self.marks = marks if marks is not None else {}
+        self.attempts = attempts if attempts is not None else []
+        self.wave = wave if wave is not None else {}
+        self._spans = spans
+
+    @property
+    def spans(self) -> List[Span]:
+        if self._spans is None:
+            self._spans = _materialize_spans(self)
+        return self._spans
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The wire/JSONL form: summary fields plus the full span tree."""
+        return {
+            "trace": self.trace,
+            "cmd": self.cmd,
+            "tenant": self.tenant,
+            "op": self.op,
+            "status": self.status,
+            "start_ns": self.start_ns,
+            "wall_ns": self.wall_ns,
+            "stages": dict(self.stages),
+            "spans": [span.to_dict() for span in self.spans],
+            "finished_at": self.finished_at,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RequestTrace":
+        return cls(
+            trace=data["trace"],
+            cmd=data.get("cmd", "?"),
+            tenant=data.get("tenant"),
+            op=data.get("op"),
+            status=data.get("status", "?"),
+            start_ns=int(data.get("start_ns", 0)),
+            wall_ns=int(data["wall_ns"]),
+            stages={k: int(v) for k, v in data.get("stages", {}).items()},
+            spans=[Span.from_dict(s) for s in data.get("spans", [])],
+            finished_at=float(data.get("finished_at", 0.0)),
+        )
+
+    def chrome_events(
+        self, tid: int, base_ns: int, pid: int = 1
+    ) -> List[Dict[str, Any]]:
+        """Chrome ``trace_event`` objects for this request's lane."""
+        events: List[Dict[str, Any]] = [{
+            "ph": "M",
+            "pid": pid,
+            "tid": tid,
+            "name": "thread_name",
+            "args": {"name": f"{self.trace} ({self.cmd} {self.status})"},
+        }]
+        for span in self.spans:
+            events.append({
+                "ph": "X",
+                "pid": pid,
+                "tid": tid,
+                "name": span.name,
+                "ts": (span.start_ns - base_ns) / 1e3,   # microseconds
+                "dur": max(span.dur_ns, 1) / 1e3,
+                "args": dict(span.attrs, trace=self.trace, span=span.span),
+            })
+        return events
+
+
+# ----------------------------------------------------------------------
+# The per-request builder
+# ----------------------------------------------------------------------
+class RequestSpanCtx:
+    """Mutable collector a request carries from decode to response write.
+
+    The serving layer creates one per request line, stamps checkpoints
+    as the request moves through the pipeline, and calls :meth:`finish`
+    after the response hits the socket.  ``adopt`` merges checkpoints
+    recorded on another thread (the wave runner writes into the
+    :class:`~repro.serve.coalescer.OpRequest`'s ``timing`` dict on the
+    device thread; the awaiting coroutine adopts them afterwards, so
+    the ctx itself is only ever mutated from the event loop).
+    """
+
+    __slots__ = (
+        "trace", "cmd", "tenant", "op", "t0",
+        "marks", "attempts", "wave",
+    )
+
+    def __init__(
+        self,
+        cmd: str,
+        tenant: Optional[str] = None,
+        op: Optional[str] = None,
+        trace: Optional[str] = None,
+        start_ns: Optional[int] = None,
+    ):
+        self.trace = trace if trace is not None else new_trace_id()
+        self.cmd = cmd
+        self.tenant = tenant
+        self.op = op
+        self.t0 = (
+            start_ns if start_ns is not None else time.perf_counter_ns()
+        )
+        #: checkpoint name -> perf_counter_ns.
+        self.marks: Dict[str, int] = {}
+        #: timed recovery-ladder attempts (dicts; see ``adopt``).
+        self.attempts: List[Dict[str, Any]] = []
+        #: wave shape (index, fused request count, op).
+        self.wave: Dict[str, Any] = {}
+
+    def mark(self, name: str, ns: Optional[int] = None) -> None:
+        """Stamp a checkpoint (idempotent: first stamp wins)."""
+        self.marks.setdefault(
+            name, ns if ns is not None else time.perf_counter_ns()
+        )
+
+    def adopt(self, timing: Dict[str, Any]) -> None:
+        """Merge checkpoints recorded elsewhere (coalescer / wave runner)."""
+        for name in ("submitted", "drained", "device_start", "device_end"):
+            value = timing.get(name)
+            if value is not None:
+                self.mark(name, int(value))
+        self.attempts.extend(timing.get("attempts", ()))
+        wave = timing.get("wave")
+        if wave:
+            self.wave.update(wave)
+
+    # ------------------------------------------------------------------
+    def recovery_ns(self) -> int:
+        """Total nanoseconds the adopted recovery attempts consumed."""
+        return sum(int(a.get("dur_ns", 0)) for a in self.attempts)
+
+    def breakdown(self, end_ns: int) -> Dict[str, int]:
+        """Tile ``[t0, end_ns]`` into the stage dict (sums exactly).
+
+        Checkpoints are monotonic and pipeline-ordered, so every stage
+        is a non-negative difference and ``other`` absorbs whatever the
+        named stages do not cover (event-loop scheduling, decode,
+        response encode).  A negative ``other`` would mean overlapping
+        stage accounting -- :func:`validate_trace` treats it as a bug.
+        """
+        wall = end_ns - self.t0
+        if wall < 0:
+            wall = 0
+        m = self.marks
+        sub = m.get("submitted")
+        drained = m.get("drained")
+        dev_s = m.get("device_start")
+        dev_e = m.get("device_end")
+        result = m.get("result")
+        queue = (
+            drained - sub
+            if sub is not None and drained is not None and drained > sub
+            else 0
+        )
+        coalesce = (
+            dev_s - drained
+            if drained is not None and dev_s is not None and dev_s > drained
+            else 0
+        )
+        device_total = (
+            dev_e - dev_s
+            if dev_s is not None and dev_e is not None and dev_e > dev_s
+            else 0
+        )
+        recovery = (
+            min(self.recovery_ns(), device_total) if self.attempts else 0
+        )
+        serialize = (
+            end_ns - result
+            if result is not None and end_ns > result
+            else 0
+        )
+        return {
+            STAGE_QUEUE: queue,
+            STAGE_COALESCE: coalesce,
+            STAGE_DEVICE: device_total - recovery,
+            STAGE_RECOVERY: recovery,
+            STAGE_SERIALIZE: serialize,
+            STAGE_OTHER: wall - queue - coalesce - device_total - serialize,
+        }
+
+    def finish(
+        self, status: str, end_ns: Optional[int] = None
+    ) -> RequestTrace:
+        """Seal the trace; call once, after the response write.
+
+        Deliberately cheap (the hot path runs it per request): stage
+        arithmetic only; the span tree materializes lazily on first
+        query (see :class:`RequestTrace`).
+        """
+        end = end_ns if end_ns is not None else time.perf_counter_ns()
+        end = max(end, self.t0)
+        return RequestTrace(
+            trace=self.trace,
+            cmd=self.cmd,
+            tenant=self.tenant,
+            op=self.op,
+            status=status,
+            start_ns=self.t0,
+            wall_ns=end - self.t0,
+            stages=self.breakdown(end),
+            finished_at=time.time(),
+            marks=self.marks,
+            attempts=self.attempts,
+            wave=self.wave,
+        )
+
+
+def _materialize_spans(trace: RequestTrace) -> List[Span]:
+    """Build the span tree from a trace's raw checkpoints (query path)."""
+    m = trace.marks
+    t0 = trace.start_ns
+    end = t0 + trace.wall_ns
+    counter = itertools.count(1)
+
+    def child_id() -> str:
+        return f"{trace.trace}.{next(counter)}"
+
+    spans: List[Span] = [Span(
+        trace=trace.trace,
+        span=trace.trace,
+        parent=None,
+        name=f"request:{trace.cmd}",
+        start_ns=t0,
+        dur_ns=trace.wall_ns,
+        attrs={
+            k: v
+            for k, v in (
+                ("cmd", trace.cmd),
+                ("tenant", trace.tenant),
+                ("op", trace.op),
+                ("status", trace.status),
+            )
+            if v is not None
+        },
+    )]
+
+    def stage_span(name: str, a: str, b: str, **attrs: Any) -> Optional[str]:
+        if a not in m or b not in m or m[b] < m[a]:
+            return None
+        sid = child_id()
+        spans.append(Span(
+            trace=trace.trace, span=sid, parent=trace.trace,
+            name=name, start_ns=m[a], dur_ns=m[b] - m[a], attrs=attrs,
+        ))
+        return sid
+
+    stage_span(STAGE_QUEUE, "submitted", "drained")
+    stage_span(STAGE_COALESCE, "drained", "device_start")
+    device_attrs = dict(trace.wave)
+    if trace.attempts:
+        device_attrs["recovery_ns"] = sum(
+            int(a.get("dur_ns", 0)) for a in trace.attempts
+        )
+    device_id = stage_span(
+        STAGE_DEVICE, "device_start", "device_end", **device_attrs
+    )
+    for attempt in trace.attempts:
+        spans.append(Span(
+            trace=trace.trace,
+            span=child_id(),
+            parent=device_id if device_id is not None else trace.trace,
+            name=f"recovery:{attempt.get('action', '?')}",
+            start_ns=int(attempt.get("start_ns", t0)),
+            dur_ns=int(attempt.get("dur_ns", 0)),
+            attrs={
+                k: attempt[k]
+                for k in ("kind", "op", "bank", "subarray",
+                          "address", "ok")
+                if k in attempt
+            },
+        ))
+    if "result" in m:
+        spans.append(Span(
+            trace=trace.trace, span=child_id(), parent=trace.trace,
+            name=STAGE_SERIALIZE, start_ns=m["result"],
+            dur_ns=end - m["result"], attrs={},
+        ))
+    return spans
+
+
+# ----------------------------------------------------------------------
+# The bounded store
+# ----------------------------------------------------------------------
+class SpanStore:
+    """A thread-safe ring of recent completed request traces."""
+
+    def __init__(self, capacity: int = 512):
+        self.capacity = max(1, int(capacity))
+        self._lock = threading.Lock()
+        self._traces: List[RequestTrace] = []
+        self._seq = 0
+
+    def add(self, trace: RequestTrace) -> RequestTrace:
+        """Record one completed trace (assigns its store sequence)."""
+        with self._lock:
+            self._seq += 1
+            trace.seq = self._seq
+            self._traces.append(trace)
+            if len(self._traces) > self.capacity:
+                del self._traces[: len(self._traces) - self.capacity]
+        return trace
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._traces)
+
+    def get(self, trace_id: str) -> Optional[RequestTrace]:
+        """The trace with this id, if it is still in the ring."""
+        with self._lock:
+            for trace in reversed(self._traces):
+                if trace.trace == trace_id:
+                    return trace
+        return None
+
+    def list(
+        self,
+        slowest: Optional[int] = None,
+        tenant: Optional[str] = None,
+        op: Optional[str] = None,
+        since_seq: int = 0,
+    ) -> List[RequestTrace]:
+        """Recent traces, filtered; slowest-N sorts by wall descending."""
+        with self._lock:
+            traces = [t for t in self._traces if t.seq > since_seq]
+        if tenant is not None:
+            traces = [t for t in traces if t.tenant == tenant]
+        if op is not None:
+            traces = [t for t in traces if t.op == op]
+        if slowest is not None:
+            traces = sorted(
+                traces, key=lambda t: t.wall_ns, reverse=True
+            )[: max(0, slowest)]
+        return traces
+
+
+# ----------------------------------------------------------------------
+# The flight recorder
+# ----------------------------------------------------------------------
+class FlightRecorder:
+    """Dump the recent-span ring to JSONL when a request ends badly.
+
+    Triggers: the request's terminal status is in ``trigger_codes``
+    (the server passes the unrecovered-fault and backpressure wire
+    codes), or its wall latency breaches ``slo_ms``.  Each dump appends
+    only traces not yet written (tracked by store sequence), so
+    repeated triggers during a fault storm do not re-dump the whole
+    ring every time.
+    """
+
+    REASON_SLO = "slo_breach"
+
+    def __init__(
+        self,
+        store: SpanStore,
+        path: Optional[str] = None,
+        slo_ms: float = 0.0,
+        trigger_codes: Iterable[str] = (),
+    ):
+        self.store = store
+        self.path = path
+        self.slo_ms = float(slo_ms)
+        self.trigger_codes = frozenset(trigger_codes)
+        self.dumps = 0
+        self.last_reason: Optional[str] = None
+        self._last_dumped_seq = 0
+        self._lock = threading.Lock()
+
+    def reason_for(self, trace: RequestTrace) -> Optional[str]:
+        """Why this trace should trigger a dump (``None`` = it should not)."""
+        if trace.status in self.trigger_codes:
+            return trace.status
+        if self.slo_ms > 0 and trace.wall_ns > self.slo_ms * 1e6:
+            return self.REASON_SLO
+        return None
+
+    def observe(self, trace: RequestTrace) -> Optional[str]:
+        """Consider one completed trace; dump and return the reason if hit."""
+        reason = self.reason_for(trace)
+        if reason is not None and self.path is not None:
+            self.dump(reason, trace.trace)
+        self.last_reason = reason if reason is not None else self.last_reason
+        return reason
+
+    def dump(self, reason: str, trigger_trace: str) -> int:
+        """Append every not-yet-dumped trace; returns lines written."""
+        assert self.path is not None
+        with self._lock:
+            fresh = self.store.list(since_seq=self._last_dumped_seq)
+            if not fresh:
+                return 0
+            with open(self.path, "a") as handle:
+                for trace in fresh:
+                    record = dict(
+                        trace.to_dict(),
+                        flight_reason=reason,
+                        flight_trigger=trigger_trace,
+                    )
+                    handle.write(json.dumps(record, sort_keys=True))
+                    handle.write("\n")
+            self._last_dumped_seq = fresh[-1].seq
+            self.dumps += 1
+            return len(fresh)
+
+
+# ----------------------------------------------------------------------
+# Validation (CI sum-check and `repro spans --check`)
+# ----------------------------------------------------------------------
+def validate_trace(
+    data: Dict[str, Any], tolerance: float = 0.05
+) -> List[str]:
+    """Structural checks on one wire-form trace; returns problem strings.
+
+    * required keys present, wall > 0;
+    * every stage non-negative (a negative ``other`` means stages
+      overlapped -- an instrumentation bug, not clock noise);
+    * the stage breakdown sums to the wall clock within ``tolerance``;
+    * the span tree is well-formed: exactly one root, every parent
+      resolves, children sit inside the root's interval.
+    """
+    problems: List[str] = []
+    for key in ("trace", "wall_ns", "stages", "spans"):
+        if key not in data:
+            problems.append(f"missing key {key!r}")
+    if problems:
+        return problems
+    wall = int(data["wall_ns"])
+    if wall <= 0:
+        problems.append(f"non-positive wall_ns {wall}")
+        return problems
+    stages = data["stages"]
+    for name, value in stages.items():
+        if int(value) < 0:
+            problems.append(f"negative stage {name}={value}")
+    total = sum(int(v) for v in stages.values())
+    if abs(total - wall) > tolerance * wall:
+        problems.append(
+            f"stages sum to {total} ns but wall is {wall} ns "
+            f"(off by {abs(total - wall) / wall:.1%}, "
+            f"tolerance {tolerance:.0%})"
+        )
+    spans = data["spans"]
+    by_id = {}
+    roots = []
+    for span in spans:
+        for key in ("trace", "span", "name", "start_ns", "dur_ns"):
+            if key not in span:
+                problems.append(f"span missing key {key!r}: {span}")
+                return problems
+        by_id[span["span"]] = span
+        if span.get("parent") is None:
+            roots.append(span)
+    if len(roots) != 1:
+        problems.append(f"expected exactly one root span; got {len(roots)}")
+        return problems
+    root = roots[0]
+    root_start = int(root["start_ns"])
+    root_end = root_start + int(root["dur_ns"])
+    for span in spans:
+        parent = span.get("parent")
+        if parent is not None and parent not in by_id:
+            problems.append(
+                f"span {span['span']} references unknown parent {parent}"
+            )
+        if int(span["dur_ns"]) < 0:
+            problems.append(f"span {span['span']} has negative duration")
+        if span is not root:
+            start = int(span["start_ns"])
+            if start < root_start or start + int(span["dur_ns"]) > root_end:
+                problems.append(
+                    f"span {span['span']} ({span['name']}) leaves the "
+                    f"root interval"
+                )
+    return problems
+
+
+# ----------------------------------------------------------------------
+# Rendering (the `repro spans` CLI)
+# ----------------------------------------------------------------------
+def _ms(ns: Any) -> float:
+    return int(ns) / 1e6
+
+
+def format_spans_table(traces: Sequence[Dict[str, Any]]) -> str:
+    """One row per request: wall plus the full stage breakdown."""
+    if not traces:
+        return "(no spans recorded)"
+    lines = [
+        f"{'trace':>16} {'cmd':>6} {'tenant':>8} {'op':>5} {'status':>12} "
+        f"{'wall ms':>9} {'queue':>7} {'coal':>7} {'device':>7} "
+        f"{'recov':>7} {'serl':>7} {'other':>7}"
+    ]
+    for trace in traces:
+        stages = trace.get("stages", {})
+        lines.append(
+            f"{trace.get('trace', '?'):>16} "
+            f"{trace.get('cmd', '?'):>6} "
+            f"{str(trace.get('tenant') or '-'):>8} "
+            f"{str(trace.get('op') or '-'):>5} "
+            f"{trace.get('status', '?'):>12} "
+            f"{_ms(trace.get('wall_ns', 0)):>9.3f} "
+            f"{_ms(stages.get(STAGE_QUEUE, 0)):>7.3f} "
+            f"{_ms(stages.get(STAGE_COALESCE, 0)):>7.3f} "
+            f"{_ms(stages.get(STAGE_DEVICE, 0)):>7.3f} "
+            f"{_ms(stages.get(STAGE_RECOVERY, 0)):>7.3f} "
+            f"{_ms(stages.get(STAGE_SERIALIZE, 0)):>7.3f} "
+            f"{_ms(stages.get(STAGE_OTHER, 0)):>7.3f}"
+        )
+    return "\n".join(lines)
+
+
+def format_trace_tree(data: Dict[str, Any]) -> str:
+    """An indented span tree for one request (``repro spans TRACE``)."""
+    spans = [Span.from_dict(s) for s in data.get("spans", [])]
+    by_parent: Dict[Optional[str], List[Span]] = {}
+    for span in spans:
+        by_parent.setdefault(span.parent, []).append(span)
+    for children in by_parent.values():
+        children.sort(key=lambda s: s.start_ns)
+
+    header = (
+        f"trace {data.get('trace', '?')}: {data.get('cmd', '?')}"
+        + (f" {data['op']}" if data.get("op") else "")
+        + (f" tenant {data['tenant']}" if data.get("tenant") else "")
+        + f"  status {data.get('status', '?')}"
+        + f"  wall {_ms(data.get('wall_ns', 0)):.3f} ms"
+    )
+    lines = [header]
+    base = int(data.get("start_ns", 0))
+
+    def walk(span: Span, depth: int) -> None:
+        attrs = ""
+        if span.attrs:
+            attrs = "  " + " ".join(
+                f"{k}={v}" for k, v in sorted(span.attrs.items())
+            )
+        lines.append(
+            f"  {'  ' * depth}{span.name:<{24 - 2 * depth}} "
+            f"+{_ms(span.start_ns - base):>9.3f} ms  "
+            f"{_ms(span.dur_ns):>9.3f} ms{attrs}"
+        )
+        for child in by_parent.get(span.span, []):
+            walk(child, depth + 1)
+
+    for root in by_parent.get(None, []):
+        walk(root, 0)
+    stages = data.get("stages", {})
+    if stages:
+        lines.append("  breakdown: " + "  ".join(
+            f"{name} {_ms(stages.get(name, 0)):.3f}" for name in STAGES
+        ) + "  (ms)")
+    return "\n".join(lines)
+
+
+def chrome_trace(traces: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    """A Chrome ``trace_event`` payload, one lane (tid) per request."""
+    parsed = [RequestTrace.from_dict(t) for t in traces]
+    if not parsed:
+        return {"traceEvents": []}
+    base = min(t.start_ns for t in parsed)
+    events: List[Dict[str, Any]] = []
+    for tid, trace in enumerate(
+        sorted(parsed, key=lambda t: t.start_ns), start=1
+    ):
+        events.extend(trace.chrome_events(tid=tid, base_ns=base))
+    return {"traceEvents": events, "displayTimeUnit": "ms"}

@@ -50,9 +50,16 @@ class _OpFrame:
     """Book-keeping for one in-flight bulk operation."""
 
     __slots__ = ("name", "bank", "subarray", "start_ns", "energy_pj",
-                 "aaps", "aps", "commands")
+                 "aaps", "aps", "commands", "span")
 
-    def __init__(self, name: str, bank: int, subarray: int, start_ns: float):
+    def __init__(
+        self,
+        name: str,
+        bank: int,
+        subarray: int,
+        start_ns: float,
+        span: Optional[tuple] = None,
+    ):
         self.name = name
         self.bank = bank
         self.subarray = subarray
@@ -61,6 +68,9 @@ class _OpFrame:
         self.aaps = 0
         self.aps = 0
         self.commands = 0
+        #: ``(trace_ids, span_id)`` captured from the tracer's ambient
+        #: request-span context at ``begin_op`` time (None = untraced).
+        self.span = span
 
 
 class Tracer:
@@ -93,6 +103,12 @@ class Tracer:
         self.row_bytes = row_bytes
         self._seq = 0
         self._op_stack: List[_OpFrame] = []
+        #: Ambient request-span context: ``(trace_ids_csv, span_id)``.
+        #: The serving layer sets this around each wave on the device
+        #: thread; ``begin_op`` snapshots it into the op frame so every
+        #: emitted op event carries the request trace(s) that caused it
+        #: -- the join key between request spans and the command stream.
+        self.span_context: Optional[tuple] = None
 
     # ------------------------------------------------------------------
     # Sink management
@@ -216,11 +232,20 @@ class Tracer:
 
     def begin_op(self, name: str, bank: int, subarray: int, clock_ns: float) -> None:
         """Open a bulk-operation span (nestable)."""
-        self._op_stack.append(_OpFrame(name, bank, subarray, clock_ns))
+        self._op_stack.append(
+            _OpFrame(name, bank, subarray, clock_ns, span=self.span_context)
+        )
 
     def end_op(self, clock_ns: float) -> None:
         """Close the innermost bulk-operation span and emit it."""
         frame = self._op_stack.pop()
+        attrs: dict = {
+            "aaps": frame.aaps,
+            "aps": frame.aps,
+            "commands": frame.commands,
+        }
+        if frame.span is not None:
+            attrs["trace"], attrs["span"] = frame.span
         self._emit(
             TraceEvent(
                 kind=KIND_OP,
@@ -231,11 +256,7 @@ class Tracer:
                 bank=frame.bank,
                 subarray=frame.subarray,
                 energy_pj=frame.energy_pj,
-                attrs={
-                    "aaps": frame.aaps,
-                    "aps": frame.aps,
-                    "commands": frame.commands,
-                },
+                attrs=attrs,
             )
         )
 

@@ -58,7 +58,9 @@ class ServeBenchConfig:
             raise ConfigError(f"repeats must be >= 1; got {self.repeats}")
 
 
-def _serve_config(config: ServeBenchConfig, coalesce: bool) -> ServeConfig:
+def _serve_config(
+    config: ServeBenchConfig, coalesce: bool, trace: bool = True
+) -> ServeConfig:
     """A server sized so *only* the coalesce bit differs between arms.
 
     Quotas unlimited and the queue far above the client count: any
@@ -81,10 +83,13 @@ def _serve_config(config: ServeBenchConfig, coalesce: bool) -> ServeConfig:
         max_rows=0,
         max_inflight=0,
         seed=config.seed,
+        trace=trace,
     )
 
 
-def _run_arm(config: ServeBenchConfig, coalesce: bool) -> Dict[str, Any]:
+def _run_arm(
+    config: ServeBenchConfig, coalesce: bool, trace: bool = True
+) -> Dict[str, Any]:
     best: Optional[Dict[str, Any]] = None
     for repeat in range(config.repeats):
         report = run_loadgen(LoadGenConfig(
@@ -95,7 +100,7 @@ def _run_arm(config: ServeBenchConfig, coalesce: bool) -> Dict[str, Any]:
             concurrency=config.clients,
             quota_probe=False,
             burst=0,
-            serve=_serve_config(config, coalesce),
+            serve=_serve_config(config, coalesce, trace),
         ))
         if not report.bit_exact:
             raise AssertionError(
@@ -145,6 +150,63 @@ def run_serve_bench(
         ),
         "bit_exact": coalesced["bit_exact"] and single["bit_exact"],
     }
+
+
+def run_spans_overhead_bench(
+    config: Optional[ServeBenchConfig] = None,
+) -> Dict[str, Any]:
+    """Request tracing on versus off, same swarm: the span tax.
+
+    Per-request span materialization (checkpoint stamps, breakdown
+    arithmetic, ring insertion) rides the serving hot path, so it must
+    pay its way: the recorded ``overhead`` is
+    ``1 - traced.throughput / untraced.throughput`` (positive = tracing
+    costs throughput), gated in ``BENCH_spans_overhead.json`` against
+    an absolute ceiling rather than a baseline ratio -- the claim is
+    "tracing is cheap", not "tracing costs what it cost last week".
+    """
+    config = config if config is not None else ServeBenchConfig()
+    config.validate()
+    traced = _run_arm(config, coalesce=True, trace=True)
+    untraced = _run_arm(config, coalesce=True, trace=False)
+    overhead = (
+        1.0 - traced["throughput_ops_s"] / untraced["throughput_ops_s"]
+        if untraced["throughput_ops_s"]
+        else 0.0
+    )
+    return {
+        "bench": "spans_overhead",
+        "cpu_count": os.cpu_count() or 1,
+        "config": asdict(config),
+        "traced": traced,
+        "untraced": untraced,
+        "overhead": overhead,
+        "bit_exact": traced["bit_exact"] and untraced["bit_exact"],
+    }
+
+
+def format_spans_overhead_bench(payload: Dict[str, Any]) -> str:
+    """Human-readable tracing-tax summary."""
+    config = payload["config"]
+    lines = [
+        "ambit spans bench: request tracing on vs off",
+        f"  {config['clients']} clients x {config['ops']} ops x "
+        f"{config['bits']} bits  seed {config['seed']}  "
+        f"best of {config['repeats']}",
+    ]
+    for name in ("traced", "untraced"):
+        arm = payload[name]
+        lines.append(
+            f"  {name:>9}: {arm['throughput_ops_s']:8.0f} ops/s  "
+            f"p99 {arm['p99_ms']:6.2f} ms"
+        )
+    lines.append(
+        f"  overhead {payload['overhead'] * 100:+.1f}%  "
+        f"bit-exact {'yes' if payload['bit_exact'] else 'NO'}"
+    )
+    if "max_overhead" in payload:
+        lines.append(f"  ceiling {payload['max_overhead'] * 100:.0f}%")
+    return "\n".join(lines)
 
 
 def format_serve_bench(payload: Dict[str, Any]) -> str:

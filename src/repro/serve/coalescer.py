@@ -35,10 +35,12 @@ still forms nine big waves instead of a wave per run of equal ops.
 from __future__ import annotations
 
 import asyncio
+import time
 from dataclasses import dataclass, field
 from typing import (
     Any,
     Callable,
+    Dict,
     FrozenSet,
     List,
     Optional,
@@ -70,6 +72,12 @@ class OpRequest:
     dst: Tuple[RowLocation, ...]
     srcs: Tuple[Tuple[RowLocation, ...], ...]
     future: "asyncio.Future[Any]"
+    #: Request-span checkpoints stamped as the request crosses threads
+    #: (coalescer: ``submitted``/``drained``; wave runner:
+    #: ``device_start``/``device_end``, ``attempts``, ``wave``).  The
+    #: awaiting coroutine adopts this after the future resolves, so the
+    #: span context itself never crosses a thread.
+    timing: Dict[str, Any] = field(default_factory=dict)
     dst_keys: FrozenSet[RowKey] = field(init=False)
     all_keys: FrozenSet[RowKey] = field(init=False)
 
@@ -219,6 +227,7 @@ class Coalescer:
     # ------------------------------------------------------------------
     def submit(self, request: OpRequest) -> None:
         """Enqueue or reject-with-backpressure (never blocks)."""
+        request.timing["submitted"] = time.perf_counter_ns()
         try:
             self._queue.put_nowait(request)
         except asyncio.QueueFull:
@@ -241,6 +250,9 @@ class Coalescer:
                         batch.append(self._queue.get_nowait())
                     except asyncio.QueueEmpty:
                         break
+            drained = time.perf_counter_ns()
+            for request in batch:
+                request.timing["drained"] = drained
             waves = plan_waves(batch)
             if self._m_batches is not None:
                 for wave in waves:

@@ -26,6 +26,17 @@ Commands (all requests carry ``cmd``, ``tenant`` and optionally ``id``):
     Server-side totals (coalesced batches, backpressure, quota
     rejections, fault counters) plus the ``ambit_serve_*`` metric
     snapshot -- the programmatic face of ``repro top --url``.
+``spans``
+    Query the server's recent request traces (``repro spans``).
+    ``{trace}`` fetches one trace by id; otherwise ``{slowest, tenant,
+    op}`` filter the ring.  Responds ``{spans: [<trace>, ...]}`` where
+    each trace carries the span tree and the critical-path stage
+    breakdown (see :mod:`repro.obs.spans`).
+
+Any request may additionally carry ``"detail": "timing"``; the
+response then includes a ``timing`` object with the request's trace id
+and its stage breakdown so far -- the wire form of a Server-Timing
+header.
 
 Errors respond ``{"ok": false, "error": <code>, "message": ...}``;
 codes are the ``E_*`` constants below.  Two of them drive client-side
@@ -59,10 +70,13 @@ E_QUOTA = "quota"                # per-tenant limit (vectors/rows/inflight)
 E_CAPACITY = "capacity"          # device out of rows (global, not tenant)
 E_BACKPRESSURE = "backpressure"  # admission queue full; retry
 E_FAULT = "fault"                # unrecovered fault hit the destination
+E_NO_TRACE = "no_such_trace"     # trace id fell out of the span ring
 E_INTERNAL = "internal"
 
 #: Commands the server accepts.
-COMMANDS = ("ping", "create", "write", "read", "op", "delete", "stats")
+COMMANDS = (
+    "ping", "create", "write", "read", "op", "delete", "stats", "spans",
+)
 
 
 class ServeError(Exception):

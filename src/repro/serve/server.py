@@ -31,6 +31,7 @@ locking in the engine.
 from __future__ import annotations
 
 import asyncio
+import contextvars
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
@@ -44,12 +45,16 @@ from repro.errors import ConfigError
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
 from repro.faults.recover import FaultTolerantSession, RecoveryPolicy
+from repro.log import get_logger
+from repro.obs.spans import FlightRecorder, RequestSpanCtx, SpanStore
 from repro.serve.alloc import StripedAllocator
 from repro.serve.coalescer import Coalescer, OpRequest, Wave
 from repro.serve.protocol import (
     COMMANDS,
+    E_BACKPRESSURE,
     E_FAULT,
     E_INTERNAL,
+    E_NO_TRACE,
     E_PROTOCOL,
     E_SHAPE,
     E_UNKNOWN,
@@ -64,6 +69,15 @@ from repro.serve.protocol import (
     rows_to_hex,
 )
 from repro.serve.tenants import TenantQuota, TenantRegistry
+
+log = get_logger("serve")
+
+#: The in-flight request's span context.  Set by :meth:`_serve_line`
+#: (each request line is its own asyncio task, so the var is naturally
+#: request-scoped) and read by command handlers and the device wrapper.
+_REQUEST_CTX: "contextvars.ContextVar[Optional[RequestSpanCtx]]" = (
+    contextvars.ContextVar("repro_request_ctx", default=None)
+)
 
 #: Request-latency buckets: 100 us .. 10 s (the default device-latency
 #: buckets top out at ~0.4 ms -- far too tight for network round trips).
@@ -100,6 +114,10 @@ class ServeConfig:
     spare_rows: int = 2
     seed: int = 0
     metrics_port: Optional[int] = None
+    trace: bool = True               # request spans (socket -> silicon)
+    max_spans: int = 512             # span-ring capacity
+    slo_ms: float = 0.0              # > 0: flight-recorder latency trigger
+    flight_path: Optional[str] = None  # JSONL dump target (None = off)
 
     def validate(self) -> None:
         """Raise :class:`~repro.errors.ConfigError` on bad settings."""
@@ -124,6 +142,10 @@ class ServeConfig:
             raise ConfigError("fault_ops must be >= 1")
         if self.spare_rows < 0:
             raise ConfigError("spare_rows must be >= 0")
+        if self.max_spans < 1:
+            raise ConfigError("max_spans must be >= 1")
+        if self.slo_ms < 0:
+            raise ConfigError("slo_ms must be >= 0")
 
     def geometry(self) -> DramGeometry:
         """The device geometry this configuration describes."""
@@ -217,6 +239,21 @@ class BulkBitwiseServer:
             labels=("cmd",),
             buckets=SERVE_LATENCY_BUCKETS_NS,
         )
+        self._m_errors = self.metrics.counter(
+            "ambit_serve_errors_total",
+            "Requests that returned a typed error, by wire code",
+            labels=("code",),
+        )
+        self.spans: Optional[SpanStore] = None
+        self.recorder: Optional[FlightRecorder] = None
+        if config.trace:
+            self.spans = SpanStore(capacity=config.max_spans)
+            self.recorder = FlightRecorder(
+                self.spans,
+                path=config.flight_path,
+                slo_ms=config.slo_ms,
+                trigger_codes=(E_FAULT, E_BACKPRESSURE),
+            )
         self._server: Optional[asyncio.AbstractServer] = None
         self.metrics_server = None
         if config.metrics_port is not None:
@@ -312,9 +349,13 @@ class BulkBitwiseServer:
         started = time.perf_counter_ns()
         request_id = None
         cmd = "invalid"
+        ctx: Optional[RequestSpanCtx] = None
+        token = None
+        want_timing = False
         try:
             request = decode_frame(line)
             request_id = request.get("id")
+            want_timing = request.get("detail") == "timing"
             raw_cmd = request.get("cmd")
             if raw_cmd in COMMANDS:
                 cmd = raw_cmd
@@ -323,28 +364,72 @@ class BulkBitwiseServer:
                     E_UNKNOWN, f"unknown command {raw_cmd!r}; "
                     f"expected one of {', '.join(COMMANDS)}"
                 )
+            if self.spans is not None:
+                tenant = request.get("tenant")
+                op = request.get("op")
+                ctx = RequestSpanCtx(
+                    cmd=cmd,
+                    tenant=tenant if isinstance(tenant, str) else None,
+                    op=op if isinstance(op, str) else None,
+                    start_ns=started,
+                )
+                token = _REQUEST_CTX.set(ctx)
             response = await getattr(self, f"_cmd_{cmd}")(request)
             status = "ok"
         except ServeError as exc:
             response = error_response(request_id, exc.code, exc.message)
             status = exc.code
         except Exception as exc:  # engine/device errors -> internal
+            log.warning(
+                "request failed with %s: %s", type(exc).__name__, exc,
+                extra={"ctx_cmd": cmd,
+                       "ctx_trace": ctx.trace if ctx else None},
+            )
             response = error_response(
                 request_id, E_INTERNAL, f"{type(exc).__name__}: {exc}"
             )
             status = E_INTERNAL
+        finally:
+            if token is not None:
+                _REQUEST_CTX.reset(token)
         if request_id is not None:
             response["id"] = request_id
+        if status != "ok":
+            self._m_errors.labels(code=status).inc()
+        if ctx is not None:
+            ctx.mark("result")
+            if want_timing:
+                # The serialize tail is still ahead of us, so this is
+                # the breakdown *so far*; the stored trace (finished
+                # after the socket write) is the authoritative one.
+                response["timing"] = {
+                    "trace": ctx.trace,
+                    "stages_ns": ctx.breakdown(time.perf_counter_ns()),
+                }
         self._m_requests.labels(cmd=cmd, status=status).inc()
         self._m_latency.labels(cmd=cmd).observe(
-            time.perf_counter_ns() - started
+            time.perf_counter_ns() - started,
+            exemplar=ctx.trace if ctx is not None else None,
         )
         try:
             async with write_lock:
                 writer.write(encode_frame(response))
                 await writer.drain()
         except (ConnectionError, OSError):
-            pass  # client went away; nothing to tell it
+            log.debug("client went away before the response was written",
+                      extra={"ctx_cmd": cmd})
+        if ctx is not None and self.spans is not None:
+            trace = self.spans.add(ctx.finish(status))
+            if self.recorder is not None:
+                reason = self.recorder.observe(trace)
+                if reason is not None:
+                    log.warning(
+                        "flight recorder triggered",
+                        extra={"ctx_reason": reason,
+                               "ctx_trace": trace.trace,
+                               "ctx_status": status,
+                               "ctx_wall_ms": round(trace.wall_ns / 1e6, 3)},
+                    )
 
     # ------------------------------------------------------------------
     # Request helpers
@@ -368,10 +453,35 @@ class BulkBitwiseServer:
         return name
 
     async def _on_device(self, fn, *args):
-        """Run a device-touching callable on the single device thread."""
-        return await asyncio.get_event_loop().run_in_executor(
-            self.executor, fn, *args
-        )
+        """Run a device-touching callable on the single device thread.
+
+        When the request is traced, the executor-side wrapper stamps
+        device occupancy and the recovery attempts it incurred into a
+        local dict; the awaiting coroutine adopts them afterwards, so
+        the span context itself never leaves the event loop.
+        """
+        loop = asyncio.get_event_loop()
+        ctx = _REQUEST_CTX.get()
+        if ctx is None:
+            return await loop.run_in_executor(self.executor, fn, *args)
+        timing: Dict[str, Any] = {}
+
+        def timed():
+            timing["device_start"] = time.perf_counter_ns()
+            attempts_start = len(self.session.attempts)
+            try:
+                return fn(*args)
+            finally:
+                timing["device_end"] = time.perf_counter_ns()
+                timing["attempts"] = [
+                    attempt.to_dict()
+                    for attempt in self.session.attempts[attempts_start:]
+                ]
+
+        try:
+            return await loop.run_in_executor(self.executor, timed)
+        finally:
+            ctx.adopt(timing)
 
     # ------------------------------------------------------------------
     # Commands
@@ -455,17 +565,25 @@ class BulkBitwiseServer:
                     f"destination {dst.name!r} is {dst.bits}",
                 )
         self.tenants.admit(tenant)
+        ctx = _REQUEST_CTX.get()
+        op_request = OpRequest(
+            op=op,
+            tenant=tenant,
+            dst=dst.rows,
+            srcs=tuple(operand.rows for operand in srcs),
+            future=asyncio.get_event_loop().create_future(),
+        )
+        if ctx is not None:
+            # The wave runner stamps device timing into the OpRequest on
+            # the device thread; the trace id rides along so the runner
+            # can join the hardware tracer's op frames to this request.
+            op_request.timing["trace"] = ctx.trace
         try:
-            future = asyncio.get_event_loop().create_future()
-            self.coalescer.submit(OpRequest(
-                op=op,
-                tenant=tenant,
-                dst=dst.rows,
-                srcs=tuple(operand.rows for operand in srcs),
-                future=future,
-            ))
-            await future
+            self.coalescer.submit(op_request)
+            await op_request.future
         finally:
+            if ctx is not None:
+                ctx.adopt(op_request.timing)
             self.tenants.release(tenant)
         return ok_response(op=op.value, dst=dst.name)
 
@@ -512,6 +630,42 @@ class BulkBitwiseServer:
         }
         return ok_response(totals=totals, metrics=snapshot)
 
+    async def _cmd_spans(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        if self.spans is None:
+            raise ServeError(
+                E_PROTOCOL,
+                "request tracing is disabled on this server (--no-trace)",
+            )
+        trace_id = request.get("trace")
+        if trace_id is not None:
+            if not isinstance(trace_id, str):
+                raise ServeError(E_PROTOCOL, "'trace' must be a string")
+            trace = self.spans.get(trace_id)
+            if trace is None:
+                raise ServeError(
+                    E_NO_TRACE,
+                    f"no trace {trace_id!r} in the span ring "
+                    f"(capacity {self.spans.capacity}; it may have aged out)",
+                )
+            return ok_response(spans=[trace.to_dict()])
+        slowest = request.get("slowest")
+        if slowest is not None and (
+            not isinstance(slowest, int) or isinstance(slowest, bool)
+            or slowest < 1
+        ):
+            raise ServeError(E_PROTOCOL, "'slowest' must be a positive int")
+        tenant = request.get("tenant")
+        op = request.get("op")
+        traces = self.spans.list(
+            slowest=slowest,
+            tenant=tenant if isinstance(tenant, str) else None,
+            op=op if isinstance(op, str) else None,
+        )
+        return ok_response(
+            spans=[trace.to_dict() for trace in traces],
+            recorded=len(self.spans),
+        )
+
     def _family_total(self, name: str) -> float:
         """Sum a counter family across all label combinations (0 if absent)."""
         family = self.metrics.get(name)
@@ -535,13 +689,48 @@ class BulkBitwiseServer:
     def _run_wave(self, wave: Wave):
         if self.injector is not None:
             self.injector.before_op(self._wave_index)
+        wave_index = self._wave_index
         self._wave_index += 1
         dst, (src1, src2, src3) = wave.operands()
         log_start = len(self.session.log)
+        attempts_start = len(self.session.attempts)
+        traces = [
+            request.timing["trace"]
+            for request in wave.requests
+            if "trace" in request.timing
+        ]
+        tracer = getattr(self.device, "tracer", None)
+        if tracer is not None and traces:
+            # Join key between the request span trees and the hardware
+            # tracer's op events: every op frame the wave executes is
+            # stamped with the member trace ids and the wave span label.
+            tracer.span_context = (",".join(traces), f"wave:{wave_index}")
+        device_start = time.perf_counter_ns()
+        error: Optional[Exception] = None
         try:
             self.session.run_rows(wave.op, dst, src1, src2, src3)
         except Exception as exc:
-            return [(request, exc) for request in wave.requests]
+            error = exc
+        finally:
+            device_end = time.perf_counter_ns()
+            if tracer is not None:
+                tracer.span_context = None
+            attempts = [
+                attempt.to_dict()
+                for attempt in self.session.attempts[attempts_start:]
+            ]
+            wave_info = {
+                "index": wave_index,
+                "requests": len(wave.requests),
+                "wave_op": wave.op.value,
+            }
+            for request in wave.requests:
+                request.timing["device_start"] = device_start
+                request.timing["device_end"] = device_end
+                request.timing["attempts"] = attempts
+                request.timing["wave"] = wave_info
+        if error is not None:
+            return [(request, error) for request in wave.requests]
         bad_keys = {
             (record.bank, record.subarray, record.address)
             for record in self.session.log[log_start:]

@@ -171,3 +171,91 @@ def test_percentiles_survive_snapshot_round_trip(case):
     for q in (0.5, 0.95, 0.99):
         a, b = child.quantile(q), twin.quantile(q)
         assert math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-12)
+
+
+# ----------------------------------------------------------------------
+# Degenerate shapes: the cases fuzzing rarely pins down exactly.
+# ----------------------------------------------------------------------
+def test_empty_histogram_reports_nan_everywhere():
+    hist = Histogram([1.0, 10.0, 100.0])
+    assert math.isnan(hist.quantile(0.5))
+    assert math.isnan(hist.quantile(1.0))
+    assert all(math.isnan(v) for v in hist.percentiles().values())
+    assert hist.max_exemplar() is None
+
+
+def test_single_observation_dominates_every_quantile():
+    hist = Histogram([1.0, 10.0, 100.0])
+    hist.observe(7.0)
+    for q in (0.01, 0.5, 0.99, 1.0):
+        estimate = hist.quantile(q)
+        # One sample in (1, 10]: every quantile stays in its bucket.
+        assert 1.0 <= estimate <= 10.0
+    p = hist.percentiles()
+    # Interpolation smears within the bucket, but stays monotone.
+    assert p["p50"] <= p["p95"] <= p["p99"] <= 10.0
+
+
+def test_quantile_interpolation_clamped_to_bucket_bound():
+    """Regression: with the whole mass in one bucket, p50's
+    interpolated value once exceeded the bucket bound by a float ulp,
+    landing *above* a p95 served from the overflow bucket's lower
+    bound.  The estimate must never leave its bucket."""
+    bound = 914036398.1535898
+    hist = Histogram([bound])
+    for _ in range(19):
+        hist.observe(bound)
+    hist.observe(bound * 2)        # one overflow observation
+    assert hist.quantile(0.5) <= bound
+    assert hist.quantile(0.5) <= hist.quantile(0.95) <= hist.quantile(0.99)
+
+
+# ----------------------------------------------------------------------
+# Exemplars: trace ids riding on bucket counts.
+# ----------------------------------------------------------------------
+def test_exemplar_keeps_largest_observation_per_bucket():
+    hist = Histogram([10.0, 100.0])
+    hist.observe(5.0, exemplar="t-small")
+    hist.observe(7.0, exemplar="t-bigger")
+    hist.observe(6.0, exemplar="t-late-but-smaller")
+    hist.observe(50.0)                       # untagged: never retained
+    hist.observe(500.0, exemplar="t-overflow")
+    assert hist.exemplars[0] == (7.0, "t-bigger")
+    assert hist.exemplars[1] is None
+    assert hist.exemplars[2] == (500.0, "t-overflow")
+    assert hist.max_exemplar() == (500.0, "t-overflow")
+
+
+def test_reset_clears_exemplars():
+    registry = MetricsRegistry()
+    family = registry.histogram(
+        "reset_latency_ns", "reset fuzz", labels=("cmd",),
+        buckets=[10.0],
+    )
+    child = family.labels(cmd="op")
+    child.observe(5.0, exemplar="t-gone")
+    registry.reset()
+    assert child.exemplars == [None, None]
+    assert child.max_exemplar() is None
+    child.observe(3.0, exemplar="t-fresh")
+    assert child.max_exemplar() == (3.0, "t-fresh")
+
+
+def test_exemplars_survive_snapshot_round_trip():
+    registry = MetricsRegistry()
+    family = registry.histogram(
+        "trip_latency_ns", "round-trip", labels=("cmd",),
+        buckets=[16.0, 1024.0],
+    )
+    child = family.labels(cmd="op")
+    child.observe(8.0, exemplar="t-fast")
+    child.observe(4096.0, exemplar="t-slow")
+
+    wire = json.loads(json.dumps(registry.snapshot(), sort_keys=True))
+    rebuilt = registry_from_snapshot(wire)
+    twin = rebuilt.get("trip_latency_ns").labels(cmd="op")
+    assert twin.exemplars == child.exemplars
+    assert twin.max_exemplar() == (4096.0, "t-slow")
+    # The OpenMetrics exposition carries the trace id too.
+    text = rebuilt.render_prometheus()
+    assert 'trace_id="t-slow"' in text

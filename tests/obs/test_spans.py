@@ -1,0 +1,270 @@
+"""Unit tests for request spans: breakdown tiling, store, recorder.
+
+The e2e contract (fault-injected traffic through a real server yields
+span trees whose stages sum to the wall clock) lives in
+``tests/serve/test_spans_e2e.py``; this file pins the pieces in
+isolation, including the invariants the CI sum-check leans on:
+``sum(stages) == wall_ns`` holds *by construction*, not within a
+tolerance.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.spans import (
+    STAGE_COALESCE,
+    STAGE_DEVICE,
+    STAGE_OTHER,
+    STAGE_QUEUE,
+    STAGE_RECOVERY,
+    STAGE_SERIALIZE,
+    STAGES,
+    FlightRecorder,
+    RequestSpanCtx,
+    RequestTrace,
+    SpanStore,
+    chrome_trace,
+    format_spans_table,
+    format_trace_tree,
+    new_trace_id,
+    validate_trace,
+)
+
+
+def make_ctx(with_device=True, attempts=(), start=1_000_000):
+    ctx = RequestSpanCtx(cmd="op", tenant="t0", op="and", start_ns=start)
+    ctx.mark("submitted", start + 100)
+    ctx.mark("drained", start + 300)
+    if with_device:
+        ctx.adopt({
+            "device_start": start + 500,
+            "device_end": start + 2_500,
+            "attempts": list(attempts),
+            "wave": {"index": 3, "requests": 4, "wave_op": "and"},
+        })
+    ctx.mark("result", start + 2_600)
+    return ctx
+
+
+# ----------------------------------------------------------------------
+# Breakdown tiling
+# ----------------------------------------------------------------------
+def test_breakdown_tiles_wall_exactly():
+    ctx = make_ctx()
+    end = ctx.t0 + 3_000
+    stages = ctx.breakdown(end)
+    assert set(stages) == set(STAGES)
+    assert sum(stages.values()) == end - ctx.t0
+    assert stages[STAGE_QUEUE] == 200       # submitted -> drained
+    assert stages[STAGE_COALESCE] == 200    # drained -> device_start
+    assert stages[STAGE_DEVICE] == 2_000    # no recovery
+    assert stages[STAGE_RECOVERY] == 0
+    assert stages[STAGE_SERIALIZE] == 400   # result -> end
+    assert all(v >= 0 for v in stages.values())
+
+
+def test_breakdown_carves_recovery_out_of_device():
+    attempt = {"action": "retry", "op": "and", "bank": 0, "subarray": 0,
+               "address": 5, "ok": True,
+               "start_ns": 1_000_000 + 600, "dur_ns": 700}
+    ctx = make_ctx(attempts=[attempt])
+    stages = ctx.breakdown(ctx.t0 + 3_000)
+    assert stages[STAGE_RECOVERY] == 700
+    assert stages[STAGE_DEVICE] == 2_000 - 700
+    assert sum(stages.values()) == 3_000
+
+
+def test_breakdown_recovery_clamped_to_device_time():
+    # A bogus attempt longer than the device window must not push the
+    # device stage negative.
+    attempt = {"action": "remap", "start_ns": 0, "dur_ns": 10_000_000}
+    ctx = make_ctx(attempts=[attempt])
+    stages = ctx.breakdown(ctx.t0 + 3_000)
+    assert stages[STAGE_DEVICE] == 0
+    assert stages[STAGE_RECOVERY] == 2_000
+    assert sum(stages.values()) == 3_000
+
+
+def test_breakdown_without_device_marks():
+    # A ping never touches the coalescer or the device: everything
+    # lands in serialize + other, and the sum still tiles.
+    ctx = RequestSpanCtx(cmd="ping", start_ns=1_000)
+    ctx.mark("result", 1_800)
+    stages = ctx.breakdown(2_000)
+    assert stages[STAGE_QUEUE] == 0
+    assert stages[STAGE_DEVICE] == 0
+    assert stages[STAGE_SERIALIZE] == 200
+    assert stages[STAGE_OTHER] == 800
+    assert sum(stages.values()) == 1_000
+
+
+def test_mark_is_idempotent():
+    ctx = RequestSpanCtx(cmd="op", start_ns=0)
+    ctx.mark("submitted", 10)
+    ctx.mark("submitted", 999)
+    assert ctx.marks["submitted"] == 10
+
+
+# ----------------------------------------------------------------------
+# Finish: the materialized trace
+# ----------------------------------------------------------------------
+def test_finish_builds_validatable_tree():
+    attempt = {"action": "dcc_reroute", "op": "and", "bank": 1,
+               "subarray": 0, "address": 7, "ok": True,
+               "start_ns": 1_000_000 + 700, "dur_ns": 300}
+    ctx = make_ctx(attempts=[attempt])
+    trace = ctx.finish("ok", end_ns=ctx.t0 + 3_000)
+    data = trace.to_dict()
+    assert validate_trace(data) == []
+    names = [span["name"] for span in data["spans"]]
+    assert names[0] == "request:op"
+    assert "queue" in names and "device" in names
+    assert "recovery:dcc_reroute" in names
+    assert "serialize" in names
+    # Recovery attempts are children of the device span.
+    device = next(s for s in data["spans"] if s["name"] == "device")
+    recovery = next(
+        s for s in data["spans"] if s["name"].startswith("recovery:")
+    )
+    assert recovery["parent"] == device["span"]
+    assert device["attrs"]["requests"] == 4
+    assert trace.wall_ns == 3_000
+    assert trace.status == "ok"
+
+
+def test_finish_is_lazy_and_roundtrips():
+    ctx = make_ctx()
+    trace = ctx.finish("ok", end_ns=ctx.t0 + 3_000)
+    # Materialization is deferred until the span tree is first read.
+    assert trace._spans is None
+    data = json.loads(json.dumps(trace.to_dict(), sort_keys=True))
+    assert trace._spans is not None
+    back = RequestTrace.from_dict(data)
+    assert back.trace == trace.trace
+    assert back.stages == trace.stages
+    assert [s.name for s in back.spans] == [s.name for s in trace.spans]
+    assert validate_trace(back.to_dict()) == []
+
+
+def test_trace_ids_are_unique():
+    ids = {new_trace_id() for _ in range(1000)}
+    assert len(ids) == 1000
+
+
+# ----------------------------------------------------------------------
+# SpanStore
+# ----------------------------------------------------------------------
+def finished(wall=1_000, tenant="t0", op="and", status="ok", start=0):
+    ctx = RequestSpanCtx(cmd="op", tenant=tenant, op=op, start_ns=start)
+    ctx.mark("result", start + wall)
+    return ctx.finish(status, end_ns=start + wall)
+
+
+def test_store_ring_bounds_and_lookup():
+    store = SpanStore(capacity=4)
+    traces = [store.add(finished(wall=100 * (i + 1))) for i in range(6)]
+    assert len(store) == 4
+    assert store.get(traces[0].trace) is None      # aged out
+    assert store.get(traces[5].trace) is traces[5]
+    assert [t.seq for t in store.list()] == [3, 4, 5, 6]
+
+
+def test_store_slowest_and_filters():
+    store = SpanStore(capacity=16)
+    store.add(finished(wall=500, tenant="a", op="and"))
+    store.add(finished(wall=2_000, tenant="b", op="xor"))
+    store.add(finished(wall=1_000, tenant="a", op="xor"))
+    slowest = store.list(slowest=2)
+    assert [t.wall_ns for t in slowest] == [2_000, 1_000]
+    assert [t.tenant for t in store.list(tenant="a")] == ["a", "a"]
+    assert all(t.op == "xor" for t in store.list(op="xor"))
+    assert len(store.list(since_seq=2)) == 1
+
+
+# ----------------------------------------------------------------------
+# FlightRecorder
+# ----------------------------------------------------------------------
+def test_recorder_dumps_on_trigger_code(tmp_path):
+    path = tmp_path / "flight.jsonl"
+    store = SpanStore(capacity=8)
+    recorder = FlightRecorder(
+        store, path=str(path), trigger_codes=("fault",)
+    )
+    ok = store.add(finished(status="ok"))
+    assert recorder.observe(ok) is None
+    assert not path.exists()
+    bad = store.add(finished(status="fault"))
+    assert recorder.observe(bad) == "fault"
+    lines = [json.loads(line) for line in path.read_text().splitlines()]
+    assert len(lines) == 2                      # whole ring, once
+    assert lines[-1]["flight_reason"] == "fault"
+    assert lines[-1]["flight_trigger"] == bad.trace
+    assert validate_trace(lines[-1]) == []
+    # A second trigger dumps only traces recorded since the last dump.
+    bad2 = store.add(finished(status="fault"))
+    recorder.observe(bad2)
+    lines = path.read_text().splitlines()
+    assert len(lines) == 3
+    assert recorder.dumps == 2
+
+
+def test_recorder_slo_trigger(tmp_path):
+    path = tmp_path / "flight.jsonl"
+    store = SpanStore(capacity=8)
+    recorder = FlightRecorder(store, path=str(path), slo_ms=1.0)
+    fast = store.add(finished(wall=500_000))        # 0.5 ms
+    assert recorder.observe(fast) is None
+    slow = store.add(finished(wall=5_000_000))      # 5 ms
+    assert recorder.observe(slow) == FlightRecorder.REASON_SLO
+    assert path.exists()
+
+
+def test_recorder_without_path_counts_but_does_not_dump():
+    store = SpanStore(capacity=8)
+    recorder = FlightRecorder(store, path=None, trigger_codes=("fault",))
+    bad = store.add(finished(status="fault"))
+    assert recorder.observe(bad) == "fault"
+    assert recorder.dumps == 0
+
+
+# ----------------------------------------------------------------------
+# Validation and rendering
+# ----------------------------------------------------------------------
+def test_validate_catches_bad_traces():
+    good = finished().to_dict()
+    assert validate_trace(good) == []
+
+    assert validate_trace({}) != []
+
+    broken_sum = finished(wall=10_000).to_dict()
+    broken_sum["stages"]["other"] += 5_000
+    assert any("sum" in p for p in validate_trace(broken_sum))
+
+    negative = finished(wall=10_000).to_dict()
+    negative["stages"]["queue"] = -5
+    assert any("negative stage" in p for p in validate_trace(negative))
+
+    orphan = finished(wall=10_000).to_dict()
+    orphan["spans"][1]["parent"] = "nope"
+    assert any("unknown parent" in p for p in validate_trace(orphan))
+
+    two_roots = finished(wall=10_000).to_dict()
+    two_roots["spans"].append(dict(two_roots["spans"][0], span="dup"))
+    assert any("one root" in p for p in validate_trace(two_roots))
+
+
+def test_renderers_and_chrome_export():
+    traces = [make_ctx().finish("ok", end_ns=1_000_000 + 3_000).to_dict()]
+    table = format_spans_table(traces)
+    assert "wall ms" in table and "t0" in table
+    tree = format_trace_tree(traces[0])
+    assert "request:op" in tree and "breakdown:" in tree
+
+    payload = chrome_trace(traces)
+    events = payload["traceEvents"]
+    assert any(e["ph"] == "M" for e in events)      # lane metadata
+    xs = [e for e in events if e["ph"] == "X"]
+    assert xs and all(e["dur"] > 0 for e in xs)
+    assert min(e["ts"] for e in xs) == pytest.approx(0.0)
+    assert format_spans_table([]) == "(no spans recorded)"

@@ -1,0 +1,258 @@
+"""End-to-end request spans: socket to silicon, under injected faults.
+
+These tests boot a real :class:`BulkBitwiseServer` (same harness as
+``test_server.py``), push fault-injected traffic through the NDJSON
+protocol, and then interrogate the ``spans`` command: every op must
+yield a span tree whose stage breakdown tiles the request's wall
+clock, recovery attempts must appear as child spans of the device
+span, and a histogram exemplar must resolve back to a stored trace.
+Results stay bit-exact throughout -- tracing observes, it never
+perturbs.
+"""
+
+import json
+
+import numpy as np
+
+from repro.obs.spans import STAGES, validate_trace
+from repro.serve.protocol import (
+    E_NO_TRACE,
+    E_NO_VECTOR,
+    E_PROTOCOL,
+)
+from tests.serve.test_server import (
+    OP_MODELS,
+    TENANT,
+    Client,
+    make_vectors,
+    read_vector,
+    run,
+    small_config,
+)
+
+
+async def run_ops(client, models, ops=("and", "xor", "maj", "not")):
+    """Run a few ops against vector d, updating the numpy model."""
+    for op_name in ops:
+        arity, model = OP_MODELS[op_name]
+        srcs = ("a", "b", "c")[:arity]
+        fields = {f"src{i + 1}": name for i, name in enumerate(srcs)}
+        response = await client.rpc(
+            "op", tenant=TENANT, op=op_name, dst="d", **fields
+        )
+        assert response["ok"], (op_name, response)
+        models["d"] = model(*(models[s] for s in srcs))
+    return models
+
+
+def test_span_trees_tile_wall_clock_under_faults():
+    """The acceptance bar: fault-injected traffic -> well-formed span
+    trees whose stages sum to the wall latency, bit-exact results."""
+    async def scenario(server):
+        async with Client(server.port) as client:
+            models = await make_vectors(client, ("a", "b", "c", "d"))
+            for _ in range(6):
+                models = await run_ops(client, models)
+            assert np.array_equal(
+                await read_vector(client, "d"), models["d"]
+            )
+
+            response = await client.rpc("spans", tenant=TENANT, op=None)
+            assert response["ok"], response
+            traces = response["spans"]
+            # The spans request's own trace is stored only after its
+            # response hits the socket, so the ring can be ahead.
+            assert response["recorded"] <= len(server.spans)
+            op_traces = [t for t in traces if t["cmd"] == "op"]
+            assert len(op_traces) >= 24
+            for trace in traces:
+                assert validate_trace(trace) == [], trace["trace"]
+                # The ISSUE asks for "within 5% of wall"; the design
+                # gives exact tiling, so pin the stronger invariant.
+                assert sum(trace["stages"].values()) == trace["wall_ns"]
+                assert set(trace["stages"]) == set(STAGES)
+            for trace in op_traces:
+                names = [s["name"] for s in trace["spans"]]
+                assert names[0] == "request:op"
+                assert "device" in names and "queue" in names
+                assert trace["stages"]["device"] > 0
+
+    # fault_rate high enough that the plan fires during ~24 waves.
+    run(scenario, small_config(fault_rate=0.2, seed=7))
+
+
+def test_recovery_attempts_become_child_spans():
+    async def scenario(server):
+        async with Client(server.port) as client:
+            models = await make_vectors(client, ("a", "b", "c", "d"))
+            for round_index in range(10):
+                models = await run_ops(client, models)
+            # Bit-exactness: recovery repaired every injected fault.
+            assert np.array_equal(
+                await read_vector(client, "d"), models["d"]
+            )
+            assert len(server.session.attempts) > 0, (
+                "fault plan never fired; raise fault_rate or rounds"
+            )
+
+            response = await client.rpc("spans")
+            recovery_spans = []
+            for trace in response["spans"]:
+                spans = {s["span"]: s for s in trace["spans"]}
+                for span in trace["spans"]:
+                    if span["name"].startswith("recovery:"):
+                        recovery_spans.append(span)
+                        parent = spans[span["parent"]]
+                        assert parent["name"] == "device"
+                        action = span["name"].split(":", 1)[1]
+                        assert action in ("retry", "remap", "dcc_reroute")
+                        assert isinstance(span["attrs"]["ok"], bool)
+                        assert trace["stages"]["recovery"] > 0
+            assert recovery_spans, "no recovery child spans recorded"
+
+    # Seed picked so the plan injects recoverable faults only: the
+    # bit-exact read above is then a real claim about recovery.
+    run(scenario, small_config(fault_rate=0.2, seed=2))
+
+
+def test_detail_timing_is_opt_in_and_consistent():
+    async def scenario(server):
+        async with Client(server.port) as client:
+            await make_vectors(client, ("a", "b", "d"))
+            plain = await client.rpc(
+                "op", tenant=TENANT, op="and", dst="d", src1="a", src2="b"
+            )
+            assert "timing" not in plain
+
+            timed = await client.rpc(
+                "op", tenant=TENANT, op="or", dst="d", src1="a", src2="b",
+                detail="timing",
+            )
+            assert timed["ok"], timed
+            timing = timed["timing"]
+            stages = timing["stages_ns"]
+            assert set(stages) == set(STAGES)
+            assert stages["device"] > 0
+
+            # The inline trace id resolves to the stored (authoritative)
+            # trace, which additionally covers the serialize tail.
+            fetched = await client.rpc("spans", trace=timing["trace"])
+            assert fetched["ok"], fetched
+            (trace,) = fetched["spans"]
+            assert trace["trace"] == timing["trace"]
+            assert trace["cmd"] == "op" and trace["op"] == "or"
+            assert trace["wall_ns"] >= sum(stages.values())
+            assert validate_trace(trace) == []
+
+    run(scenario)
+
+
+def test_spans_filters_and_errors():
+    async def scenario(server):
+        async with Client(server.port) as client:
+            await make_vectors(client, ("a", "b", "d"))
+            await client.rpc(
+                "op", tenant=TENANT, op="and", dst="d", src1="a", src2="b"
+            )
+
+            by_tenant = await client.rpc("spans", tenant=TENANT)
+            assert all(t["tenant"] == TENANT for t in by_tenant["spans"])
+            assert by_tenant["spans"], "tenant filter dropped everything"
+
+            by_op = await client.rpc("spans", op="and")
+            assert [t["op"] for t in by_op["spans"]] == ["and"]
+
+            slowest = await client.rpc("spans", slowest=2)
+            walls = [t["wall_ns"] for t in slowest["spans"]]
+            assert len(walls) <= 2 and walls == sorted(walls, reverse=True)
+
+            await client.expect_error(E_NO_TRACE, "spans", trace="t-nope")
+            await client.expect_error(E_PROTOCOL, "spans", slowest=0)
+            await client.expect_error(E_PROTOCOL, "spans", slowest=True)
+            await client.expect_error(E_PROTOCOL, "spans", trace=17)
+
+    run(scenario)
+
+
+def test_no_trace_mode_disables_spans_but_not_service():
+    async def scenario(server):
+        assert server.spans is None and server.recorder is None
+        async with Client(server.port) as client:
+            models = await make_vectors(client, ("a", "b", "d"))
+            response = await client.rpc(
+                "op", tenant=TENANT, op="xor", dst="d", src1="a", src2="b",
+                detail="timing",
+            )
+            assert response["ok"]
+            assert "timing" not in response       # nothing to report
+            assert np.array_equal(
+                await read_vector(client, "d"),
+                models["a"] ^ models["b"],
+            )
+            await client.expect_error(E_PROTOCOL, "spans")
+
+    run(scenario, small_config(trace=False))
+
+
+def test_typed_errors_feed_the_error_counter():
+    async def scenario(server):
+        async with Client(server.port) as client:
+            await client.expect_error(
+                E_NO_VECTOR, "read", tenant=TENANT, name="ghost"
+            )
+            await client.expect_error(
+                E_NO_VECTOR, "read", tenant=TENANT, name="ghost"
+            )
+            family = server.metrics.get("ambit_serve_errors_total")
+            assert family.children[(E_NO_VECTOR,)].value == 2
+            # Error requests still land in the span ring, status-coded.
+            response = await client.rpc("spans")
+            statuses = {t["status"] for t in response["spans"]}
+            assert E_NO_VECTOR in statuses
+
+    run(scenario)
+
+
+def test_latency_exemplar_resolves_to_stored_trace():
+    async def scenario(server):
+        async with Client(server.port) as client:
+            await make_vectors(client, ("a", "b", "d"))
+            for _ in range(4):
+                await client.rpc(
+                    "op", tenant=TENANT, op="and", dst="d",
+                    src1="a", src2="b",
+                )
+            family = server.metrics.get("ambit_serve_request_latency_ns")
+            histogram = family.children[("op",)]
+            exemplar = histogram.max_exemplar()
+            assert exemplar is not None
+            value, trace_id = exemplar
+            trace = server.spans.get(trace_id)
+            assert trace is not None and trace.cmd == "op"
+            # The exemplar is the request's measured latency; the stored
+            # wall clock extends past it only by the serialize tail.
+            assert value <= trace.wall_ns * 1.5
+            # And the wire protocol agrees with the in-process view.
+            fetched = await client.rpc("spans", trace=trace_id)
+            assert fetched["ok"] and fetched["spans"][0]["trace"] == trace_id
+
+    run(scenario)
+
+
+def test_flight_recorder_dumps_on_slo_breach(tmp_path):
+    path = tmp_path / "flight.jsonl"
+
+    async def scenario(server):
+        async with Client(server.port) as client:
+            await make_vectors(client, ("a", "b", "d"))
+            await client.rpc(
+                "op", tenant=TENANT, op="and", dst="d", src1="a", src2="b"
+            )
+
+    # An absurd SLO (1ns) makes every request a breach.
+    run(scenario, small_config(slo_ms=1e-6, flight_path=str(path)))
+    lines = [json.loads(line) for line in path.read_text().splitlines()]
+    assert lines, "flight recorder never dumped"
+    for trace in lines:
+        assert validate_trace(trace) == [], trace
+    assert any(t.get("flight_reason") == "slo_breach" for t in lines)
