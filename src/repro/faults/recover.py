@@ -37,8 +37,10 @@ a TRA glitch" from "burned a spare row".
 from __future__ import annotations
 
 import time
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from itertools import islice
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -54,6 +56,13 @@ SINGLE_DCC_OPS = (BulkOp.NOT, BulkOp.NAND, BulkOp.NOR)
 
 #: Operations whose 8-AAP program needs *both* DCC rows.
 DUAL_DCC_OPS = (BulkOp.XOR, BulkOp.XNOR)
+
+#: How many timed ladder rungs a session retains.  The serving layer
+#: only ever reads the rungs appended during the current wave (via
+#: :meth:`FaultTolerantSession.attempts_since`), so a bounded ring
+#: keeps long chaos soaks from leaking memory while staying far larger
+#: than any single wave's ladder walk.
+ATTEMPT_HISTORY = 4096
 
 
 @dataclass(frozen=True)
@@ -151,10 +160,15 @@ class FaultTolerantSession:
         #: these subarrays take the degraded path without a mismatch.
         self.bad_dcc: Dict[Tuple[int, int], int] = {}
         self.log: List[RecoveryRecord] = []
-        #: Timed ladder rungs (see :class:`RecoveryAttempt`); the
-        #: serving layer slices this by index around each wave to
-        #: attribute recovery time to the requests it delayed.
-        self.attempts: List[RecoveryAttempt] = []
+        #: Timed ladder rungs (see :class:`RecoveryAttempt`), the most
+        #: recent :data:`ATTEMPT_HISTORY` of them.  The serving layer
+        #: marks :attr:`attempts_total` around each wave and reads the
+        #: new rungs back via :meth:`attempts_since` to attribute
+        #: recovery time to the requests it delayed; the ring bound
+        #: keeps week-long chaos soaks from growing without limit.
+        self.attempts: Deque[RecoveryAttempt] = deque(maxlen=ATTEMPT_HISTORY)
+        #: Monotonic count of every rung ever climbed (never trimmed).
+        self.attempts_total: int = 0
         self._counters = fault_counters(device.metrics)
 
     # ------------------------------------------------------------------
@@ -570,6 +584,22 @@ class FaultTolerantSession:
     def _key(loc: RowLocation) -> Tuple[int, int, int]:
         return (loc.bank, loc.subarray, loc.address)
 
+    def attempts_since(self, mark: int) -> List[RecoveryAttempt]:
+        """The rungs appended after ``attempts_total`` was ``mark``.
+
+        The wave runner snapshots :attr:`attempts_total` before
+        executing and calls this afterwards; indexing through the
+        monotonic counter (rather than ``len(attempts)``) stays correct
+        after the bounded ring has started discarding old rungs.
+        Rungs that have already been pushed out of the ring are gone --
+        acceptable, since the caller always reads back within one wave.
+        """
+        dropped = self.attempts_total - len(self.attempts)
+        start = max(0, mark - dropped)
+        if start == 0:
+            return list(self.attempts)
+        return list(islice(self.attempts, start, None))
+
     def _attempt(
         self, op: str, loc: RowLocation, action: str, ok: bool, start_ns: int
     ) -> None:
@@ -577,6 +607,7 @@ class FaultTolerantSession:
             op, loc.bank, loc.subarray, loc.address, action, ok,
             start_ns, time.perf_counter_ns() - start_ns,
         ))
+        self.attempts_total += 1
 
     def _record(self, op: str, loc: RowLocation, kind: str, action: str) -> None:
         self.log.append(

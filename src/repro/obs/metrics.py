@@ -63,6 +63,14 @@ DEFAULT_LATENCY_BUCKETS_NS: Tuple[float, ...] = (
 
 LabelValues = Tuple[str, ...]
 
+#: Exemplar aging window, in exemplar-carrying observations per
+#: histogram child.  A bucket's retained exemplar is replaced -- even by
+#: a smaller observation -- once this many tagged observations have
+#: passed since it was captured, so the advertised trace id stays
+#: within reach of the serving layer's 512-entry span ring instead of
+#: pointing at a record-holder that aged out long ago.
+EXEMPLAR_WINDOW = 256
+
 
 def _format_value(value: float) -> str:
     """Prometheus-style number rendering (integers without ``.0``)."""
@@ -136,7 +144,10 @@ class Histogram:
     bisect plus two adds, cheap enough for per-row accounting paths.
     """
 
-    __slots__ = ("bounds", "bucket_counts", "count", "sum", "exemplars")
+    __slots__ = (
+        "bounds", "bucket_counts", "count", "sum", "exemplars",
+        "_exemplar_seq", "_tagged_count",
+    )
 
     def __init__(self, bounds: Sequence[float] = DEFAULT_LATENCY_BUCKETS_NS):
         bounds = tuple(float(b) for b in bounds)
@@ -150,29 +161,55 @@ class Histogram:
         self.bucket_counts: List[int] = [0] * (len(bounds) + 1)
         self.count = 0
         self.sum = 0.0
-        #: Per-bucket ``(value, trace_id)`` of the *largest* observation
-        #: that carried an exemplar (``None`` until one does).  Kept per
-        #: bucket, OpenMetrics style, so a single outlier in the +Inf
-        #: bucket does not mask exemplars of the healthy buckets.
+        #: Per-bucket ``(value, trace_id)`` of the *largest recent*
+        #: observation that carried an exemplar (``None`` until one
+        #: does).  Kept per bucket, OpenMetrics style, so a single
+        #: outlier in the +Inf bucket does not mask exemplars of the
+        #: healthy buckets.
         self.exemplars: List[Optional[Tuple[float, str]]] = (
             [None] * (len(bounds) + 1)
         )
+        #: Tagged-observation sequence number at which each bucket's
+        #: exemplar was captured; drives the :data:`EXEMPLAR_WINDOW`
+        #: aging policy.
+        self._exemplar_seq: List[int] = [0] * (len(bounds) + 1)
+        self._tagged_count = 0
 
     def observe(self, value: float, exemplar: Optional[str] = None) -> None:
         """Record one observation, optionally tagged with a trace id.
 
-        The exemplar -- a request trace id -- is retained only if it is
-        the largest exemplar-carrying observation its bucket has seen,
+        The exemplar -- a request trace id -- is retained if it is the
+        largest exemplar-carrying observation its bucket has seen
+        *within the last* :data:`EXEMPLAR_WINDOW` *tagged observations*,
         turning "p99 is high" into "p99 is high, *look at this trace*".
+        The sliding window matters: traces age out of the bounded span
+        store, so an all-time record-holder would eventually advertise a
+        trace id that no longer resolves.
         """
         index = bisect_left(self.bounds, value)
         self.bucket_counts[index] += 1
         self.count += 1
         self.sum += value
         if exemplar is not None:
+            self._tagged_count += 1
             current = self.exemplars[index]
-            if current is None or value >= current[0]:
+            if (
+                current is None
+                or value >= current[0]
+                or self._tagged_count - self._exemplar_seq[index]
+                    > EXEMPLAR_WINDOW
+            ):
                 self.exemplars[index] = (value, exemplar)
+                self._exemplar_seq[index] = self._tagged_count
+
+    def clear(self) -> None:
+        """Zero counts, sum, and exemplars in place (bounds survive)."""
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.exemplars = [None] * (len(self.bounds) + 1)
+        self._exemplar_seq = [0] * (len(self.bounds) + 1)
+        self._tagged_count = 0
 
     def max_exemplar(self) -> Optional[Tuple[float, str]]:
         """The ``(value, trace_id)`` of the largest retained exemplar."""
@@ -318,10 +355,7 @@ class MetricFamily:
         with self._lock:
             for key, child in self._children.items():
                 if isinstance(child, Histogram):
-                    child.bucket_counts = [0] * (len(child.bounds) + 1)
-                    child.count = 0
-                    child.sum = 0.0
-                    child.exemplars = [None] * (len(child.bounds) + 1)
+                    child.clear()
                 else:
                     child.value = 0.0
 
@@ -429,8 +463,18 @@ class MetricsRegistry:
     # ------------------------------------------------------------------
     # Exposition
     # ------------------------------------------------------------------
-    def render_prometheus(self) -> str:
-        """The registry in the Prometheus text exposition format."""
+    def render_prometheus(self, openmetrics: bool = False) -> str:
+        """The registry in the Prometheus text exposition format.
+
+        The default is the classic ``text/plain; version=0.0.4`` format,
+        which has no exemplar syntax -- a trailing ``# {...}`` on a
+        sample line is a parse error there, and a scraper that rejects
+        one line drops the whole scrape.  Pass ``openmetrics=True`` for
+        the OpenMetrics variant: bucket lines carry the retained trace-id
+        exemplars and the exposition ends with the mandatory ``# EOF``
+        terminator.  :class:`MetricsServer` picks the variant from the
+        scraper's ``Accept`` header.
+        """
         self.collect()
         lines: List[str] = []
         for name in sorted(self._families):
@@ -450,7 +494,9 @@ class MetricsRegistry:
                             values + (_format_value(bound),),
                         )
                         line = f"{name}_bucket{labels} {cumulative}"
-                        exemplar = child.exemplars[index]
+                        exemplar = (
+                            child.exemplars[index] if openmetrics else None
+                        )
                         if exemplar is not None:
                             # OpenMetrics exemplar syntax: the trace id
                             # of the bucket's largest tagged observation.
@@ -466,6 +512,8 @@ class MetricsRegistry:
                 else:
                     labels = _render_labels(family.label_names, values)
                     lines.append(f"{name}{labels} {_format_value(child.value)}")
+        if openmetrics:
+            lines.append("# EOF")
         return "\n".join(lines) + "\n"
 
     def snapshot(self) -> Dict[str, Any]:
@@ -551,8 +599,14 @@ class MetricsServer:
 
     Serves ``/metrics`` (Prometheus text) and ``/metrics.json`` (the
     snapshot) from a daemon thread; every request re-collects, so the
-    numbers are live.  Intended for ``repro metrics --serve`` and for
-    scraping long benchmark runs -- not a production web server.
+    numbers are live.  ``/metrics`` negotiates the exposition format
+    from the ``Accept`` header: scrapers that advertise
+    ``application/openmetrics-text`` (Prometheus does when exemplar
+    ingestion is on) get the OpenMetrics variant with trace-id
+    exemplars and the ``# EOF`` terminator; everyone else gets the
+    classic ``text/plain; version=0.0.4`` format, where exemplar syntax
+    would be a parse error.  Intended for ``repro metrics --serve`` and
+    for scraping long benchmark runs -- not a production web server.
     """
 
     def __init__(self, registry: MetricsRegistry, port: int = 0,
@@ -564,8 +618,18 @@ class MetricsServer:
         class Handler(BaseHTTPRequestHandler):
             def do_GET(self) -> None:  # noqa: N802 - http.server API
                 if self.path.split("?")[0] == "/metrics":
-                    body = server_registry.render_prometheus().encode()
-                    ctype = "text/plain; version=0.0.4; charset=utf-8"
+                    accept = self.headers.get("Accept", "")
+                    openmetrics = "application/openmetrics-text" in accept
+                    body = server_registry.render_prometheus(
+                        openmetrics=openmetrics
+                    ).encode()
+                    if openmetrics:
+                        ctype = (
+                            "application/openmetrics-text; "
+                            "version=1.0.0; charset=utf-8"
+                        )
+                    else:
+                        ctype = "text/plain; version=0.0.4; charset=utf-8"
                 elif self.path.split("?")[0] == "/metrics.json":
                     body = json.dumps(
                         server_registry.snapshot(), sort_keys=True

@@ -468,14 +468,14 @@ class BulkBitwiseServer:
 
         def timed():
             timing["device_start"] = time.perf_counter_ns()
-            attempts_start = len(self.session.attempts)
+            attempts_mark = self.session.attempts_total
             try:
                 return fn(*args)
             finally:
                 timing["device_end"] = time.perf_counter_ns()
                 timing["attempts"] = [
                     attempt.to_dict()
-                    for attempt in self.session.attempts[attempts_start:]
+                    for attempt in self.session.attempts_since(attempts_mark)
                 ]
 
         try:
@@ -693,7 +693,7 @@ class BulkBitwiseServer:
         self._wave_index += 1
         dst, (src1, src2, src3) = wave.operands()
         log_start = len(self.session.log)
-        attempts_start = len(self.session.attempts)
+        attempts_mark = self.session.attempts_total
         traces = [
             request.timing["trace"]
             for request in wave.requests
@@ -717,7 +717,7 @@ class BulkBitwiseServer:
                 tracer.span_context = None
             attempts = [
                 attempt.to_dict()
-                for attempt in self.session.attempts[attempts_start:]
+                for attempt in self.session.attempts_since(attempts_mark)
             ]
             wave_info = {
                 "index": wave_index,

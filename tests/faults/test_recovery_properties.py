@@ -308,3 +308,50 @@ class TestRecoveryDisabled:
                 RowLocation(0, 0, 0),
                 RowLocation(0, 0, 1),
             )
+
+
+class TestAttemptHistory:
+    """The timed-rung record is a bounded ring with a monotonic index.
+
+    Long chaos soaks climb the ladder thousands of times; the session
+    must not hold every rung forever, and the serving layer's
+    mark-then-slice read pattern must survive the ring wrapping.
+    """
+
+    @staticmethod
+    def _session():
+        device = AmbitDevice(geometry=make_geometry())
+        return FaultTolerantSession(device)
+
+    @staticmethod
+    def _climb(session, count):
+        loc = RowLocation(0, 0, 0)
+        for _ in range(count):
+            session._attempt("write", loc, "retry", True,
+                             start_ns=0)
+
+    def test_ring_is_bounded_but_total_is_monotonic(self):
+        from repro.faults.recover import ATTEMPT_HISTORY
+
+        session = self._session()
+        self._climb(session, ATTEMPT_HISTORY + 100)
+        assert len(session.attempts) == ATTEMPT_HISTORY
+        assert session.attempts_total == ATTEMPT_HISTORY + 100
+
+    def test_attempts_since_survives_ring_wrap(self):
+        from repro.faults.recover import ATTEMPT_HISTORY
+
+        session = self._session()
+        # Fill the ring completely, then mark and append a small wave's
+        # worth of rungs -- the exact pattern the wave runner uses.
+        self._climb(session, ATTEMPT_HISTORY + 7)
+        mark = session.attempts_total
+        self._climb(session, 5)
+        fresh = session.attempts_since(mark)
+        assert len(fresh) == 5
+        assert fresh == list(session.attempts)[-5:]
+        # A mark so old its rungs were evicted degrades to "everything
+        # still retained", never to an IndexError or negative slice.
+        assert len(session.attempts_since(0)) == ATTEMPT_HISTORY
+        # A fresh mark with no rungs since returns the empty list.
+        assert session.attempts_since(session.attempts_total) == []

@@ -166,6 +166,37 @@ def test_metrics_server_serves_live_values():
         assert json.loads(js)["live_total"]["samples"][0]["value"] == 2
 
 
+def test_metrics_server_negotiates_openmetrics_exemplars():
+    """Exemplar syntax is only legal in OpenMetrics: a classic
+    text-format scrape carrying a trailing '# {...}' would be rejected
+    by Prometheus wholesale.  The server must keep exemplars out of the
+    default exposition and serve them only to scrapers that ask for
+    application/openmetrics-text."""
+    registry = MetricsRegistry()
+    registry.histogram("neg_lat_ns", buckets=(10.0,)).observe(
+        5.0, exemplar="t-negotiated"
+    )
+    with MetricsServer(registry, port=0) as server:
+        plain = urllib.request.urlopen(server.url)
+        assert plain.headers["Content-Type"].startswith("text/plain")
+        body = plain.read().decode()
+        assert "neg_lat_ns_bucket" in body
+        assert "trace_id" not in body
+        assert "# EOF" not in body
+
+        request = urllib.request.Request(
+            server.url,
+            headers={"Accept": "application/openmetrics-text; version=1.0.0"},
+        )
+        om = urllib.request.urlopen(request)
+        assert om.headers["Content-Type"].startswith(
+            "application/openmetrics-text"
+        )
+        om_body = om.read().decode()
+        assert 'trace_id="t-negotiated"' in om_body
+        assert om_body.endswith("# EOF\n")
+
+
 # ----------------------------------------------------------------------
 # Threading through the execution stack
 # ----------------------------------------------------------------------

@@ -29,6 +29,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.obs.metrics import (
+    EXEMPLAR_WINDOW,
     Histogram,
     MetricsRegistry,
     registry_from_snapshot,
@@ -256,6 +257,29 @@ def test_exemplars_survive_snapshot_round_trip():
     twin = rebuilt.get("trip_latency_ns").labels(cmd="op")
     assert twin.exemplars == child.exemplars
     assert twin.max_exemplar() == (4096.0, "t-slow")
-    # The OpenMetrics exposition carries the trace id too.
-    text = rebuilt.render_prometheus()
+    # The OpenMetrics exposition carries the trace id; the classic
+    # Prometheus text format must not (exemplar syntax is a parse error
+    # there and would break real scrapes).
+    text = rebuilt.render_prometheus(openmetrics=True)
     assert 'trace_id="t-slow"' in text
+    assert text.endswith("# EOF\n")
+    classic = rebuilt.render_prometheus()
+    assert "trace_id" not in classic
+    assert "# EOF" not in classic
+
+
+def test_exemplar_ages_out_after_window_of_tagged_observations():
+    """A stale record-holder must yield to fresh traces: the span store
+    is a bounded ring, so an exemplar older than EXEMPLAR_WINDOW tagged
+    observations would advertise a trace id that no longer resolves."""
+    hist = Histogram([10.0])
+    hist.observe(9.0, exemplar="t-record")
+    # Smaller observations inside the window never displace the record.
+    for i in range(EXEMPLAR_WINDOW):
+        hist.observe(1.0, exemplar=f"t-young-{i}")
+    assert hist.exemplars[0] == (9.0, "t-record")
+    # The next tagged observation finds the record older than the
+    # window; even a smaller value takes over with a resolvable id.
+    hist.observe(2.0, exemplar="t-fresh")
+    assert hist.exemplars[0] == (2.0, "t-fresh")
+    assert hist.max_exemplar() == (2.0, "t-fresh")
