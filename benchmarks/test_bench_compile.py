@@ -1,0 +1,43 @@
+"""Compile benchmark: synthesized microprograms priced against native.
+
+Runs :func:`repro.perf.compilebench.run_compile_bench` and writes
+``benchmarks/results/BENCH_compile.json``.  The acceptance bar from the
+issue is a 1.15x ceiling on the compiled/native latency ratio for AND
+and XOR; the measured reality is stronger -- the compiler emits the
+byte-identical command stream, so the ratio is exactly 1.0 -- and both
+facts are asserted so either one regressing is loud.  Everything here
+is model time (deterministic), so the gate holds on any host.
+"""
+
+import json
+
+from repro.perf.compilebench import format_compile_bench, run_compile_bench
+
+from .conftest import RESULTS_DIR
+
+#: The issue's ceiling on compiled/native modelled latency.
+MAX_RATIO = 1.15
+
+
+def test_bench_compile():
+    payload = run_compile_bench()
+
+    assert payload["bit_exact"] is True
+    for op_name, case in payload["parity"].items():
+        assert case["ratio"] <= MAX_RATIO, (
+            f"compiled {op_name} costs {case['ratio']:.3f}x the native "
+            f"microprogram (ceiling {MAX_RATIO}x)"
+        )
+        assert case["trace_identical"], (
+            f"compiled {op_name} no longer emits the native command "
+            f"stream; the 1.0x parity claim is broken"
+        )
+    assert payload["kernels"]["add_bit_exact"] is True
+    assert payload["kernels"]["popcount_bit_exact"] is True
+
+    payload["max_ratio"] = MAX_RATIO
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_compile.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    print(f"\n{format_compile_bench(payload)}\n")

@@ -20,7 +20,7 @@ import numpy as np
 from repro.core.device import AmbitDevice
 from repro.core.driver import AmbitDriver, BitVectorHandle
 from repro.core.microprograms import BulkOp
-from repro.errors import AllocationError
+from repro.errors import AllocationError, CompileError
 from repro.dram.geometry import DramGeometry
 
 
@@ -215,6 +215,133 @@ class BitVector:
         result = self._binary(BulkOp.XNOR, other)
         result._clear_padding()
         return result
+
+    # ------------------------------------------------------------------
+    # Compiled (synthesized) operations
+    # ------------------------------------------------------------------
+    def compute(self, op, **bindings) -> "BitVector":
+        """Evaluate a compiled boolean expression over bitvectors.
+
+        ``op`` may be an expression string (``"maj(a, b, c) ^ ~a"``), a
+        :class:`repro.compile.ir.Expr`, or a pre-compiled
+        :class:`repro.compile.ops.CompiledOp`.  Keyword arguments bind
+        the expression's variables to bitvectors; when exactly one
+        variable is left unbound it binds to ``self``.  Returns a fresh
+        vector co-located with ``self`` holding the result.
+
+        Execution runs entirely in-DRAM through the synthesized
+        MAJ/NOT microprogram: scratch rows are leased from the driver
+        chunk-aligned with the destination, co-located chunks go
+        through the batch engine (or the sharded device when one wraps
+        it), strays are staged like :meth:`op_into`, and an attached
+        tracer sees the exact per-row command walk.
+        """
+        from repro.compile.ir import Expr, parse_expr
+        from repro.compile.ops import CompiledOp, compile_expr
+
+        if isinstance(op, str):
+            op = parse_expr(op)
+        if isinstance(op, Expr):
+            cop = compile_expr(op)
+        elif isinstance(op, CompiledOp):
+            cop = op
+        else:
+            raise CompileError(
+                f"compute takes an expression string, Expr, or "
+                f"CompiledOp; got {op!r}"
+            )
+        extra = sorted(set(bindings) - set(cop.inputs))
+        if extra:
+            raise CompileError(
+                f"unknown inputs {extra}; {cop.value} takes {list(cop.inputs)}"
+            )
+        unbound = [name for name in cop.inputs if name not in bindings]
+        if len(unbound) == 1:
+            bindings[unbound[0]] = self
+        elif unbound:
+            raise CompileError(
+                f"unbound inputs {unbound} (with more than one free "
+                f"variable every input must be bound by keyword)"
+            )
+        vectors = [bindings[name] for name in cop.inputs]
+        for v in vectors:
+            if v.nbits != self.nbits or v.handle.num_rows != self.handle.num_rows:
+                raise AllocationError(
+                    "bitvector operands must have equal sizes"
+                )
+
+        dst = self.system.bitvector(self.nbits, like=self)
+        driver = self.system.driver
+        with driver.temp_rows(dst.handle, cop.num_temps) as temp_handles:
+            self._execute_compiled(cop, dst, vectors, temp_handles)
+        # A compiled function with a non-zero image of all-zero inputs
+        # (xnor-shaped outputs) flips the padding of the final partial
+        # row; re-zero it so popcount and round-trips stay correct.
+        pad, _ = cop.eval_rows(
+            [np.zeros(1, dtype=np.uint64)] * cop.arity
+        )
+        if int(pad[0]):
+            dst._clear_padding()
+        return dst
+
+    def _execute_compiled(self, cop, dst, vectors, temp_handles) -> None:
+        driver = self.system.driver
+        num_rows = self.handle.num_rows
+
+        def row_operands(i):
+            d = dst.handle.rows[i]
+            srcs = [v.handle.rows[i] for v in vectors]
+            strays = [
+                s for s in srcs
+                if (s.bank, s.subarray) != (d.bank, d.subarray)
+            ]
+            if len(strays) > 2:
+                raise AllocationError(
+                    f"chunk {i} has {len(strays)} cross-subarray operands; "
+                    f"only 2 scratch rows exist -- allocate operands with "
+                    f"like= to co-locate them"
+                )
+            temps = [h.rows[i] for h in temp_handles]
+            return d, srcs, strays, temps
+
+        if self.device.tracer is not None:
+            for i in range(num_rows):
+                d, srcs, _, temps = row_operands(i)
+                staged = []
+                scratch = 0
+                for s in srcs:
+                    if (s.bank, s.subarray) != (d.bank, d.subarray):
+                        s = driver.stage_for(s, d, scratch_index=scratch)
+                        scratch += 1
+                    staged.append(s)
+                self.device.bbop_compiled_row(cop, d, staged, temps)
+            return
+        # Batched path: fuse co-located chunks, stage strays per row.
+        dst_rows = []
+        operand_cols = [[] for _ in range(cop.arity)]
+        temp_cols = [[] for _ in range(cop.num_temps)]
+        for i in range(num_rows):
+            d, srcs, strays, temps = row_operands(i)
+            if not strays:
+                dst_rows.append(d)
+                for col, s in zip(operand_cols, srcs):
+                    col.append(s)
+                for col, t in zip(temp_cols, temps):
+                    col.append(t)
+                continue
+            staged = []
+            scratch = 0
+            for s in srcs:
+                if (s.bank, s.subarray) != (d.bank, d.subarray):
+                    s = driver.stage_for(s, d, scratch_index=scratch)
+                    scratch += 1
+                staged.append(s)
+            self.device.bbop_compiled_row(cop, d, staged, temps)
+        if dst_rows:
+            runner = getattr(self.device, "run_compiled", None)
+            if runner is None:
+                runner = self.device.engine.run_compiled
+            runner(cop, dst_rows, operand_cols, temp_cols)
 
     def copy(self) -> "BitVector":
         """Duplicate the vector (RowClone copies, co-located)."""

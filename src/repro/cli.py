@@ -556,6 +556,59 @@ def _cmd_report(args: argparse.Namespace) -> None:
         print(text)
 
 
+def _cmd_compile(args: argparse.Namespace) -> None:
+    from repro.compile import compile_expr, parse_expr, variables
+
+    expr = parse_expr(args.expr)
+    cop = compile_expr(expr, name=args.name)
+    print(f"{cop.value}: {args.expr}")
+    print(f"  inputs : {', '.join(cop.inputs)}")
+    print(f"  steps  : {len(cop.steps)}  "
+          f"({cop.num_aap} AAP + {cop.num_ap} AP, "
+          f"{cop.num_temps} scratch row(s))")
+    for line in cop.describe():
+        print(f"    {line}")
+
+    if args.stats or args.run:
+        from repro.core.device import AmbitDevice
+        from repro.dram.geometry import small_test_geometry
+
+        device = AmbitDevice(geometry=small_test_geometry(
+            rows=64, row_bytes=args.row_bytes
+        ))
+        dk = cop.arity + cop.num_temps
+        plan = device.controller.plan_cache.get_compiled(
+            cop,
+            dk,
+            tuple(range(cop.arity)),
+            tuple(cop.arity + t for t in range(cop.num_temps)),
+        )
+        print(f"  plan   : {plan.num_commands} bus commands, "
+              f"{plan.total_ns:.1f} ns per {args.row_bytes}-byte row")
+
+    if args.run:
+        from repro.apps.bitvector import AmbitBitSystem
+        from repro.compile.ir import evaluate
+
+        system = AmbitBitSystem(device=device)
+        rng = np.random.default_rng(args.seed)
+        nbits = device.row_bits
+        names = variables(expr)
+        bits = {
+            name: rng.integers(0, 2, nbits).astype(bool) for name in names
+        }
+        vectors = {
+            name: system.from_bits(bits[name]) for name in names
+        }
+        out = vectors[names[0]].compute(cop, **vectors)
+        want = evaluate(expr, bits)
+        ok = bool(np.array_equal(out.to_bits(), want))
+        print(f"  run    : {nbits} lanes on device -- "
+              f"{'OK (matches the numpy oracle)' if ok else 'MISMATCH'}")
+        if not ok:
+            raise SystemExit(1)
+
+
 def _cmd_list(args: argparse.Namespace) -> None:
     print("experiments:")
     for name, doc in (
@@ -566,6 +619,7 @@ def _cmd_list(args: argparse.Namespace) -> None:
         ("fig11", "BitWeaving column scans (Section 8.2)"),
         ("fig12", "set operations (Section 8.3)"),
         ("demo", "end-to-end functional smoke demo"),
+        ("compile", "compile a boolean expression to a MAJ/NOT microprogram"),
         ("profile", "per-op counters + optional Chrome trace"),
         ("metrics", "metrics registry exposition (Prometheus text / JSON)"),
         ("top", "per-op latency + per-worker health view"),
@@ -624,6 +678,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_fig12)
 
     sub.add_parser("demo", help="functional demo").set_defaults(func=_cmd_demo)
+
+    p = sub.add_parser(
+        "compile",
+        help="compile a boolean expression to an Ambit microprogram",
+    )
+    p.add_argument("--expr", required=True, metavar="EXPR",
+                   help="expression over &, |, ^, ~, maj(a,b,c), "
+                        "mux(sel,a,b), e.g. 'a & ~(b ^ c)'")
+    p.add_argument("--name", default=None,
+                   help="operation name (default: derived fingerprint)")
+    p.add_argument("--stats", action="store_true",
+                   help="also print the bound plan's command/latency cost")
+    p.add_argument("--run", action="store_true",
+                   help="execute one row batch on a small device and "
+                        "verify against the numpy oracle")
+    p.add_argument("--row-bytes", type=int, default=512,
+                   help="row size of the stats/run device")
+    p.add_argument("--seed", type=int, default=7,
+                   help="input seed for --run")
+    p.set_defaults(func=_cmd_compile)
 
     p = sub.add_parser(
         "profile",

@@ -1,0 +1,69 @@
+"""`repro.compile`: the MAJ/NOT operation compiler.
+
+Front end (:mod:`~repro.compile.ir`): a boolean expression language
+over named row-wide variables.  Middle end
+(:mod:`~repro.compile.netlist`): hash-consed MAJ/NOT netlists.  Back
+end (:mod:`~repro.compile.ops`): row-slot microprogram steps bound to
+real rows through the plan cache.  On top,
+:mod:`~repro.compile.kernels` provides bit-serial arithmetic over
+``BitVector`` columns.  See ``docs/COMPILER.md``.
+"""
+
+from repro.compile.ir import (
+    And,
+    Const,
+    Expr,
+    FALSE,
+    Maj,
+    Mux,
+    Not,
+    Or,
+    TRUE,
+    Var,
+    Xor,
+    evaluate,
+    maj,
+    mux,
+    parse_expr,
+    variables,
+)
+from repro.compile.netlist import Netlist, Node, Operand, build_netlist
+from repro.compile.ops import (
+    C0_SLOT,
+    C1_SLOT,
+    DST_SLOT,
+    CompiledOp,
+    Step,
+    compile_expr,
+)
+from repro.errors import CompileError
+
+__all__ = [
+    "And",
+    "C0_SLOT",
+    "C1_SLOT",
+    "CompileError",
+    "CompiledOp",
+    "Const",
+    "DST_SLOT",
+    "Expr",
+    "FALSE",
+    "Maj",
+    "Mux",
+    "Netlist",
+    "Node",
+    "Not",
+    "Operand",
+    "Or",
+    "Step",
+    "TRUE",
+    "Var",
+    "Xor",
+    "build_netlist",
+    "compile_expr",
+    "evaluate",
+    "maj",
+    "mux",
+    "parse_expr",
+    "variables",
+]

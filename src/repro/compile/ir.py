@@ -1,0 +1,312 @@
+"""Expression IR of the MAJ/NOT operation compiler.
+
+Ambit's native op set is the paper's fixed nine, but triple-row
+activation is a *majority gate*, and majority plus negation is
+functionally complete -- SIMDRAM's observation (see PAPERS.md).  This
+module is the front end of that generality: a tiny boolean expression
+language over named row-wide variables.
+
+* :class:`Var`, :class:`Const` are the leaves; :class:`Not`,
+  :class:`And`, :class:`Or`, :class:`Xor`, :class:`Maj`, :class:`Mux`
+  the combinators.  All nodes are frozen and hashable, so structural
+  equality is expression equality -- which is what makes
+  common-subexpression sharing in :mod:`repro.compile.netlist` a dict
+  lookup.
+* Builder sugar: ``&``, ``|``, ``^``, ``~`` on any node, plus the
+  :func:`maj` / :func:`mux` helpers; python booleans/ints coerce to
+  :class:`Const`.
+* :func:`evaluate` is the numpy oracle every conformance test compares
+  against: it applies the same ``&``/``|``/``^``/``~`` operators to
+  boolean or packed-uint64 arrays.
+* :func:`parse_expr` reads the same surface syntax from the command
+  line (``repro compile --expr "maj(a, b, c) ^ ~a"``) via a
+  whitelisted :mod:`ast` walk -- never ``eval``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Tuple, Union
+
+from repro.errors import CompileError
+
+ExprLike = Union["Expr", bool, int]
+
+
+class Expr:
+    """Base class of all expression nodes (frozen, hashable)."""
+
+    __slots__ = ()
+
+    def __and__(self, other: ExprLike) -> "Expr":
+        return And(self, _coerce(other))
+
+    def __rand__(self, other: ExprLike) -> "Expr":
+        return And(_coerce(other), self)
+
+    def __or__(self, other: ExprLike) -> "Expr":
+        return Or(self, _coerce(other))
+
+    def __ror__(self, other: ExprLike) -> "Expr":
+        return Or(_coerce(other), self)
+
+    def __xor__(self, other: ExprLike) -> "Expr":
+        return Xor(self, _coerce(other))
+
+    def __rxor__(self, other: ExprLike) -> "Expr":
+        return Xor(_coerce(other), self)
+
+    def __invert__(self) -> "Expr":
+        return Not(self)
+
+    def __bool__(self) -> bool:
+        raise CompileError(
+            "expressions have no truth value; use &, |, ^, ~ (not "
+            "`and`/`or`/`not`) to combine them"
+        )
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """A named row-wide input."""
+
+    name: str
+
+    def __post_init__(self):
+        if not self.name or not self.name.isidentifier():
+            raise CompileError(
+                f"variable names must be identifiers; got {self.name!r}"
+            )
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """An all-zeros (False) or all-ones (True) row constant."""
+
+    value: bool
+
+    def __repr__(self) -> str:
+        return "1" if self.value else "0"
+
+
+@dataclass(frozen=True)
+class Not(Expr):
+    x: Expr
+
+    def __repr__(self) -> str:
+        return f"~{self.x!r}"
+
+
+@dataclass(frozen=True)
+class And(Expr):
+    a: Expr
+    b: Expr
+
+    def __repr__(self) -> str:
+        return f"({self.a!r} & {self.b!r})"
+
+
+@dataclass(frozen=True)
+class Or(Expr):
+    a: Expr
+    b: Expr
+
+    def __repr__(self) -> str:
+        return f"({self.a!r} | {self.b!r})"
+
+
+@dataclass(frozen=True)
+class Xor(Expr):
+    a: Expr
+    b: Expr
+
+    def __repr__(self) -> str:
+        return f"({self.a!r} ^ {self.b!r})"
+
+
+@dataclass(frozen=True)
+class Maj(Expr):
+    """3-input majority -- what a triple-row activation computes natively."""
+
+    a: Expr
+    b: Expr
+    c: Expr
+
+    def __repr__(self) -> str:
+        return f"maj({self.a!r}, {self.b!r}, {self.c!r})"
+
+
+@dataclass(frozen=True)
+class Mux(Expr):
+    """``sel ? a : b`` -- the masked-select primitive of the kernels."""
+
+    sel: Expr
+    a: Expr
+    b: Expr
+
+    def __repr__(self) -> str:
+        return f"mux({self.sel!r}, {self.a!r}, {self.b!r})"
+
+
+TRUE = Const(True)
+FALSE = Const(False)
+
+
+def _coerce(value: ExprLike) -> Expr:
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, bool):
+        return Const(value)
+    if isinstance(value, int):
+        if value in (0, 1):
+            return Const(bool(value))
+        raise CompileError(
+            f"integer constants must be 0 or 1; got {value}"
+        )
+    raise CompileError(f"cannot use {value!r} in an expression")
+
+
+def maj(a: ExprLike, b: ExprLike, c: ExprLike) -> Maj:
+    """Majority of three operands."""
+    return Maj(_coerce(a), _coerce(b), _coerce(c))
+
+
+def mux(sel: ExprLike, a: ExprLike, b: ExprLike) -> Mux:
+    """``sel ? a : b`` bit by bit."""
+    return Mux(_coerce(sel), _coerce(a), _coerce(b))
+
+
+# ----------------------------------------------------------------------
+# Introspection and the functional oracle
+# ----------------------------------------------------------------------
+def variables(expr: Expr) -> Tuple[str, ...]:
+    """Distinct variable names in first-appearance (pre-order) order.
+
+    This order is the input-binding contract everywhere: compiled
+    operands, ``BitVector.compute`` keyword bindings, and the oracle's
+    environment all index inputs by it.
+    """
+    seen: Dict[str, None] = {}
+
+    def walk(node: Expr) -> None:
+        if isinstance(node, Var):
+            seen.setdefault(node.name, None)
+        elif isinstance(node, Not):
+            walk(node.x)
+        elif isinstance(node, (And, Or, Xor)):
+            walk(node.a)
+            walk(node.b)
+        elif isinstance(node, Maj):
+            walk(node.a)
+            walk(node.b)
+            walk(node.c)
+        elif isinstance(node, Mux):
+            walk(node.sel)
+            walk(node.a)
+            walk(node.b)
+        elif not isinstance(node, Const):
+            raise CompileError(f"unknown expression node {node!r}")
+
+    walk(expr)
+    return tuple(seen)
+
+
+def evaluate(expr: Expr, env: Dict[str, object]):
+    """The numpy oracle: apply the expression to the bound values.
+
+    Values may be boolean arrays, packed ``uint64`` arrays, or numpy
+    scalars -- anything supporting ``&``, ``|``, ``^``, ``~``.
+    Constants take the shape of the environment: ``0`` is ``v ^ v`` of
+    an arbitrary bound value, ``1`` its complement.
+    """
+    if not env:
+        raise CompileError("evaluate needs at least one bound variable")
+    sample = next(iter(env.values()))
+    zeros = sample ^ sample
+    ones = ~zeros
+
+    def walk(node: Expr):
+        if isinstance(node, Var):
+            if node.name not in env:
+                raise CompileError(f"unbound variable {node.name!r}")
+            return env[node.name]
+        if isinstance(node, Const):
+            return ones if node.value else zeros
+        if isinstance(node, Not):
+            return ~walk(node.x)
+        if isinstance(node, And):
+            return walk(node.a) & walk(node.b)
+        if isinstance(node, Or):
+            return walk(node.a) | walk(node.b)
+        if isinstance(node, Xor):
+            return walk(node.a) ^ walk(node.b)
+        if isinstance(node, Maj):
+            a, b, c = walk(node.a), walk(node.b), walk(node.c)
+            return (a & b) | (a & c) | (b & c)
+        if isinstance(node, Mux):
+            sel = walk(node.sel)
+            return (sel & walk(node.a)) | (~sel & walk(node.b))
+        raise CompileError(f"unknown expression node {node!r}")
+
+    return walk(expr)
+
+
+# ----------------------------------------------------------------------
+# Surface syntax (the CLI front end)
+# ----------------------------------------------------------------------
+_CALLS = {"maj": (Maj, 3), "mux": (Mux, 3)}
+
+
+def parse_expr(text: str) -> Expr:
+    """Parse ``"maj(a, b, c) ^ (a & ~b)"``-style surface syntax.
+
+    Accepts names, ``0``/``1`` constants, ``&``/``|``/``^``/``~``,
+    parentheses, and the ``maj(...)``/``mux(...)`` calls -- nothing
+    else.  Implemented as a whitelisted walk over :func:`ast.parse`, so
+    arbitrary python never executes.
+    """
+    try:
+        tree = ast.parse(text, mode="eval")
+    except SyntaxError as exc:
+        raise CompileError(f"cannot parse expression {text!r}: {exc}") from exc
+
+    def build(node: ast.AST) -> Expr:
+        if isinstance(node, ast.Expression):
+            return build(node.body)
+        if isinstance(node, ast.Name):
+            if node.id in _CALLS:
+                raise CompileError(f"{node.id!r} must be called, not referenced")
+            return Var(node.id)
+        if isinstance(node, ast.Constant):
+            return _coerce(node.value)
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.Invert):
+            return Not(build(node.operand))
+        if isinstance(node, ast.BinOp):
+            ops = {ast.BitAnd: And, ast.BitOr: Or, ast.BitXor: Xor}
+            cls = ops.get(type(node.op))
+            if cls is not None:
+                return cls(build(node.left), build(node.right))
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            entry = _CALLS.get(node.func.id)
+            if entry is None:
+                raise CompileError(
+                    f"unknown function {node.func.id!r}; only "
+                    f"{sorted(_CALLS)} may be called"
+                )
+            cls, arity = entry
+            if node.keywords or len(node.args) != arity:
+                raise CompileError(
+                    f"{node.func.id} takes exactly {arity} positional "
+                    f"arguments"
+                )
+            return cls(*[build(arg) for arg in node.args])
+        raise CompileError(
+            f"unsupported syntax at {ast.dump(node)[:60]}; expressions "
+            f"use names, 0/1, &, |, ^, ~, maj(), mux()"
+        )
+
+    return build(tree)

@@ -1,0 +1,210 @@
+"""Bit-serial arithmetic kernels built from compiled operations.
+
+Ambit rows are bit-*parallel* but carry no arithmetic; the classic
+in-DRAM recipe (SIMDRAM, see PAPERS.md) is therefore **bit-serial**:
+an N-bit integer per element is stored as N bitvector *planes* (LSB
+first), and arithmetic walks the planes with full-adder boolean steps.
+Every step here is a :class:`~repro.compile.ops.CompiledOp` executed
+through ``BitVector.compute``, so the work runs in-DRAM, hits the plan
+cache, and is accounted per-AAP exactly like the hand-written ops.
+
+:class:`BitColumn` is the column type (a list of equal-shape
+``BitVector`` planes); :func:`add`, :func:`sub`, :func:`compare_lt`,
+:func:`compare_eq`, :func:`popcount` and :func:`select` are the
+kernels.  The module only duck-types against ``BitVector`` (``compute``,
+``free``, ``system`` ...), so it imports nothing from ``repro.apps``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.compile.ir import Var, maj, mux
+from repro.compile.ops import CompiledOp, compile_expr
+from repro.errors import CompileError
+
+_A, _B, _C = Var("a"), Var("b"), Var("c")
+
+#: Full-adder planes: sum and carry of three operands.
+SUM3 = compile_expr(_A ^ _B ^ _C, name="sum3")
+CARRY3 = compile_expr(maj(_A, _B, _C), name="carry3")
+#: Two's-complement subtraction planes (``a + ~b + 1``).
+DIFF3 = compile_expr(_A ^ ~_B ^ _C, name="diff3")
+BORROW3 = compile_expr(maj(_A, ~_B, _C), name="borrow3")
+#: LSB-to-MSB comparator folds.
+LT_STEP = compile_expr(mux(_A ^ _B, _B, _C), name="lt_step")
+EQ_STEP = compile_expr(_C & ~(_A ^ _B), name="eq_step")
+#: Half-adder planes for the popcount ripple.
+XOR2 = compile_expr(_A ^ _B, name="xor2")
+AND2 = compile_expr(_A & _B, name="and2")
+#: Masked select.
+MUX = compile_expr(mux(Var("m"), _A, _B), name="mux")
+
+ALL_KERNEL_OPS = (
+    SUM3, CARRY3, DIFF3, BORROW3, LT_STEP, EQ_STEP, XOR2, AND2, MUX,
+)
+
+
+def _zeros_like(vec):
+    return vec.system.bitvector(vec.nbits, like=vec)
+
+
+def _ones_like(vec):
+    zeros = _zeros_like(vec)
+    ones = ~zeros
+    zeros.free()
+    return ones
+
+
+@dataclass
+class BitColumn:
+    """A column of N-bit integers as bitvector planes, LSB first."""
+
+    planes: List[object]
+
+    def __post_init__(self):
+        if not self.planes:
+            raise CompileError("a BitColumn needs at least one plane")
+        nbits = self.planes[0].nbits
+        if any(p.nbits != nbits for p in self.planes):
+            raise CompileError("all planes of a column must have equal nbits")
+
+    @property
+    def width(self) -> int:
+        """Bits per element (number of planes)."""
+        return len(self.planes)
+
+    @property
+    def nbits(self) -> int:
+        """Elements per column (bits per plane)."""
+        return self.planes[0].nbits
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_ints(cls, system, values: Sequence[int], bits: int, like=None):
+        """Pack unsigned integers into ``bits`` planes on the device."""
+        values = np.asarray(values, dtype=np.uint64)
+        if bits < 1:
+            raise CompileError("columns need at least one bit plane")
+        if values.size and int(values.max()) >> bits:
+            raise CompileError(
+                f"value {int(values.max())} does not fit in {bits} bits"
+            )
+        planes = []
+        for k in range(bits):
+            plane_bits = ((values >> np.uint64(k)) & np.uint64(1)).astype(bool)
+            plane = system.from_bits(plane_bits, like=like)
+            if like is None:
+                like = plane  # co-locate the rest of the column
+            planes.append(plane)
+        return cls(planes)
+
+    def to_ints(self) -> np.ndarray:
+        """Read the column back as a ``uint64`` array."""
+        out = np.zeros(self.nbits, dtype=np.uint64)
+        for k, plane in enumerate(self.planes):
+            out |= plane.to_bits().astype(np.uint64) << np.uint64(k)
+        return out
+
+    def free(self) -> None:
+        """Return every plane's rows to the driver's free pool."""
+        for plane in self.planes:
+            plane.free()
+
+
+def _check_pair(a: BitColumn, b: BitColumn) -> None:
+    if a.width != b.width or a.nbits != b.nbits:
+        raise CompileError(
+            f"columns must match: {a.width}x{a.nbits} vs {b.width}x{b.nbits}"
+        )
+
+
+def _ripple(a: BitColumn, b: BitColumn, sum_op: CompiledOp,
+            carry_op: CompiledOp, carry) -> BitColumn:
+    """Shared adder/subtractor ripple; consumes and frees the carry."""
+    planes = []
+    for pa, pb in zip(a.planes, b.planes):
+        planes.append(pa.compute(sum_op, a=pa, b=pb, c=carry))
+        next_carry = pa.compute(carry_op, a=pa, b=pb, c=carry)
+        carry.free()
+        carry = next_carry
+    carry.free()  # modular arithmetic: the carry-out is dropped
+    return BitColumn(planes)
+
+
+def add(a: BitColumn, b: BitColumn) -> BitColumn:
+    """Element-wise ``(a + b) mod 2**width``, bit-serially in DRAM."""
+    _check_pair(a, b)
+    return _ripple(a, b, SUM3, CARRY3, _zeros_like(a.planes[0]))
+
+
+def sub(a: BitColumn, b: BitColumn) -> BitColumn:
+    """Element-wise ``(a - b) mod 2**width`` via ``a + ~b + 1``."""
+    _check_pair(a, b)
+    return _ripple(a, b, DIFF3, BORROW3, _ones_like(a.planes[0]))
+
+
+def compare_lt(a: BitColumn, b: BitColumn):
+    """Element-wise unsigned ``a < b`` as a single mask vector.
+
+    Walks LSB to MSB keeping ``lt = (a_k != b_k) ? b_k : lt`` so the
+    most significant differing bit decides.
+    """
+    _check_pair(a, b)
+    result = _zeros_like(a.planes[0])
+    for pa, pb in zip(a.planes, b.planes):
+        step = pa.compute(LT_STEP, a=pa, b=pb, c=result)
+        result.free()
+        result = step
+    return result
+
+
+def compare_eq(a: BitColumn, b: BitColumn):
+    """Element-wise ``a == b`` as a single mask vector."""
+    _check_pair(a, b)
+    result = _ones_like(a.planes[0])
+    for pa, pb in zip(a.planes, b.planes):
+        step = pa.compute(EQ_STEP, a=pa, b=pb, c=result)
+        result.free()
+        result = step
+    return result
+
+
+def popcount(vectors: Sequence[object]) -> BitColumn:
+    """Per-bit-position count of set bits across ``vectors``.
+
+    Returns a :class:`BitColumn` of width ``ceil(log2(N + 1))`` whose
+    element ``i`` is the number of input vectors with bit ``i`` set --
+    a vertical popcount by half-adder ripple increments.
+    """
+    vectors = list(vectors)
+    if not vectors:
+        raise CompileError("popcount needs at least one vector")
+    width = max(1, math.ceil(math.log2(len(vectors) + 1)))
+    counters = [_zeros_like(vectors[0]) for _ in range(width)]
+    for vec in vectors:
+        carry = vec
+        for i, counter in enumerate(counters):
+            bit = counter.compute(XOR2, a=counter, b=carry)
+            next_carry = counter.compute(AND2, a=counter, b=carry)
+            if carry is not vec:
+                carry.free()
+            counter.free()
+            counters[i] = bit
+            carry = next_carry
+        carry.free()  # width covers N, so the top carry is always zero
+    return BitColumn(counters)
+
+
+def select(mask, a: BitColumn, b: BitColumn) -> BitColumn:
+    """Element-wise masked select: plane-wise ``mask ? a : b``."""
+    _check_pair(a, b)
+    planes = [
+        pa.compute(MUX, m=mask, a=pa, b=pb)
+        for pa, pb in zip(a.planes, b.planes)
+    ]
+    return BitColumn(planes)

@@ -1,0 +1,199 @@
+"""Expression -> MAJ/NOT netlist lowering with common-subexpression sharing.
+
+The middle end of the compiler.  A :class:`Netlist` is a topologically
+ordered list of gates over two node kinds:
+
+* ``maj`` -- 3-operand majority, what one triple-row activation
+  computes.  AND and OR are majorities with a constant operand
+  (``maj(a, b, 0) = a & b``, ``maj(a, b, 1) = a | b``), which is
+  exactly how the backend emits them (the Figure 8a program *is* a
+  majority with a control-row copy).
+* ``xor`` -- 2-operand exclusive-or.  Formally ``xor`` is itself a
+  MAJ/NOT composition, but Ambit's B-group provides a fused 7-primitive
+  program for it (Figure 8c, both dual-contact cells at once), so the
+  netlist keeps it first-class instead of paying the naive 3-gate
+  expansion.
+
+NOT is never a gate: negation lives on operand edges (the ``neg`` flag
+of :class:`Operand`) and is resolved by the backend, which absorbs it
+into the dual-contact cells wherever possible (NAND/NOR/XNOR variants
+cost zero extra primitives; a residual edge costs one 2-AAP DCC NOT).
+
+Construction **hash-conses**: structurally identical gates -- after
+constant folding, operand sorting (maj and xor are fully commutative),
+and negation normalisation -- share one node, so a reused subexpression
+is computed once into one scratch row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.compile.ir import (
+    And,
+    Const,
+    Expr,
+    Maj,
+    Mux,
+    Not,
+    Or,
+    Var,
+    Xor,
+    variables,
+)
+from repro.errors import CompileError
+
+#: Operand kinds.
+IN = "in"        # index into the netlist's input tuple
+NODE = "node"    # index into the node list
+CONST = "const"  # index 0 (all zeros) or 1 (all ones)
+
+
+@dataclass(frozen=True, order=True)
+class Operand:
+    """One gate input: an input/node/constant reference, possibly negated."""
+
+    kind: str
+    index: int
+    neg: bool = False
+
+    def negated(self) -> "Operand":
+        """The complement: constants flip their index, others the flag."""
+        if self.kind == CONST:
+            return Operand(CONST, 1 - self.index)
+        return Operand(self.kind, self.index, not self.neg)
+
+
+@dataclass(frozen=True)
+class Node:
+    """One gate: ``maj`` over 3 operands or ``xor`` over 2."""
+
+    fn: str
+    operands: Tuple[Operand, ...]
+
+
+@dataclass(frozen=True)
+class Netlist:
+    """A compiled expression: inputs, topologically ordered gates, output."""
+
+    inputs: Tuple[str, ...]
+    nodes: Tuple[Node, ...]
+    output: Operand
+
+
+class _Builder:
+    """Hash-consing netlist construction."""
+
+    def __init__(self, inputs: Tuple[str, ...]):
+        self.inputs = inputs
+        self.index = {name: i for i, name in enumerate(inputs)}
+        self.nodes: List[Node] = []
+        self.interned: Dict[Node, int] = {}
+        self.memo: Dict[Expr, Operand] = {}
+
+    # ------------------------------------------------------------------
+    def _intern(self, fn: str, operands: Tuple[Operand, ...]) -> Operand:
+        node = Node(fn, tuple(sorted(operands)))
+        existing = self.interned.get(node)
+        if existing is not None:
+            return Operand(NODE, existing)
+        self.interned[node] = len(self.nodes)
+        self.nodes.append(node)
+        return Operand(NODE, len(self.nodes) - 1)
+
+    def _maj(self, a: Operand, b: Operand, c: Operand) -> Operand:
+        ops = [a, b, c]
+        # Constant folding.
+        consts = [op for op in ops if op.kind == CONST]
+        if len(consts) == 3:
+            total = sum(op.index for op in consts)
+            return Operand(CONST, int(total >= 2))
+        if len(consts) == 2:
+            rest = next(op for op in ops if op.kind != CONST)
+            if consts[0].index == consts[1].index:
+                return consts[0]  # two equal constants carry the vote
+            return rest           # 0 and 1 cancel; the data operand decides
+        # Algebraic identities on equal / complementary operand pairs.
+        for i in range(3):
+            for j in range(i + 1, 3):
+                if ops[i] == ops[j]:
+                    return ops[i]             # maj(x, x, y) = x
+                if ops[i] == ops[j].negated():
+                    return ops[3 - i - j]     # maj(x, ~x, y) = y
+        # Self-duality: maj(~x, ~y, ~z) = ~maj(x, y, z).  Complementing
+        # all operands is free for constants, so whenever two or more
+        # data operands are negated it strictly reduces the NOTs the
+        # backend must materialise.
+        data_negs = sum(1 for op in ops if op.kind != CONST and op.neg)
+        if data_negs >= 2:
+            flipped = self._maj(*[op.negated() for op in ops])
+            return flipped.negated()
+        return self._intern("maj", tuple(ops))
+
+    def _xor(self, a: Operand, b: Operand) -> Operand:
+        # xor(~x, y) = ~xor(x, y): negations commute out entirely.
+        neg = a.neg ^ b.neg
+        a = Operand(a.kind, a.index) if a.kind != CONST else a
+        b = Operand(b.kind, b.index) if b.kind != CONST else b
+        result = self._xor_pos(a, b)
+        return result.negated() if neg else result
+
+    def _xor_pos(self, a: Operand, b: Operand) -> Operand:
+        if a.kind == CONST and b.kind == CONST:
+            return Operand(CONST, a.index ^ b.index)
+        for x, y in ((a, b), (b, a)):
+            if x.kind == CONST:
+                return y.negated() if x.index else y
+        if a == b:
+            return Operand(CONST, 0)
+        return self._intern("xor", (a, b))
+
+    # ------------------------------------------------------------------
+    def lower(self, expr: Expr) -> Operand:
+        cached = self.memo.get(expr)
+        if cached is not None:
+            return cached
+        if isinstance(expr, Var):
+            result = Operand(IN, self.index[expr.name])
+        elif isinstance(expr, Const):
+            result = Operand(CONST, int(expr.value))
+        elif isinstance(expr, Not):
+            result = self.lower(expr.x).negated()
+        elif isinstance(expr, And):
+            result = self._maj(
+                self.lower(expr.a), self.lower(expr.b), Operand(CONST, 0)
+            )
+        elif isinstance(expr, Or):
+            result = self._maj(
+                self.lower(expr.a), self.lower(expr.b), Operand(CONST, 1)
+            )
+        elif isinstance(expr, Xor):
+            result = self._xor(self.lower(expr.a), self.lower(expr.b))
+        elif isinstance(expr, Maj):
+            result = self._maj(
+                self.lower(expr.a), self.lower(expr.b), self.lower(expr.c)
+            )
+        elif isinstance(expr, Mux):
+            # sel ? a : b  =  (sel & a) | (~sel & b), built through the
+            # hash-consed maj constructors so shared selects fold.
+            sel = self.lower(expr.sel)
+            then = self._maj(sel, self.lower(expr.a), Operand(CONST, 0))
+            other = self._maj(
+                sel.negated(), self.lower(expr.b), Operand(CONST, 0)
+            )
+            result = self._maj(then, other, Operand(CONST, 1))
+        else:
+            raise CompileError(f"unknown expression node {expr!r}")
+        self.memo[expr] = result
+        return result
+
+
+def build_netlist(expr: Expr) -> Netlist:
+    """Lower an expression to its hash-consed MAJ/NOT netlist."""
+    inputs = variables(expr)
+    builder = _Builder(inputs)
+    output = builder.lower(expr)
+    return Netlist(
+        inputs=inputs, nodes=tuple(builder.nodes), output=output
+    )

@@ -158,6 +158,39 @@ class AmbitController:
         self.run_plan(plan, bank, subarray)
         return plan.program
 
+    def bbop_compiled(
+        self,
+        cop,
+        bank: int,
+        subarray: int,
+        dk: int,
+        srcs: Tuple[int, ...],
+        temps: Tuple[int, ...],
+    ) -> Microprogram:
+        """Execute one compiled (synthesized) operation on one subarray.
+
+        ``cop`` is a :class:`repro.compile.ops.CompiledOp`; ``srcs`` are
+        the operand rows in its input order and ``temps`` the reserved
+        scratch rows its steps clobber.  Same address path as
+        :meth:`bbop`: spare-row repair translates every row, the
+        subarray's DCC route picks the dual-contact cell for single
+        negations, and the bound plan memoises in :attr:`plan_cache`.
+        """
+        if self.repair:
+            dk = self.repair.translate(bank, subarray, dk)
+            srcs = tuple(
+                self.repair.translate(bank, subarray, r) for r in srcs
+            )
+            temps = tuple(
+                self.repair.translate(bank, subarray, r) for r in temps
+            )
+        dcc = self.dcc_route.get((bank, subarray), 0)
+        plan = self.plan_cache.get_compiled(
+            cop, dk, tuple(srcs), tuple(temps), dcc
+        )
+        self.run_plan(plan, bank, subarray)
+        return plan.program
+
     def run_program(self, program: Microprogram, bank: int, subarray: int) -> None:
         """Stream an already-compiled microprogram to the chip.
 

@@ -9,7 +9,7 @@ the application-facing :class:`~repro.apps.bitvector.BitVector`.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
@@ -139,6 +139,38 @@ class AmbitDevice:
             di=src1.address,
             dj=None if src2 is None else src2.address,
             dl=None if src3 is None else src3.address,
+        )
+
+    def bbop_compiled_row(
+        self,
+        cop,
+        dst: RowLocation,
+        srcs: Sequence[RowLocation],
+        temps: Sequence[RowLocation],
+    ) -> None:
+        """Execute one compiled (synthesized) operation on row operands.
+
+        ``cop`` is a :class:`repro.compile.ops.CompiledOp`; ``srcs``
+        bind its inputs in order and ``temps`` are the scratch rows its
+        steps clobber.  Like :meth:`bbop_row`, every row must live in
+        the destination's subarray.
+        """
+        locs = [dst, *srcs, *temps]
+        bank, sub = dst.bank, dst.subarray
+        for loc in locs:
+            if (loc.bank, loc.subarray) != (bank, sub):
+                raise AddressError(
+                    f"bbop operands must share a subarray: {loc} vs "
+                    f"bank {bank} subarray {sub} "
+                    f"(stage cross-subarray operands with psm_copy)"
+                )
+        self.controller.bbop_compiled(
+            cop,
+            bank,
+            sub,
+            dk=dst.address,
+            srcs=tuple(loc.address for loc in srcs),
+            temps=tuple(loc.address for loc in temps),
         )
 
     @property

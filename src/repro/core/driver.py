@@ -22,6 +22,7 @@ rows with
 from __future__ import annotations
 
 from collections import deque
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Set, Tuple
 
@@ -225,6 +226,28 @@ class AmbitDriver:
     def scratch_row(self, bank: int, subarray: int, index: int = 0) -> RowLocation:
         """A reserved staging row in the given subarray."""
         return scratch_row_location(self.device, bank, subarray, index)
+
+    @contextmanager
+    def temp_rows(self, like: BitVectorHandle, count: int):
+        """Lease ``count`` scratch vectors co-located with ``like``.
+
+        The operation compiler's synthesized microprograms clobber
+        ``CompiledOp.num_temps`` scratch rows per chunk; this context
+        manager allocates them chunk-aligned with the destination (so
+        every step stays RowClone-FPM) and returns them to the pool on
+        exit, however the compiled batch finishes.  Contents are
+        undefined on entry and garbage on exit -- compiled steps write
+        every scratch row before reading it.
+        """
+        handles: List[BitVectorHandle] = []
+        try:
+            for _ in range(count):
+                handles.append(self.allocate(like.nbits, like=like))
+            yield handles
+        finally:
+            for handle in handles:
+                if handle.rows:
+                    self.free(handle)
 
     # ------------------------------------------------------------------
     # Cross-subarray staging

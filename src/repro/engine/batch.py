@@ -221,6 +221,83 @@ class BatchEngine:
             parallelism=parallelism,
         )
 
+    def run_compiled(
+        self,
+        cop,
+        dst: Sequence[RowLocation],
+        operands: Sequence[Sequence[RowLocation]],
+        temps: Sequence[Sequence[RowLocation]],
+        fuse: bool = True,
+    ) -> BatchReport:
+        """Execute a compiled op over row batches: one dst row, one row
+        per input, and one row per scratch slot, for every index.
+
+        ``operands`` holds one row list per compiled input (in
+        ``cop.inputs`` order) and ``temps`` one row list per scratch
+        slot; all lists align with ``dst``.  Planning, fusion
+        eligibility, bank-interleaved issue, accounting, and the
+        metrics/trace surface are shared with :meth:`run_rows`, so
+        synthesized ops inherit the whole engine behind one call.
+        """
+        n = len(dst)
+        if len(operands) != cop.arity:
+            raise AddressError(
+                f"{cop.value} takes {cop.arity} operand columns; "
+                f"got {len(operands)}"
+            )
+        if len(temps) != cop.num_temps:
+            raise AddressError(
+                f"{cop.value} needs {cop.num_temps} scratch columns; "
+                f"got {len(temps)}"
+            )
+        for name, rows in [
+            (f"operand {i}", col) for i, col in enumerate(operands)
+        ] + [(f"temp {i}", col) for i, col in enumerate(temps)]:
+            if len(rows) != n:
+                raise AddressError(
+                    f"batch operand lists must align: {name} has "
+                    f"{len(rows)} rows, dst has {n}"
+                )
+        if n == 0:
+            return BatchReport(
+                rows=0, fused_rows=0, fallback_rows=0,
+                parallelism=self.scheduler.report(()),
+            )
+
+        dst = self.translate_rows(dst)
+        operands = [self.translate_rows(col) for col in operands]
+        temps = [self.translate_rows(col) for col in temps]
+        groups = self.plan_groups_compiled(cop, dst, operands, temps)
+        command_groups = [
+            CommandGroup(bank=g.bank, duration_ns=g.duration_ns, payload=g)
+            for g in groups
+        ]
+        parallelism = self.scheduler.report(command_groups)
+
+        fused = 0
+        for issued in self.scheduler.order(command_groups):
+            group: _Group = issued.payload
+            if fuse and self._fused_eligible_compiled(
+                group, dst, operands, temps
+            ):
+                self._run_group_fused_compiled(
+                    cop, group, dst, operands, temps
+                )
+                fused += len(group.indices)
+            else:
+                self._run_group_per_row(group)
+        if self._m_batches is not None:
+            self._m_batches.inc()
+            self._m_rows.labels(path="fused").inc(fused)
+            self._m_rows.labels(path="fallback").inc(n - fused)
+            self._m_makespan.observe(parallelism.makespan_ns)
+        return BatchReport(
+            rows=n,
+            fused_rows=fused,
+            fallback_rows=n - fused,
+            parallelism=parallelism,
+        )
+
     # ------------------------------------------------------------------
     # Planning
     # ------------------------------------------------------------------
@@ -291,6 +368,47 @@ class BatchEngine:
             group.plans.append(plan)
         return list(groups.values())
 
+    def plan_groups_compiled(
+        self,
+        cop,
+        dst: Sequence[RowLocation],
+        operands: Sequence[Sequence[RowLocation]],
+        temps: Sequence[Sequence[RowLocation]],
+    ) -> List[_Group]:
+        """Compiled-op variant of :meth:`plan_groups`.
+
+        Validates the driver's co-location contract over destination,
+        operand, *and* scratch rows, then binds one
+        :meth:`~repro.engine.plan.PlanCache.get_compiled` plan per row.
+        """
+        cache = self.plan_cache
+        groups: "OrderedDict[Tuple[int, int], _Group]" = OrderedDict()
+        for i in range(len(dst)):
+            d = dst[i]
+            row_srcs = tuple(col[i] for col in operands)
+            row_temps = tuple(col[i] for col in temps)
+            for loc in row_srcs + row_temps:
+                if (loc.bank, loc.subarray) != (d.bank, d.subarray):
+                    raise AddressError(
+                        f"batch operands of row {i} must share a subarray: "
+                        f"{loc} vs bank {d.bank} subarray {d.subarray} "
+                        f"(stage cross-subarray operands first)"
+                    )
+            plan = cache.get_compiled(
+                cop,
+                d.address,
+                tuple(loc.address for loc in row_srcs),
+                tuple(loc.address for loc in row_temps),
+                dcc=self.controller.dcc_route.get((d.bank, d.subarray), 0),
+            )
+            key = (d.bank, d.subarray)
+            group = groups.get(key)
+            if group is None:
+                group = groups[key] = _Group(d.bank, d.subarray)
+            group.indices.append(i)
+            group.plans.append(plan)
+        return list(groups.values())
+
     # ------------------------------------------------------------------
     # Eligibility
     # ------------------------------------------------------------------
@@ -322,6 +440,32 @@ class BatchEngine:
             if src3 is not None:
                 src_addrs.add(src3[i].address)
         return not (set(dst_addrs) & src_addrs)
+
+    def _fused_eligible_compiled(
+        self,
+        group: _Group,
+        dst: Sequence[RowLocation],
+        operands: Sequence[Sequence[RowLocation]],
+        temps: Sequence[Sequence[RowLocation]],
+    ) -> bool:
+        if self.chip.tracer is not None:
+            return False
+        subarray = self.chip.bank(group.bank).subarray(group.subarray)
+        if subarray.has_faults or subarray.amps.charge_model is not None:
+            return False
+        # The fused kernel reads every operand column up front, then
+        # writes the destination *and* scratch columns; any write-write
+        # aliasing across the group's rows (shared scratch rows, say) or
+        # write-read overlap must take the sequential per-row walk.
+        write_addrs = [dst[i].address for i in group.indices]
+        for col in temps:
+            write_addrs.extend(col[i].address for i in group.indices)
+        if len(set(write_addrs)) != len(write_addrs):
+            return False
+        read_addrs = {
+            col[i].address for col in operands for i in group.indices
+        }
+        return not (set(write_addrs) & read_addrs)
 
     # ------------------------------------------------------------------
     # Execution
@@ -366,7 +510,45 @@ class BatchEngine:
 
         self.account_group(op, group)
 
-    def account_group(self, op: BulkOp, group: _Group) -> None:
+    def _run_group_fused_compiled(
+        self,
+        cop,
+        group: _Group,
+        dst: Sequence[RowLocation],
+        operands: Sequence[Sequence[RowLocation]],
+        temps: Sequence[Sequence[RowLocation]],
+    ) -> None:
+        bank, sub = group.bank, group.subarray
+        if self.chip.bank(bank).open_subarray is not None:
+            raise DramProtocolError(
+                f"bank {bank} must be precharged before a bulk operation"
+            )
+        subarray = self.chip.bank(bank).subarray(sub)
+        indices = group.indices
+        start_ns = self.chip.clock_ns
+
+        sources = [
+            subarray.peek_batch([col[i].address for i in indices])
+            for col in operands
+        ]
+        result, temp_values = cop.eval_rows(sources)
+        dst_addrs = [dst[i].address for i in indices]
+        subarray.poke_batch(dst_addrs, result, now_ns=start_ns)
+        # Scratch rows end a per-row walk holding their final step
+        # values; poke them too so fused and per-row leave identical
+        # memory behind (the dispatch-parity property).
+        touched = list(dst_addrs)
+        for col, values in zip(temps, temp_values):
+            temp_addrs = [col[i].address for i in indices]
+            subarray.poke_batch(temp_addrs, values, now_ns=start_ns)
+            touched.extend(temp_addrs)
+        for col in operands:
+            touched.extend(col[i].address for i in indices)
+        subarray.touch_rows(touched, now_ns=start_ns)
+
+        self.account_group(cop, group)
+
+    def account_group(self, op, group: _Group) -> None:
         """Charge one group's exact per-row command schedule.
 
         Extends the command trace from the plan cache's immutable

@@ -21,6 +21,15 @@ handful of distinct plans.  :class:`PlanCache` memoises that compilation:
 Cache keys are ``(op, dk, di, dj, dl)`` local addresses under one fixed
 ``(address map, timing, split_decoder)`` configuration -- the cache is
 per-controller, and the controller's configuration is immutable.
+
+Synthesized operations (:class:`repro.compile.ops.CompiledOp`) register
+through :meth:`PlanCache.get_compiled`: their keys carry the compiled
+op itself plus the bound source/scratch rows, so compiled plans are
+memoised, trimmed, and expanded to command schedules exactly like the
+paper's fixed nine.  Hit/miss statistics are additionally kept per
+operation label (``hits_by_op``/``misses_by_op``), so ``repro profile``
+shows each compiled op as its own line instead of folding every
+synthesized plan into one catch-all bucket.
 """
 
 from __future__ import annotations
@@ -95,6 +104,10 @@ class PlanCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        #: Per-operation-label statistics (``op.value`` -> count); the
+        #: fix for compiled plans colliding into one profile bucket.
+        self.hits_by_op: Dict[str, int] = {}
+        self.misses_by_op: Dict[str, int] = {}
         self._max_plans: Optional[int] = None
         self._m_hits = self._m_misses = self._m_evictions = None
         if metrics is not None:
@@ -171,16 +184,57 @@ class PlanCache:
         key: PlanKey = (op, dk, di, dj, dl, dcc)
         plan = self._plans.get(key)
         if plan is not None:
-            self.hits += 1
-            if self._m_hits is not None:
-                self._m_hits.inc()
-            if self._max_plans is not None:
-                self._plans.move_to_end(key)
+            self._record_hit(op, key)
             return plan
+        self._record_miss(op)
+        program = compile_op(self.amap, op, dk, di, dj, dl, dcc)
+        return self._install(key, program)
+
+    def get_compiled(
+        self,
+        cop,
+        dk: int,
+        srcs: Tuple[int, ...],
+        temps: Tuple[int, ...],
+        dcc: int = 0,
+    ) -> RowPlan:
+        """The plan for a compiled op bound to the given rows.
+
+        ``cop`` is a :class:`repro.compile.ops.CompiledOp`; ``srcs``
+        are the operand rows in its input order and ``temps`` its
+        reserved scratch rows.  The key carries the compiled op and the
+        full row binding, so distinct expressions (and distinct row
+        placements) never alias -- and the shared per-op counters keep
+        their statistics apart.
+        """
+        srcs = tuple(srcs)
+        temps = tuple(temps)
+        key = (cop, dk, srcs, temps, None, dcc)
+        plan = self._plans.get(key)
+        if plan is not None:
+            self._record_hit(cop, key)
+            return plan
+        self._record_miss(cop)
+        program = cop.program(self.amap, dk, srcs, temps, dcc=dcc)
+        return self._install(key, program)
+
+    def _record_hit(self, op, key) -> None:
+        self.hits += 1
+        label = op.value
+        self.hits_by_op[label] = self.hits_by_op.get(label, 0) + 1
+        if self._m_hits is not None:
+            self._m_hits.inc()
+        if self._max_plans is not None:
+            self._plans.move_to_end(key)
+
+    def _record_miss(self, op) -> None:
         self.misses += 1
+        label = op.value
+        self.misses_by_op[label] = self.misses_by_op.get(label, 0) + 1
         if self._m_misses is not None:
             self._m_misses.inc()
-        program = compile_op(self.amap, op, dk, di, dj, dl, dcc)
+
+    def _install(self, key, program: Microprogram) -> RowPlan:
         latencies = tuple(
             p.latency_ns(self.timing, self.amap, self.split_decoder)
             for p in program.primitives
@@ -204,6 +258,8 @@ class PlanCache:
         """Zero the hit/miss counters without dropping compiled plans."""
         self.hits = 0
         self.misses = 0
+        self.hits_by_op.clear()
+        self.misses_by_op.clear()
 
     # ------------------------------------------------------------------
     # Flat command schedules

@@ -43,6 +43,15 @@ class AllocationError(ReproError):
     """The subarray-aware driver could not place a bitvector (Section 5.4.2)."""
 
 
+class CompileError(ReproError):
+    """The MAJ/NOT operation compiler rejected an expression.
+
+    Raised by :mod:`repro.compile` for malformed expressions, unbound
+    variables, invalid row assignments, or surface syntax outside the
+    whitelisted grammar of ``repro compile --expr``.
+    """
+
+
 class EccError(ReproError):
     """An uncorrectable error was detected by the TMR ECC scheme (Section 5.4.5)."""
 

@@ -322,6 +322,48 @@ class FaultTolerantSession:
             None if src3 is None else [src3],
         )
 
+    def run_compiled(
+        self,
+        cop,
+        dst: Sequence[RowLocation],
+        operands: Sequence[Sequence[RowLocation]],
+        temps: Sequence[Sequence[RowLocation]],
+    ) -> None:
+        """Verified execution of a compiled op; recover on mismatch.
+
+        The expected image comes from
+        :meth:`~repro.compile.ops.CompiledOp.eval_rows` -- the same
+        functional oracle the fused kernels use -- so synthesized
+        operations get the identical shadow-verify-recover contract as
+        the fixed ops.  Scratch rows are clobbered by construction;
+        their shadow entries (when something else made them
+        interesting) are re-synced to the op's final temp values.
+        """
+        n = len(dst)
+        sources = [[column[i] for column in operands] for i in range(n)]
+        row_temps = [[column[i] for column in temps] for i in range(n)]
+        expected: List[np.ndarray] = []
+        expected_temps: List[List[np.ndarray]] = []
+        for srcs in sources:
+            result, temp_values = cop.eval_rows(
+                [self._shadow_value(s) for s in srcs]
+            )
+            expected.append(result)
+            expected_temps.append(temp_values)
+
+        self._execute_compiled(cop, dst, operands, temps)
+
+        for i in range(n):
+            got = self.device.read_row(dst[i])
+            if np.array_equal(got, expected[i]):
+                self.shadow[self._key(dst[i])] = expected[i].copy()
+                self._sync_temps(row_temps[i], expected_temps[i])
+            else:
+                self._recover_compiled(
+                    cop, dst[i], sources[i], row_temps[i],
+                    expected[i], expected_temps[i],
+                )
+
     # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
@@ -417,9 +459,13 @@ class FaultTolerantSession:
         return False
 
     def _remap_stuck_rows(
-        self, op: BulkOp, dst: RowLocation, sources: List[RowLocation]
+        self, op, dst: RowLocation, sources: List[RowLocation]
     ) -> bool:
-        """Probe operands; remap+rewrite failures.  True if any remapped."""
+        """Probe operands; remap+rewrite failures.  True if any remapped.
+
+        ``op`` is a :class:`BulkOp` or a compiled op (only ``op.value``
+        is read, for the recovery record).
+        """
         repair = self.controller.repair
         remapped = False
         seen = set()
@@ -506,8 +552,154 @@ class FaultTolerantSession:
         return False
 
     # ------------------------------------------------------------------
+    # The compiled-op recovery ladder
+    # ------------------------------------------------------------------
+    def _recover_compiled(
+        self,
+        cop,
+        dst: RowLocation,
+        sources: List[RowLocation],
+        temps: List[RowLocation],
+        expected: np.ndarray,
+        expected_temps: List[np.ndarray],
+    ) -> None:
+        """:meth:`_recover`, generalized to synthesized microprograms.
+
+        Same rungs in the same order; the differences are that scratch
+        rows join the remap probe set (a stuck temp corrupts the result
+        just as a stuck operand does) and that the DCC rung keys off the
+        op's step profile (``uses_single_dcc``/``uses_dual_dcc``)
+        instead of the fixed-op tables.
+        """
+        if not self.policy.enabled:
+            self._counters["detected"].labels(kind="op_mismatch").inc()
+            self._unrecovered(cop.value, dst, "op_mismatch")
+            return
+
+        for _ in range(max(0, self.policy.max_retries)):
+            started = time.perf_counter_ns()
+            recovered = self._reexecute_compiled(
+                cop, dst, sources, temps, expected, expected_temps
+            )
+            self._attempt(cop.value, dst, "retry", recovered, started)
+            if recovered:
+                self._counters["detected"].labels(kind="tra_flip").inc()
+                self._counters["recovered"].labels(kind="tra_flip").inc()
+                self._record(cop.value, dst, "tra_flip", "retried")
+                return
+
+        started = time.perf_counter_ns()
+        recovered = self._remap_stuck_rows(
+            cop, dst, sources + temps
+        ) and self._reexecute_compiled(
+            cop, dst, sources, temps, expected, expected_temps
+        )
+        self._attempt(cop.value, dst, "remap", recovered, started)
+        if recovered:
+            return
+
+        started = time.perf_counter_ns()
+        recovered = self._reroute_dcc_compiled(
+            cop, dst, sources, temps, expected, expected_temps
+        )
+        self._attempt(cop.value, dst, "dcc_reroute", recovered, started)
+        if recovered:
+            return
+
+        self._unrecovered(cop.value, dst, "op_mismatch")
+
+    def _reexecute_compiled(
+        self,
+        cop,
+        dst: RowLocation,
+        sources: List[RowLocation],
+        temps: List[RowLocation],
+        expected: np.ndarray,
+        expected_temps: List[np.ndarray],
+    ) -> bool:
+        """Restore sources from the shadow, re-run one row, verify.
+
+        Temps need no restore: every compiled step writes a scratch row
+        before any step reads it (SSA construction), so their entry
+        contents are irrelevant.
+        """
+        self._restore_sources(sources)
+        self._execute_compiled(
+            cop, [dst], [[s] for s in sources], [[t] for t in temps]
+        )
+        if np.array_equal(self.device.read_row(dst), expected):
+            self.shadow[self._key(dst)] = expected.copy()
+            self._sync_temps(temps, expected_temps)
+            return True
+        return False
+
+    def _reroute_dcc_compiled(
+        self,
+        cop,
+        dst: RowLocation,
+        sources: List[RowLocation],
+        temps: List[RowLocation],
+        expected: np.ndarray,
+        expected_temps: List[np.ndarray],
+    ) -> bool:
+        bank, sub = dst.bank, dst.subarray
+        scratch = self.scratch.get((bank, sub))
+        if scratch is None:
+            return False
+        if cop.uses_dual_dcc:
+            # xor/xnor steps need both DCC rows and compiled programs
+            # carry no degraded composition; diagnose (so the counters
+            # tell the story) but let the rung fail.
+            broken = [
+                r
+                for r in (0, 1)
+                if not probe_dcc(self.device, bank, sub, r, scratch)
+            ]
+            if broken:
+                self._counters["detected"].labels(kind="dcc").inc(
+                    len(broken)
+                )
+            return False
+        if not cop.uses_single_dcc:
+            return False
+        route = self.controller.dcc_route.get((bank, sub), 0)
+        if probe_dcc(self.device, bank, sub, route, scratch):
+            return False
+        self._counters["detected"].labels(kind="dcc").inc()
+        other = 1 - route
+        if not probe_dcc(self.device, bank, sub, other, scratch):
+            return False  # both routes dead; unrecoverable here
+        self.controller.dcc_route[(bank, sub)] = other
+        if self._reexecute_compiled(
+            cop, dst, sources, temps, expected, expected_temps
+        ):
+            self._counters["recovered"].labels(kind="dcc").inc()
+            self._record(cop.value, dst, "dcc", "rerouted")
+            return True
+        return False
+
+    def _sync_temps(
+        self, temps: List[RowLocation], values: List[np.ndarray]
+    ) -> None:
+        # Scratch rows enter the shadow only through an explicit
+        # verified write; fresh driver leases stay out of it so
+        # verify_all()/scrub() never chase recycled scratch garbage.
+        for loc, value in zip(temps, values):
+            key = self._key(loc)
+            if key in self.shadow:
+                self.shadow[key] = value.copy()
+
+    # ------------------------------------------------------------------
     # Execution plumbing
     # ------------------------------------------------------------------
+    def _execute_compiled(self, cop, dst, operands, temps) -> None:
+        # Mirrors _execute: a ShardedDevice exposes run_compiled
+        # directly; a plain AmbitDevice goes through its batch engine.
+        runner = getattr(self.device, "run_compiled", None)
+        if runner is None:
+            runner = self.device.engine.run_compiled
+        runner(cop, dst, operands, temps)
+
     def _execute(self, op, dst, src1, src2, src3) -> None:
         # ShardedDevice exposes run_rows directly; a plain AmbitDevice
         # goes through its batch engine.  Identical contracts.

@@ -46,6 +46,11 @@ class ProfileReport:
         #: run_profile_workload` so callers can read its metrics
         #: registry after the run).
         self.device: Optional[object] = None
+        #: Plan-cache traffic per operation label within the region:
+        #: ``op.value -> (hits, misses)``.  Compiled (synthesized) ops
+        #: appear under their own ``c:<name>`` labels instead of
+        #: colliding into the aggregate counters.
+        self.plan_cache_by_op: Dict[str, Tuple[int, int]] = {}
         self._finalized = False
 
     def _finalize(
@@ -90,6 +95,11 @@ class ProfileReport:
                 f"plan cache: {c.plan_cache_hits} hits / "
                 f"{c.plan_cache_misses} misses ({rate:.1f}% hit rate)"
             )
+            for label in sorted(self.plan_cache_by_op):
+                hits, misses = self.plan_cache_by_op[label]
+                lines.append(
+                    f"  {label:>12}: {hits} hits / {misses} misses"
+                )
         if self.allocator is not None:
             in_use, high_water, free = self.allocator
             lines.append(
@@ -134,6 +144,12 @@ def profile(
     )
     hits_before = plan_cache.hits if plan_cache is not None else 0
     misses_before = plan_cache.misses if plan_cache is not None else 0
+    hits_by_op_before = (
+        dict(plan_cache.hits_by_op) if plan_cache is not None else {}
+    )
+    misses_by_op_before = (
+        dict(plan_cache.misses_by_op) if plan_cache is not None else {}
+    )
     report = ProfileReport()
     try:
         yield report
@@ -151,6 +167,21 @@ def profile(
             counter_sink.counters.plan_cache_misses += max(
                 0, plan_cache.misses - misses_before
             )
+            for label in set(plan_cache.hits_by_op) | set(
+                plan_cache.misses_by_op
+            ):
+                hits = max(
+                    0,
+                    plan_cache.hits_by_op.get(label, 0)
+                    - hits_by_op_before.get(label, 0),
+                )
+                misses = max(
+                    0,
+                    plan_cache.misses_by_op.get(label, 0)
+                    - misses_by_op_before.get(label, 0),
+                )
+                if hits or misses:
+                    report.plan_cache_by_op[label] = (hits, misses)
         driver = getattr(device, "driver", None)
         allocator = None
         if driver is not None:

@@ -93,6 +93,7 @@ from repro.parallel.pool import WorkerPool
 from repro.parallel.shm import SharedRowStore
 from repro.parallel.tuner import AutoTuner, DispatchTier
 from repro.parallel.worker import (
+    COMPILED_OP,
     ShardJob,
     ShardResult,
     WorkerConfig,
@@ -222,6 +223,9 @@ class ShardedDevice:
         self._resident: Dict[Tuple, Optional[int]] = {}
         #: Published (TracerConfig, spool_dir) pairs: payload -> id.
         self._tracer_resident: Dict[bytes, Optional[int]] = {}
+        #: Published compiled ops: CompiledOp -> board entry id
+        #: (``None`` = board full, pickle the op inline with each job).
+        self._op_resident: Dict[object, Optional[int]] = {}
 
     # ------------------------------------------------------------------
     # Delegation
@@ -389,19 +393,7 @@ class ShardedDevice:
             return engine.run_rows(op, dst, src1, src2, src3)
 
         groups = engine.plan_groups(op, dst, src1, src2, src3)
-
-        # Fail before any worker mutates cells: the serial engine raises
-        # on an un-precharged bank, and so must we.
-        chip = self.device.chip
-        for bank in banks:
-            if chip.bank(bank).open_subarray is not None:
-                raise DramProtocolError(
-                    f"bank {bank} must be precharged before a bulk operation"
-                )
-
-        tracer = chip.tracer
-        self._batch_seq += 1
-        batch_id = self._batch_seq
+        self._check_precharged(banks)
 
         assignment = {bank: i % shards for i, bank in enumerate(banks)}
         shard_rows: List[List] = [[] for _ in range(shards)]
@@ -424,6 +416,112 @@ class ShardedDevice:
                     )
                 )
 
+        return self._run_sharded(
+            op, op.value, engine, groups, len(dst), shards, shard_rows,
+            placement,
+        )
+
+    def run_compiled(
+        self,
+        cop,
+        dst: Sequence[RowLocation],
+        operands: Sequence[Sequence[RowLocation]],
+        temps: Sequence[Sequence[RowLocation]],
+    ) -> BatchReport:
+        """Execute a compiled-op batch on the chosen dispatch tier.
+
+        Same contract and observable outcome as
+        :meth:`repro.engine.batch.BatchEngine.run_compiled` -- synthesized
+        operations inherit sharded dispatch exactly as the fixed ops do.
+        The :class:`~repro.compile.ops.CompiledOp` itself is published
+        through the plan board once per op (its steps never travel with
+        a warm batch); workers resolve it by entry id, and the parent
+        re-derives accounting and traces from its own plan cache under
+        the op's ``c:<name>`` label.
+        """
+        engine = self.device.engine
+        dst = engine.translate_rows(dst)
+        operands = [engine.translate_rows(column) for column in operands]
+        temps = [engine.translate_rows(column) for column in temps]
+        banks = list(dict.fromkeys(loc.bank for loc in dst))
+        shards = min(self.max_workers, len(banks))
+        sharded_ok = (
+            len(dst) > 0
+            and shards >= 2
+            and self._parallel_eligible()
+            and not self._faulty_subarrays(dst)
+        )
+        tier = self._select_tier(
+            len(dst), self.device.row_bytes, sharded_ok, shards
+        )
+        self._m_dispatch.labels(tier=tier.value).inc()
+        if tier is DispatchTier.SERIAL:
+            return engine.run_compiled(cop, dst, operands, temps, fuse=False)
+        if tier is DispatchTier.FUSED or not sharded_ok:
+            return engine.run_compiled(cop, dst, operands, temps)
+
+        groups = engine.plan_groups_compiled(cop, dst, operands, temps)
+        self._check_precharged(banks)
+
+        assignment = {bank: i % shards for i, bank in enumerate(banks)}
+        shard_rows: List[List] = [[] for _ in range(shards)]
+        placement: Dict[int, Tuple[int, int]] = {}
+        for group in groups:
+            shard = assignment[group.bank]
+            rows = shard_rows[shard]
+            for i in group.indices:
+                placement[i] = (shard, len(rows))
+                rows.append(
+                    (
+                        group.bank,
+                        group.subarray,
+                        dst[i].address,
+                        tuple(column[i].address for column in operands),
+                        tuple(column[i].address for column in temps),
+                    )
+                )
+
+        op_ref, op_inline = self._publish_op(cop)
+        return self._run_sharded(
+            cop, COMPILED_OP, engine, groups, len(dst), shards, shard_rows,
+            placement, op_ref=op_ref, op_inline=op_inline,
+        )
+
+    def _check_precharged(self, banks) -> None:
+        # Fail before any worker mutates cells: the serial engine raises
+        # on an un-precharged bank, and so must we.
+        chip = self.device.chip
+        for bank in banks:
+            if chip.bank(bank).open_subarray is not None:
+                raise DramProtocolError(
+                    f"bank {bank} must be precharged before a bulk operation"
+                )
+
+    def _run_sharded(
+        self,
+        op,
+        op_value: str,
+        engine,
+        groups,
+        total_rows: int,
+        shards: int,
+        shard_rows: List[List],
+        placement: Dict[int, Tuple[int, int]],
+        op_ref: Optional[int] = None,
+        op_inline: Optional[object] = None,
+    ) -> BatchReport:
+        """Common sharded tail: publish, submit (with crash retry), merge.
+
+        ``op`` is a :class:`BulkOp` or a compiled op (anything with
+        ``.value``); ``op_value`` is what rides the job -- the enum value
+        for fixed ops, :data:`~repro.parallel.worker.COMPILED_OP` plus
+        ``op_ref``/``op_inline`` for synthesized ones.
+        """
+        chip = self.device.chip
+        tracer = chip.tracer
+        self._batch_seq += 1
+        batch_id = self._batch_seq
+
         resident = self._publish_rows(shard_rows)
         tracer_ref, tracer_inline, spool_dir_inline = (
             self._publish_tracer(tracer) if tracer is not None
@@ -441,7 +539,7 @@ class ShardedDevice:
                     pool.submit(
                         run_shard,
                         ShardJob(
-                            op.value,
+                            op_value,
                             resident=resident,
                             rows=(
                                 tuple(rows) if resident is None else None
@@ -452,6 +550,8 @@ class ShardedDevice:
                             tracer_resident=tracer_ref,
                             tracer=tracer_inline,
                             spool_dir=spool_dir_inline,
+                            op_resident=op_ref,
+                            op_inline=op_inline,
                         ),
                         batch_id=batch_id,
                     )
@@ -502,7 +602,7 @@ class ShardedDevice:
         # bank-interleaved order of the single-process engine.
         self._account(op, engine, groups)
         fused = sum(result.fused_rows for result in results)
-        return self._report(engine, groups, len(dst), fused, shards)
+        return self._report(engine, groups, total_rows, fused, shards)
 
     # ------------------------------------------------------------------
     # Resident-plan publication
@@ -531,6 +631,29 @@ class ShardedDevice:
             event="published" if rid is not None else "inline"
         ).inc()
         return rid
+
+    def _publish_op(self, cop) -> Tuple[Optional[int], Optional[object]]:
+        """Publish (or reuse) a compiled op's plan-board entry.
+
+        Compiled ops are frozen and hashable, so each distinct op's
+        steps cross the pool once; warm batches reference the entry id.
+        Returns ``(entry id, inline op)`` -- exactly one is non-``None``;
+        a full board downgrades to pickling the op with every job
+        (correct, just heavier), counted like any inline downgrade.
+        """
+        if cop in self._op_resident:
+            rid = self._op_resident[cop]
+            self._m_resident.labels(
+                event="reused" if rid is not None else "inline"
+            ).inc()
+            return rid, (None if rid is not None else cop)
+        payload = pickle.dumps(cop, protocol=pickle.HIGHEST_PROTOCOL)
+        rid = self.block.publish(payload)
+        self._op_resident[cop] = rid
+        self._m_resident.labels(
+            event="published" if rid is not None else "inline"
+        ).inc()
+        return rid, (None if rid is not None else cop)
 
     def _publish_tracer(self, tracer):
         """Publish the tracer config + spool dir; inline on a full board."""
@@ -576,7 +699,7 @@ class ShardedDevice:
     # ------------------------------------------------------------------
     def _merge_traces(
         self,
-        op: BulkOp,
+        op,
         tracer,
         engine,
         groups,
@@ -679,7 +802,7 @@ class ShardedDevice:
             for g in groups
         ]
 
-    def _account(self, op: BulkOp, engine, groups) -> None:
+    def _account(self, op, engine, groups) -> None:
         for issued in engine.scheduler.order(self._command_groups(groups)):
             engine.account_group(op, issued.payload)
 

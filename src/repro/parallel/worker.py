@@ -69,6 +69,18 @@ from repro.dram.timing import TimingParameters
 #: One row of a shard job: (bank, subarray, dk, di, dj, dl).
 RowSpec = Tuple[int, int, int, int, Optional[int], Optional[int]]
 
+#: One row of a *compiled* shard job: (bank, subarray, dk, src
+#: addresses in ``CompiledOp.inputs`` order, temp addresses in slot
+#: order).  The nested tuples make the spec self-describing for any
+#: arity/scratch count, so the worker needs no per-op schema.
+CompiledRowSpec = Tuple[int, int, int, Tuple[int, ...], Tuple[int, ...]]
+
+#: Sentinel ``ShardJob.op`` marking a compiled-operation job.  Regular
+#: jobs resolve ``op`` by ``BulkOp(value)`` lookup; compiled ops are
+#: synthesized objects with no enum entry, so they ride the plan board
+#: (``op_resident``) or pickle inline (``op_inline``) instead.
+COMPILED_OP = "__compiled__"
+
 
 @dataclass(frozen=True)
 class WorkerConfig:
@@ -116,6 +128,12 @@ class ShardJob:
     #: Inline fallbacks for a full plan board (traced jobs only).
     tracer: Optional[object] = None
     spool_dir: Optional[str] = None
+    #: Plan-board entry id of the published
+    #: :class:`~repro.compile.ops.CompiledOp`; set (or ``op_inline``)
+    #: when ``op`` is :data:`COMPILED_OP`.
+    op_resident: Optional[int] = None
+    #: Inline compiled-op fallback for a full plan board.
+    op_inline: Optional[object] = None
 
 
 @dataclass(frozen=True)
@@ -220,6 +238,15 @@ def _job_tracer(job: ShardJob):
     return job.tracer, job.spool_dir
 
 
+def _job_op(job: ShardJob):
+    """The CompiledOp of a compiled job: resident entry or inline."""
+    if job.op_resident is not None:
+        return _fetch_resident(job.op_resident)
+    if job.op_inline is None:  # pragma: no cover - dispatch contract
+        raise RuntimeError("compiled shard job carries no operation")
+    return job.op_inline
+
+
 def run_shard(job: ShardJob) -> int:
     """Execute one shard job; results land in the accounting block.
 
@@ -241,31 +268,45 @@ def run_shard(job: ShardJob) -> int:
     device.reset_stats()
     device.chip.clock_ns = job.start_ns
 
-    op = BulkOp(job.op)
-    dst, src1, src2, src3 = [], [], [], []
-    for bank, sub, dk, di, dj, dl in _job_rows(job):
-        dst.append(RowLocation(bank, sub, dk))
-        src1.append(RowLocation(bank, sub, di))
-        if dj is not None:
-            src2.append(RowLocation(bank, sub, dj))
-        if dl is not None:
-            src3.append(RowLocation(bank, sub, dl))
-
     tracer_config, spool_dir = _job_tracer(job)
-    if tracer_config is not None:
-        _run_traced(
-            device, job, op, dst, src1, src2, src3, tracer_config, spool_dir
-        )
-        fused = 0
+    if job.op == COMPILED_OP:
+        cop = _job_op(job)
+        dst, operands, temps = _decode_compiled(cop, _job_rows(job))
+        if tracer_config is not None:
+            _run_traced_compiled(
+                device, job, cop, dst, operands, temps, tracer_config,
+                spool_dir,
+            )
+            fused = 0
+        else:
+            report = device.engine.run_compiled(cop, dst, operands, temps)
+            fused = report.fused_rows
     else:
-        report = device.engine.run_rows(
-            op,
-            dst,
-            src1,
-            src2 if src2 else None,
-            src3 if src3 else None,
-        )
-        fused = report.fused_rows
+        op = BulkOp(job.op)
+        dst, src1, src2, src3 = [], [], [], []
+        for bank, sub, dk, di, dj, dl in _job_rows(job):
+            dst.append(RowLocation(bank, sub, dk))
+            src1.append(RowLocation(bank, sub, di))
+            if dj is not None:
+                src2.append(RowLocation(bank, sub, dj))
+            if dl is not None:
+                src3.append(RowLocation(bank, sub, dl))
+
+        if tracer_config is not None:
+            _run_traced(
+                device, job, op, dst, src1, src2, src3, tracer_config,
+                spool_dir,
+            )
+            fused = 0
+        else:
+            report = device.engine.run_rows(
+                op,
+                dst,
+                src1,
+                src2 if src2 else None,
+                src3 if src3 else None,
+            )
+            fused = report.fused_rows
 
     _BATCHES_SERVED += 1
     _BLOCK.write_telemetry(
@@ -279,6 +320,22 @@ def run_shard(job: ShardJob) -> int:
         heartbeat_ts=time.time(),
     )
     return job.shard
+
+
+def _decode_compiled(cop, rows):
+    """Split compiled rowspecs into dst / operand / temp row columns."""
+    from repro.dram.chip import RowLocation
+
+    dst = []
+    operands = [[] for _ in range(cop.arity)]
+    temps = [[] for _ in range(cop.num_temps)]
+    for bank, sub, dk, srcs, temp_addrs in rows:
+        dst.append(RowLocation(bank, sub, dk))
+        for column, address in zip(operands, srcs):
+            column.append(RowLocation(bank, sub, address))
+        for column, address in zip(temps, temp_addrs):
+            column.append(RowLocation(bank, sub, address))
+    return dst, operands, temps
 
 
 def _run_traced(
@@ -312,6 +369,38 @@ def _run_traced(
     finally:
         device.chip.tracer = None
         tracer.close()
+    _publish_spool(job, buffer, spool_dir)
+
+
+def _run_traced_compiled(
+    device, job: ShardJob, cop, dst, operands, temps, tracer_config, spool_dir
+) -> None:
+    """Compiled twin of :func:`_run_traced`: per-row walk, spooled.
+
+    Each row runs through ``bbop_compiled_row`` -- the same per-row
+    command walk the serial engine traces -- so every row still
+    contributes one contiguous event segment ending in its ``kind="op"``
+    event and the parent's canonical-order merge applies unchanged.
+    """
+    buffer = io.StringIO()
+    tracer = tracer_config.build(buffer)
+    device.chip.tracer = tracer
+    try:
+        for i in range(len(dst)):
+            device.bbop_compiled_row(
+                cop,
+                dst[i],
+                [column[i] for column in operands],
+                [column[i] for column in temps],
+            )
+    finally:
+        device.chip.tracer = None
+        tracer.close()
+    _publish_spool(job, buffer, spool_dir)
+
+
+def _publish_spool(job: ShardJob, buffer: io.StringIO, spool_dir) -> None:
+    """Land a traced job's events in the block slot, or spill to a file."""
     data = buffer.getvalue().encode("utf-8")
     if not _BLOCK.write_spool(job.shard, data):
         if spool_dir is None:  # pragma: no cover - dispatch contract

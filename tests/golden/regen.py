@@ -71,6 +71,51 @@ def golden_path(op: BulkOp) -> pathlib.Path:
 
 
 # ----------------------------------------------------------------------
+# Compiled-operation traces (repro.compile)
+# ----------------------------------------------------------------------
+#: Third operand for three-input compiled expressions.
+SRC3 = RowLocation(0, 0, 2)
+
+#: Canonical compiled expressions with pinned command streams: the two
+#: ops whose synthesized programs must match the hand-written native
+#: ones (the bench gate prices exactly these), plus a mux and the
+#: full-adder carry the bit-serial kernels are built from.
+COMPILED_CASES = (
+    ("compiled_and", "a & b"),
+    ("compiled_xor", "a ^ b"),
+    ("compiled_mux", "mux(c, a, b)"),
+    ("compiled_carry", "maj(a, b, c)"),
+)
+
+#: Compiled scratch rows start here (clear of the fixed operands).
+COMPILED_TEMP_BASE = 4
+
+
+def compiled_trace_text(name: str, expr_text: str, device=None) -> str:
+    """The trace text of one canonical compiled-op execution."""
+    from repro.compile import compile_expr, parse_expr
+
+    cop = compile_expr(parse_expr(expr_text), name=name)
+    if device is None:
+        device = golden_device()
+    sources = list((SRC1, SRC2, SRC3)[: cop.arity])
+    temps = [
+        RowLocation(0, 0, COMPILED_TEMP_BASE + t)
+        for t in range(cop.num_temps)
+    ]
+    log = CommandLog(device)
+    try:
+        device.bbop_compiled_row(cop, DST, sources, temps)
+        return log.text() + "\n"
+    finally:
+        log.detach()
+
+
+def compiled_path(name: str) -> pathlib.Path:
+    return GOLDEN_DIR / f"{name}.trace"
+
+
+# ----------------------------------------------------------------------
 # Recovery-ladder traces (repro.faults)
 # ----------------------------------------------------------------------
 #: One scenario per recovery rung: transient-TRA retry, stuck-row
@@ -158,6 +203,10 @@ def main() -> None:
     for op in GOLDEN_OPS:
         path = golden_path(op)
         path.write_text(golden_trace_text(op))
+        print(f"wrote {path}")
+    for name, expr_text in COMPILED_CASES:
+        path = compiled_path(name)
+        path.write_text(compiled_trace_text(name, expr_text))
         print(f"wrote {path}")
     for scenario in RECOVERY_SCENARIOS:
         path = recovery_path(scenario)

@@ -14,7 +14,7 @@ class TestParser:
         assert set(subparsers.choices) == {
             "list", "table2", "table3", "fig9", "fig10", "fig11", "fig12",
             "demo", "report", "profile", "bench", "metrics", "top",
-            "chaos", "serve", "loadgen", "spans",
+            "chaos", "serve", "loadgen", "spans", "compile",
         }
 
     def test_missing_command_errors(self):

@@ -30,7 +30,7 @@ class TestTutorial:
                 "system = AmbitBitSystem()   # paper-sized device: 8 banks, 8 KB rows",
                 "from repro import small_test_geometry\n"
                 "system = AmbitBitSystem(geometry=small_test_geometry("
-                "rows=24, row_bytes=2048, banks=2, subarrays_per_bank=2))",
+                "rows=40, row_bytes=2048, banks=2, subarrays_per_bank=2))",
             ).replace("300_000", "30_000")
             exec(compile(code, f"TUTORIAL-block-{i}", "exec"), namespace)
         assert "eligible" in namespace
